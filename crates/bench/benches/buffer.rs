@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the K-slack ordering buffer: insertion + release
+//! throughput across slack sizes and disorder levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quill_core::prelude::SlackBuffer;
+use quill_engine::prelude::{Event, Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn disordered_events(n: u64, max_delay: u64, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals: Vec<(u64, u64)> = (0..n)
+        .map(|i| (i * 10 + rng.gen_range(0..=max_delay), i * 10))
+        .collect();
+    arrivals.sort();
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (_, ts))| Event::new(ts, seq as u64, Row::new([Value::Float(1.0)])))
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let events = disordered_events(10_000, 500, 1);
+    let mut group = c.benchmark_group("slack_buffer_insert");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for k in [0u64, 100, 1000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut buf = SlackBuffer::new(k);
+                let mut out = Vec::new();
+                for e in &events {
+                    buf.insert(e.clone(), &mut out);
+                    out.clear();
+                }
+                buf.finish(&mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_disorder_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slack_buffer_disorder");
+    group.throughput(Throughput::Elements(10_000));
+    for max_delay in [0u64, 50, 500, 5000] {
+        let events = disordered_events(10_000, max_delay, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_delay),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut buf = SlackBuffer::new(max_delay);
+                    let mut out = Vec::new();
+                    for e in events {
+                        buf.insert(e.clone(), &mut out);
+                        out.clear();
+                    }
+                    buf.finish(&mut out);
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_disorder_levels);
+criterion_main!(benches);

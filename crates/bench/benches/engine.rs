@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the stream engine: windowed-aggregation throughput
+//! per aggregate kind and window shape (the R-F7 denominator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp};
+use quill_engine::prelude::{Event, Row, StreamElement, Value, WindowSpec};
+
+fn ordered_stream(n: u64) -> Vec<StreamElement> {
+    let mut v: Vec<StreamElement> = (0..n)
+        .map(|i| StreamElement::Event(Event::new(i, i, Row::new([Value::Float((i % 97) as f64)]))))
+        .collect();
+    v.push(StreamElement::Flush);
+    v
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let input = ordered_stream(10_000);
+    let mut group = c.benchmark_group("window_aggregate_kind");
+    group.throughput(Throughput::Elements(10_000));
+    for kind in [
+        AggregateKind::Sum,
+        AggregateKind::Mean,
+        AggregateKind::StdDev,
+        AggregateKind::Median,
+        AggregateKind::DistinctCount,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut op = WindowAggregateOp::new(
+                        WindowSpec::tumbling(100u64),
+                        vec![AggregateSpec::new(kind, 0, "agg")],
+                        None,
+                        LatePolicy::Drop,
+                    )
+                    .expect("valid op");
+                    let mut n = 0usize;
+                    for el in &input {
+                        op.process(el.clone(), &mut |_| n += 1);
+                    }
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_window_shapes(c: &mut Criterion) {
+    let input = ordered_stream(10_000);
+    let mut group = c.benchmark_group("window_shape");
+    group.throughput(Throughput::Elements(10_000));
+    let shapes = [
+        ("tumbling", WindowSpec::tumbling(100u64)),
+        ("sliding/2", WindowSpec::sliding(100u64, 50u64)),
+        ("sliding/10", WindowSpec::sliding(100u64, 10u64)),
+    ];
+    for (name, spec) in shapes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut op = WindowAggregateOp::new(
+                    *spec,
+                    vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+                    None,
+                    LatePolicy::Drop,
+                )
+                .expect("valid op");
+                let mut n = 0usize;
+                for el in &input {
+                    op.process(el.clone(), &mut |_| n += 1);
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregates, bench_window_shapes);
+
+mod parallel_bench {
+    use super::*;
+    use criterion::{BenchmarkId, Criterion, Throughput};
+    use quill_engine::parallel::run_keyed_parallel;
+
+    fn keyed_stream(n: u64, keys: i64) -> Vec<StreamElement> {
+        let mut v: Vec<StreamElement> = (0..n)
+            .map(|i| {
+                StreamElement::Event(Event::new(
+                    i,
+                    i,
+                    Row::new([Value::Int((i as i64) % keys), Value::Float((i % 97) as f64)]),
+                ))
+            })
+            .collect();
+        v.push(StreamElement::Flush);
+        v
+    }
+
+    pub fn bench_keyed_parallel(c: &mut Criterion) {
+        let input = keyed_stream(20_000, 64);
+        let mut group = c.benchmark_group("keyed_parallel_shards");
+        group.throughput(Throughput::Elements(20_000));
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| {
+                        run_keyed_parallel(input.clone(), 0, shards, || {
+                            Box::new(
+                                WindowAggregateOp::new(
+                                    WindowSpec::sliding(200u64, 40u64),
+                                    vec![
+                                        AggregateSpec::new(AggregateKind::Median, 1, "med"),
+                                        AggregateSpec::new(AggregateKind::StdDev, 1, "sd"),
+                                    ],
+                                    Some(0),
+                                    LatePolicy::Drop,
+                                )
+                                .expect("valid op"),
+                            )
+                        })
+                        .expect("parallel run")
+                        .len()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(parallel_benches, parallel_bench::bench_keyed_parallel);
+criterion_main!(benches, parallel_benches);

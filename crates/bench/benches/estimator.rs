@@ -1,0 +1,71 @@
+//! Micro-benchmarks of AQ's per-event machinery: delay-estimator
+//! observation + quantile queries, and histogram recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quill_core::prelude::DelayEstimator;
+use quill_engine::prelude::TimeDelta;
+use quill_metrics::LogHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn delays(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..10_000)).collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let ds = delays(10_000, 1);
+    let mut group = c.benchmark_group("estimator_observe");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    for cap in [256usize, 4096, 65_536] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut e = DelayEstimator::new(cap);
+                for &d in &ds {
+                    e.observe(TimeDelta(d));
+                }
+                e.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let ds = delays(100_000, 2);
+    let mut group = c.benchmark_group("estimator_quantile");
+    for cap in [256usize, 4096, 65_536] {
+        let mut e = DelayEstimator::new(cap);
+        for &d in &ds {
+            e.observe(TimeDelta(d));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &e, |b, e| {
+            b.iter(|| e.quantile(0.99))
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let ds = delays(10_000, 3);
+    let mut group = c.benchmark_group("log_histogram");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("record_10k", |b| {
+        b.iter(|| {
+            let mut h = LogHistogram::with_default_precision();
+            for &d in &ds {
+                h.record(d);
+            }
+            h.count()
+        })
+    });
+    let mut h = LogHistogram::with_default_precision();
+    for &d in &ds {
+        h.record(d);
+    }
+    group.bench_function("quantile", |b| b.iter(|| h.quantile(0.99)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_quantile, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of end-to-end strategy overhead: full run_query cost
+//! per strategy on an identical disordered stream (wall-clock counterpart
+//! of R-F7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quill_core::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::{Event, Row, Value, WindowSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn disordered_events(n: u64, max_delay: u64, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals: Vec<(u64, u64)> = (0..n)
+        .map(|i| (i * 10 + rng.gen_range(0..=max_delay), i * 10))
+        .collect();
+    arrivals.sort();
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (_, ts))| Event::new(ts, seq as u64, Row::new([Value::Float(1.0)])))
+        .collect()
+}
+
+fn query() -> QuerySpec {
+    QuerySpec::new(
+        WindowSpec::tumbling(500u64),
+        vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
+        None,
+    )
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let events = disordered_events(10_000, 500, 1);
+    let q = query();
+    let mut group = c.benchmark_group("strategy_end_to_end");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    let make: Vec<(&str, fn() -> Box<dyn DisorderControl>)> = vec![
+        ("drop", || Box::new(DropAll::new())),
+        ("fixed500", || Box::new(FixedKSlack::new(500u64))),
+        ("mp", || Box::new(MpKSlack::new())),
+        ("aq", || Box::new(AqKSlack::for_completeness(0.95))),
+    ];
+    for (name, factory) in make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, f| {
+            b.iter(|| {
+                let mut s = f();
+                run_query(&events, s.as_mut(), &q)
+                    .expect("valid query")
+                    .results
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aq_adaptation_interval(c: &mut Criterion) {
+    let events = disordered_events(10_000, 500, 2);
+    let q = query();
+    let mut group = c.benchmark_group("aq_adapt_interval");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for every in [1u64, 16, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(every), &every, |b, &every| {
+            b.iter(|| {
+                let mut cfg = AqConfig::completeness(0.95);
+                cfg.adapt_every = every;
+                let mut s = AqKSlack::new(cfg);
+                run_query(&events, &mut s, &q)
+                    .expect("valid query")
+                    .results
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_aq_adaptation_interval);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! CLI driving the reconstructed-experiment suite.
+//!
+//! ```text
+//! experiments [--exp all|t1|f2|f3|f4|f5|t6|f7|f8|f9]
+//!             [--events N] [--seed S] [--out DIR] [--quick]
+//! ```
+//!
+//! Each experiment prints its table(s) as markdown and writes CSVs to the
+//! output directory (default `results/`). EXPERIMENTS.md records the
+//! expected vs. measured shapes.
+
+use quill_bench::{run_experiment, ExperimentCtx, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    exps: Vec<String>,
+    ctx: ExperimentCtx,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ctx = ExperimentCtx::full();
+    ctx.out_dir = PathBuf::from("results");
+    let mut exps: Vec<String> = vec!["all".into()];
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--exp" => {
+                exps = value("--exp")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
+            }
+            "--events" => {
+                ctx.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("bad --events: {e}"))?
+            }
+            "--seed" => {
+                ctx.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" => ctx.out_dir = PathBuf::from(value("--out")?),
+            "--quick" => {
+                let out = ctx.out_dir.clone();
+                ctx = ExperimentCtx::quick();
+                ctx.out_dir = out;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--exp all|{}] [--events N] [--seed S] [--out DIR] [--quick]",
+                    ALL_EXPERIMENTS.join("|")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if exps.iter().any(|e| e == "all") {
+        exps = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for e in &exps {
+        if !ALL_EXPERIMENTS.contains(&e.as_str()) {
+            return Err(format!(
+                "unknown experiment `{e}` (valid: {})",
+                ALL_EXPERIMENTS.join(", ")
+            ));
+        }
+    }
+    Ok(Args { exps, ctx })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# quill reconstructed-experiment suite\n\nevents/workload: {}, seed: {}, output: {}\n",
+        args.ctx.events,
+        args.ctx.seed,
+        args.ctx.out_dir.display()
+    );
+    for id in &args.exps {
+        let t0 = std::time::Instant::now();
+        println!("## experiment {id}\n");
+        let artifacts = run_experiment(id, &args.ctx);
+        for a in &artifacts {
+            match a.save_and_render(&args.ctx) {
+                Ok(rendered) => println!("{rendered}"),
+                Err(e) => {
+                    eprintln!("error: failed to save artifact for {id}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("({id} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,144 @@
+//! Trace utility: generate, inspect and query quill trace files.
+//!
+//! ```text
+//! trace-tool gen <workload> <events> <seed> <file>   # capture a workload
+//! trace-tool info <file>                             # characterize a trace
+//! trace-tool run <file> <window> <q>                 # AQ query over a trace
+//! ```
+//!
+//! Workloads: soccer | stock | netmon | synthetic-exp | synthetic-pareto.
+
+use quill_core::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::WindowSpec;
+use quill_gen::trace;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace-tool gen <workload> <events> <seed> <file>\n  \
+         trace-tool info <file>\n  trace-tool run <file> <window> <q>"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let [_, workload, events, seed, file] = &args[..] else {
+                return usage();
+            };
+            let (Ok(n), Ok(seed)) = (events.parse::<usize>(), seed.parse::<u64>()) else {
+                return usage();
+            };
+            let suite = quill_gen::workload::standard_suite();
+            let Some(w) = suite.iter().find(|w| w.name == workload) else {
+                eprintln!(
+                    "unknown workload `{workload}` (have: {})",
+                    suite.iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let stream = (w.generate)(n, seed);
+            if let Err(e) = trace::save(&stream, file) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} events ({}) to {file}",
+                stream.len(),
+                stream.description
+            );
+            ExitCode::SUCCESS
+        }
+        Some("info") => {
+            let [_, file] = &args[..] else { return usage() };
+            let stream = match trace::load(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("events:         {}", stream.len());
+            println!(
+                "schema:         {}",
+                stream
+                    .schema
+                    .fields()
+                    .iter()
+                    .map(|f| format!("{}:{}", f.name, f.ty))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            println!("time span:      {}", stream.time_span());
+            println!(
+                "disorder ratio: {:.2}%",
+                stream.stats.disorder_ratio() * 100.0
+            );
+            println!("mean delay:     {:.2}", stream.stats.mean_delay());
+            println!("max delay:      {}", stream.stats.max_delay);
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let [_, file, window, q] = &args[..] else {
+                return usage();
+            };
+            let (Ok(window), Ok(q)) = (window.parse::<u64>(), q.parse::<f64>()) else {
+                return usage();
+            };
+            if let Err(e) = (quill_core::quality::QualityTarget::Completeness { q }).validate() {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            if window == 0 {
+                eprintln!("error: window must be > 0");
+                return ExitCode::FAILURE;
+            }
+            let stream = match trace::load(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Aggregate the first numeric field.
+            let field = stream
+                .schema
+                .fields()
+                .iter()
+                .position(|f| {
+                    matches!(
+                        f.ty,
+                        quill_engine::value::FieldType::Float | quill_engine::value::FieldType::Int
+                    )
+                })
+                .unwrap_or(0);
+            let query = QuerySpec::new(
+                WindowSpec::tumbling(window),
+                vec![AggregateSpec::new(AggregateKind::Mean, field, "mean")],
+                None,
+            );
+            let mut strategy = AqKSlack::for_completeness(q);
+            let out = match run_query(&stream.events, &mut strategy, &query) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "strategy {}: {} windows, completeness {:.2}%, mean latency {:.1}, p99 {:.1}, mean K {:.1}",
+                out.strategy,
+                out.quality.windows_total,
+                out.quality.mean_completeness * 100.0,
+                out.latency.mean,
+                out.latency.p99,
+                out.mean_k,
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,87 @@
+//! R-F2 — result quality vs. fixed buffer bound K.
+//!
+//! The motivating trade-off: sweeping a *fixed* K on a light-tailed
+//! (exponential) and a heavy-tailed (Pareto) stream shows (a) completeness
+//! follows the delay CDF, (b) diminishing returns, and (c) heavy tails push
+//! the K needed for high quality far beyond the mean delay — which is why a
+//! fixed or max-delay policy wastes latency.
+
+use crate::harness::{fmt_f64, standard_query, Artifact, ExperimentCtx};
+use quill_core::prelude::*;
+use quill_metrics::Table;
+
+/// The K values swept.
+pub const K_SWEEP: &[u64] = &[0, 25, 50, 100, 200, 400, 800, 1600, 3200];
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
+    let query = standard_query("synthetic-exp");
+    let exp = quill_gen::workload::synthetic::exponential(ctx.events, 10, 100.0, ctx.seed);
+    let par = quill_gen::workload::synthetic::pareto(ctx.events, 10, 200.0, 3.0, ctx.seed);
+
+    let mut table = Table::new(
+        "R-F2: completeness and latency vs. fixed K (exp vs. pareto delays, mean 100)",
+        [
+            "K",
+            "exp compl %",
+            "exp latency",
+            "pareto compl %",
+            "pareto latency",
+        ],
+    );
+    for &k in K_SWEEP {
+        let mut row = vec![k.to_string()];
+        for stream in [&exp, &par] {
+            let mut s = FixedKSlack::new(k);
+            let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+            row.push(fmt_f64(out.quality.mean_completeness * 100.0));
+            row.push(fmt_f64(out.latency.mean));
+        }
+        table.push_row(row);
+    }
+    vec![Artifact::Table {
+        id: "f2_quality_vs_k".into(),
+        table,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completeness_is_monotone_in_k_and_pareto_lags() {
+        let ctx = ExperimentCtx::quick();
+        let arts = run(&ctx);
+        let table = match &arts[0] {
+            Artifact::Table { table, .. } => table,
+            _ => panic!("expected table"),
+        };
+        let col = |r: &Vec<String>, i: usize| r[i].parse::<f64>().expect("numeric cell");
+        // Completeness non-decreasing in K (small tolerance for window
+        // granularity noise).
+        for w in table.rows.windows(2) {
+            assert!(
+                col(&w[1], 1) >= col(&w[0], 1) - 2.0,
+                "exp compl not monotone"
+            );
+        }
+        // At moderate K (=200 vs mean delay 100), exp should be clearly
+        // ahead of pareto in completeness.
+        let mid = table
+            .rows
+            .iter()
+            .find(|r| r[0] == "400")
+            .expect("row K=400");
+        assert!(
+            col(mid, 1) >= col(mid, 3) - 1.0,
+            "exp {} should be >= pareto {} at K=400",
+            col(mid, 1),
+            col(mid, 3)
+        );
+        // Latency grows with K.
+        let first = &table.rows[0];
+        let last = table.rows.last().expect("non-empty");
+        assert!(col(last, 2) > col(first, 2));
+    }
+}

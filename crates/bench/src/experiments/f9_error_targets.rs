@@ -1,0 +1,98 @@
+//! R-F9 — aggregate-error quality targets: relative error vs. latency.
+//!
+//! On the stock stream with a mean-price query, AQ is driven by a maximum
+//! relative-error target ε instead of completeness. Because a bounded error
+//! tolerates some missing tuples (scaled by the payload's dispersion via the
+//! sensitivity model), error targets should reach their goal at *lower*
+//! latency than a near-exact completeness target — and latency should grow
+//! as ε tightens.
+
+use crate::harness::{fmt_f64, standard_query, Artifact, ExperimentCtx};
+use quill_core::prelude::*;
+use quill_gen::workload::stock::{self, StockConfig};
+use quill_metrics::Table;
+
+/// Error bounds swept.
+pub const EPSILONS: &[f64] = &[0.10, 0.05, 0.01, 0.001];
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
+    let stream = stock::generate(&StockConfig::default(), ctx.events, ctx.seed);
+    let query = standard_query("stock");
+
+    let mut table = Table::new(
+        "R-F9: relative-error targets on stock mean-price (AQ error-driven)",
+        [
+            "target",
+            "mean lat",
+            "mean rel err %",
+            "err viol %",
+            "compl %",
+            "mean K",
+        ],
+    );
+    for &eps in EPSILONS {
+        let mut s = AqKSlack::new(AqConfig::max_rel_error(eps, stock::PRICE_FIELD));
+        let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+        table.push_row([
+            format!("eps={eps}"),
+            fmt_f64(out.latency.mean),
+            fmt_f64(out.quality.mean_rel_error[0] * 100.0),
+            fmt_f64(out.quality.error_violation_rate(0, eps) * 100.0),
+            fmt_f64(out.quality.mean_completeness * 100.0),
+            fmt_f64(out.mean_k),
+        ]);
+    }
+    // Reference: a near-exact completeness run.
+    let mut s = AqKSlack::for_completeness(0.999);
+    let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+    table.push_row([
+        "compl=0.999 (ref)".to_string(),
+        fmt_f64(out.latency.mean),
+        fmt_f64(out.quality.mean_rel_error[0] * 100.0),
+        fmt_f64(out.quality.error_violation_rate(0, 0.01) * 100.0),
+        fmt_f64(out.quality.mean_completeness * 100.0),
+        fmt_f64(out.mean_k),
+    ]);
+    vec![Artifact::Table {
+        id: "f9_error_targets".into(),
+        table,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn looser_error_budgets_cost_less_latency() {
+        let ctx = ExperimentCtx::quick();
+        let arts = run(&ctx);
+        let table = match &arts[0] {
+            Artifact::Table { table, .. } => table,
+            _ => panic!("expected table"),
+        };
+        let col = |r: &Vec<String>, i: usize| r[i].parse::<f64>().expect("numeric cell");
+        // eps=0.10 row vs eps=0.001 row: latency should not decrease as the
+        // budget tightens.
+        let loose = &table.rows[0];
+        let tight = &table.rows[EPSILONS.len() - 1];
+        assert!(
+            col(tight, 1) >= col(loose, 1),
+            "tight eps latency {} < loose {}",
+            col(tight, 1),
+            col(loose, 1)
+        );
+        // Achieved mean relative error at the loosest budget stays within it
+        // (generously: ×1.5 for window granularity noise at quick scale).
+        assert!(
+            col(loose, 2) <= 10.0 * 1.5,
+            "mean err {}% blew the 10% budget",
+            col(loose, 2)
+        );
+        // The strict-completeness reference pays at least as much latency as
+        // the loosest error target.
+        let reference = table.rows.last().expect("ref row");
+        assert!(col(reference, 1) >= col(loose, 1));
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per reconstructed table/figure (DESIGN.md §5).
+
+pub mod f2_quality_vs_k;
+pub mod f3_latency_vs_quality;
+pub mod f4_adaptivity;
+pub mod f5_compliance;
+pub mod f7_throughput;
+pub mod f8_ablations;
+pub mod f9_error_targets;
+pub mod t1_workloads;
+pub mod t6_summary;

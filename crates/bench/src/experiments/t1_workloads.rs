@@ -1,0 +1,98 @@
+//! R-T1 — workload characterization table.
+//!
+//! For each workload: event rate, disorder ratio, and the delay
+//! distribution's mean / p50 / p99 / max. Establishes that the suite spans
+//! light-tailed, heavy-tailed and non-stationary regimes (the experimental
+//! conditions the strategies are compared under).
+
+use crate::harness::{
+    delay_quantile, delays_of, fmt_f64, standard_benches, Artifact, ExperimentCtx,
+};
+use quill_metrics::Table;
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
+    let mut table = Table::new(
+        "R-T1: workload characterization",
+        [
+            "workload",
+            "events",
+            "rate (ev/kt)",
+            "disorder %",
+            "mean delay",
+            "p50 delay",
+            "p99 delay",
+            "max delay",
+        ],
+    );
+    for b in standard_benches(ctx) {
+        let delays = delays_of(&b.stream.events);
+        let span = b.stream.time_span().max(1);
+        let rate = b.stream.len() as f64 * 1000.0 / span as f64;
+        table.push_row([
+            b.name.to_string(),
+            b.stream.len().to_string(),
+            fmt_f64(rate),
+            fmt_f64(b.stream.stats.disorder_ratio() * 100.0),
+            fmt_f64(b.stream.stats.mean_delay()),
+            delay_quantile(&delays, 0.5).to_string(),
+            delay_quantile(&delays, 0.99).to_string(),
+            b.stream.stats.max_delay.raw().to_string(),
+        ]);
+    }
+    // Companion figure: the empirical delay CDFs (the classic "why tails
+    // matter" plot). Encoded as series with x = delay (log-spaced probes),
+    // y = F(delay).
+    let mut cdf_series = Vec::new();
+    for b in standard_benches(ctx) {
+        let mut delays = delays_of(&b.stream.events);
+        delays.sort_unstable();
+        let mut s = quill_metrics::TimeSeries::new(format!("cdf_{}", b.name));
+        let max = *delays.last().unwrap_or(&1);
+        let mut probe = 1u64;
+        while probe <= max {
+            let frac = delays.partition_point(|&d| d <= probe) as f64 / delays.len() as f64;
+            s.push(quill_engine::time::Timestamp(probe), frac);
+            probe = (probe as f64 * 1.5).ceil() as u64;
+        }
+        cdf_series.push(s);
+    }
+    vec![
+        Artifact::Table {
+            id: "t1_workloads".into(),
+            table,
+        },
+        Artifact::Series {
+            id: "t1_delay_cdfs".into(),
+            title: "R-T1b: empirical delay CDFs per workload (x = delay, y = F(x))".into(),
+            series: cdf_series,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_workload() {
+        let ctx = ExperimentCtx::quick();
+        let arts = run(&ctx);
+        match &arts[0] {
+            Artifact::Table { table, .. } => {
+                assert_eq!(table.rows.len(), 5);
+                // Pareto tail must exceed exp tail (column 6 = p99).
+                let find = |name: &str| {
+                    table
+                        .rows
+                        .iter()
+                        .find(|r| r[0] == name)
+                        .expect("row present")
+                };
+                let p99 = |name: &str| find(name)[6].parse::<u64>().expect("p99 parses");
+                assert!(p99("synthetic-pareto") > p99("synthetic-exp") / 2);
+            }
+            _ => panic!("expected table"),
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The K-slack ordering buffer.
+//!
+//! [`SlackBuffer`] is the mechanism every disorder-control strategy shares:
+//! arriving events are held until the *stream clock* (max event timestamp
+//! seen) exceeds their timestamp by at least `K`, then released in timestamp
+//! order followed by a watermark. The strategies differ only in how they set
+//! `K` over time.
+//!
+//! ## Invariants (property-tested)
+//!
+//! * Released events are non-decreasing in `(ts, seq)`.
+//! * The emitted watermark sequence is strictly increasing and never exceeds
+//!   `clock − K_at_emission` ... i.e. every released watermark `w` is sound:
+//!   all buffered events with `ts < w` were released before it.
+//! * Changing `K` never regresses the watermark: shrinking `K` releases
+//!   more events immediately; growing `K` merely pauses future releases.
+//! * Events arriving behind the already-emitted watermark cannot be
+//!   re-ordered anymore; they are handed back as *late passes* (forwarded
+//!   downstream out of order, where the window operator accounts for them).
+
+use quill_engine::prelude::{Event, StreamElement, TimeDelta, Timestamp};
+use std::collections::BTreeMap;
+
+/// Counters describing a buffer's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Events that entered the buffer.
+    pub inserted: u64,
+    /// Events released in order.
+    pub released: u64,
+    /// Events forwarded late (arrived behind the emitted watermark).
+    pub late_passed: u64,
+    /// High-water mark of buffered event count.
+    pub max_buffered: usize,
+    /// Sum over arrivals of the buffer size after insertion (for mean size).
+    pub size_integral: u128,
+}
+
+impl BufferStats {
+    /// Mean buffer size observed at arrival instants.
+    pub fn mean_buffered(&self) -> f64 {
+        if self.inserted == 0 {
+            0.0
+        } else {
+            self.size_integral as f64 / self.inserted as f64
+        }
+    }
+}
+
+/// A timestamp-ordering buffer with a dynamically adjustable slack bound.
+#[derive(Debug)]
+pub struct SlackBuffer {
+    k: TimeDelta,
+    buf: BTreeMap<(Timestamp, u64), Event>,
+    clock: Timestamp,
+    saw_event: bool,
+    /// Exclusive upper bound of everything released so far: next release
+    /// must have `ts >= watermark`.
+    watermark: Timestamp,
+    stats: BufferStats,
+}
+
+impl SlackBuffer {
+    /// A buffer with the given initial slack.
+    pub fn new(k: impl Into<TimeDelta>) -> SlackBuffer {
+        SlackBuffer {
+            k: k.into(),
+            buf: BTreeMap::new(),
+            clock: Timestamp::MIN,
+            saw_event: false,
+            watermark: Timestamp::MIN,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Current slack bound.
+    pub fn k(&self) -> TimeDelta {
+        self.k
+    }
+
+    /// Stream clock (max event timestamp observed; MIN before any event).
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Watermark emitted so far.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Change the slack bound. Takes effect immediately: shrinking may
+    /// release events (returned via the next [`SlackBuffer::insert`] or an
+    /// explicit [`SlackBuffer::drain_ready`] call); the watermark never
+    /// regresses.
+    pub fn set_k(&mut self, k: impl Into<TimeDelta>) {
+        self.k = k.into();
+    }
+
+    /// Insert one arriving event, appending any releases (in order) plus a
+    /// trailing watermark to `out`. An event behind the emitted watermark is
+    /// forwarded immediately as a late pass (out of order, no watermark).
+    pub fn insert(&mut self, e: Event, out: &mut Vec<StreamElement>) {
+        self.clock = if self.saw_event {
+            self.clock.max(e.ts)
+        } else {
+            e.ts
+        };
+        self.saw_event = true;
+        if e.ts < self.watermark {
+            self.stats.late_passed += 1;
+            out.push(StreamElement::Event(e));
+            // The clock may still have advanced; later events could now be
+            // releasable.
+            self.drain_ready(out);
+            return;
+        }
+        self.stats.inserted += 1;
+        self.buf.insert((e.ts, e.seq), e);
+        self.stats.max_buffered = self.stats.max_buffered.max(self.buf.len());
+        self.stats.size_integral += self.buf.len() as u128;
+        self.drain_ready(out);
+    }
+
+    /// Release every buffered event that the current clock and slack allow,
+    /// advancing the watermark. Appends releases + watermark to `out`.
+    pub fn drain_ready(&mut self, out: &mut Vec<StreamElement>) {
+        if !self.saw_event {
+            return;
+        }
+        // Everything with ts <= clock - K is safe to release: any future
+        // event with a smaller timestamp would have delay > K.
+        let safe = self.clock.saturating_sub(self.k);
+        if safe <= self.watermark {
+            return;
+        }
+        // Release events with ts <= safe (inclusive: a future event with the
+        // same timestamp has a larger seq and still sorts after, so emitting
+        // the boundary timestamp preserves order). Keep keys with ts > safe.
+        let keep = self
+            .buf
+            .split_off(&(Timestamp(safe.raw().saturating_add(1)), 0));
+        for (_, e) in std::mem::replace(&mut self.buf, keep) {
+            self.stats.released += 1;
+            out.push(StreamElement::Event(e));
+        }
+        self.watermark = safe;
+        out.push(StreamElement::Watermark(safe));
+    }
+
+    /// End of stream: release everything in order and emit `Flush`.
+    pub fn finish(&mut self, out: &mut Vec<StreamElement>) {
+        for (_, e) in std::mem::take(&mut self.buf) {
+            self.stats.released += 1;
+            out.push(StreamElement::Event(e));
+        }
+        self.watermark = Timestamp::MAX;
+        out.push(StreamElement::Flush);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill_engine::prelude::{Row, Value};
+
+    fn ev(ts: u64, seq: u64) -> Event {
+        Event::new(ts, seq, Row::new([Value::Int(ts as i64)]))
+    }
+
+    fn feed(buf: &mut SlackBuffer, events: Vec<Event>) -> Vec<StreamElement> {
+        let mut out = Vec::new();
+        for e in events {
+            buf.insert(e, &mut out);
+        }
+        buf.finish(&mut out);
+        out
+    }
+
+    fn released_ts(out: &[StreamElement]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|e| e.as_event())
+            .map(|e| e.ts.raw())
+            .collect()
+    }
+
+    #[test]
+    fn zero_slack_passes_through() {
+        let mut b = SlackBuffer::new(0u64);
+        let out = feed(&mut b, vec![ev(1, 0), ev(2, 1), ev(3, 2)]);
+        assert_eq!(released_ts(&out), vec![1, 2, 3]);
+        assert_eq!(b.stats().late_passed, 0);
+    }
+
+    #[test]
+    fn slack_reorders_within_k() {
+        let mut b = SlackBuffer::new(10u64);
+        // Arrival: 10, 5, 20, 12 — with K=10, everything reorders cleanly.
+        let out = feed(&mut b, vec![ev(10, 0), ev(5, 1), ev(20, 2), ev(12, 3)]);
+        assert_eq!(released_ts(&out), vec![5, 10, 12, 20]);
+        assert_eq!(b.stats().late_passed, 0);
+    }
+
+    #[test]
+    fn event_later_than_k_is_late_passed() {
+        let mut b = SlackBuffer::new(5u64);
+        // Clock reaches 20 → watermark 15; then ts=8 arrives (delay 12 > 5).
+        let mut out = Vec::new();
+        b.insert(ev(20, 0), &mut out);
+        assert_eq!(b.watermark(), Timestamp(15));
+        out.clear();
+        b.insert(ev(8, 1), &mut out);
+        assert_eq!(b.stats().late_passed, 1);
+        // The late event is forwarded immediately, unbuffered.
+        assert_eq!(out[0].as_event().unwrap().ts, Timestamp(8));
+    }
+
+    #[test]
+    fn watermarks_strictly_monotone_and_sound() {
+        let mut b = SlackBuffer::new(7u64);
+        let arrivals = vec![ev(10, 0), ev(3, 1), ev(25, 2), ev(19, 3), ev(40, 4)];
+        let out = feed(&mut b, arrivals);
+        let mut last_wm = None;
+        let mut max_released = 0u64;
+        for el in &out {
+            match el {
+                StreamElement::Event(e) => max_released = max_released.max(e.ts.raw()),
+                StreamElement::Watermark(w) => {
+                    if let Some(l) = last_wm {
+                        assert!(*w > l, "watermark regressed");
+                    }
+                    last_wm = Some(*w);
+                }
+                StreamElement::Flush => {}
+            }
+        }
+    }
+
+    #[test]
+    fn releases_are_in_timestamp_order_until_flush() {
+        let mut b = SlackBuffer::new(15u64);
+        let arrivals = vec![
+            ev(10, 0),
+            ev(2, 1),
+            ev(30, 2),
+            ev(22, 3),
+            ev(50, 4),
+            ev(45, 5),
+        ];
+        let out = feed(&mut b, arrivals);
+        let ts = released_ts(&out);
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn shrinking_k_releases_immediately() {
+        let mut b = SlackBuffer::new(100u64);
+        let mut out = Vec::new();
+        b.insert(ev(10, 0), &mut out);
+        b.insert(ev(50, 1), &mut out);
+        assert_eq!(released_ts(&out), Vec::<u64>::new());
+        assert_eq!(b.len(), 2);
+        b.set_k(10u64);
+        b.drain_ready(&mut out);
+        // clock=50, K=10 → watermark 40 → ts=10 released.
+        assert_eq!(released_ts(&out), vec![10]);
+        assert_eq!(b.watermark(), Timestamp(40));
+    }
+
+    #[test]
+    fn growing_k_does_not_regress_watermark() {
+        let mut b = SlackBuffer::new(0u64);
+        let mut out = Vec::new();
+        b.insert(ev(100, 0), &mut out);
+        assert_eq!(b.watermark(), Timestamp(100));
+        b.set_k(50u64);
+        out.clear();
+        b.insert(ev(120, 1), &mut out);
+        // clock=120, K=50 → safe=70 < watermark 100 → no regression, and the
+        // event stays buffered.
+        assert_eq!(b.watermark(), Timestamp(100));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn all_events_are_accounted_for() {
+        let mut b = SlackBuffer::new(8u64);
+        let n = 500u64;
+        let arrivals: Vec<Event> = (0..n)
+            .map(|i| ev((i * 13 + (i % 7) * 31) % 1000, i))
+            .collect();
+        let out = feed(&mut b, arrivals);
+        let events: Vec<&Event> = out.iter().filter_map(|e| e.as_event()).collect();
+        assert_eq!(events.len() as u64, n);
+        let s = b.stats();
+        assert_eq!(s.released + s.late_passed, n);
+    }
+
+    #[test]
+    fn mean_buffered_tracks_occupancy() {
+        let mut b = SlackBuffer::new(1000u64);
+        let mut out = Vec::new();
+        for i in 0..10 {
+            b.insert(ev(i, i), &mut out);
+        }
+        assert!(b.stats().mean_buffered() > 4.0);
+        assert_eq!(b.stats().max_buffered, 10);
+    }
+
+    #[test]
+    fn finish_flushes_everything_in_order() {
+        let mut b = SlackBuffer::new(1_000_000u64);
+        let out = feed(&mut b, vec![ev(5, 0), ev(1, 1), ev(3, 2)]);
+        assert_eq!(released_ts(&out), vec![1, 3, 5]);
+        assert!(out.last().unwrap().is_flush());
+    }
+
+    #[test]
+    fn empty_finish_is_just_flush() {
+        let mut b = SlackBuffer::new(10u64);
+        let mut out = Vec::new();
+        b.finish(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_flush());
+    }
+}

@@ -1,0 +1,64 @@
+//! # quill-core
+//!
+//! Quality-driven disorder control for continuous queries over out-of-order
+//! data streams — a from-scratch reconstruction of the system behind
+//! *"Quality-Driven Continuous Query Execution over Out-of-Order Data
+//! Streams"* (SIGMOD 2015); see DESIGN.md for the reconstruction notes.
+//!
+//! The user states a result-quality target (window completeness or maximum
+//! relative aggregate error); the [`aq::AqKSlack`] strategy continuously
+//! sizes the input ordering buffer so the target is met with minimal result
+//! latency, adapting to non-stationary delays. Baselines
+//! ([`strategy::DropAll`], [`strategy::FixedKSlack`], [`strategy::MpKSlack`],
+//! [`strategy::OracleBuffer`]) share the same [`buffer::SlackBuffer`]
+//! mechanism and differ only in their K policy.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use quill_core::prelude::*;
+//! use quill_engine::prelude::*;
+//!
+//! // An out-of-order toy stream.
+//! let events = vec![
+//!     Event::new(10u64, 0, Row::new([Value::Float(1.0)])),
+//!     Event::new(5u64, 1, Row::new([Value::Float(2.0)])),
+//!     Event::new(25u64, 2, Row::new([Value::Float(3.0)])),
+//! ];
+//! let query = QuerySpec::new(
+//!     WindowSpec::tumbling(10u64),
+//!     vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+//!     None,
+//! );
+//! let mut strategy = AqKSlack::for_completeness(0.95);
+//! let out = run_query(&events, &mut strategy, &query).unwrap();
+//! assert_eq!(out.quality.windows_total, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aq;
+pub mod buffer;
+pub mod controller;
+pub mod estimator;
+pub mod online;
+pub mod punctuated;
+pub mod quality;
+pub mod runner;
+pub mod shared;
+pub mod strategy;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::aq::{AqConfig, AqKSlack, AqStats};
+    pub use crate::buffer::{BufferStats, SlackBuffer};
+    pub use crate::controller::PiController;
+    pub use crate::estimator::{DelayEstimator, DistEstimator, EstimatorKind, HistogramEstimator};
+    pub use crate::online::OnlineQuery;
+    pub use crate::punctuated::PunctuatedBuffer;
+    pub use crate::quality::{QualityTarget, SensitivityModel};
+    pub use crate::runner::{run_query, QuerySpec, RunOutput};
+    pub use crate::shared::{run_shared, strictest_completeness, SharedRunOutput};
+    pub use crate::strategy::{DisorderControl, DropAll, FixedKSlack, MpKSlack, OracleBuffer};
+}

@@ -1,0 +1,258 @@
+//! Online (push-based) quality-driven query execution.
+//!
+//! [`run_query`](crate::runner::run_query) is batch-style: it consumes a
+//! finished event vector and scores against the oracle afterwards.
+//! [`OnlineQuery`] is the production-facing interface: construct it once,
+//! [`push`](OnlineQuery::push) events as they arrive, and collect
+//! [`WindowResult`]s as they are emitted — with live introspection of the
+//! current slack, buffer occupancy and result latency. No oracle is
+//! involved (ground truth does not exist online); quality is whatever the
+//! strategy's target promises.
+//!
+//! ```
+//! use quill_core::online::OnlineQuery;
+//! use quill_core::prelude::*;
+//! use quill_engine::prelude::*;
+//!
+//! let query = QuerySpec::new(
+//!     WindowSpec::tumbling(10u64),
+//!     vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+//!     None,
+//! );
+//! let mut q = OnlineQuery::new(Box::new(AqKSlack::for_completeness(0.9)), &query).unwrap();
+//! for (seq, ts) in [(0u64, 5u64), (1, 3), (2, 25), (3, 17), (4, 40)] {
+//!     let results = q.push(Event::new(ts, seq, Row::new([Value::Float(1.0)])));
+//!     for r in results {
+//!         println!("window {} -> {}", r.window, r.aggregates[0]);
+//!     }
+//! }
+//! let tail = q.finish();
+//! assert!(!tail.is_empty());
+//! ```
+
+use crate::runner::QuerySpec;
+use crate::strategy::DisorderControl;
+use quill_engine::error::Result;
+use quill_engine::event::{ClockTracker, Event, StreamElement};
+use quill_engine::operator::{
+    LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
+};
+use quill_engine::time::{TimeDelta, Timestamp};
+use quill_metrics::LatencyRecorder;
+
+/// A continuously running windowed query with pluggable disorder control.
+pub struct OnlineQuery {
+    strategy: Box<dyn DisorderControl>,
+    op: WindowAggregateOp,
+    clock: ClockTracker,
+    latency: LatencyRecorder,
+    staged: Vec<StreamElement>,
+    results_emitted: u64,
+    finished: bool,
+}
+
+impl OnlineQuery {
+    /// Build an online query.
+    ///
+    /// # Errors
+    /// Propagates invalid window/aggregate specifications.
+    pub fn new(strategy: Box<dyn DisorderControl>, query: &QuerySpec) -> Result<OnlineQuery> {
+        Ok(OnlineQuery {
+            strategy,
+            op: WindowAggregateOp::new(
+                query.window,
+                query.aggregates.clone(),
+                query.key_field,
+                LatePolicy::Drop,
+            )?,
+            clock: ClockTracker::new(),
+            latency: LatencyRecorder::new(),
+            staged: Vec::new(),
+            results_emitted: 0,
+            finished: false,
+        })
+    }
+
+    /// Push one arriving event; returns any window results it unlocked.
+    ///
+    /// Pushing after [`finish`](OnlineQuery::finish) is a no-op returning no
+    /// results.
+    pub fn push(&mut self, e: Event) -> Vec<WindowResult> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.clock.observe(e.ts);
+        self.staged.clear();
+        self.strategy.on_event(e, &mut self.staged);
+        self.route_staged()
+    }
+
+    /// End of stream: flush everything still buffered.
+    pub fn finish(&mut self) -> Vec<WindowResult> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        self.staged.clear();
+        self.strategy.finish(&mut self.staged);
+        self.route_staged()
+    }
+
+    fn route_staged(&mut self) -> Vec<WindowResult> {
+        let now = self.clock.clock().unwrap_or(Timestamp::MIN);
+        let mut results = Vec::new();
+        let op = &mut self.op;
+        let latency = &mut self.latency;
+        let emitted = &mut self.results_emitted;
+        for el in self.staged.drain(..) {
+            op.process(el, &mut |o| {
+                if let StreamElement::Event(out_ev) = o {
+                    if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                        latency.record(now.delta_since(r.window.end));
+                        *emitted += 1;
+                        results.push(r);
+                    }
+                }
+            });
+        }
+        results
+    }
+
+    /// The slack currently in force.
+    pub fn current_k(&self) -> TimeDelta {
+        self.strategy.current_k()
+    }
+
+    /// Events currently held in the ordering buffer.
+    pub fn buffered(&self) -> u64 {
+        let s = self.strategy.buffer_stats();
+        s.inserted - s.released
+    }
+
+    /// The stream clock (max event timestamp observed).
+    pub fn clock(&self) -> Option<Timestamp> {
+        self.clock.clock()
+    }
+
+    /// Results emitted so far.
+    pub fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    /// Mean result latency so far (event-time units).
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Approximate latency quantile so far.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        self.latency.quantile(q)
+    }
+
+    /// Window-operator counters (accepted / late-dropped / emitted).
+    pub fn window_stats(&self) -> WindowOpStats {
+        self.op.stats()
+    }
+
+    /// Strategy name.
+    pub fn strategy_name(&self) -> String {
+        self.strategy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aq::AqKSlack;
+    use crate::runner::run_query;
+    use crate::strategy::FixedKSlack;
+    use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+    use quill_engine::prelude::{Row, Value, WindowSpec};
+
+    fn query() -> QuerySpec {
+        QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+            None,
+        )
+    }
+
+    fn events(n: u64) -> Vec<Event> {
+        // Mildly disordered deterministic pattern.
+        (0..n)
+            .map(|i| {
+                let ts = if i % 5 == 3 {
+                    (i * 10).saturating_sub(35)
+                } else {
+                    i * 10
+                };
+                Event::new(ts, i, Row::new([Value::Float(1.0)]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_matches_batch_runner_results() {
+        let evs = events(500);
+        let mut online = OnlineQuery::new(Box::new(FixedKSlack::new(50u64)), &query()).unwrap();
+        let mut online_results = Vec::new();
+        for e in &evs {
+            online_results.extend(online.push(e.clone()));
+        }
+        online_results.extend(online.finish());
+
+        let mut batch_strategy = FixedKSlack::new(50u64);
+        let batch = run_query(&evs, &mut batch_strategy, &query()).unwrap();
+        assert_eq!(online_results, batch.results);
+        assert_eq!(online.results_emitted() as usize, batch.results.len());
+    }
+
+    #[test]
+    fn results_arrive_incrementally_not_only_at_finish() {
+        let evs = events(500);
+        let mut online = OnlineQuery::new(Box::new(FixedKSlack::new(50u64)), &query()).unwrap();
+        let mut early = 0;
+        for e in &evs {
+            early += online.push(e.clone()).len();
+        }
+        let tail = online.finish().len();
+        assert!(early > 0, "no incremental results");
+        assert!(early > tail, "most results should arrive before flush");
+    }
+
+    #[test]
+    fn introspection_reflects_progress() {
+        let mut online =
+            OnlineQuery::new(Box::new(AqKSlack::for_completeness(0.9)), &query()).unwrap();
+        assert_eq!(online.clock(), None);
+        assert_eq!(online.buffered(), 0);
+        for e in events(300) {
+            online.push(e);
+        }
+        assert!(online.clock().is_some());
+        assert!(online.strategy_name().contains("aq"));
+        assert!(online.mean_latency() >= 0.0);
+        online.finish();
+        assert_eq!(online.buffered(), 0);
+        let ws = online.window_stats();
+        assert_eq!(ws.accepted + ws.late_dropped, 300);
+    }
+
+    #[test]
+    fn push_after_finish_is_noop() {
+        let mut online = OnlineQuery::new(Box::new(FixedKSlack::new(10u64)), &query()).unwrap();
+        online.push(Event::new(5u64, 0, Row::new([Value::Float(1.0)])));
+        let first = online.finish();
+        assert!(!first.is_empty());
+        assert!(online.finish().is_empty());
+        assert!(online
+            .push(Event::new(999u64, 1, Row::new([Value::Float(1.0)])))
+            .is_empty());
+    }
+
+    #[test]
+    fn invalid_query_is_rejected() {
+        let bad = QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None);
+        assert!(OnlineQuery::new(Box::new(FixedKSlack::new(1u64)), &bad).is_err());
+    }
+}

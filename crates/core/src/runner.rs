@@ -1,0 +1,376 @@
+//! End-to-end query runner: strategy + windowed query + measurement.
+//!
+//! [`run_query`] drives one continuous query over one arrival-ordered event
+//! sequence under a chosen [`DisorderControl`] strategy, and measures
+//! everything the experiments report: per-result latency (event-time),
+//! result quality vs. the in-order oracle, K and buffer-occupancy time
+//! series, and wall-clock processing time.
+
+use crate::strategy::DisorderControl;
+use quill_engine::aggregate::AggregateSpec;
+use quill_engine::error::Result;
+use quill_engine::event::{ClockTracker, Event, StreamElement};
+use quill_engine::operator::{
+    LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
+};
+use quill_engine::time::TimeDelta;
+use quill_engine::window::WindowSpec;
+use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
+use quill_metrics::{LatencyRecorder, Summary, TimeSeries};
+
+/// The continuous query to execute.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Window shape.
+    pub window: WindowSpec,
+    /// Aggregates to compute per window.
+    pub aggregates: Vec<AggregateSpec>,
+    /// Optional grouping key field.
+    pub key_field: Option<usize>,
+}
+
+impl QuerySpec {
+    /// Convenience constructor.
+    pub fn new(
+        window: WindowSpec,
+        aggregates: Vec<AggregateSpec>,
+        key_field: Option<usize>,
+    ) -> QuerySpec {
+        QuerySpec {
+            window,
+            aggregates,
+            key_field,
+        }
+    }
+
+    /// Build a query by *field name* against a schema: each `(kind, field
+    /// name)` pair becomes an aggregate over the resolved index (output
+    /// column named `<kind>_<field>`), and `key` optionally names the
+    /// grouping field.
+    ///
+    /// ```
+    /// use quill_core::runner::QuerySpec;
+    /// use quill_engine::prelude::*;
+    ///
+    /// let schema = Schema::new([
+    ///     ("symbol", FieldType::Int),
+    ///     ("price", FieldType::Float),
+    /// ]).unwrap();
+    /// let q = QuerySpec::by_name(
+    ///     &schema,
+    ///     WindowSpec::tumbling(1000u64),
+    ///     &[(AggregateKind::Mean, "price")],
+    ///     Some("symbol"),
+    /// ).unwrap();
+    /// assert_eq!(q.aggregates[0].field, 1);
+    /// assert_eq!(q.key_field, Some(0));
+    /// ```
+    ///
+    /// # Errors
+    /// [`quill_engine::error::EngineError::UnknownField`] for unresolved
+    /// names; invalid window/aggregate parameters propagate.
+    pub fn by_name(
+        schema: &quill_engine::value::Schema,
+        window: WindowSpec,
+        aggregates: &[(quill_engine::aggregate::AggregateKind, &str)],
+        key: Option<&str>,
+    ) -> Result<QuerySpec> {
+        window.validate()?;
+        let aggs = aggregates
+            .iter()
+            .map(|&(kind, name)| {
+                let field = schema.index_of(name)?;
+                let spec = AggregateSpec::new(kind, field, format!("{kind}_{name}"));
+                spec.validate()?;
+                Ok(spec)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let key_field = key.map(|k| schema.index_of(k)).transpose()?;
+        Ok(QuerySpec {
+            window,
+            aggregates: aggs,
+            key_field,
+        })
+    }
+}
+
+/// How often (in events) to sample K and buffer occupancy into time series.
+const SERIES_SAMPLE_EVERY: u64 = 32;
+
+/// Everything measured over one run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Strategy name.
+    pub strategy: String,
+    /// All first-emission and revision results, in emission order.
+    pub results: Vec<WindowResult>,
+    /// Per-result latency summary (event-time units; exact percentiles).
+    pub latency: Summary,
+    /// Result quality vs. the in-order oracle.
+    pub quality: QualityReport,
+    /// K over event time.
+    pub k_series: TimeSeries,
+    /// Buffer occupancy over event time.
+    pub buffer_series: TimeSeries,
+    /// Mean K over the run (time-series mean).
+    pub mean_k: f64,
+    /// Buffer counters.
+    pub buffer: crate::buffer::BufferStats,
+    /// Window-operator counters.
+    pub window_stats: WindowOpStats,
+    /// Wall-clock processing time of the whole run, in microseconds
+    /// (generation and oracle scoring excluded).
+    pub wall_micros: u128,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl RunOutput {
+    /// Throughput in events per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_micros as f64 / 1e6)
+        }
+    }
+}
+
+/// Execute `query` over `events` (already in arrival order) under
+/// `strategy`, scoring quality against the exact in-order oracle.
+///
+/// # Errors
+/// Propagates invalid window/aggregate specifications.
+pub fn run_query(
+    events: &[Event],
+    strategy: &mut dyn DisorderControl,
+    query: &QuerySpec,
+) -> Result<RunOutput> {
+    let mut op = WindowAggregateOp::new(
+        query.window,
+        query.aggregates.clone(),
+        query.key_field,
+        LatePolicy::Drop,
+    )?;
+
+    let mut latency = LatencyRecorder::with_samples();
+    let mut k_series = TimeSeries::new("k");
+    let mut buffer_series = TimeSeries::new("buffered");
+    let mut results: Vec<WindowResult> = Vec::new();
+    let mut clock = ClockTracker::new();
+
+    let start = std::time::Instant::now();
+    let mut staged: Vec<StreamElement> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        clock.observe(e.ts);
+        let now = clock.clock().expect("observed at least one event");
+        staged.clear();
+        strategy.on_event(e.clone(), &mut staged);
+        for el in staged.drain(..) {
+            op.process(el, &mut |o| {
+                if let StreamElement::Event(out_ev) = o {
+                    if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                        latency.record(now.delta_since(r.window.end));
+                        results.push(r);
+                    }
+                }
+            });
+        }
+        if i as u64 % SERIES_SAMPLE_EVERY == 0 {
+            let k = strategy.current_k();
+            // Cap the oracle's "infinite" K for plottability.
+            let k_plot = if k == TimeDelta::MAX {
+                f64::NAN
+            } else {
+                k.as_f64()
+            };
+            if k_plot.is_finite() {
+                k_series.push(now, k_plot);
+            }
+            buffer_series.push(
+                now,
+                strategy.buffer_stats().inserted as f64 - strategy.buffer_stats().released as f64,
+            );
+        }
+    }
+    // Flush: remaining results are emitted at the final clock.
+    staged.clear();
+    strategy.finish(&mut staged);
+    let final_clock = clock.clock().unwrap_or_default();
+    for el in staged.drain(..) {
+        op.process(el, &mut |o| {
+            if let StreamElement::Event(out_ev) = o {
+                if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                    latency.record(final_clock.delta_since(r.window.end));
+                    results.push(r);
+                }
+            }
+        });
+    }
+    let wall_micros = start.elapsed().as_micros();
+
+    let oracle = oracle_results(events, query.window, &query.aggregates, query.key_field);
+    let quality = score(&results, &oracle);
+
+    Ok(RunOutput {
+        strategy: strategy.name(),
+        latency: latency.summary(),
+        quality,
+        mean_k: k_series.mean(),
+        k_series,
+        buffer_series,
+        buffer: strategy.buffer_stats(),
+        window_stats: op.stats(),
+        wall_micros,
+        events: events.len() as u64,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aq::AqKSlack;
+    use crate::strategy::{DropAll, FixedKSlack, MpKSlack, OracleBuffer};
+    use quill_engine::aggregate::AggregateKind;
+    use quill_engine::prelude::{Row, Value};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn disordered_events(n: u64, max_delay: u64, seed: u64) -> Vec<Event> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrivals: Vec<(u64, u64)> = (0..n)
+            .map(|i| {
+                let ts = i * 10;
+                (ts + rng.gen_range(0..=max_delay), ts)
+            })
+            .collect();
+        arrivals.sort();
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (_, ts))| Event::new(ts, seq as u64, Row::new([Value::Float(ts as f64)])))
+            .collect()
+    }
+
+    fn sum_query() -> QuerySpec {
+        QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+            None,
+        )
+    }
+
+    #[test]
+    fn oracle_strategy_achieves_perfect_quality() {
+        let events = disordered_events(2000, 300, 1);
+        let mut s = OracleBuffer::new();
+        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        assert_eq!(out.quality.windows_missing, 0);
+        assert_eq!(out.quality.mean_completeness, 1.0);
+        assert_eq!(out.quality.mean_rel_error, vec![0.0]);
+    }
+
+    #[test]
+    fn drop_all_has_zero_latency_and_poor_quality() {
+        let events = disordered_events(2000, 300, 2);
+        let mut s = DropAll::new();
+        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        // Near-zero latency modulo clock overshoot: with K=0 the watermark
+        // is the clock itself, which can jump past a window end by up to the
+        // delay bound when an early-timestamped event is still in flight.
+        assert!(out.latency.mean < 50.0, "mean latency {}", out.latency.mean);
+        assert!(out.quality.mean_completeness < 0.95);
+    }
+
+    #[test]
+    fn large_fixed_k_recovers_quality_at_latency_cost() {
+        let events = disordered_events(2000, 300, 3);
+        let mut lo = FixedKSlack::new(10u64);
+        let mut hi = FixedKSlack::new(400u64);
+        let out_lo = run_query(&events, &mut lo, &sum_query()).unwrap();
+        let out_hi = run_query(&events, &mut hi, &sum_query()).unwrap();
+        assert!(out_hi.quality.mean_completeness > out_lo.quality.mean_completeness);
+        assert!(out_hi.latency.mean > out_lo.latency.mean);
+        // Delay bound 300 < K=400: zero loss.
+        assert_eq!(out_hi.quality.mean_completeness, 1.0);
+    }
+
+    #[test]
+    fn mp_matches_max_delay_latency() {
+        let events = disordered_events(3000, 200, 4);
+        let mut s = MpKSlack::new();
+        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        // MP converges to K ≈ max delay ≈ 200.
+        assert!(out.k_series.points().last().unwrap().1 >= 150.0);
+        assert!(out.quality.mean_completeness > 0.99);
+    }
+
+    #[test]
+    fn aq_beats_mp_on_latency_at_similar_quality() {
+        let events = disordered_events(20_000, 500, 5);
+        let q = 0.95;
+        let mut aq = AqKSlack::for_completeness(q);
+        let mut mp = MpKSlack::new();
+        let out_aq = run_query(&events, &mut aq, &sum_query()).unwrap();
+        let out_mp = run_query(&events, &mut mp, &sum_query()).unwrap();
+        assert!(
+            out_aq.quality.mean_completeness >= q - 0.03,
+            "AQ quality {} below target {q}",
+            out_aq.quality.mean_completeness
+        );
+        assert!(
+            out_aq.latency.mean < out_mp.latency.mean,
+            "AQ latency {} not below MP {}",
+            out_aq.latency.mean,
+            out_mp.latency.mean
+        );
+    }
+
+    #[test]
+    fn run_output_accounting_is_consistent() {
+        let events = disordered_events(1000, 100, 6);
+        let mut s = FixedKSlack::new(50u64);
+        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        assert_eq!(out.events, 1000);
+        let b = out.buffer;
+        assert_eq!(b.released + b.late_passed, 1000);
+        let w = out.window_stats;
+        assert_eq!(w.accepted + w.late_dropped, 1000);
+        assert!(out.throughput() > 0.0);
+        assert!(out.k_series.is_sorted());
+    }
+
+    #[test]
+    fn keyed_query_runs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut arrivals: Vec<(u64, u64, i64)> = (0..2000u64)
+            .map(|i| (i * 5 + rng.gen_range(0..100), i * 5, (i % 4) as i64))
+            .collect();
+        arrivals.sort();
+        let events: Vec<Event> = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (_, ts, k))| {
+                Event::new(ts, seq as u64, Row::new([Value::Int(k), Value::Float(1.0)]))
+            })
+            .collect();
+        let query = QuerySpec::new(
+            WindowSpec::sliding(200u64, 100u64),
+            vec![AggregateSpec::new(AggregateKind::Count, 1, "n")],
+            Some(0),
+        );
+        let mut s = FixedKSlack::new(120u64);
+        let out = run_query(&events, &mut s, &query).unwrap();
+        assert!(out.quality.windows_total > 10);
+        assert!(out.quality.mean_completeness > 0.9);
+    }
+
+    #[test]
+    fn invalid_query_is_rejected() {
+        let events = disordered_events(10, 10, 8);
+        let bad = QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None);
+        let mut s = DropAll::new();
+        assert!(run_query(&events, &mut s, &bad).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Shared execution of multiple continuous queries over one buffered stream.
+//!
+//! In practice many continuous queries subscribe to the same stream; the
+//! ordering buffer is paid once and its watermarks fan out to every query's
+//! window operator. The slack must then satisfy the *strictest* quality
+//! target among the subscribers — [`strictest_completeness`] picks it — and
+//! looser queries simply enjoy surplus quality. This mirrors the
+//! multi-query sharing angle of the original system demo.
+
+use crate::runner::QuerySpec;
+use crate::strategy::DisorderControl;
+use quill_engine::error::Result;
+use quill_engine::event::{ClockTracker, Event, StreamElement};
+use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
+use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
+use quill_metrics::{LatencyRecorder, Summary};
+
+/// Per-query measurement of a shared run.
+#[derive(Debug, Clone)]
+pub struct SharedQueryOutput {
+    /// Index into the input query slice.
+    pub query_index: usize,
+    /// Emitted results in order.
+    pub results: Vec<WindowResult>,
+    /// Per-result latency summary.
+    pub latency: Summary,
+    /// Quality vs. this query's own oracle.
+    pub quality: QualityReport,
+}
+
+/// Outcome of a shared multi-query run.
+#[derive(Debug, Clone)]
+pub struct SharedRunOutput {
+    /// Strategy name.
+    pub strategy: String,
+    /// One entry per input query.
+    pub per_query: Vec<SharedQueryOutput>,
+    /// Wall-clock time for the whole shared run, microseconds.
+    pub wall_micros: u128,
+}
+
+/// The completeness target a shared buffer must honour: the maximum over
+/// subscribers (strictest wins). Returns `None` for an empty slice.
+pub fn strictest_completeness(targets: &[f64]) -> Option<f64> {
+    targets.iter().copied().fold(None, |acc, t| {
+        Some(match acc {
+            None => t,
+            Some(a) => a.max(t),
+        })
+    })
+}
+
+/// Run several queries over one stream sharing a single disorder-control
+/// strategy (one buffer, one watermark sequence, N window operators).
+///
+/// # Errors
+/// Propagates invalid query specifications.
+pub fn run_shared(
+    events: &[Event],
+    strategy: &mut dyn DisorderControl,
+    queries: &[QuerySpec],
+) -> Result<SharedRunOutput> {
+    let mut ops: Vec<WindowAggregateOp> = queries
+        .iter()
+        .map(|q| {
+            WindowAggregateOp::new(
+                q.window,
+                q.aggregates.clone(),
+                q.key_field,
+                LatePolicy::Drop,
+            )
+        })
+        .collect::<Result<_>>()?;
+    let mut latencies: Vec<LatencyRecorder> = queries
+        .iter()
+        .map(|_| LatencyRecorder::with_samples())
+        .collect();
+    let mut results: Vec<Vec<WindowResult>> = queries.iter().map(|_| Vec::new()).collect();
+    let mut clock = ClockTracker::new();
+
+    let start = std::time::Instant::now();
+    let mut staged = Vec::new();
+    let route = |staged: &mut Vec<StreamElement>,
+                 ops: &mut [WindowAggregateOp],
+                 latencies: &mut [LatencyRecorder],
+                 results: &mut [Vec<WindowResult>],
+                 now: quill_engine::time::Timestamp| {
+        for el in staged.drain(..) {
+            for ((op, lat), res) in ops
+                .iter_mut()
+                .zip(latencies.iter_mut())
+                .zip(results.iter_mut())
+            {
+                op.process(el.clone(), &mut |o| {
+                    if let StreamElement::Event(out_ev) = o {
+                        if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                            lat.record(now.delta_since(r.window.end));
+                            res.push(r);
+                        }
+                    }
+                });
+            }
+        }
+    };
+    for e in events {
+        clock.observe(e.ts);
+        let now = clock.clock().expect("observed event");
+        staged.clear();
+        strategy.on_event(e.clone(), &mut staged);
+        route(&mut staged, &mut ops, &mut latencies, &mut results, now);
+    }
+    staged.clear();
+    strategy.finish(&mut staged);
+    let now = clock.clock().unwrap_or_default();
+    route(&mut staged, &mut ops, &mut latencies, &mut results, now);
+    let wall_micros = start.elapsed().as_micros();
+
+    let per_query = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let oracle = oracle_results(events, q.window, &q.aggregates, q.key_field);
+            SharedQueryOutput {
+                query_index: i,
+                latency: latencies[i].summary(),
+                quality: score(&results[i], &oracle),
+                results: std::mem::take(&mut results[i]),
+            }
+        })
+        .collect();
+
+    Ok(SharedRunOutput {
+        strategy: strategy.name(),
+        per_query,
+        wall_micros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aq::AqKSlack;
+    use crate::runner::run_query;
+    use crate::strategy::FixedKSlack;
+    use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+    use quill_engine::prelude::{Row, Value, WindowSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn events(n: u64, seed: u64) -> Vec<Event> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrivals: Vec<(u64, u64)> = (0..n)
+            .map(|i| (i * 10 + rng.gen_range(0..200), i * 10))
+            .collect();
+        arrivals.sort();
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(s, (_, ts))| Event::new(ts, s as u64, Row::new([Value::Float(1.0)])))
+            .collect()
+    }
+
+    fn queries() -> Vec<QuerySpec> {
+        vec![
+            QuerySpec::new(
+                WindowSpec::tumbling(500u64),
+                vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+                None,
+            ),
+            QuerySpec::new(
+                WindowSpec::sliding(1_000u64, 200u64),
+                vec![AggregateSpec::new(AggregateKind::Count, 0, "n")],
+                None,
+            ),
+        ]
+    }
+
+    #[test]
+    fn shared_run_matches_individual_runs() {
+        let evs = events(3_000, 1);
+        let qs = queries();
+        let mut shared_strategy = FixedKSlack::new(150u64);
+        let shared = run_shared(&evs, &mut shared_strategy, &qs).unwrap();
+        for (i, q) in qs.iter().enumerate() {
+            let mut solo_strategy = FixedKSlack::new(150u64);
+            let solo = run_query(&evs, &mut solo_strategy, q).unwrap();
+            assert_eq!(shared.per_query[i].results, solo.results, "query {i}");
+            assert_eq!(
+                shared.per_query[i].quality.mean_completeness,
+                solo.quality.mean_completeness
+            );
+        }
+    }
+
+    #[test]
+    fn strictest_target_selection() {
+        assert_eq!(strictest_completeness(&[]), None);
+        assert_eq!(strictest_completeness(&[0.9, 0.99, 0.95]), Some(0.99));
+    }
+
+    #[test]
+    fn one_buffer_serves_all_subscribers_at_the_strictest_target() {
+        let evs = events(20_000, 2);
+        let qs = queries();
+        let q = strictest_completeness(&[0.9, 0.99]).unwrap();
+        let mut strategy = AqKSlack::for_completeness(q);
+        let shared = run_shared(&evs, &mut strategy, &qs).unwrap();
+        for out in &shared.per_query {
+            assert!(
+                out.quality.mean_completeness >= 0.9,
+                "query {} under-served: {}",
+                out.query_index,
+                out.quality.mean_completeness
+            );
+        }
+        assert!(shared.wall_micros > 0);
+        assert!(shared.strategy.contains("0.99"));
+    }
+
+    #[test]
+    fn empty_query_set_is_fine() {
+        let evs = events(100, 3);
+        let mut s = FixedKSlack::new(10u64);
+        let shared = run_shared(&evs, &mut s, &[]).unwrap();
+        assert!(shared.per_query.is_empty());
+    }
+
+    #[test]
+    fn invalid_query_in_set_is_rejected() {
+        let evs = events(10, 4);
+        let mut s = FixedKSlack::new(10u64);
+        let bad = vec![QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None)];
+        assert!(run_shared(&evs, &mut s, &bad).is_err());
+    }
+}

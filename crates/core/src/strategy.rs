@@ -1,0 +1,327 @@
+//! The disorder-control strategy interface and baseline strategies.
+//!
+//! A [`DisorderControl`] sits between the arriving (out-of-order) stream and
+//! the query pipeline: it decides how long to hold events, releases them in
+//! timestamp order, and punctuates the output with watermarks that drive
+//! window emission. The strategies differ **only** in how they choose the
+//! slack bound `K` over time:
+//!
+//! | strategy | K | guarantees | cost |
+//! |---|---|---|---|
+//! | [`DropAll`] | 0 | none | zero latency |
+//! | [`FixedKSlack`] | constant, user-chosen | whatever the chosen K buys | constant latency, blind to the workload |
+//! | [`MpKSlack`] | max delay seen so far | converges to zero loss on bounded delays | latency ratchets up to the worst burst, never down |
+//! | [`crate::aq::AqKSlack`] | quality-driven, adaptive | meets the user's quality target | minimal latency for the target (the paper's contribution) |
+//! | [`OracleBuffer`] | ∞ | exact results | unbounded latency (offline reference) |
+
+use crate::buffer::{BufferStats, SlackBuffer};
+use quill_engine::prelude::{Event, StreamElement, TimeDelta};
+
+/// A pluggable disorder-control strategy.
+pub trait DisorderControl: Send {
+    /// Strategy name for reports.
+    fn name(&self) -> String;
+
+    /// Feed one arriving event; ordered releases and watermarks are appended
+    /// to `out`.
+    fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>);
+
+    /// End of stream: release everything and emit `Flush`.
+    fn finish(&mut self, out: &mut Vec<StreamElement>);
+
+    /// The slack currently in force.
+    fn current_k(&self) -> TimeDelta;
+
+    /// Buffer occupancy / lateness counters.
+    fn buffer_stats(&self) -> BufferStats;
+}
+
+/// K = 0: release every event instantly; any disorder reaches the query as
+/// late events. The zero-latency / lowest-quality endpoint.
+pub struct DropAll {
+    buf: SlackBuffer,
+}
+
+impl DropAll {
+    /// Build the strategy.
+    pub fn new() -> DropAll {
+        DropAll {
+            buf: SlackBuffer::new(0u64),
+        }
+    }
+}
+
+impl Default for DropAll {
+    fn default() -> Self {
+        DropAll::new()
+    }
+}
+
+impl DisorderControl for DropAll {
+    fn name(&self) -> String {
+        "drop".into()
+    }
+    fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>) {
+        self.buf.insert(e, out);
+    }
+    fn finish(&mut self, out: &mut Vec<StreamElement>) {
+        self.buf.finish(out);
+    }
+    fn current_k(&self) -> TimeDelta {
+        TimeDelta::ZERO
+    }
+    fn buffer_stats(&self) -> BufferStats {
+        self.buf.stats()
+    }
+}
+
+/// Classic fixed K-slack (Babcock et al.): a constant, user-chosen slack.
+pub struct FixedKSlack {
+    k: TimeDelta,
+    buf: SlackBuffer,
+}
+
+impl FixedKSlack {
+    /// Build with the given constant slack.
+    pub fn new(k: impl Into<TimeDelta>) -> FixedKSlack {
+        let k = k.into();
+        FixedKSlack {
+            k,
+            buf: SlackBuffer::new(k),
+        }
+    }
+}
+
+impl DisorderControl for FixedKSlack {
+    fn name(&self) -> String {
+        format!("fixed(K={})", self.k.raw())
+    }
+    fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>) {
+        self.buf.insert(e, out);
+    }
+    fn finish(&mut self, out: &mut Vec<StreamElement>) {
+        self.buf.finish(out);
+    }
+    fn current_k(&self) -> TimeDelta {
+        self.k
+    }
+    fn buffer_stats(&self) -> BufferStats {
+        self.buf.stats()
+    }
+}
+
+/// MP-K-slack (Mutschler & Philippsen): the conservative adaptive baseline.
+/// `K` ratchets up to the maximum delay observed so far (optionally capped),
+/// guaranteeing eventual zero loss for bounded delays — at the price of
+/// latency that tracks the *worst* burst ever seen and never recovers.
+pub struct MpKSlack {
+    buf: SlackBuffer,
+    max_delay: TimeDelta,
+    cap: TimeDelta,
+}
+
+impl MpKSlack {
+    /// Uncapped MP-K-slack.
+    pub fn new() -> MpKSlack {
+        MpKSlack {
+            buf: SlackBuffer::new(0u64),
+            max_delay: TimeDelta::ZERO,
+            cap: TimeDelta::MAX,
+        }
+    }
+
+    /// MP-K-slack with an upper bound on K (the "bounded" variant used when
+    /// memory or latency must stay finite under unbounded tails).
+    pub fn bounded(cap: impl Into<TimeDelta>) -> MpKSlack {
+        MpKSlack {
+            buf: SlackBuffer::new(0u64),
+            max_delay: TimeDelta::ZERO,
+            cap: cap.into(),
+        }
+    }
+}
+
+impl Default for MpKSlack {
+    fn default() -> Self {
+        MpKSlack::new()
+    }
+}
+
+impl DisorderControl for MpKSlack {
+    fn name(&self) -> String {
+        if self.cap == TimeDelta::MAX {
+            "mp".into()
+        } else {
+            format!("mp(cap={})", self.cap.raw())
+        }
+    }
+    fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>) {
+        // Delay measured against the clock *before* this event advances it.
+        let delay = self.buf.clock().delta_since(e.ts);
+        if delay > self.max_delay {
+            self.max_delay = delay.min(self.cap);
+            self.buf.set_k(self.max_delay);
+        }
+        self.buf.insert(e, out);
+    }
+    fn finish(&mut self, out: &mut Vec<StreamElement>) {
+        self.buf.finish(out);
+    }
+    fn current_k(&self) -> TimeDelta {
+        self.max_delay
+    }
+    fn buffer_stats(&self) -> BufferStats {
+        self.buf.stats()
+    }
+}
+
+/// Infinite buffer: holds everything until end of stream, then releases the
+/// exact in-order sequence. The quality oracle / offline reference.
+pub struct OracleBuffer {
+    buf: SlackBuffer,
+}
+
+impl OracleBuffer {
+    /// Build the strategy.
+    pub fn new() -> OracleBuffer {
+        OracleBuffer {
+            buf: SlackBuffer::new(TimeDelta::MAX),
+        }
+    }
+}
+
+impl Default for OracleBuffer {
+    fn default() -> Self {
+        OracleBuffer::new()
+    }
+}
+
+impl DisorderControl for OracleBuffer {
+    fn name(&self) -> String {
+        "oracle".into()
+    }
+    fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>) {
+        self.buf.insert(e, out);
+    }
+    fn finish(&mut self, out: &mut Vec<StreamElement>) {
+        self.buf.finish(out);
+    }
+    fn current_k(&self) -> TimeDelta {
+        TimeDelta::MAX
+    }
+    fn buffer_stats(&self) -> BufferStats {
+        self.buf.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill_engine::prelude::{Row, Timestamp, Value};
+
+    fn ev(ts: u64, seq: u64) -> Event {
+        Event::new(ts, seq, Row::new([Value::Int(ts as i64)]))
+    }
+
+    fn run(s: &mut dyn DisorderControl, arrivals: Vec<Event>) -> Vec<StreamElement> {
+        let mut out = Vec::new();
+        for e in arrivals {
+            s.on_event(e, &mut out);
+        }
+        s.finish(&mut out);
+        out
+    }
+
+    fn event_ts(out: &[StreamElement]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|e| e.as_event())
+            .map(|e| e.ts.raw())
+            .collect()
+    }
+
+    #[test]
+    fn drop_all_forwards_immediately_in_arrival_order() {
+        let mut s = DropAll::new();
+        let out = run(&mut s, vec![ev(10, 0), ev(5, 1), ev(20, 2)]);
+        assert_eq!(event_ts(&out), vec![10, 5, 20]);
+        assert_eq!(s.buffer_stats().late_passed, 1);
+        assert_eq!(s.current_k(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn fixed_k_reorders_up_to_k() {
+        let mut s = FixedKSlack::new(10u64);
+        let out = run(&mut s, vec![ev(10, 0), ev(5, 1), ev(20, 2), ev(3, 3)]);
+        // ts=5 fits in K=10; ts=3 arrives after clock=20 (delay 17 > 10) and
+        // after watermark 10 → late pass.
+        let ts = event_ts(&out);
+        assert_eq!(s.buffer_stats().late_passed, 1);
+        // In-order portion: 5, 10 before 20.
+        let pos = |v: u64| ts.iter().position(|&t| t == v).unwrap();
+        assert!(pos(5) < pos(10));
+        assert!(pos(10) < pos(20));
+        assert!(s.name().contains("10"));
+    }
+
+    #[test]
+    fn mp_ratchets_k_to_max_delay() {
+        let mut s = MpKSlack::new();
+        let mut out = Vec::new();
+        s.on_event(ev(100, 0), &mut out);
+        assert_eq!(s.current_k(), TimeDelta::ZERO);
+        s.on_event(ev(40, 1), &mut out); // delay 60
+        assert_eq!(s.current_k(), TimeDelta(60));
+        s.on_event(ev(90, 2), &mut out); // delay 10 < 60 → unchanged
+        assert_eq!(s.current_k(), TimeDelta(60));
+        s.on_event(ev(300, 3), &mut out);
+        s.on_event(ev(50, 4), &mut out); // delay 250
+        assert_eq!(s.current_k(), TimeDelta(250));
+    }
+
+    #[test]
+    fn mp_never_shrinks() {
+        let mut s = MpKSlack::new();
+        let mut out = Vec::new();
+        s.on_event(ev(1000, 0), &mut out);
+        s.on_event(ev(1, 1), &mut out); // delay 999
+        for i in 0..100 {
+            s.on_event(ev(1001 + i, 2 + i), &mut out); // all in order
+        }
+        assert_eq!(s.current_k(), TimeDelta(999));
+    }
+
+    #[test]
+    fn mp_bounded_caps_k() {
+        let mut s = MpKSlack::bounded(50u64);
+        let mut out = Vec::new();
+        s.on_event(ev(1000, 0), &mut out);
+        s.on_event(ev(1, 1), &mut out);
+        assert_eq!(s.current_k(), TimeDelta(50));
+        assert!(s.name().contains("cap=50"));
+    }
+
+    #[test]
+    fn oracle_emits_exact_sorted_sequence() {
+        let mut s = OracleBuffer::new();
+        let out = run(&mut s, vec![ev(10, 0), ev(5, 1), ev(20, 2), ev(1, 3)]);
+        assert_eq!(event_ts(&out), vec![1, 5, 10, 20]);
+        assert_eq!(s.buffer_stats().late_passed, 0);
+        // Nothing until finish.
+        let mut s2 = OracleBuffer::new();
+        let mut out2 = Vec::new();
+        s2.on_event(ev(10, 0), &mut out2);
+        assert!(event_ts(&out2).is_empty());
+    }
+
+    #[test]
+    fn watermark_follows_k_for_fixed() {
+        let mut s = FixedKSlack::new(5u64);
+        let mut out = Vec::new();
+        s.on_event(ev(100, 0), &mut out);
+        let wm = out.iter().rev().find_map(|e| match e {
+            StreamElement::Watermark(w) => Some(*w),
+            _ => None,
+        });
+        assert_eq!(wm, Some(Timestamp(95)));
+    }
+}

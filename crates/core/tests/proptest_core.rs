@@ -1,0 +1,181 @@
+//! Property-based tests of the disorder-control invariants (DESIGN.md §4):
+//! the slack buffer under arbitrary arrival sequences and arbitrary online
+//! K changes, the delay estimator against a brute-force model, and the
+//! controller's bounds.
+
+use proptest::prelude::*;
+use quill_core::prelude::*;
+use quill_engine::prelude::*;
+
+/// Arbitrary arrival sequence: (timestamp, K to set before the insert).
+fn arrivals() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..5_000, 0u64..2_000), 1..300)
+}
+
+proptest! {
+    #[test]
+    fn slack_buffer_invariants_hold_under_arbitrary_k_changes(seq in arrivals()) {
+        let mut buf = SlackBuffer::new(seq[0].1);
+        let mut out = Vec::new();
+        for (i, &(ts, k)) in seq.iter().enumerate() {
+            buf.set_k(k);
+            buf.insert(Event::new(ts, i as u64, Row::empty()), &mut out);
+        }
+        buf.finish(&mut out);
+
+        // (1) Every event exactly once.
+        let mut seqs: Vec<u64> =
+            out.iter().filter_map(|e| e.as_event()).map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        prop_assert_eq!(seqs, (0..seq.len() as u64).collect::<Vec<_>>());
+
+        // (2) Watermarks never regress; (3) non-late releases are in
+        // (ts, seq) order; (4) late accounting matches.
+        let mut wm = 0u64;
+        let mut last: Option<(u64, u64)> = None;
+        let mut late = 0u64;
+        for el in &out {
+            match el {
+                StreamElement::Watermark(t) => {
+                    prop_assert!(t.raw() >= wm);
+                    wm = t.raw();
+                }
+                StreamElement::Event(e) => {
+                    if e.ts.raw() < wm {
+                        late += 1;
+                    } else {
+                        let key = (e.ts.raw(), e.seq);
+                        if let Some(prev) = last {
+                            prop_assert!(key >= prev, "release order violated");
+                        }
+                        last = Some(key);
+                    }
+                }
+                StreamElement::Flush => {}
+            }
+        }
+        prop_assert_eq!(late, buf.stats().late_passed);
+        prop_assert_eq!(
+            buf.stats().released + buf.stats().late_passed,
+            seq.len() as u64
+        );
+    }
+
+    #[test]
+    fn infinite_slack_reproduces_sorted_input(ts in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut buf = SlackBuffer::new(TimeDelta::MAX);
+        let mut out = Vec::new();
+        for (i, &t) in ts.iter().enumerate() {
+            buf.insert(Event::new(t, i as u64, Row::empty()), &mut out);
+        }
+        buf.finish(&mut out);
+        let got: Vec<(u64, u64)> =
+            out.iter().filter_map(|e| e.as_event()).map(|e| (e.ts.raw(), e.seq)).collect();
+        let mut expected: Vec<(u64, u64)> =
+            ts.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(buf.stats().late_passed, 0);
+    }
+
+    #[test]
+    fn estimator_quantile_matches_brute_force(
+        delays in prop::collection::vec(0u64..100_000, 1..150),
+        cap in 1usize..200,
+        q in 0.0f64..=1.0,
+    ) {
+        let mut est = DelayEstimator::new(cap);
+        for &d in &delays {
+            est.observe(TimeDelta(d));
+        }
+        // Brute force over the same sliding window (last `cap` values).
+        let window: Vec<u64> =
+            delays[delays.len().saturating_sub(cap)..].to_vec();
+        let mut sorted = window.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let expected = sorted[target - 1];
+        prop_assert_eq!(est.quantile(q), Some(TimeDelta(expected)));
+        // CDF/quantile coherence.
+        prop_assert!(est.cdf(TimeDelta(expected)) >= q - 1e-9);
+    }
+
+    #[test]
+    fn estimator_cdf_is_monotone(
+        delays in prop::collection::vec(0u64..10_000, 1..100),
+        probes in prop::collection::vec(0u64..12_000, 2..20),
+    ) {
+        let mut est = DelayEstimator::new(64);
+        for &d in &delays {
+            est.observe(TimeDelta(d));
+        }
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_unstable();
+        let mut last = 0.0;
+        for p in sorted_probes {
+            let c = est.cdf(TimeDelta(p));
+            prop_assert!(c >= last - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c));
+            last = c;
+        }
+    }
+
+    #[test]
+    fn controller_output_always_within_bounds(
+        kp in 0.0f64..5.0,
+        ki in 0.0f64..5.0,
+        lo in -2.0f64..0.0,
+        hi in 0.0f64..2.0,
+        errors in prop::collection::vec(-10.0f64..10.0, 1..100),
+    ) {
+        let mut c = PiController::new(kp, ki, lo, hi);
+        for e in errors {
+            let out = c.update(e);
+            prop_assert!((lo..=hi).contains(&out), "output {out} outside [{lo}, {hi}]");
+            prop_assert_eq!(out, c.output());
+        }
+    }
+
+    #[test]
+    fn aq_never_violates_k_bounds_and_accounts_all_events(
+        ts in prop::collection::vec(0u64..20_000, 1..300),
+        k_min in 0u64..50,
+        k_span in 1u64..500,
+    ) {
+        let mut cfg = AqConfig::completeness(0.9);
+        cfg.k_min = TimeDelta(k_min);
+        cfg.k_max = TimeDelta(k_min + k_span);
+        cfg.warmup = 5;
+        cfg.adapt_every = 3;
+        let mut s = AqKSlack::new(cfg);
+        let mut out = Vec::new();
+        for (i, &t) in ts.iter().enumerate() {
+            s.on_event(Event::new(t, i as u64, Row::new([Value::Float(1.0)])), &mut out);
+            let k = s.current_k();
+            prop_assert!(k >= TimeDelta(k_min), "K {k} below k_min");
+            prop_assert!(k <= TimeDelta(k_min + k_span), "K {k} above k_max");
+        }
+        s.finish(&mut out);
+        let n: u64 = out.iter().filter(|e| e.as_event().is_some()).count() as u64;
+        prop_assert_eq!(n, ts.len() as u64);
+    }
+
+    #[test]
+    fn sensitivity_required_completeness_is_monotone_in_epsilon(
+        values in prop::collection::vec(0.1f64..1000.0, 2..50),
+        eps_lo in 0.001f64..0.1,
+        eps_ratio in 1.1f64..10.0,
+    ) {
+        let mut model = SensitivityModel::new();
+        for &v in &values {
+            model.observe(v);
+        }
+        let tight = QualityTarget::MaxRelError { epsilon: eps_lo, field: 0 }
+            .required_completeness(&model);
+        let loose = QualityTarget::MaxRelError { epsilon: eps_lo * eps_ratio, field: 0 }
+            .required_completeness(&model);
+        prop_assert!(tight >= loose, "tighter epsilon must require more completeness");
+        prop_assert!((0.0..=1.0).contains(&tight));
+    }
+}

@@ -1,0 +1,822 @@
+//! Aggregate functions over window contents.
+//!
+//! An [`AggregateSpec`] names an aggregate and the field it reads;
+//! [`AggregateSpec::build`] instantiates per-window incremental state (an
+//! [`Aggregator`]). Every aggregate also has a *reference implementation*
+//! ([`AggregateSpec::compute`]) that recomputes the result from the raw
+//! window contents; the incremental and reference paths are checked against
+//! each other by property tests, and the reference path is what the in-order
+//! oracle uses to score result quality.
+//!
+//! Nulls and non-numeric values are skipped by numeric aggregates (SQL
+//! semantics); `count` counts all non-null values.
+
+use crate::error::{EngineError, Result};
+use crate::time::Timestamp;
+use crate::value::{Key, Row, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The aggregate function to apply to one field within each window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Number of non-null values.
+    Count,
+    /// Sum of numeric values.
+    Sum,
+    /// Arithmetic mean of numeric values.
+    Mean,
+    /// Minimum (total order over values).
+    Min,
+    /// Maximum (total order over values).
+    Max,
+    /// Population standard deviation of numeric values.
+    StdDev,
+    /// Population variance of numeric values.
+    Variance,
+    /// Exact median of numeric values (midpoint for even counts).
+    Median,
+    /// Exact p-quantile of numeric values, `0.0 <= p <= 1.0`, nearest-rank
+    /// with linear interpolation.
+    Quantile(f64),
+    /// Number of distinct non-null values.
+    DistinctCount,
+    /// Value with the smallest event-time timestamp (arrival ties broken by
+    /// insertion order).
+    First,
+    /// Value with the largest event-time timestamp.
+    Last,
+    /// Value of this spec's field at the row where the *other* field
+    /// (the payload of this variant) is minimal. Ties: first in event time.
+    ArgMin(usize),
+    /// Value of this spec's field at the row where the other field is
+    /// maximal. Ties: first in event time.
+    ArgMax(usize),
+}
+
+impl AggregateKind {
+    /// Whether the incremental state size is O(1) (vs. O(window) for
+    /// order-statistic and distinct aggregates).
+    pub fn constant_space(&self) -> bool {
+        matches!(
+            self,
+            AggregateKind::Count
+                | AggregateKind::Sum
+                | AggregateKind::Mean
+                | AggregateKind::Min
+                | AggregateKind::Max
+                | AggregateKind::StdDev
+                | AggregateKind::Variance
+                | AggregateKind::First
+                | AggregateKind::Last
+                | AggregateKind::ArgMin(_)
+                | AggregateKind::ArgMax(_)
+        )
+    }
+}
+
+impl fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateKind::Count => write!(f, "count"),
+            AggregateKind::Sum => write!(f, "sum"),
+            AggregateKind::Mean => write!(f, "mean"),
+            AggregateKind::Min => write!(f, "min"),
+            AggregateKind::Max => write!(f, "max"),
+            AggregateKind::StdDev => write!(f, "stddev"),
+            AggregateKind::Variance => write!(f, "variance"),
+            AggregateKind::Median => write!(f, "median"),
+            AggregateKind::Quantile(p) => write!(f, "q{p}"),
+            AggregateKind::DistinctCount => write!(f, "distinct"),
+            AggregateKind::First => write!(f, "first"),
+            AggregateKind::Last => write!(f, "last"),
+            AggregateKind::ArgMin(by) => write!(f, "argmin(by={by})"),
+            AggregateKind::ArgMax(by) => write!(f, "argmax(by={by})"),
+        }
+    }
+}
+
+/// An aggregate bound to the row field it reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpec {
+    /// Which function.
+    pub kind: AggregateKind,
+    /// Index of the input field in the row.
+    pub field: usize,
+    /// Output column name in result rows.
+    pub name: String,
+}
+
+impl AggregateSpec {
+    /// Construct a spec.
+    pub fn new(kind: AggregateKind, field: usize, name: impl Into<String>) -> AggregateSpec {
+        AggregateSpec {
+            kind,
+            field,
+            name: name.into(),
+        }
+    }
+
+    /// Validate parameters (quantile range).
+    pub fn validate(&self) -> Result<()> {
+        if let AggregateKind::Quantile(p) = self.kind {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(EngineError::InvalidAggregate(format!(
+                    "quantile p={p} outside [0,1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiate fresh incremental state.
+    pub fn build(&self) -> Box<dyn Aggregator> {
+        match self.kind {
+            AggregateKind::Count => Box::new(CountAgg::default()),
+            AggregateKind::Sum => Box::new(SumAgg::default()),
+            AggregateKind::Mean => Box::new(MeanAgg::default()),
+            AggregateKind::Min => Box::new(ExtremeAgg::new(false)),
+            AggregateKind::Max => Box::new(ExtremeAgg::new(true)),
+            AggregateKind::StdDev => Box::new(MomentsAgg::new(true)),
+            AggregateKind::Variance => Box::new(MomentsAgg::new(false)),
+            AggregateKind::Median => Box::new(QuantileAgg::new(0.5)),
+            AggregateKind::Quantile(p) => Box::new(QuantileAgg::new(p)),
+            AggregateKind::DistinctCount => Box::new(DistinctAgg::default()),
+            AggregateKind::First => Box::new(EdgeAgg::new(false)),
+            AggregateKind::Last => Box::new(EdgeAgg::new(true)),
+            // Arg aggregates receive the full row via `insert_row` (see
+            // `Aggregator::insert_row`); plain `insert` sees only the
+            // reported field and cannot resolve the `by` field, so the
+            // windowed operator feeds arg aggregates through `insert_row`.
+            AggregateKind::ArgMin(by) => Box::new(ArgAgg::new(false, by)),
+            AggregateKind::ArgMax(by) => Box::new(ArgAgg::new(true, by)),
+        }
+    }
+
+    /// Reference implementation: compute the aggregate from the raw window
+    /// contents in one pass. `values` is `(event timestamp, field value)` in
+    /// any order. Arg-aggregates need the full rows — use
+    /// [`AggregateSpec::compute_rows`] for them (this method returns `Null`
+    /// for arg kinds since the `by` field is unavailable).
+    pub fn compute(&self, values: &[(Timestamp, Value)]) -> Value {
+        let mut agg = self.build();
+        // The reference path must be insertion-order independent for every
+        // aggregate except First/Last, which are defined by timestamp; feed
+        // in timestamp order so ties resolve identically to sorted input.
+        let mut sorted: Vec<&(Timestamp, Value)> = values.iter().collect();
+        sorted.sort_by_key(|(ts, _)| *ts);
+        for (ts, v) in sorted {
+            agg.insert(*ts, v);
+        }
+        agg.finalize()
+    }
+
+    /// Full-row reference implementation: like [`AggregateSpec::compute`]
+    /// but with access to whole rows, supporting arg-aggregates. Used by the
+    /// in-order oracle.
+    pub fn compute_rows(&self, rows: &[(Timestamp, &Row)]) -> Value {
+        let mut agg = self.build();
+        let mut sorted: Vec<&(Timestamp, &Row)> = rows.iter().collect();
+        sorted.sort_by_key(|(ts, _)| *ts);
+        for (ts, row) in sorted {
+            agg.insert_row(*ts, row.get(self.field), row);
+        }
+        agg.finalize()
+    }
+}
+
+/// Incremental per-window aggregate state.
+pub trait Aggregator: Send {
+    /// Fold one value (with its event timestamp) into the state.
+    fn insert(&mut self, ts: Timestamp, v: &Value);
+    /// Produce the current result. `Null` when no qualifying values arrived.
+    fn finalize(&self) -> Value;
+    /// Number of values folded in (for completeness accounting).
+    fn count(&self) -> u64;
+    /// Fold one value with access to its full row. Only arg-aggregates need
+    /// the row; the default delegates to [`Aggregator::insert`]. Window
+    /// operators call this method so arg-aggregates work transparently.
+    fn insert_row(&mut self, ts: Timestamp, v: &Value, _row: &Row) {
+        self.insert(ts, v);
+    }
+}
+
+#[derive(Default)]
+struct CountAgg {
+    n: u64,
+    seen: u64,
+}
+
+impl Aggregator for CountAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if !v.is_null() {
+            self.n += 1;
+        }
+    }
+    fn finalize(&self) -> Value {
+        Value::Int(self.n as i64)
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[derive(Default)]
+struct SumAgg {
+    sum: f64,
+    n: u64,
+    seen: u64,
+}
+
+impl Aggregator for SumAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+            self.n += 1;
+        }
+    }
+    fn finalize(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else {
+            Value::Float(self.sum)
+        }
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[derive(Default)]
+struct MeanAgg {
+    sum: f64,
+    n: u64,
+    seen: u64,
+}
+
+impl Aggregator for MeanAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+            self.n += 1;
+        }
+    }
+    fn finalize(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else {
+            Value::Float(self.sum / self.n as f64)
+        }
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Min/Max over the total value order.
+struct ExtremeAgg {
+    max: bool,
+    best: Option<Value>,
+    seen: u64,
+}
+
+impl ExtremeAgg {
+    fn new(max: bool) -> Self {
+        ExtremeAgg {
+            max,
+            best: None,
+            seen: 0,
+        }
+    }
+}
+
+impl Aggregator for ExtremeAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if v.is_null() {
+            return;
+        }
+        let better = match &self.best {
+            None => true,
+            Some(b) => {
+                let ord = v.total_cmp(b);
+                if self.max {
+                    ord == std::cmp::Ordering::Greater
+                } else {
+                    ord == std::cmp::Ordering::Less
+                }
+            }
+        };
+        if better {
+            self.best = Some(v.clone());
+        }
+    }
+    fn finalize(&self) -> Value {
+        self.best.clone().unwrap_or(Value::Null)
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Welford-style running moments for variance / standard deviation
+/// (population). Numerically stable under long windows.
+struct MomentsAgg {
+    stddev: bool,
+    n: u64,
+    mean: f64,
+    m2: f64,
+    seen: u64,
+}
+
+impl MomentsAgg {
+    fn new(stddev: bool) -> Self {
+        MomentsAgg {
+            stddev,
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            seen: 0,
+        }
+    }
+}
+
+impl Aggregator for MomentsAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if let Some(x) = v.as_f64() {
+            self.n += 1;
+            let d = x - self.mean;
+            self.mean += d / self.n as f64;
+            self.m2 += d * (x - self.mean);
+        }
+    }
+    fn finalize(&self) -> Value {
+        if self.n == 0 {
+            return Value::Null;
+        }
+        let var = (self.m2 / self.n as f64).max(0.0);
+        Value::Float(if self.stddev { var.sqrt() } else { var })
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Exact quantile via a retained sorted-on-demand buffer. O(window) space;
+/// finalize sorts a scratch copy (windows are bounded, and finalize happens
+/// once per window emission).
+struct QuantileAgg {
+    p: f64,
+    values: Vec<f64>,
+    seen: u64,
+}
+
+impl QuantileAgg {
+    fn new(p: f64) -> Self {
+        QuantileAgg {
+            p: p.clamp(0.0, 1.0),
+            values: Vec::new(),
+            seen: 0,
+        }
+    }
+}
+
+/// p-quantile of a sorted slice with linear interpolation between ranks.
+pub(crate) fn quantile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi.min(n - 1)] - sorted[lo]) * frac)
+}
+
+impl Aggregator for QuantileAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if let Some(x) = v.as_f64() {
+            self.values.push(x);
+        }
+    }
+    fn finalize(&self) -> Value {
+        let mut scratch = self.values.clone();
+        scratch.sort_by(|a, b| a.total_cmp(b));
+        match quantile_sorted(&scratch, self.p) {
+            Some(q) => Value::Float(q),
+            None => Value::Null,
+        }
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[derive(Default)]
+struct DistinctAgg {
+    set: BTreeSet<Key>,
+    seen: u64,
+}
+
+impl Aggregator for DistinctAgg {
+    fn insert(&mut self, _ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if !v.is_null() {
+            self.set.insert(Key(v.clone()));
+        }
+    }
+    fn finalize(&self) -> Value {
+        Value::Int(self.set.len() as i64)
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// First/Last by event timestamp. For equal timestamps, the earliest (resp.
+/// latest) *insertion* wins, matching the reference implementation which
+/// feeds values in (ts, insertion) order.
+struct EdgeAgg {
+    last: bool,
+    best: Option<(Timestamp, Value)>,
+    seen: u64,
+}
+
+impl EdgeAgg {
+    fn new(last: bool) -> Self {
+        EdgeAgg {
+            last,
+            best: None,
+            seen: 0,
+        }
+    }
+}
+
+impl Aggregator for EdgeAgg {
+    fn insert(&mut self, ts: Timestamp, v: &Value) {
+        self.seen += 1;
+        if v.is_null() {
+            return;
+        }
+        let take = match &self.best {
+            None => true,
+            Some((bt, _)) => {
+                if self.last {
+                    ts >= *bt
+                } else {
+                    ts < *bt
+                }
+            }
+        };
+        if take {
+            self.best = Some((ts, v.clone()));
+        }
+    }
+    fn finalize(&self) -> Value {
+        self.best
+            .as_ref()
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Null)
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// ArgMin/ArgMax: report one field's value at the extremum of another.
+struct ArgAgg {
+    max: bool,
+    by: usize,
+    best: Option<(Value, Timestamp, Value)>,
+    seen: u64,
+}
+
+impl ArgAgg {
+    fn new(max: bool, by: usize) -> ArgAgg {
+        ArgAgg {
+            max,
+            by,
+            best: None,
+            seen: 0,
+        }
+    }
+}
+
+impl Aggregator for ArgAgg {
+    fn insert(&mut self, _ts: Timestamp, _v: &Value) {
+        // Row-less insertion cannot see the `by` field; count only. The
+        // engine's window operators always use `insert_row`.
+        self.seen += 1;
+    }
+    fn insert_row(&mut self, ts: Timestamp, v: &Value, row: &Row) {
+        self.seen += 1;
+        let by_val = row.get(self.by);
+        if by_val.is_null() {
+            return;
+        }
+        let better = match &self.best {
+            None => true,
+            Some((best_by, best_ts, _)) => {
+                use std::cmp::Ordering::*;
+                match by_val.total_cmp(best_by) {
+                    Greater => self.max,
+                    Less => !self.max,
+                    // Ties: earliest event time wins.
+                    Equal => ts < *best_ts,
+                }
+            }
+        };
+        if better {
+            self.best = Some((by_val.clone(), ts, v.clone()));
+        }
+    }
+    fn finalize(&self) -> Value {
+        self.best
+            .as_ref()
+            .map(|(_, _, v)| v.clone())
+            .unwrap_or(Value::Null)
+    }
+    fn count(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggregateKind, vals: &[Value]) -> Value {
+        let spec = AggregateSpec::new(kind, 0, "out");
+        let tv: Vec<(Timestamp, Value)> = vals
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (Timestamp(i as u64), v))
+            .collect();
+        spec.compute(&tv)
+    }
+
+    fn floats(vs: &[f64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Float(v)).collect()
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        assert_eq!(
+            run(
+                AggregateKind::Count,
+                &[Value::Int(1), Value::Null, Value::Int(2)]
+            ),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        assert_eq!(
+            run(AggregateKind::Sum, &floats(&[1.0, 2.0, 3.0])),
+            Value::Float(6.0)
+        );
+        assert_eq!(
+            run(AggregateKind::Mean, &floats(&[1.0, 2.0, 3.0])),
+            Value::Float(2.0)
+        );
+        assert_eq!(run(AggregateKind::Sum, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn sum_mixes_int_and_float() {
+        assert_eq!(
+            run(AggregateKind::Sum, &[Value::Int(1), Value::Float(2.5)]),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn min_max_over_total_order() {
+        assert_eq!(
+            run(AggregateKind::Min, &floats(&[3.0, 1.0, 2.0])),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            run(AggregateKind::Max, &floats(&[3.0, 1.0, 2.0])),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            run(AggregateKind::Max, &[Value::Int(2), Value::Float(2.5)]),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn variance_and_stddev_population() {
+        // Var([2,4,4,4,5,5,7,9]) = 4, stddev = 2 (classic example).
+        let vs = floats(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        match run(AggregateKind::Variance, &vs) {
+            Value::Float(v) => assert!((v - 4.0).abs() < 1e-9),
+            other => panic!("expected float, got {other:?}"),
+        }
+        match run(AggregateKind::StdDev, &vs) {
+            Value::Float(v) => assert!((v - 2.0).abs() < 1e-9),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(
+            run(AggregateKind::Median, &floats(&[5.0, 1.0, 3.0])),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            run(AggregateKind::Median, &floats(&[4.0, 1.0, 3.0, 2.0])),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let vs = floats(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(run(AggregateKind::Quantile(0.0), &vs), Value::Float(10.0));
+        assert_eq!(run(AggregateKind::Quantile(1.0), &vs), Value::Float(40.0));
+        match run(AggregateKind::Quantile(0.5), &vs) {
+            Value::Float(v) => assert!((v - 25.0).abs() < 1e-9),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantile_validation() {
+        assert!(AggregateSpec::new(AggregateKind::Quantile(1.5), 0, "q")
+            .validate()
+            .is_err());
+        assert!(
+            AggregateSpec::new(AggregateKind::Quantile(f64::NAN), 0, "q")
+                .validate()
+                .is_err()
+        );
+        assert!(AggregateSpec::new(AggregateKind::Quantile(0.99), 0, "q")
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn distinct_count() {
+        assert_eq!(
+            run(
+                AggregateKind::DistinctCount,
+                &[Value::Int(1), Value::Int(1), Value::Int(2), Value::Null]
+            ),
+            Value::Int(2)
+        );
+        // Int 1 and Float 1.0 coincide under the key order.
+        assert_eq!(
+            run(
+                AggregateKind::DistinctCount,
+                &[Value::Int(1), Value::Float(1.0)]
+            ),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn first_last_by_timestamp_not_arrival() {
+        let spec = AggregateSpec::new(AggregateKind::First, 0, "f");
+        // Arrival order: ts=5 then ts=2 — first by event time is ts=2.
+        let vals = vec![
+            (Timestamp(5), Value::Int(50)),
+            (Timestamp(2), Value::Int(20)),
+        ];
+        assert_eq!(spec.compute(&vals), Value::Int(20));
+        let spec = AggregateSpec::new(AggregateKind::Last, 0, "l");
+        assert_eq!(spec.compute(&vals), Value::Int(50));
+    }
+
+    #[test]
+    fn incremental_matches_reference_for_order_independence() {
+        // Insert in scrambled order through the incremental path and compare
+        // with the sorted reference.
+        let spec = AggregateSpec::new(AggregateKind::StdDev, 0, "s");
+        let vals: Vec<(Timestamp, Value)> = [(7u64, 3.0), (1, 9.0), (4, 2.0), (2, 7.5)]
+            .iter()
+            .map(|&(t, v)| (Timestamp(t), Value::Float(v)))
+            .collect();
+        let mut agg = spec.build();
+        for (t, v) in &vals {
+            agg.insert(*t, v);
+        }
+        let (a, b) = (agg.finalize(), spec.compute(&vals));
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => assert!((x - y).abs() < 1e-9),
+            other => panic!("expected floats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_window_results() {
+        assert_eq!(run(AggregateKind::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggregateKind::Sum, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::Median, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::Min, &[]), Value::Null);
+        assert_eq!(run(AggregateKind::DistinctCount, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn constant_space_classification() {
+        assert!(AggregateKind::Sum.constant_space());
+        assert!(!AggregateKind::Median.constant_space());
+        assert!(!AggregateKind::DistinctCount.constant_space());
+    }
+}
+
+#[cfg(test)]
+mod arg_tests {
+    use super::*;
+
+    fn row(report: f64, by: f64) -> Row {
+        Row::new([Value::Float(report), Value::Float(by)])
+    }
+
+    #[test]
+    fn argmax_reports_companion_field() {
+        // Report field 0 at the max of field 1.
+        let spec = AggregateSpec::new(AggregateKind::ArgMax(1), 0, "at_peak");
+        let rows = vec![
+            (Timestamp(1), row(10.0, 5.0)),
+            (Timestamp(2), row(20.0, 50.0)), // peak of `by`
+            (Timestamp(3), row(30.0, 7.0)),
+        ];
+        let refs: Vec<(Timestamp, &Row)> = rows.iter().map(|(t, r)| (*t, r)).collect();
+        assert_eq!(spec.compute_rows(&refs), Value::Float(20.0));
+        let spec_min = AggregateSpec::new(AggregateKind::ArgMin(1), 0, "at_trough");
+        assert_eq!(spec_min.compute_rows(&refs), Value::Float(10.0));
+    }
+
+    #[test]
+    fn arg_ties_resolve_to_earliest_event_time() {
+        let spec = AggregateSpec::new(AggregateKind::ArgMax(1), 0, "a");
+        let rows = vec![
+            (Timestamp(5), row(1.0, 9.0)),
+            (Timestamp(2), row(2.0, 9.0)), // same `by`, earlier ts → wins
+        ];
+        let refs: Vec<(Timestamp, &Row)> = rows.iter().map(|(t, r)| (*t, r)).collect();
+        assert_eq!(spec.compute_rows(&refs), Value::Float(2.0));
+    }
+
+    #[test]
+    fn arg_skips_null_by_values_and_handles_empty() {
+        let spec = AggregateSpec::new(AggregateKind::ArgMax(1), 0, "a");
+        let rows = vec![(Timestamp(1), Row::new([Value::Float(1.0), Value::Null]))];
+        let refs: Vec<(Timestamp, &Row)> = rows.iter().map(|(t, r)| (*t, r)).collect();
+        assert_eq!(spec.compute_rows(&refs), Value::Null);
+        assert_eq!(spec.compute_rows(&[]), Value::Null);
+    }
+
+    #[test]
+    fn arg_aggregate_through_window_operator() {
+        use crate::event::{Event, StreamElement};
+        use crate::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
+        use crate::window::WindowSpec;
+        let mut op = WindowAggregateOp::new(
+            WindowSpec::tumbling(10u64),
+            // Price (field 0) at the volume (field 1) peak.
+            vec![AggregateSpec::new(
+                AggregateKind::ArgMax(1),
+                0,
+                "price_at_peak",
+            )],
+            None,
+            LatePolicy::Drop,
+        )
+        .expect("valid op");
+        let mut results = Vec::new();
+        for (ts, price, volume) in [(1u64, 10.0, 1.0), (2, 99.0, 100.0), (3, 11.0, 2.0)] {
+            op.process(
+                StreamElement::Event(Event::new(ts, ts, row(price, volume))),
+                &mut |_| {},
+            );
+        }
+        op.process(StreamElement::Flush, &mut |o| {
+            if let StreamElement::Event(e) = o {
+                results.extend(WindowResult::from_row(&e.row));
+            }
+        });
+        assert_eq!(results[0].aggregates[0], Value::Float(99.0));
+    }
+
+    #[test]
+    fn arg_is_constant_space_and_displays_by_field() {
+        assert!(AggregateKind::ArgMax(1).constant_space());
+        assert!(format!("{}", AggregateKind::ArgMin(3)).contains('3'));
+    }
+}

@@ -1,0 +1,345 @@
+//! Event-time interval join of two streams.
+//!
+//! [`IntervalJoin`] matches a left event `l` with every right event `r` such
+//! that the keys are equal and `r.ts ∈ [l.ts - before, l.ts + after]`. Like
+//! the window aggregation operator it is watermark-driven: state on each side
+//! is retained until the opposite side's watermark proves no further matches
+//! can appear, so out-of-order inputs still join correctly as long as they
+//! respect the watermark.
+
+use crate::event::{Event, StreamElement};
+use crate::time::{TimeDelta, Timestamp};
+use crate::value::{Key, Row, Value};
+use std::collections::BTreeMap;
+
+/// Which input an element arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left input.
+    Left,
+    /// The right input.
+    Right,
+}
+
+/// Counters for the join operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Output pairs produced.
+    pub matches: u64,
+    /// Events dropped because they arrived behind the opposite watermark by
+    /// more than the join bound (they could already have been cleaned up).
+    pub late_dropped: u64,
+}
+
+/// A streaming event-time interval join.
+///
+/// Output rows are the concatenation `left.row ++ right.row`; the output
+/// timestamp is `max(l.ts, r.ts)` (the moment the pair is complete in event
+/// time).
+pub struct IntervalJoin {
+    key_left: usize,
+    key_right: usize,
+    before: TimeDelta,
+    after: TimeDelta,
+    left: BTreeMap<(Timestamp, u64), Event>,
+    right: BTreeMap<(Timestamp, u64), Event>,
+    wm_left: Timestamp,
+    wm_right: Timestamp,
+    out_wm: Timestamp,
+    out_seq: u64,
+    stats: JoinStats,
+}
+
+impl IntervalJoin {
+    /// Build a join matching `r.ts ∈ [l.ts - before, l.ts + after]` with
+    /// equality on the given key columns.
+    pub fn new(
+        key_left: usize,
+        key_right: usize,
+        before: impl Into<TimeDelta>,
+        after: impl Into<TimeDelta>,
+    ) -> Self {
+        IntervalJoin {
+            key_left,
+            key_right,
+            before: before.into(),
+            after: after.into(),
+            left: BTreeMap::new(),
+            right: BTreeMap::new(),
+            wm_left: Timestamp::MIN,
+            wm_right: Timestamp::MIN,
+            out_wm: Timestamp::MIN,
+            out_seq: 0,
+            stats: JoinStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> JoinStats {
+        self.stats
+    }
+
+    /// Number of buffered events on (left, right).
+    pub fn buffered(&self) -> (usize, usize) {
+        (self.left.len(), self.right.len())
+    }
+
+    /// Feed one element on the given side; matched pairs are pushed to `out`.
+    pub fn push(&mut self, side: Side, el: StreamElement, out: &mut dyn FnMut(StreamElement)) {
+        match el {
+            StreamElement::Event(e) => self.push_event(side, e, out),
+            StreamElement::Watermark(t) => self.advance(side, t, out),
+            StreamElement::Flush => self.advance(side, Timestamp::MAX, out),
+        }
+    }
+
+    /// Run both inputs to completion (convenience for tests/examples): feeds
+    /// the two arrival-ordered streams interleaved by `seq`, returns outputs.
+    pub fn run(
+        mut self,
+        left: Vec<StreamElement>,
+        right: Vec<StreamElement>,
+    ) -> (Vec<StreamElement>, JoinStats) {
+        let mut out = Vec::new();
+        let mut l = left.into_iter().peekable();
+        let mut r = right.into_iter().peekable();
+        let seq_of = |el: &StreamElement| el.as_event().map(|e| e.seq);
+        loop {
+            let take_left = match (l.peek(), r.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => match (seq_of(a), seq_of(b)) {
+                    (Some(sa), Some(sb)) => sa <= sb,
+                    // Punctuation is consumed eagerly from the left first.
+                    (None, _) => true,
+                    (_, None) => false,
+                },
+            };
+            if take_left {
+                let el = l.next().expect("peeked");
+                self.push(Side::Left, el, &mut |o| out.push(o));
+            } else {
+                let el = r.next().expect("peeked");
+                self.push(Side::Right, el, &mut |o| out.push(o));
+            }
+        }
+        let stats = self.stats;
+        (out, stats)
+    }
+
+    fn key_of(&self, side: Side, row: &Row) -> Key {
+        let idx = match side {
+            Side::Left => self.key_left,
+            Side::Right => self.key_right,
+        };
+        Key(row.get(idx).clone())
+    }
+
+    fn push_event(&mut self, side: Side, e: Event, out: &mut dyn FnMut(StreamElement)) {
+        // An event can be cleaned-up-before-arrival if it is behind its own
+        // side's GC horizon (see `gc`): then matches may already be lost, so
+        // drop it for determinism rather than emitting a partial match set.
+        let horizon = self.gc_horizon(side);
+        if e.ts < horizon {
+            self.stats.late_dropped += 1;
+            return;
+        }
+        let key = self.key_of(side, &e.row);
+        // Probe the opposite side.
+        let (probe, lo, hi) = match side {
+            // left l matches r.ts in [l.ts - before, l.ts + after]
+            Side::Left => (&self.right, e.ts - self.before, e.ts + self.after),
+            // right r matches l.ts in [r.ts - after, r.ts + before]
+            Side::Right => (&self.left, e.ts - self.after, e.ts + self.before),
+        };
+        let mut pairs: Vec<(Event, Event)> = Vec::new();
+        for (_, other) in probe.range((lo, 0)..=(hi, u64::MAX)) {
+            let other_key = self.key_of(
+                match side {
+                    Side::Left => Side::Right,
+                    Side::Right => Side::Left,
+                },
+                &other.row,
+            );
+            if other_key == key {
+                let (l, r) = match side {
+                    Side::Left => (e.clone(), other.clone()),
+                    Side::Right => (other.clone(), e.clone()),
+                };
+                pairs.push((l, r));
+            }
+        }
+        for (l, r) in pairs {
+            self.emit_pair(l, r, out);
+        }
+        // Store for future matches from the opposite side.
+        match side {
+            Side::Left => self.left.insert((e.ts, e.seq), e),
+            Side::Right => self.right.insert((e.ts, e.seq), e),
+        };
+    }
+
+    fn emit_pair(&mut self, l: Event, r: Event, out: &mut dyn FnMut(StreamElement)) {
+        let ts = l.ts.max(r.ts);
+        let mut vals: Vec<Value> = l.row.values().to_vec();
+        vals.extend(r.row.values().iter().cloned());
+        self.out_seq += 1;
+        self.stats.matches += 1;
+        out(StreamElement::Event(Event::new(
+            ts,
+            self.out_seq,
+            vals.into_iter().collect(),
+        )));
+    }
+
+    /// Earliest timestamp an arriving event on `side` may still carry and be
+    /// joined completely (its own watermark; events behind it are late).
+    fn gc_horizon(&self, side: Side) -> Timestamp {
+        match side {
+            Side::Left => self.wm_left,
+            Side::Right => self.wm_right,
+        }
+    }
+
+    fn advance(&mut self, side: Side, t: Timestamp, out: &mut dyn FnMut(StreamElement)) {
+        match side {
+            Side::Left => self.wm_left = self.wm_left.max(t),
+            Side::Right => self.wm_right = self.wm_right.max(t),
+        }
+        // Left state with l.ts + after < wm_right can never match a future
+        // right event (future right ts >= wm_right); symmetric for right.
+        let keep_left_from = self.wm_right - self.after;
+        let keep_right_from = self.wm_left - self.before;
+        self.left = self.left.split_off(&(keep_left_from, 0));
+        self.right = self.right.split_off(&(keep_right_from, 0));
+        // Output watermark: pairs carry ts = max(l, r) >= each input ts, so
+        // min of input watermarks is safe.
+        let new_wm = self.wm_left.min(self.wm_right);
+        if new_wm > self.out_wm {
+            self.out_wm = new_wm;
+            if new_wm == Timestamp::MAX {
+                out(StreamElement::Flush);
+            } else {
+                out(StreamElement::Watermark(new_wm));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, seq: u64, key: i64, v: f64) -> StreamElement {
+        StreamElement::Event(Event::new(
+            ts,
+            seq,
+            Row::new([Value::Int(key), Value::Float(v)]),
+        ))
+    }
+
+    fn matches_of(out: &[StreamElement]) -> Vec<(u64, i64, f64, f64)> {
+        out.iter()
+            .filter_map(|e| e.as_event())
+            .map(|e| {
+                (
+                    e.ts.raw(),
+                    e.row.get(0).as_i64().unwrap(),
+                    e.row.f64(1).unwrap(),
+                    e.row.f64(3).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn joins_within_interval_and_key() {
+        let join = IntervalJoin::new(0, 0, 5u64, 5u64);
+        let left = vec![ev(10, 1, 7, 1.0), StreamElement::Flush];
+        let right = vec![
+            ev(8, 2, 7, 2.0),  // in range, same key → match
+            ev(20, 3, 7, 3.0), // out of range
+            ev(12, 4, 9, 4.0), // in range, wrong key
+            StreamElement::Flush,
+        ];
+        let (out, stats) = join.run(left, right);
+        let m = matches_of(&out);
+        assert_eq!(m, vec![(10, 7, 1.0, 2.0)]);
+        assert_eq!(stats.matches, 1);
+    }
+
+    #[test]
+    fn asymmetric_bounds() {
+        // r.ts in [l.ts - 0, l.ts + 10]: right events strictly before left
+        // never match.
+        let join = IntervalJoin::new(0, 0, 0u64, 10u64);
+        let left = vec![ev(10, 1, 1, 1.0), StreamElement::Flush];
+        let right = vec![ev(9, 2, 1, 9.0), ev(15, 3, 1, 15.0), StreamElement::Flush];
+        let (out, _) = join.run(left, right);
+        let m = matches_of(&out);
+        assert_eq!(m, vec![(15, 1, 1.0, 15.0)]);
+    }
+
+    #[test]
+    fn out_of_order_inputs_join_when_watermark_respected() {
+        let join = IntervalJoin::new(0, 0, 5u64, 5u64);
+        // Right event arrives (by seq) before the left one despite a later ts.
+        let left = vec![ev(10, 3, 1, 1.0), StreamElement::Flush];
+        let right = vec![ev(12, 1, 1, 2.0), ev(7, 2, 1, 3.0), StreamElement::Flush];
+        let (out, stats) = join.run(left, right);
+        assert_eq!(stats.matches, 2);
+        let m = matches_of(&out);
+        assert!(m.contains(&(12, 1, 1.0, 2.0)));
+        assert!(m.contains(&(10, 1, 1.0, 3.0)));
+    }
+
+    #[test]
+    fn state_is_garbage_collected_by_watermarks() {
+        let mut join = IntervalJoin::new(0, 0, 5u64, 5u64);
+        let mut sink = Vec::new();
+        for i in 0..100u64 {
+            join.push(Side::Left, ev(i * 10, i * 2, 1, 0.0), &mut |o| sink.push(o));
+            join.push(Side::Right, ev(i * 10, i * 2 + 1, 2, 0.0), &mut |o| {
+                sink.push(o)
+            });
+            join.push(
+                Side::Left,
+                StreamElement::Watermark(Timestamp(i * 10)),
+                &mut |o| sink.push(o),
+            );
+            join.push(
+                Side::Right,
+                StreamElement::Watermark(Timestamp(i * 10)),
+                &mut |o| sink.push(o),
+            );
+        }
+        let (l, r) = join.buffered();
+        assert!(l <= 3, "left state grew: {l}");
+        assert!(r <= 3, "right state grew: {r}");
+    }
+
+    #[test]
+    fn output_watermarks_monotone() {
+        let join = IntervalJoin::new(0, 0, 5u64, 5u64);
+        let left = vec![
+            ev(10, 1, 1, 1.0),
+            StreamElement::Watermark(Timestamp(10)),
+            StreamElement::Flush,
+        ];
+        let right = vec![
+            ev(11, 2, 1, 2.0),
+            StreamElement::Watermark(Timestamp(8)),
+            StreamElement::Flush,
+        ];
+        let (out, _) = join.run(left, right);
+        let wms: Vec<Timestamp> = out
+            .iter()
+            .filter_map(|e| e.implied_watermark())
+            .filter(|t| *t != Timestamp::MAX)
+            .collect();
+        for pair in wms.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+}

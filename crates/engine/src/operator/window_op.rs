@@ -1,0 +1,600 @@
+//! Keyed windowed aggregation with event-time semantics.
+//!
+//! [`WindowAggregateOp`] routes each event into every window instance its
+//! timestamp belongs to (optionally per grouping key), folds it into the
+//! incremental aggregate state, and emits one result row per (key, window)
+//! when the watermark passes the window's end. Events arriving *after* their
+//! window was already finalized are handled according to [`LatePolicy`]:
+//! counted and dropped, or emitted as revised ("update") results.
+//!
+//! This operator is the consumer side of the quality/latency trade-off: the
+//! disorder-control strategies in `quill-core` decide how long to hold
+//! events (and therefore where watermarks sit); this operator turns those
+//! watermarks into results whose completeness the metrics crate scores.
+
+use crate::aggregate::{AggregateSpec, Aggregator};
+use crate::error::Result;
+use crate::event::{Event, StreamElement};
+use crate::operator::Operator;
+use crate::time::Timestamp;
+use crate::value::{Key, Row, Value};
+use crate::window::{Window, WindowSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What to do with an event whose window has already been finalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatePolicy {
+    /// Count the event in [`WindowOpStats::late_dropped`] and discard it.
+    Drop,
+    /// Re-open the window, fold the event in, and emit a *revision* row
+    /// (flagged via the `revision` column of [`WindowResult`]). State for
+    /// revised windows is retained until `allowed_lateness` past the window
+    /// end, then discarded.
+    Revise {
+        /// How long past the window end (in time units) revisions are
+        /// accepted before state is dropped for good.
+        allowed_lateness: u64,
+    },
+}
+
+/// Counters the operator maintains; read them after a run to account for
+/// every input event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowOpStats {
+    /// Events folded into at least one open window.
+    pub accepted: u64,
+    /// Events that arrived after their last window was finalized and were
+    /// dropped (under [`LatePolicy::Drop`], or past allowed lateness).
+    pub late_dropped: u64,
+    /// Revision results emitted (under [`LatePolicy::Revise`]).
+    pub revisions: u64,
+    /// Window results emitted (first emissions, not revisions).
+    pub windows_emitted: u64,
+}
+
+/// Parsed view of a result row emitted by [`WindowAggregateOp`].
+///
+/// Result row layout: `[key, start, end, count, revision, agg...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult {
+    /// Grouping key (`Null` for global aggregation).
+    pub key: Value,
+    /// The window.
+    pub window: Window,
+    /// Number of events folded into this result.
+    pub count: u64,
+    /// 0 for a first emission, `n` for the n-th revision.
+    pub revision: u64,
+    /// One output per [`AggregateSpec`], in spec order.
+    pub aggregates: Vec<Value>,
+}
+
+impl WindowResult {
+    /// Number of leading metadata columns before the aggregate outputs.
+    pub const META_COLS: usize = 5;
+
+    /// Serialize to the operator's row layout.
+    pub fn to_row(&self) -> Row {
+        let mut vals = Vec::with_capacity(Self::META_COLS + self.aggregates.len());
+        vals.push(self.key.clone());
+        vals.push(Value::Int(self.window.start.raw() as i64));
+        vals.push(Value::Int(self.window.end.raw() as i64));
+        vals.push(Value::Int(self.count as i64));
+        vals.push(Value::Int(self.revision as i64));
+        vals.extend(self.aggregates.iter().cloned());
+        vals.into_iter().collect()
+    }
+
+    /// Parse from the operator's row layout. Returns `None` if the row is
+    /// too short to be a window result.
+    pub fn from_row(row: &Row) -> Option<WindowResult> {
+        if row.len() < Self::META_COLS {
+            return None;
+        }
+        // Window bounds are stored as i64 bit-casts of the u64 timestamps
+        // (`to_row` uses `as i64`); `as u64` restores them losslessly even
+        // for values beyond i64::MAX.
+        let start = row.get(1).as_i64()? as u64;
+        let end = row.get(2).as_i64()? as u64;
+        Some(WindowResult {
+            key: row.get(0).clone(),
+            window: Window::new(Timestamp(start), Timestamp(end)),
+            count: row.get(3).as_i64()?.max(0) as u64,
+            revision: row.get(4).as_i64()?.max(0) as u64,
+            aggregates: row.values()[Self::META_COLS..].to_vec(),
+        })
+    }
+}
+
+/// Per-(key, window) incremental state.
+struct WindowState {
+    aggs: Vec<Box<dyn Aggregator>>,
+    count: u64,
+    /// How many times this window has been emitted (0 = not yet).
+    emissions: u64,
+}
+
+/// Ordered state key: emission order is by window end, then start, then key,
+/// which makes output deterministic.
+type StateKey = (Timestamp, Timestamp, Key);
+
+/// Keyed sliding/tumbling window aggregation operator.
+pub struct WindowAggregateOp {
+    name: String,
+    spec: WindowSpec,
+    aggs: Vec<AggregateSpec>,
+    key_field: Option<usize>,
+    late_policy: LatePolicy,
+    state: BTreeMap<StateKey, WindowState>,
+    watermark: Timestamp,
+    out_seq: u64,
+    stats: WindowOpStats,
+}
+
+impl WindowAggregateOp {
+    /// Build the operator.
+    ///
+    /// * `spec` — window shape (validated).
+    /// * `aggs` — aggregate functions (validated); at least one required.
+    /// * `key_field` — optional row index to group by; `None` aggregates
+    ///   globally.
+    ///
+    /// # Errors
+    /// Propagates invalid window or aggregate parameters.
+    pub fn new(
+        spec: WindowSpec,
+        aggs: Vec<AggregateSpec>,
+        key_field: Option<usize>,
+        late_policy: LatePolicy,
+    ) -> Result<Self> {
+        spec.validate()?;
+        for a in &aggs {
+            a.validate()?;
+        }
+        if aggs.is_empty() {
+            return Err(crate::error::EngineError::InvalidAggregate(
+                "window aggregation requires at least one aggregate".into(),
+            ));
+        }
+        Ok(WindowAggregateOp {
+            name: format!("window-agg({spec})"),
+            spec,
+            aggs,
+            key_field,
+            late_policy,
+            state: BTreeMap::new(),
+            watermark: Timestamp::MIN,
+            out_seq: 0,
+            stats: WindowOpStats::default(),
+        })
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> WindowOpStats {
+        self.stats
+    }
+
+    /// Number of (key, window) states currently held.
+    pub fn open_windows(&self) -> usize {
+        self.state.len()
+    }
+
+    fn key_of(&self, row: &Row) -> Key {
+        match self.key_field {
+            Some(i) => Key(row.get(i).clone()),
+            None => Key(Value::Null),
+        }
+    }
+
+    fn fold_event(&mut self, e: &Event) {
+        let key = self.key_of(&e.row);
+        let windows = self.spec.assign(e.ts);
+        let mut accepted = false;
+        let mut late = false;
+        for w in windows {
+            // A window is "closed" once the watermark passed its end.
+            let closed = w.end <= self.watermark;
+            match (closed, self.late_policy) {
+                (true, LatePolicy::Drop) => {
+                    late = true;
+                    continue;
+                }
+                (true, LatePolicy::Revise { allowed_lateness }) => {
+                    if self.watermark > w.end + crate::time::TimeDelta(allowed_lateness) {
+                        late = true;
+                        continue;
+                    }
+                }
+                (false, _) => {}
+            }
+            let state_key: StateKey = (w.end, w.start, key.clone());
+            let st = self.state.entry(state_key).or_insert_with(|| WindowState {
+                aggs: self.aggs.iter().map(|a| a.build()).collect(),
+                count: 0,
+                emissions: 0,
+            });
+            for (agg, spec) in st.aggs.iter_mut().zip(&self.aggs) {
+                agg.insert_row(e.ts, e.row.get(spec.field), &e.row);
+            }
+            st.count += 1;
+            accepted = true;
+        }
+        if accepted {
+            self.stats.accepted += 1;
+        } else if late {
+            self.stats.late_dropped += 1;
+        } else {
+            // No window contained the event (cannot happen for valid specs,
+            // but account for it rather than losing events silently).
+            self.stats.late_dropped += 1;
+        }
+    }
+
+    /// Emit revisions for closed-but-retained windows that just received a
+    /// late event (Revise policy only).
+    fn emit_revisions(&mut self, e: &Event, out: &mut dyn FnMut(StreamElement)) {
+        if !matches!(self.late_policy, LatePolicy::Revise { .. }) {
+            return;
+        }
+        let key = self.key_of(&e.row);
+        for w in self.spec.assign(e.ts) {
+            if w.end > self.watermark {
+                continue; // still open; normal emission will cover it
+            }
+            let state_key: StateKey = (w.end, w.start, key.clone());
+            // Split borrows: compute the row, then bump counters.
+            let (row, ts) = match self.state.get_mut(&state_key) {
+                Some(st) if st.emissions > 0 => {
+                    st.emissions += 1;
+                    let res = WindowResult {
+                        key: key.0.clone(),
+                        window: w,
+                        count: st.count,
+                        revision: st.emissions - 1,
+                        aggregates: st.aggs.iter().map(|a| a.finalize()).collect(),
+                    };
+                    (res.to_row(), w.end)
+                }
+                _ => continue,
+            };
+            self.stats.revisions += 1;
+            self.out_seq += 1;
+            out(StreamElement::Event(Event::new(ts, self.out_seq, row)));
+        }
+    }
+
+    fn advance_watermark(&mut self, wm: Timestamp, out: &mut dyn FnMut(StreamElement)) {
+        if wm <= self.watermark {
+            // Watermarks never regress; equal watermarks are idempotent.
+            return;
+        }
+        self.watermark = wm;
+        // Emit every not-yet-emitted window with end <= wm, in (end, start,
+        // key) order. Under Drop policy the state is removed; under Revise it
+        // is retained until allowed lateness expires.
+        let ends: Vec<StateKey> = self
+            .state
+            .range(..(wm, Timestamp::MAX, Key(Value::Null)))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for sk in ends {
+            let (end, start, key) = sk.clone();
+            if end > wm {
+                continue;
+            }
+            let retain = match self.late_policy {
+                LatePolicy::Drop => false,
+                LatePolicy::Revise { allowed_lateness } => {
+                    wm <= end + crate::time::TimeDelta(allowed_lateness)
+                }
+            };
+            let emit_row = {
+                let st = match self.state.get_mut(&sk) {
+                    Some(st) => st,
+                    None => continue,
+                };
+                if st.emissions > 0 {
+                    None // already emitted (a revision window awaiting GC)
+                } else {
+                    st.emissions = 1;
+                    Some(
+                        WindowResult {
+                            key: key.0.clone(),
+                            window: Window::new(start, end),
+                            count: st.count,
+                            revision: 0,
+                            aggregates: st.aggs.iter().map(|a| a.finalize()).collect(),
+                        }
+                        .to_row(),
+                    )
+                }
+            };
+            if let Some(row) = emit_row {
+                self.stats.windows_emitted += 1;
+                self.out_seq += 1;
+                out(StreamElement::Event(Event::new(end, self.out_seq, row)));
+            }
+            if !retain {
+                self.state.remove(&sk);
+            }
+        }
+        out(StreamElement::Watermark(wm));
+    }
+}
+
+impl Operator for WindowAggregateOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, el: StreamElement, out: &mut dyn FnMut(StreamElement)) {
+        match el {
+            StreamElement::Event(e) => {
+                self.fold_event(&e);
+                self.emit_revisions(&e, out);
+            }
+            StreamElement::Watermark(wm) => self.advance_watermark(wm, out),
+            StreamElement::Flush => {
+                self.advance_watermark(Timestamp::MAX, out);
+                out(StreamElement::Flush);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateKind;
+
+    fn op(spec: WindowSpec, policy: LatePolicy) -> WindowAggregateOp {
+        WindowAggregateOp::new(
+            spec,
+            vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+            None,
+            policy,
+        )
+        .unwrap()
+    }
+
+    fn ev(ts: u64, seq: u64, v: f64) -> StreamElement {
+        StreamElement::Event(Event::new(ts, seq, Row::new([Value::Float(v)])))
+    }
+
+    fn run(op: &mut WindowAggregateOp, input: Vec<StreamElement>) -> Vec<WindowResult> {
+        let mut outs = Vec::new();
+        for el in input {
+            op.process(el, &mut |o| outs.push(o));
+        }
+        outs.iter()
+            .filter_map(|o| o.as_event())
+            .filter_map(|e| WindowResult::from_row(&e.row))
+            .collect()
+    }
+
+    #[test]
+    fn tumbling_sum_emits_on_watermark() {
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        let results = run(
+            &mut w,
+            vec![
+                ev(1, 1, 1.0),
+                ev(5, 2, 2.0),
+                ev(12, 3, 4.0),
+                StreamElement::Watermark(Timestamp(10)),
+                StreamElement::Flush,
+            ],
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].window, Window::new(Timestamp(0), Timestamp(10)));
+        assert_eq!(results[0].aggregates[0], Value::Float(3.0));
+        assert_eq!(results[0].count, 2);
+        assert_eq!(results[1].aggregates[0], Value::Float(4.0));
+        assert_eq!(w.stats().windows_emitted, 2);
+    }
+
+    #[test]
+    fn out_of_order_event_before_watermark_is_included() {
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        let results = run(
+            &mut w,
+            vec![ev(8, 1, 1.0), ev(2, 2, 2.0), StreamElement::Flush],
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].aggregates[0], Value::Float(3.0));
+        assert_eq!(w.stats().late_dropped, 0);
+    }
+
+    #[test]
+    fn late_event_is_dropped_and_counted_under_drop_policy() {
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        let results = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                StreamElement::Watermark(Timestamp(10)),
+                ev(3, 2, 99.0), // window [0,10) already emitted
+                StreamElement::Flush,
+            ],
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].aggregates[0], Value::Float(1.0));
+        assert_eq!(w.stats().late_dropped, 1);
+        assert_eq!(w.stats().accepted, 1);
+    }
+
+    #[test]
+    fn late_event_produces_revision_under_revise_policy() {
+        let mut w = op(
+            WindowSpec::tumbling(10u64),
+            LatePolicy::Revise {
+                allowed_lateness: 100,
+            },
+        );
+        let results = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                StreamElement::Watermark(Timestamp(10)),
+                ev(3, 2, 2.0),
+                StreamElement::Flush,
+            ],
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].revision, 0);
+        assert_eq!(results[0].aggregates[0], Value::Float(1.0));
+        assert_eq!(results[1].revision, 1);
+        assert_eq!(results[1].aggregates[0], Value::Float(3.0));
+        assert_eq!(w.stats().revisions, 1);
+    }
+
+    #[test]
+    fn revise_policy_drops_past_allowed_lateness() {
+        let mut w = op(
+            WindowSpec::tumbling(10u64),
+            LatePolicy::Revise {
+                allowed_lateness: 5,
+            },
+        );
+        let results = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                StreamElement::Watermark(Timestamp(20)), // wm > end+5 → state GC'd
+                ev(3, 2, 2.0),
+                StreamElement::Flush,
+            ],
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(w.stats().late_dropped, 1);
+        assert_eq!(w.open_windows(), 0);
+    }
+
+    #[test]
+    fn keyed_aggregation_separates_groups() {
+        let mut w = WindowAggregateOp::new(
+            WindowSpec::tumbling(10u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 1, "sum")],
+            Some(0),
+            LatePolicy::Drop,
+        )
+        .unwrap();
+        let mk = |ts: u64, seq: u64, k: &str, v: f64| {
+            StreamElement::Event(Event::new(
+                ts,
+                seq,
+                Row::new([Value::str(k), Value::Float(v)]),
+            ))
+        };
+        let results = run(
+            &mut w,
+            vec![
+                mk(1, 1, "a", 1.0),
+                mk(2, 2, "b", 10.0),
+                mk(3, 3, "a", 2.0),
+                StreamElement::Flush,
+            ],
+        );
+        assert_eq!(results.len(), 2);
+        let mut sums: Vec<(String, f64)> = results
+            .iter()
+            .map(|r| {
+                (
+                    r.key.as_str().unwrap().to_string(),
+                    r.aggregates[0].as_f64().unwrap(),
+                )
+            })
+            .collect();
+        sums.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(sums, vec![("a".into(), 3.0), ("b".into(), 10.0)]);
+    }
+
+    #[test]
+    fn sliding_windows_count_events_in_each_instance() {
+        let mut w = WindowAggregateOp::new(
+            WindowSpec::sliding(10u64, 5u64),
+            vec![AggregateSpec::new(AggregateKind::Count, 0, "n")],
+            None,
+            LatePolicy::Drop,
+        )
+        .unwrap();
+        let results = run(&mut w, vec![ev(7, 1, 1.0), StreamElement::Flush]);
+        // ts=7 belongs to [0,10) and [5,15).
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].window, Window::new(Timestamp(0), Timestamp(10)));
+        assert_eq!(results[1].window, Window::new(Timestamp(5), Timestamp(15)));
+        for r in &results {
+            assert_eq!(r.aggregates[0], Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn emission_order_is_by_window_end() {
+        let mut w = op(WindowSpec::sliding(10u64, 5u64), LatePolicy::Drop);
+        let results = run(
+            &mut w,
+            vec![
+                ev(3, 1, 1.0),
+                ev(13, 2, 2.0),
+                ev(23, 3, 4.0),
+                StreamElement::Flush,
+            ],
+        );
+        let ends: Vec<u64> = results.iter().map(|r| r.window.end.raw()).collect();
+        let mut sorted = ends.clone();
+        sorted.sort();
+        assert_eq!(ends, sorted);
+    }
+
+    #[test]
+    fn watermarks_are_forwarded_and_never_regress() {
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        let mut outs = Vec::new();
+        w.process(StreamElement::Watermark(Timestamp(10)), &mut |o| {
+            outs.push(o)
+        });
+        w.process(StreamElement::Watermark(Timestamp(5)), &mut |o| {
+            outs.push(o)
+        });
+        w.process(StreamElement::Watermark(Timestamp(20)), &mut |o| {
+            outs.push(o)
+        });
+        let wms: Vec<Timestamp> = outs.iter().filter_map(|o| o.implied_watermark()).collect();
+        assert_eq!(wms, vec![Timestamp(10), Timestamp(20)]);
+    }
+
+    #[test]
+    fn result_row_roundtrip() {
+        let r = WindowResult {
+            key: Value::str("k"),
+            window: Window::new(Timestamp(0), Timestamp(10)),
+            count: 3,
+            revision: 1,
+            aggregates: vec![Value::Float(1.5), Value::Int(2)],
+        };
+        assert_eq!(WindowResult::from_row(&r.to_row()), Some(r));
+    }
+
+    #[test]
+    fn rejects_empty_aggregate_list() {
+        assert!(WindowAggregateOp::new(
+            WindowSpec::tumbling(10u64),
+            vec![],
+            None,
+            LatePolicy::Drop
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flush_emits_everything() {
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        let results = run(
+            &mut w,
+            vec![ev(5, 1, 1.0), ev(105, 2, 2.0), StreamElement::Flush],
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(w.open_windows(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Event-time primitives.
+//!
+//! The engine is *event-time based*: every tuple carries a [`Timestamp`]
+//! assigned at its source, and all window semantics are defined over these
+//! timestamps, never over wall-clock arrival time. Disorder means that the
+//! arrival order of tuples disagrees with their timestamp order; measuring
+//! and bounding that disagreement is the job of the `quill-core` crate.
+//!
+//! Timestamps are unsigned integers in an abstract unit (conventionally
+//! milliseconds). Using an integer keeps arithmetic exact and makes
+//! watermark comparisons total.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in event time, in abstract time units (conventionally ms).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+/// A span of event time, in the same unit as [`Timestamp`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeDelta(pub u64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(0);
+    /// The largest representable timestamp (used as the "stream closed"
+    /// watermark).
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from a raw value.
+    #[inline]
+    pub const fn new(t: u64) -> Self {
+        Timestamp(t)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction producing a delta: `self - earlier`, or zero if
+    /// `earlier` is in the future relative to `self`.
+    #[inline]
+    pub fn delta_since(self, earlier: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating subtraction of a delta (floors at `Timestamp::MIN`).
+    #[inline]
+    pub fn saturating_sub(self, d: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Saturating addition of a delta (caps at `Timestamp::MAX`).
+    #[inline]
+    pub fn saturating_add(self, d: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl TimeDelta {
+    /// Zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+    /// Largest representable span.
+    pub const MAX: TimeDelta = TimeDelta(u64::MAX);
+
+    /// Construct from a raw value.
+    #[inline]
+    pub const fn new(d: u64) -> Self {
+        TimeDelta(d)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The span as a float, for statistics.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Construct from a float, rounding to the nearest unit and clamping to
+    /// the representable range. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        if !v.is_finite() {
+            return if v > 0.0 {
+                TimeDelta::MAX
+            } else {
+                TimeDelta::ZERO
+            };
+        }
+        TimeDelta(v.max(0.0).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Saturating multiplication by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> TimeDelta {
+        TimeDelta(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for TimeDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for TimeDelta {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+impl From<u64> for TimeDelta {
+    fn from(v: u64) -> Self {
+        TimeDelta(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic_saturates() {
+        assert_eq!(Timestamp(5) - TimeDelta(10), Timestamp(0));
+        assert_eq!(Timestamp::MAX + TimeDelta(1), Timestamp::MAX);
+        assert_eq!(Timestamp(10) + TimeDelta(5), Timestamp(15));
+    }
+
+    #[test]
+    fn delta_since_is_directional() {
+        assert_eq!(Timestamp(10).delta_since(Timestamp(3)), TimeDelta(7));
+        assert_eq!(Timestamp(3).delta_since(Timestamp(10)), TimeDelta(0));
+    }
+
+    #[test]
+    fn delta_float_roundtrip() {
+        assert_eq!(TimeDelta::from_f64(3.4), TimeDelta(3));
+        assert_eq!(TimeDelta::from_f64(3.6), TimeDelta(4));
+        assert_eq!(TimeDelta::from_f64(-1.0), TimeDelta::ZERO);
+        assert_eq!(TimeDelta::from_f64(f64::INFINITY), TimeDelta::MAX);
+        assert_eq!(TimeDelta::from_f64(f64::NAN), TimeDelta::ZERO);
+        assert_eq!(TimeDelta(42).as_f64(), 42.0);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        assert_eq!(TimeDelta(3) + TimeDelta(4), TimeDelta(7));
+        assert_eq!(TimeDelta(3) - TimeDelta(4), TimeDelta(0));
+        assert_eq!(TimeDelta(3).saturating_mul(4), TimeDelta(12));
+        assert_eq!(TimeDelta::MAX.saturating_mul(2), TimeDelta::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Timestamp(3), Timestamp(1), Timestamp(2)];
+        v.sort();
+        assert_eq!(v, vec![Timestamp(1), Timestamp(2), Timestamp(3)]);
+    }
+}

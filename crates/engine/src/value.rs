@@ -1,0 +1,469 @@
+//! Dynamically-typed tuple values, rows and schemas.
+//!
+//! Queries in quill operate on [`Row`]s — flat tuples of [`Value`]s described
+//! by a [`Schema`]. A dynamic representation (rather than generics) keeps
+//! pipelines composable at runtime, which the benchmark harness relies on to
+//! construct queries from experiment specifications.
+
+use crate::error::{EngineError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a field in a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Int => write!(f, "int"),
+            FieldType::Float => write!(f, "float"),
+            FieldType::Str => write!(f, "str"),
+            FieldType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A single dynamically-typed value.
+///
+/// `Null` is the absence of a value (e.g. a failed projection); aggregates
+/// skip nulls rather than poisoning the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string (cheaply cloneable).
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The [`FieldType`] of this value, or `None` for `Null`.
+    pub fn field_type(&self) -> Option<FieldType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(FieldType::Int),
+            Value::Float(_) => Some(FieldType::Float),
+            Value::Str(_) => Some(FieldType::Str),
+            Value::Bool(_) => Some(FieldType::Bool),
+        }
+    }
+
+    /// Whether the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and floats widen to `f64`; everything else is
+    /// `None`. This is the view aggregation functions use.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact; floats are not silently truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A total ordering usable for grouping keys and min/max aggregates.
+    ///
+    /// Orders by variant first (`Null < Bool < Int/Float < Str`), with ints
+    /// and floats compared numerically against each other and NaN sorted
+    /// greatest among numbers.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// A grouping key: a `Value` wrapper that is `Eq + Hash + Ord` using the
+/// total ordering (floats hashed by bit pattern).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Key(pub Value);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A named, typed field of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name, unique within the schema.
+    pub name: String,
+    /// Declared type. `Null`s are permitted in any field.
+    pub ty: FieldType,
+}
+
+/// An ordered list of named fields describing a [`Row`] layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::DuplicateField`] on repeated names.
+    pub fn new(fields: impl IntoIterator<Item = (impl Into<String>, FieldType)>) -> Result<Schema> {
+        let fields: Vec<Field> = fields
+            .into_iter()
+            .map(|(name, ty)| Field {
+                name: name.into(),
+                ty,
+            })
+            .collect();
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(EngineError::DuplicateField(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| EngineError::UnknownField(name.to_string()))
+    }
+
+    /// Type of the named field.
+    pub fn type_of(&self, name: &str) -> Result<FieldType> {
+        Ok(self.fields[self.index_of(name)?].ty)
+    }
+
+    /// Check that `row` matches this schema (arity and non-null types).
+    pub fn validate(&self, row: &Row) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.fields.len(),
+                got: row.len(),
+            });
+        }
+        for (f, v) in self.fields.iter().zip(row.values()) {
+            if let Some(ty) = v.field_type() {
+                if ty != f.ty {
+                    return Err(EngineError::TypeMismatch {
+                        field: f.name.clone(),
+                        expected: f.ty,
+                        got: ty,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A flat tuple of values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: impl IntoIterator<Item = impl Into<Value>>) -> Row {
+        Row(values.into_iter().map(Into::into).collect())
+    }
+
+    /// An empty row.
+    pub fn empty() -> Row {
+        Row(Vec::new())
+    }
+
+    /// The values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value at position `i`, or `Null` when out of bounds.
+    pub fn get(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.0.get(i).unwrap_or(&NULL)
+    }
+
+    /// Numeric view of position `i`.
+    pub fn f64(&self, i: usize) -> Option<f64> {
+        self.get(i).as_f64()
+    }
+
+    /// Append a value, returning the extended row.
+    pub fn with(mut self, v: impl Into<Value>) -> Row {
+        self.0.push(v.into());
+        self
+    }
+
+    /// Mutable access for in-place operators.
+    pub fn set(&mut self, i: usize, v: Value) {
+        if i < self.0.len() {
+            self.0[i] = v;
+        }
+    }
+
+    /// Project onto the given column indices (missing indices become null).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.get(i).clone()).collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new([("a", FieldType::Int), ("a", FieldType::Float)]).unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateField(f) if f == "a"));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new([("a", FieldType::Int), ("b", FieldType::Float)]).unwrap();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.type_of("a").unwrap(), FieldType::Int);
+        assert!(s.index_of("c").is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn schema_validates_rows() {
+        let s = Schema::new([("a", FieldType::Int), ("b", FieldType::Float)]).unwrap();
+        assert!(s
+            .validate(&Row::new([Value::Int(1), Value::Float(2.0)]))
+            .is_ok());
+        // Nulls are allowed in any field.
+        assert!(s
+            .validate(&Row::new([Value::Null, Value::Float(2.0)]))
+            .is_ok());
+        assert!(s
+            .validate(&Row::new([Value::Float(1.0), Value::Float(2.0)]))
+            .is_err());
+        assert!(s.validate(&Row::new([Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn value_numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_across_numeric_types() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Equal);
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Less);
+        assert_eq!(Value::str("a").total_cmp(&Value::Int(0)), Greater);
+    }
+
+    #[test]
+    fn key_equality_and_hash_agree_for_int_float() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Key(Value::Int(3)), 1);
+        // 3 and 3.0 are the same key under the numeric total order.
+        assert_eq!(m.get(&Key(Value::Float(3.0))), Some(&1));
+    }
+
+    #[test]
+    fn row_projection_and_access() {
+        let r = Row::new([Value::Int(1), Value::str("a"), Value::Float(3.0)]);
+        assert_eq!(
+            r.project(&[2, 0]),
+            Row::new([Value::Float(3.0), Value::Int(1)])
+        );
+        assert_eq!(r.get(99), &Value::Null);
+        assert_eq!(r.f64(2), Some(3.0));
+        let r2 = r.clone().with(true);
+        assert_eq!(r2.len(), 4);
+    }
+}

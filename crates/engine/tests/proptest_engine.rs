@@ -1,0 +1,207 @@
+//! Property-based tests of engine invariants: window assignment, aggregate
+//! order-independence, and windowed aggregation vs. a brute-force model.
+
+use proptest::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
+use quill_engine::prelude::*;
+
+fn window_specs() -> impl Strategy<Value = WindowSpec> {
+    prop_oneof![
+        (1u64..500).prop_map(WindowSpec::tumbling),
+        (1u64..500)
+            .prop_flat_map(|len| (Just(len), 1u64..=len))
+            .prop_map(|(len, slide)| WindowSpec::sliding(len, slide)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_assigned_window_contains_the_timestamp(
+        spec in window_specs(),
+        ts in 0u64..1_000_000,
+    ) {
+        let ts = Timestamp(ts);
+        let windows = spec.assign(ts);
+        prop_assert!(!windows.is_empty());
+        for w in &windows {
+            prop_assert!(w.contains(ts), "{w} does not contain {ts}");
+            prop_assert_eq!(w.length(), spec.length());
+            prop_assert_eq!(w.start.raw() % spec.slide().raw(), 0);
+        }
+        // Distinct and sorted by start.
+        for pair in windows.windows(2) {
+            prop_assert!(pair[0].start < pair[1].start);
+        }
+        // Away from the origin, the count is the number of aligned starts in
+        // (ts - length, ts], which is floor(len/slide) or ceil(len/slide)
+        // depending on alignment.
+        let len = spec.length().raw();
+        let slide = spec.slide().raw();
+        let ceil = len.div_ceil(slide);
+        let floor = (len / slide).max(1);
+        if ts.raw() >= len {
+            prop_assert!(
+                (floor..=ceil).contains(&(windows.len() as u64)),
+                "{} windows outside [{floor}, {ceil}]",
+                windows.len()
+            );
+        } else {
+            prop_assert!(windows.len() as u64 <= ceil);
+        }
+    }
+
+    #[test]
+    fn no_window_outside_assignment_contains_the_timestamp(
+        spec in window_specs(),
+        ts in 0u64..100_000,
+    ) {
+        // Completeness of assign(): any aligned window containing ts is in
+        // the returned set.
+        let ts = Timestamp(ts);
+        let assigned = spec.assign(ts);
+        let slide = spec.slide().raw();
+        let len = spec.length().raw();
+        let mut start = ts.raw().saturating_sub(len) / slide * slide;
+        while start <= ts.raw() {
+            let w = Window::new(Timestamp(start), Timestamp(start + len));
+            if w.contains(ts) {
+                prop_assert!(assigned.contains(&w), "missing window {w} for {ts}");
+            }
+            start += slide;
+        }
+    }
+
+    #[test]
+    fn order_independent_aggregates_ignore_permutation(
+        values in prop::collection::vec((0u64..10_000, -1000.0f64..1000.0), 1..60),
+        rotation in 0usize..59,
+    ) {
+        // Rotate the input as a cheap permutation; results must not change
+        // for permutation-invariant aggregates.
+        for kind in [
+            AggregateKind::Count,
+            AggregateKind::Sum,
+            AggregateKind::Mean,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::StdDev,
+            AggregateKind::Median,
+            AggregateKind::Quantile(0.75),
+            AggregateKind::DistinctCount,
+        ] {
+            let spec = AggregateSpec::new(kind, 0, "a");
+            let tv: Vec<(Timestamp, Value)> = values
+                .iter()
+                .map(|&(t, v)| (Timestamp(t), Value::Float(v)))
+                .collect();
+            let mut rotated = tv.clone();
+            rotated.rotate_left(rotation % tv.len());
+            let a = spec.compute(&tv);
+            let b = spec.compute(&rotated);
+            match (a, b) {
+                (Value::Float(x), Value::Float(y)) => {
+                    prop_assert!((x - y).abs() < 1e-6, "{kind}: {x} != {y}")
+                }
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_aggregation_matches_reference(
+        values in prop::collection::vec((0u64..10_000, -1000.0f64..1000.0), 0..60),
+    ) {
+        for kind in [AggregateKind::Sum, AggregateKind::StdDev, AggregateKind::Median] {
+            let spec = AggregateSpec::new(kind, 0, "a");
+            let tv: Vec<(Timestamp, Value)> = values
+                .iter()
+                .map(|&(t, v)| (Timestamp(t), Value::Float(v)))
+                .collect();
+            let mut agg = spec.build();
+            for (t, v) in &tv {
+                agg.insert(*t, v);
+            }
+            match (agg.finalize(), spec.compute(&tv)) {
+                (Value::Float(x), Value::Float(y)) => {
+                    prop_assert!((x - y).abs() < 1e-6)
+                }
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_aggregation_matches_brute_force_on_ordered_input(
+        mut tss in prop::collection::vec(0u64..5_000, 1..200),
+        len in 1u64..300,
+    ) {
+        tss.sort_unstable();
+        let spec = WindowSpec::tumbling(len);
+        let aggs = vec![AggregateSpec::new(AggregateKind::Count, 0, "n")];
+        let mut op = WindowAggregateOp::new(spec, aggs.clone(), None, LatePolicy::Drop)
+            .expect("valid op");
+        let mut results = Vec::new();
+        for (seq, &ts) in tss.iter().enumerate() {
+            op.process(
+                StreamElement::Event(Event::new(ts, seq as u64, Row::new([Value::Int(1)]))),
+                &mut |o| {
+                    if let StreamElement::Event(e) = o {
+                        if let Some(r) = WindowResult::from_row(&e.row) {
+                            results.push(r);
+                        }
+                    }
+                },
+            );
+        }
+        op.process(StreamElement::Flush, &mut |o| {
+            if let StreamElement::Event(e) = o {
+                if let Some(r) = WindowResult::from_row(&e.row) {
+                    results.push(r);
+                }
+            }
+        });
+        // Brute force: count per aligned window.
+        let mut expected: std::collections::BTreeMap<u64, u64> = Default::default();
+        for &ts in &tss {
+            *expected.entry(ts / len * len).or_default() += 1;
+        }
+        prop_assert_eq!(results.len(), expected.len());
+        for r in &results {
+            prop_assert_eq!(
+                r.count,
+                expected[&r.window.start.raw()],
+                "window {}", r.window
+            );
+        }
+    }
+
+    #[test]
+    fn value_total_order_is_antisymmetric_and_transitive(
+        vals in prop::collection::vec(
+            prop_oneof![
+                Just(Value::Null),
+                any::<bool>().prop_map(Value::Bool),
+                any::<i32>().prop_map(|i| Value::Int(i as i64)),
+                (-1e12f64..1e12).prop_map(Value::Float),
+                "[a-z]{0,6}".prop_map(|s| Value::str(s)),
+            ],
+            3..10,
+        ),
+    ) {
+        use std::cmp::Ordering;
+        for a in &vals {
+            prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &vals {
+                prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+                for c in &vals {
+                    if a.total_cmp(b) != Ordering::Greater
+                        && b.total_cmp(c) != Ordering::Greater
+                    {
+                        prop_assert_ne!(a.total_cmp(c), Ordering::Greater);
+                    }
+                }
+            }
+        }
+    }
+}

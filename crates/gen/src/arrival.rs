@@ -1,0 +1,115 @@
+//! Arrival processes: how event-time timestamps advance at the source.
+//!
+//! An [`ArrivalProcess`] generates a monotone non-decreasing sequence of
+//! event timestamps. (Disorder is introduced *after* timestamp assignment,
+//! by the delay models — sources are always locally ordered.)
+
+use quill_engine::prelude::{TimeDelta, Timestamp};
+use rand::Rng;
+
+/// Generator of monotone event timestamps.
+pub trait ArrivalProcess: Send {
+    /// The next inter-arrival gap (>= 0).
+    fn next_gap(&mut self, rng: &mut dyn rand::RngCore) -> TimeDelta;
+
+    /// Short description for workload tables.
+    fn describe(&self) -> String;
+}
+
+/// Fixed-rate arrivals: one event every `period` time units.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantRate {
+    /// Gap between consecutive events (> 0 for a progressing clock).
+    pub period: u64,
+}
+
+impl ArrivalProcess for ConstantRate {
+    fn next_gap(&mut self, _rng: &mut dyn rand::RngCore) -> TimeDelta {
+        TimeDelta(self.period)
+    }
+    fn describe(&self) -> String {
+        format!("constant(period={})", self.period)
+    }
+}
+
+/// Poisson arrivals with the given mean inter-arrival gap (exponential
+/// gaps, rounded to integer time units).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    /// Mean gap between events (> 0).
+    pub mean_gap: f64,
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_gap(&mut self, rng: &mut dyn rand::RngCore) -> TimeDelta {
+        let u: f64 = rng.gen::<f64>();
+        let u = (1.0 - u).max(f64::MIN_POSITIVE);
+        TimeDelta::from_f64(-self.mean_gap.max(0.0) * u.ln())
+    }
+    fn describe(&self) -> String {
+        format!("poisson(mean_gap={})", self.mean_gap)
+    }
+}
+
+/// Materialize the first `n` timestamps of a process starting at `start`.
+pub fn timestamps(
+    process: &mut dyn ArrivalProcess,
+    rng: &mut dyn rand::RngCore,
+    start: Timestamp,
+    n: usize,
+) -> Vec<Timestamp> {
+    let mut out = Vec::with_capacity(n);
+    let mut t = start;
+    for i in 0..n {
+        if i > 0 {
+            t = t + process.next_gap(rng);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_rate_is_evenly_spaced() {
+        let mut p = ConstantRate { period: 10 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts = timestamps(&mut p, &mut rng, Timestamp(5), 4);
+        assert_eq!(
+            ts,
+            vec![Timestamp(5), Timestamp(15), Timestamp(25), Timestamp(35)]
+        );
+    }
+
+    #[test]
+    fn poisson_mean_gap_converges() {
+        let mut p = PoissonArrivals { mean_gap: 20.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let ts = timestamps(&mut p, &mut rng, Timestamp(0), 20_000);
+        let span = ts.last().unwrap().raw() - ts[0].raw();
+        let mean_gap = span as f64 / (ts.len() - 1) as f64;
+        assert!((mean_gap - 20.0).abs() < 1.0, "mean_gap={mean_gap}");
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let mut p = PoissonArrivals { mean_gap: 3.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let ts = timestamps(&mut p, &mut rng, Timestamp(0), 1000);
+        for w in ts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_request_yields_empty() {
+        let mut p = ConstantRate { period: 1 };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(timestamps(&mut p, &mut rng, Timestamp(0), 0).is_empty());
+    }
+}

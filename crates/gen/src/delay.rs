@@ -1,0 +1,636 @@
+//! Tuple-delay models.
+//!
+//! A [`DelayModel`] decides, for each generated event, how long after its
+//! event-time timestamp it becomes *visible* to the query processor — the
+//! synthetic equivalent of network/transport delay, and the sole cause of
+//! disorder in generated workloads. All samplers use inverse-transform or
+//! Box–Muller sampling on top of `rand`'s uniform source, so no external
+//! distribution crate is needed and sequences are fully reproducible from a
+//! seed.
+//!
+//! Models can be non-stationary: [`DelayModel::sample`] receives the event's
+//! timestamp, which [`Drift`] and [`MarkovBurst`] use to vary behaviour over
+//! time — the adversarial regimes the adaptive buffer must track.
+
+use quill_engine::prelude::{TimeDelta, Timestamp};
+use rand::Rng;
+
+/// A (possibly time-varying) distribution of tuple delays.
+pub trait DelayModel: Send {
+    /// Sample the delay for an event with the given timestamp.
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, ts: Timestamp) -> TimeDelta;
+
+    /// Short human-readable description for workload tables.
+    fn describe(&self) -> String;
+}
+
+/// Draw a uniform in the open interval (0, 1] — safe for `ln`.
+fn u01(rng: &mut dyn rand::RngCore) -> f64 {
+    let u: f64 = rng.gen();
+    (1.0 - u).max(f64::MIN_POSITIVE)
+}
+
+/// One standard normal via Box–Muller.
+fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    let u1 = u01(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Every event is delayed by exactly the same amount (zero = perfectly
+/// ordered stream).
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub u64);
+
+impl DelayModel for Constant {
+    fn sample(&mut self, _rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        TimeDelta(self.0)
+    }
+    fn describe(&self) -> String {
+        format!("constant({})", self.0)
+    }
+}
+
+/// Uniform delay in `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDelay {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl DelayModel for UniformDelay {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        TimeDelta(rng.gen_range(self.lo..=self.hi.max(self.lo)))
+    }
+    fn describe(&self) -> String {
+        format!("uniform({}, {})", self.lo, self.hi)
+    }
+}
+
+/// Exponential delay with the given mean: the classic light-tailed network
+/// delay model.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    /// Mean delay in time units (> 0).
+    pub mean: f64,
+}
+
+impl DelayModel for Exponential {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        TimeDelta::from_f64(-self.mean.max(0.0) * u01(rng).ln())
+    }
+    fn describe(&self) -> String {
+        format!("exp(mean={})", self.mean)
+    }
+}
+
+/// Lomax (Pareto type II) delay: heavy-tailed with support `[0, ∞)`.
+/// Mean = `scale / (shape − 1)` for `shape > 1`; infinite for `shape <= 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Scale parameter (> 0).
+    pub scale: f64,
+    /// Tail index (> 0); smaller = heavier tail.
+    pub shape: f64,
+}
+
+impl DelayModel for Pareto {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        let u = u01(rng);
+        TimeDelta::from_f64(self.scale.max(0.0) * (u.powf(-1.0 / self.shape.max(1e-9)) - 1.0))
+    }
+    fn describe(&self) -> String {
+        format!("pareto(scale={}, shape={})", self.scale, self.shape)
+    }
+}
+
+/// Log-normal delay: `exp(mu + sigma·Z)`. Moderate tail, common fit for
+/// measured one-way network delays.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Location of the underlying normal.
+    pub mu: f64,
+    /// Scale of the underlying normal (>= 0).
+    pub sigma: f64,
+}
+
+impl DelayModel for LogNormal {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        TimeDelta::from_f64((self.mu + self.sigma.max(0.0) * standard_normal(rng)).exp())
+    }
+    fn describe(&self) -> String {
+        format!("lognormal(mu={}, sigma={})", self.mu, self.sigma)
+    }
+}
+
+/// Truncated-at-zero normal delay.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalDelay {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (>= 0).
+    pub stddev: f64,
+}
+
+impl DelayModel for NormalDelay {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        TimeDelta::from_f64(self.mean + self.stddev.max(0.0) * standard_normal(rng))
+    }
+    fn describe(&self) -> String {
+        format!("normal(mean={}, sd={})", self.mean, self.stddev)
+    }
+}
+
+/// Mixture of two models: with probability `p_second`, sample from
+/// `second`, else from `first`. Models e.g. "mostly fast, occasionally
+/// retransmitted" traffic.
+pub struct Bimodal {
+    /// The common-case model.
+    pub first: Box<dyn DelayModel>,
+    /// The rare-case model.
+    pub second: Box<dyn DelayModel>,
+    /// Probability of drawing from `second` (clamped to `[0,1]`).
+    pub p_second: f64,
+}
+
+impl DelayModel for Bimodal {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, ts: Timestamp) -> TimeDelta {
+        let p: f64 = rng.gen();
+        if p < self.p_second.clamp(0.0, 1.0) {
+            self.second.sample(rng, ts)
+        } else {
+            self.first.sample(rng, ts)
+        }
+    }
+    fn describe(&self) -> String {
+        format!(
+            "bimodal({}, {}, p={})",
+            self.first.describe(),
+            self.second.describe(),
+            self.p_second
+        )
+    }
+}
+
+/// Two-state Markov-modulated delay: the stream alternates between a *calm*
+/// and a *burst* regime, switching state per event with the given
+/// probabilities. This is the canonical non-stationary stress test for
+/// adaptive buffering: delays jump up sharply during bursts and fall back
+/// after.
+pub struct MarkovBurst {
+    /// Delay model in the calm state.
+    pub calm: Box<dyn DelayModel>,
+    /// Delay model in the burst state.
+    pub burst: Box<dyn DelayModel>,
+    /// Per-event probability of entering a burst from calm.
+    pub p_enter: f64,
+    /// Per-event probability of leaving a burst.
+    pub p_exit: f64,
+    in_burst: bool,
+}
+
+impl MarkovBurst {
+    /// Build in the calm state.
+    pub fn new(
+        calm: Box<dyn DelayModel>,
+        burst: Box<dyn DelayModel>,
+        p_enter: f64,
+        p_exit: f64,
+    ) -> MarkovBurst {
+        MarkovBurst {
+            calm,
+            burst,
+            p_enter,
+            p_exit,
+            in_burst: false,
+        }
+    }
+
+    /// Whether the chain is currently in the burst state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+}
+
+impl DelayModel for MarkovBurst {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, ts: Timestamp) -> TimeDelta {
+        let flip: f64 = rng.gen();
+        if self.in_burst {
+            if flip < self.p_exit.clamp(0.0, 1.0) {
+                self.in_burst = false;
+            }
+        } else if flip < self.p_enter.clamp(0.0, 1.0) {
+            self.in_burst = true;
+        }
+        if self.in_burst {
+            self.burst.sample(rng, ts)
+        } else {
+            self.calm.sample(rng, ts)
+        }
+    }
+    fn describe(&self) -> String {
+        format!(
+            "markov-burst(calm={}, burst={}, p_enter={}, p_exit={})",
+            self.calm.describe(),
+            self.burst.describe(),
+            self.p_enter,
+            self.p_exit
+        )
+    }
+}
+
+/// Delays resampled from an empirical distribution (e.g. measured on a real
+/// network and imported via the trace tools): each sample draws uniformly
+/// from the provided observations, with optional linear interpolation
+/// between adjacent sorted values for a smoother tail.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    sorted: Vec<u64>,
+    /// Interpolate between adjacent observations instead of resampling
+    /// exact values.
+    pub interpolate: bool,
+}
+
+impl Empirical {
+    /// Build from raw delay observations (any order; must be non-empty).
+    pub fn new(mut observations: Vec<u64>) -> Empirical {
+        assert!(!observations.is_empty(), "Empirical requires observations");
+        observations.sort_unstable();
+        Empirical {
+            sorted: observations,
+            interpolate: false,
+        }
+    }
+
+    /// Enable interpolation between adjacent order statistics.
+    pub fn interpolated(mut self) -> Empirical {
+        self.interpolate = true;
+        self
+    }
+}
+
+impl DelayModel for Empirical {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, _ts: Timestamp) -> TimeDelta {
+        let n = self.sorted.len();
+        if !self.interpolate || n == 1 {
+            let i = rng.gen_range(0..n);
+            return TimeDelta(self.sorted[i]);
+        }
+        let u: f64 = rng.gen::<f64>() * (n - 1) as f64;
+        let lo = u.floor() as usize;
+        let frac = u - lo as f64;
+        let a = self.sorted[lo] as f64;
+        let b = self.sorted[(lo + 1).min(n - 1)] as f64;
+        TimeDelta::from_f64(a + (b - a) * frac)
+    }
+    fn describe(&self) -> String {
+        format!(
+            "empirical(n={}, interp={})",
+            self.sorted.len(),
+            self.interpolate
+        )
+    }
+}
+
+/// How a [`Drift`] model's scale factor evolves over event time.
+#[derive(Debug, Clone, Copy)]
+pub enum DriftShape {
+    /// Scale grows linearly from `from` to `to` across `[0, horizon]`.
+    Linear {
+        /// Initial scale factor.
+        from: f64,
+        /// Final scale factor at the horizon.
+        to: f64,
+        /// Event-time horizon over which to interpolate.
+        horizon: u64,
+    },
+    /// Scale switches from `before` to `after` at `at`.
+    Step {
+        /// Scale before the switch.
+        before: f64,
+        /// Scale after the switch.
+        after: f64,
+        /// Switch time.
+        at: u64,
+    },
+    /// Scale oscillates: `1 + amplitude·sin(2π·t/period)` (floored at 0).
+    Sine {
+        /// Oscillation amplitude.
+        amplitude: f64,
+        /// Oscillation period in time units.
+        period: u64,
+    },
+}
+
+/// Wraps a base model and scales its samples by a time-varying factor:
+/// models slow drift (link degradation) or sudden regime change.
+pub struct Drift {
+    /// The underlying delay model.
+    pub base: Box<dyn DelayModel>,
+    /// The drift shape.
+    pub shape: DriftShape,
+}
+
+impl Drift {
+    /// Scale factor at the given event time.
+    pub fn scale_at(&self, ts: Timestamp) -> f64 {
+        let t = ts.raw();
+        match self.shape {
+            DriftShape::Linear { from, to, horizon } => {
+                if horizon == 0 {
+                    to
+                } else {
+                    let frac = (t as f64 / horizon as f64).min(1.0);
+                    from + (to - from) * frac
+                }
+            }
+            DriftShape::Step { before, after, at } => {
+                if t < at {
+                    before
+                } else {
+                    after
+                }
+            }
+            DriftShape::Sine { amplitude, period } => {
+                let ph = if period == 0 {
+                    0.0
+                } else {
+                    2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64
+                };
+                (1.0 + amplitude * ph.sin()).max(0.0)
+            }
+        }
+    }
+}
+
+impl DelayModel for Drift {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore, ts: Timestamp) -> TimeDelta {
+        let base = self.base.sample(rng, ts).as_f64();
+        TimeDelta::from_f64(base * self.scale_at(ts))
+    }
+    fn describe(&self) -> String {
+        format!("drift({}, {:?})", self.base.describe(), self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn sample_n(m: &mut dyn DelayModel, n: usize) -> Vec<f64> {
+        let mut r = rng();
+        (0..n)
+            .map(|i| m.sample(&mut r, Timestamp(i as u64)).as_f64())
+            .collect()
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = Constant(7);
+        assert!(sample_n(&mut m, 10).iter().all(|&d| d == 7.0));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut m = UniformDelay { lo: 5, hi: 15 };
+        for d in sample_n(&mut m, 1000) {
+            assert!((5.0..=15.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut m = Exponential { mean: 100.0 };
+        let xs = sample_n(&mut m, 20_000);
+        assert!((mean(&xs) - 100.0).abs() < 5.0, "mean={}", mean(&xs));
+        assert!(xs.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn pareto_mean_matches_lomax_formula() {
+        // Lomax mean = scale / (shape - 1) = 100 for scale=200, shape=3.
+        let mut m = Pareto {
+            scale: 200.0,
+            shape: 3.0,
+        };
+        let xs = sample_n(&mut m, 100_000);
+        assert!((mean(&xs) - 100.0).abs() < 10.0, "mean={}", mean(&xs));
+    }
+
+    #[test]
+    fn pareto_is_heavier_tailed_than_exponential() {
+        let mut e = Exponential { mean: 100.0 };
+        let mut p = Pareto {
+            scale: 200.0,
+            shape: 3.0,
+        };
+        let mut xe = sample_n(&mut e, 50_000);
+        let mut xp = sample_n(&mut p, 50_000);
+        xe.sort_by(|a, b| a.total_cmp(b));
+        xp.sort_by(|a, b| a.total_cmp(b));
+        let p999 = |v: &[f64]| v[(v.len() as f64 * 0.999) as usize];
+        assert!(
+            p999(&xp) > p999(&xe),
+            "pareto p999 {} <= exp p999 {}",
+            p999(&xp),
+            p999(&xe)
+        );
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_sane_median() {
+        // Median of lognormal = exp(mu) = e^4 ≈ 54.6.
+        let mut m = LogNormal {
+            mu: 4.0,
+            sigma: 0.5,
+        };
+        let mut xs = sample_n(&mut m, 20_000);
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[xs.len() / 2];
+        assert!((median - 54.6).abs() < 5.0, "median={median}");
+        assert!(xs[0] >= 0.0);
+    }
+
+    #[test]
+    fn normal_truncates_at_zero() {
+        let mut m = NormalDelay {
+            mean: 1.0,
+            stddev: 10.0,
+        };
+        assert!(sample_n(&mut m, 5000).iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let mut m = Bimodal {
+            first: Box::new(Constant(1)),
+            second: Box::new(Constant(1000)),
+            p_second: 0.3,
+        };
+        let xs = sample_n(&mut m, 10_000);
+        let frac_big = xs.iter().filter(|&&d| d == 1000.0).count() as f64 / xs.len() as f64;
+        assert!((frac_big - 0.3).abs() < 0.03, "frac={frac_big}");
+    }
+
+    #[test]
+    fn markov_burst_alternates_and_is_sticky() {
+        let mut m = MarkovBurst::new(Box::new(Constant(1)), Box::new(Constant(1000)), 0.01, 0.05);
+        let xs = sample_n(&mut m, 50_000);
+        let burst_frac = xs.iter().filter(|&&d| d == 1000.0).count() as f64 / xs.len() as f64;
+        // Stationary burst probability = p_enter / (p_enter + p_exit) ≈ 1/6.
+        assert!(
+            (burst_frac - 1.0 / 6.0).abs() < 0.05,
+            "burst_frac={burst_frac}"
+        );
+        // Bursts are sticky: consecutive identical values dominate.
+        let switches = xs.windows(2).filter(|w| w[0] != w[1]).count() as f64 / xs.len() as f64;
+        assert!(switches < 0.05, "switch rate {switches}");
+    }
+
+    #[test]
+    fn linear_drift_scales_over_time() {
+        let mut m = Drift {
+            base: Box::new(Constant(100)),
+            shape: DriftShape::Linear {
+                from: 1.0,
+                to: 3.0,
+                horizon: 1000,
+            },
+        };
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r, Timestamp(0)).raw(), 100);
+        assert_eq!(m.sample(&mut r, Timestamp(500)).raw(), 200);
+        assert_eq!(m.sample(&mut r, Timestamp(1000)).raw(), 300);
+        assert_eq!(m.sample(&mut r, Timestamp(99_999)).raw(), 300); // clamped
+    }
+
+    #[test]
+    fn step_drift_switches_at_boundary() {
+        let mut m = Drift {
+            base: Box::new(Constant(10)),
+            shape: DriftShape::Step {
+                before: 1.0,
+                after: 5.0,
+                at: 100,
+            },
+        };
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r, Timestamp(99)).raw(), 10);
+        assert_eq!(m.sample(&mut r, Timestamp(100)).raw(), 50);
+    }
+
+    #[test]
+    fn sine_drift_oscillates_nonnegative() {
+        let m = Drift {
+            base: Box::new(Constant(10)),
+            shape: DriftShape::Sine {
+                amplitude: 2.0,
+                period: 100,
+            },
+        };
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in 0..200 {
+            let s = m.scale_at(Timestamp(t));
+            assert!(s >= 0.0);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        assert!(hi > 2.5 && lo == 0.0);
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let mut a = Exponential { mean: 50.0 };
+        let mut b = Exponential { mean: 50.0 };
+        assert_eq!(sample_n(&mut a, 100), sample_n(&mut b, 100));
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        assert!(Exponential { mean: 5.0 }.describe().contains('5'));
+        assert!(Pareto {
+            scale: 1.0,
+            shape: 2.0
+        }
+        .describe()
+        .contains("pareto"));
+    }
+}
+
+#[cfg(test)]
+mod empirical_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_resamples_only_observed_values() {
+        let mut m = Empirical::new(vec![5, 100, 7]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let d = m.sample(&mut rng, Timestamp(0)).raw();
+            assert!([5, 7, 100].contains(&d), "unobserved value {d}");
+        }
+        assert!(m.describe().contains("n=3"));
+    }
+
+    #[test]
+    fn interpolated_fills_gaps_within_range() {
+        let mut m = Empirical::new(vec![0, 100]).interpolated();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut strictly_inside = false;
+        for _ in 0..500 {
+            let d = m.sample(&mut rng, Timestamp(0)).raw();
+            assert!(d <= 100);
+            if d != 0 && d != 100 {
+                strictly_inside = true;
+            }
+        }
+        assert!(
+            strictly_inside,
+            "interpolation never produced interior values"
+        );
+    }
+
+    #[test]
+    fn empirical_preserves_distribution_shape() {
+        // Resampling a big exponential sample reproduces its quantiles.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut exp = Exponential { mean: 100.0 };
+        let obs: Vec<u64> = (0..20_000)
+            .map(|i| exp.sample(&mut rng, Timestamp(i)).raw())
+            .collect();
+        let mut m = Empirical::new(obs.clone());
+        let resampled: Vec<u64> = (0..20_000)
+            .map(|i| m.sample(&mut rng, Timestamp(i)).raw())
+            .collect();
+        let q = |mut v: Vec<u64>, p: f64| {
+            v.sort_unstable();
+            v[(p * (v.len() - 1) as f64) as usize]
+        };
+        for &p in &[0.5, 0.9, 0.99] {
+            let a = q(obs.clone(), p) as f64;
+            let b = q(resampled.clone(), p) as f64;
+            assert!((a - b).abs() / a.max(1.0) < 0.1, "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires observations")]
+    fn empirical_rejects_empty() {
+        let _ = Empirical::new(vec![]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # quill-gen
+//!
+//! Reproducible out-of-order stream workload generation:
+//!
+//! * [`arrival`] — arrival processes assigning monotone event timestamps;
+//! * [`delay`] — transport-delay models (the sole source of disorder),
+//!   including heavy-tailed, bursty Markov-modulated and drifting regimes;
+//! * [`payload`] — field value generators (random walks, Gaussians, Zipf
+//!   keys);
+//! * [`source`] — assembly of delayed events into arrival-ordered streams
+//!   with measured disorder statistics;
+//! * [`workload`] — the simulated soccer / stock / netmon workloads plus
+//!   controlled synthetic sweeps (substitutions for unavailable real data,
+//!   see DESIGN.md §3);
+//! * [`trace`] — text-format capture and bit-exact replay of generated
+//!   streams.
+//!
+//! Everything is seeded: the same seed always yields the same stream.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod delay;
+pub mod payload;
+pub mod source;
+pub mod trace;
+pub mod workload;
+
+pub use arrival::{ArrivalProcess, ConstantRate, PoissonArrivals};
+pub use delay::{
+    Bimodal, Constant, DelayModel, Drift, DriftShape, Empirical, Exponential, LogNormal,
+    MarkovBurst, NormalDelay, Pareto, UniformDelay,
+};
+pub use payload::{Choice, Gaussian, RandomWalk, ValueGen, Zipf};
+pub use source::{build_stream, delay_and_shuffle, merge_sources, GeneratedStream};

@@ -1,0 +1,221 @@
+//! Payload value generators: the data carried by generated events.
+
+use quill_engine::prelude::Value;
+use rand::Rng;
+
+/// A generator of one field's values across consecutive events.
+pub trait ValueGen: Send {
+    /// Produce the next value.
+    fn next_value(&mut self, rng: &mut dyn rand::RngCore) -> Value;
+}
+
+/// Gaussian random walk: `x_{i+1} = x_i + N(0, step²)`, optionally clamped.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalk {
+    /// Current position (updated as values are drawn).
+    pub current: f64,
+    /// Step standard deviation.
+    pub step: f64,
+    /// Inclusive clamp bounds.
+    pub bounds: Option<(f64, f64)>,
+}
+
+impl RandomWalk {
+    /// Start a walk at `start` with the given step size, unbounded.
+    pub fn new(start: f64, step: f64) -> RandomWalk {
+        RandomWalk {
+            current: start,
+            step,
+            bounds: None,
+        }
+    }
+
+    /// Clamp the walk to `[lo, hi]`.
+    pub fn clamped(mut self, lo: f64, hi: f64) -> RandomWalk {
+        self.bounds = Some((lo, hi));
+        self
+    }
+}
+
+impl ValueGen for RandomWalk {
+    fn next_value(&mut self, rng: &mut dyn rand::RngCore) -> Value {
+        let u1: f64 = rng.gen::<f64>();
+        let u1 = (1.0 - u1).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.current += z * self.step;
+        if let Some((lo, hi)) = self.bounds {
+            self.current = self.current.clamp(lo, hi);
+        }
+        Value::Float(self.current)
+    }
+}
+
+/// Independent Gaussian values `N(mean, stddev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gaussian {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub stddev: f64,
+}
+
+impl ValueGen for Gaussian {
+    fn next_value(&mut self, rng: &mut dyn rand::RngCore) -> Value {
+        let u1: f64 = rng.gen::<f64>();
+        let u1 = (1.0 - u1).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Value::Float(self.mean + self.stddev * z)
+    }
+}
+
+/// Zipf-distributed categorical keys `0..n` with exponent `s`: key `k` has
+/// probability ∝ `1/(k+1)^s`. Implements the skewed grouping keys (hot
+/// stocks, chatty hosts) real workloads exhibit.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n` keys with exponent `s >= 0`
+    /// (`s = 0` is uniform). `n` must be > 0.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf requires at least one key");
+        let mut weights: Vec<f64> = (0..n)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(s.max(0.0)))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against FP drift at the top.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Sample a key index.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl ValueGen for Zipf {
+    fn next_value(&mut self, rng: &mut dyn rand::RngCore) -> Value {
+        Value::Int(self.sample(rng) as i64)
+    }
+}
+
+/// Uniform choice among a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// The candidate values (non-empty).
+    pub options: Vec<Value>,
+}
+
+impl ValueGen for Choice {
+    fn next_value(&mut self, rng: &mut dyn rand::RngCore) -> Value {
+        assert!(!self.options.is_empty(), "Choice requires options");
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn random_walk_moves_and_clamps() {
+        let mut w = RandomWalk::new(50.0, 5.0).clamped(0.0, 100.0);
+        let mut r = rng();
+        let mut moved = false;
+        for _ in 0..1000 {
+            let v = w.next_value(&mut r).as_f64().unwrap();
+            assert!((0.0..=100.0).contains(&v));
+            if (v - 50.0).abs() > 1.0 {
+                moved = true;
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut g = Gaussian {
+            mean: 10.0,
+            stddev: 2.0,
+        };
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| g.next_value(&mut r).as_f64().unwrap())
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_keys() {
+        let z = Zipf::new(100, 1.2);
+        let mut r = rng();
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        // Key 0 should dominate clearly at s=1.2.
+        assert!(counts[0] as f64 / 50_000.0 > 0.15);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0u64; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 50_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "frac={frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn choice_draws_from_options() {
+        let mut c = Choice {
+            options: vec![Value::str("a"), Value::str("b")],
+        };
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(c.next_value(&mut r).as_str().unwrap().to_string());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Simulated real-world workloads.
+//!
+//! These stand in for the proprietary/unavailable datasets typically used in
+//! this line of work (see DESIGN.md §3): each exercises the same code paths
+//! — keyed windowed aggregation over a multiplexed, delay-disordered stream —
+//! with delay regimes chosen to match the original data's character:
+//!
+//! * [`soccer`] — high-rate multiplexed player sensors with bursty radio
+//!   delays (heavy disorder, stand-in for DEBS'13-style sensor data);
+//! * [`stock`] — Poisson trade stream with Zipf-skewed symbols and
+//!   log-normal delays (moderate disorder);
+//! * [`netmon`] — constant-rate monitoring counters with Markov-modulated
+//!   burst delays and optional drift (non-stationary; the adaptive-buffer
+//!   stress test);
+//! * [`synthetic`] — plain single-source streams with a chosen delay model
+//!   (the controlled sweeps of R-F2/R-F3).
+
+pub mod netmon;
+pub mod soccer;
+pub mod stock;
+pub mod synthetic;
+
+use crate::source::GeneratedStream;
+
+/// A named workload generator the experiment harness can enumerate.
+pub struct Workload {
+    /// Stable identifier used in experiment tables ("soccer", "stock", ...).
+    pub name: &'static str,
+    /// Generator: `(events, seed) -> stream`.
+    pub generate: fn(usize, u64) -> GeneratedStream,
+}
+
+/// The standard workload suite used across experiments.
+pub fn standard_suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "soccer",
+            generate: |n, s| soccer::generate(&soccer::SoccerConfig::default(), n, s),
+        },
+        Workload {
+            name: "stock",
+            generate: |n, s| stock::generate(&stock::StockConfig::default(), n, s),
+        },
+        Workload {
+            name: "netmon",
+            generate: |n, s| netmon::generate(&netmon::NetmonConfig::default(), n, s),
+        },
+        Workload {
+            name: "synthetic-exp",
+            generate: |n, s| synthetic::exponential(n, 10, 100.0, s),
+        },
+        Workload {
+            name: "synthetic-pareto",
+            generate: |n, s| synthetic::pareto(n, 10, 200.0, 3.0, s),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_generates_nonempty_disordered_streams() {
+        for w in standard_suite() {
+            let s = (w.generate)(2000, 42);
+            assert_eq!(s.len(), 2000, "{}", w.name);
+            assert!(
+                s.stats.disorder_ratio() > 0.01,
+                "{} should be disordered, ratio={}",
+                w.name,
+                s.stats.disorder_ratio()
+            );
+            // Schema validates every event row.
+            for e in s.events.iter().take(50) {
+                s.schema
+                    .validate(&e.row)
+                    .unwrap_or_else(|err| panic!("{}: invalid row {}: {err}", w.name, e.row));
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_seed_reproducible() {
+        for w in standard_suite() {
+            let a = (w.generate)(500, 7);
+            let b = (w.generate)(500, 7);
+            assert_eq!(a.events, b.events, "{} not reproducible", w.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        for w in standard_suite() {
+            let a = (w.generate)(500, 1);
+            let b = (w.generate)(500, 2);
+            assert_ne!(a.events, b.events, "{} ignored seed", w.name);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulated equity trade stream.
+//!
+//! Substitution for real tick data (DESIGN.md §3): Poisson trade arrivals,
+//! Zipf-skewed symbol popularity (a few hot symbols dominate), per-symbol
+//! geometric-ish random-walk prices, log-normal transport delays.
+//!
+//! Schema: `symbol:int, price:float, volume:float`.
+//! Canonical query: per-symbol VWAP (volume-weighted average price) over
+//! sliding windows — implemented as sum(price·volume)/sum(volume), which the
+//! quality experiments evaluate under relative-error targets (R-F9).
+
+use crate::arrival::PoissonArrivals;
+use crate::delay::LogNormal;
+use crate::payload::{RandomWalk, ValueGen, Zipf};
+use crate::source::{build_stream, GeneratedStream};
+use quill_engine::prelude::{FieldType, Row, Schema, Timestamp, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Parameters of the simulated market feed.
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Number of distinct symbols.
+    pub symbols: usize,
+    /// Zipf exponent of symbol popularity.
+    pub zipf_exponent: f64,
+    /// Mean gap between trades in time units.
+    pub mean_gap: f64,
+    /// Log-normal delay location parameter.
+    pub delay_mu: f64,
+    /// Log-normal delay scale parameter.
+    pub delay_sigma: f64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            symbols: 50,
+            zipf_exponent: 1.1,
+            mean_gap: 5.0,
+            delay_mu: 3.5, // median delay e^3.5 ≈ 33
+            delay_sigma: 0.9,
+        }
+    }
+}
+
+/// Schema of the trade stream.
+pub fn schema() -> Schema {
+    Schema::new([
+        ("symbol", FieldType::Int),
+        ("price", FieldType::Float),
+        ("volume", FieldType::Float),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Row index of the symbol (grouping key).
+pub const SYMBOL_FIELD: usize = 0;
+/// Row index of the trade price.
+pub const PRICE_FIELD: usize = 1;
+/// Row index of the trade volume.
+pub const VOLUME_FIELD: usize = 2;
+
+/// Generate `n` trades.
+pub fn generate(cfg: &StockConfig, n: usize, seed: u64) -> GeneratedStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let symbols = cfg.symbols.max(1);
+    let zipf = Zipf::new(symbols, cfg.zipf_exponent);
+    let mut prices: Vec<RandomWalk> = (0..symbols)
+        .map(|s| RandomWalk::new(20.0 + 5.0 * (s as f64).sqrt(), 0.05).clamped(1.0, 10_000.0))
+        .collect();
+    let mut delay = LogNormal {
+        mu: cfg.delay_mu,
+        sigma: cfg.delay_sigma,
+    };
+    build_stream(
+        schema(),
+        n,
+        Timestamp(0),
+        &mut PoissonArrivals {
+            mean_gap: cfg.mean_gap,
+        },
+        &mut delay,
+        &mut rng,
+        |rng, _, _| {
+            let sym = zipf.sample(rng);
+            let price = prices[sym].next_value(rng);
+            // Volume: log-normal-ish positive quantity with occasional
+            // block trades.
+            let base: f64 = rng.gen_range(1.0..100.0);
+            let block: bool = rng.gen_bool(0.01);
+            let volume = if block { base * 100.0 } else { base };
+            Row::new([Value::Int(sym as i64), price, Value::Float(volume)])
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_trades() {
+        let s = generate(&StockConfig::default(), 2000, 1);
+        assert_eq!(s.len(), 2000);
+        for e in &s.events {
+            s.schema.validate(&e.row).expect("schema-valid row");
+            assert!(e.row.f64(PRICE_FIELD).unwrap() >= 1.0);
+            assert!(e.row.f64(VOLUME_FIELD).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn symbol_popularity_is_skewed() {
+        let cfg = StockConfig::default();
+        let s = generate(&cfg, 20_000, 2);
+        let mut counts = vec![0u64; cfg.symbols];
+        for e in &s.events {
+            counts[e.row.get(SYMBOL_FIELD).as_i64().unwrap() as usize] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap();
+        let median = {
+            let mut c = counts.clone();
+            c.sort();
+            c[c.len() / 2]
+        };
+        assert!(hottest > median * 5, "hot={hottest} median={median}");
+    }
+
+    #[test]
+    fn stream_has_moderate_disorder() {
+        let s = generate(&StockConfig::default(), 10_000, 3);
+        let r = s.stats.disorder_ratio();
+        assert!(r > 0.3, "ratio={r}");
+    }
+
+    #[test]
+    fn prices_follow_continuous_walks_per_symbol() {
+        let s = generate(&StockConfig::default(), 10_000, 4);
+        // Reconstruct per-symbol price paths in event-time order and check
+        // step sizes stay small (walk property survives the shuffle).
+        let mut by_symbol: std::collections::HashMap<i64, Vec<(u64, f64)>> =
+            std::collections::HashMap::new();
+        for e in &s.events {
+            by_symbol
+                .entry(e.row.get(SYMBOL_FIELD).as_i64().unwrap())
+                .or_default()
+                .push((e.ts.raw(), e.row.f64(PRICE_FIELD).unwrap()));
+        }
+        for path in by_symbol.values_mut() {
+            path.sort_by_key(|&(t, _)| t);
+            for w in path.windows(2) {
+                assert!((w[1].1 - w[0].1).abs() < 1.0, "price jumped {w:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Controlled single-source synthetic streams.
+//!
+//! Used by the parameter sweeps (R-F2, R-F3): one source, constant arrival
+//! rate, a single delay model, and a Gaussian payload field — so the delay
+//! distribution is the *only* experimental variable.
+
+use crate::arrival::ConstantRate;
+use crate::delay::{DelayModel, Exponential, Pareto, UniformDelay};
+use crate::payload::{Gaussian, ValueGen};
+use crate::source::{build_stream, GeneratedStream};
+use quill_engine::prelude::{FieldType, Row, Schema, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema of synthetic streams: a single numeric measurement.
+pub fn schema() -> Schema {
+    Schema::new([("value", FieldType::Float)]).expect("static schema is valid")
+}
+
+/// Generate with an arbitrary delay model.
+pub fn with_delay(n: usize, period: u64, delay: &mut dyn DelayModel, seed: u64) -> GeneratedStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut payload = Gaussian {
+        mean: 100.0,
+        stddev: 15.0,
+    };
+    build_stream(
+        schema(),
+        n,
+        Timestamp(0),
+        &mut ConstantRate { period },
+        delay,
+        &mut rng,
+        |rng, _, _| Row::new([payload.next_value(rng)]),
+    )
+}
+
+/// Exponentially delayed stream (light tail).
+pub fn exponential(n: usize, period: u64, mean_delay: f64, seed: u64) -> GeneratedStream {
+    with_delay(n, period, &mut Exponential { mean: mean_delay }, seed)
+}
+
+/// Pareto/Lomax delayed stream (heavy tail).
+pub fn pareto(n: usize, period: u64, scale: f64, shape: f64, seed: u64) -> GeneratedStream {
+    with_delay(n, period, &mut Pareto { scale, shape }, seed)
+}
+
+/// Uniformly delayed stream (bounded disorder, as in classic K-slack
+/// analyses).
+pub fn uniform(n: usize, period: u64, lo: u64, hi: u64, seed: u64) -> GeneratedStream {
+    with_delay(n, period, &mut UniformDelay { lo, hi }, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_stream_has_expected_mean_delay() {
+        let s = exponential(20_000, 10, 100.0, 11);
+        // Mean measured delay is mean residual disorder, smaller than the
+        // transport delay mean (in-order arrivals contribute 0), but the max
+        // should be on the order of several means.
+        assert!(s.stats.max_delay.raw() > 300);
+        assert!(s.stats.disorder_ratio() > 0.5);
+    }
+
+    #[test]
+    fn uniform_stream_delay_is_bounded() {
+        let s = uniform(5000, 10, 0, 50, 12);
+        // Max disorder delay can never exceed the delay bound.
+        assert!(s.stats.max_delay.raw() <= 50);
+    }
+
+    #[test]
+    fn pareto_tail_dominates_exponential() {
+        let e = exponential(20_000, 10, 100.0, 13);
+        let p = pareto(20_000, 10, 200.0, 3.0, 13); // same mean delay (100)
+        assert!(p.stats.max_delay > e.stats.max_delay);
+    }
+
+    #[test]
+    fn payload_is_gaussian_around_100() {
+        let s = exponential(10_000, 10, 50.0, 14);
+        let mean: f64 = s.events.iter().filter_map(|e| e.row.f64(0)).sum::<f64>() / s.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean={mean}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # quill-metrics
+//!
+//! Measurement and reporting for quality-driven out-of-order query
+//! execution:
+//!
+//! * [`stats`] — streaming moments, batch summaries, percentiles, ECDF;
+//! * [`histogram`] — HDR-style log-bucketed histograms for latency/delay
+//!   distributions with bounded relative quantile error;
+//! * [`latency`] — per-result latency recording in event-time units;
+//! * [`timeseries`] — `(time, value)` series for adaptivity plots;
+//! * [`quality_eval`] — the in-order oracle plus per-window quality scoring
+//!   (completeness, relative aggregate error, violation rates);
+//! * [`report`] — markdown/CSV table rendering used by the experiment
+//!   harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod latency;
+pub mod quality_eval;
+pub mod report;
+pub mod stats;
+pub mod timeseries;
+
+pub use histogram::LogHistogram;
+pub use latency::LatencyRecorder;
+pub use quality_eval::{oracle_results, relative_error, score, QualityReport, WindowQuality};
+pub use report::{fmt_f64, Table};
+pub use stats::{ecdf_sorted, percentile_sorted, StreamingStats, Summary};
+pub use timeseries::TimeSeries;

@@ -1,0 +1,173 @@
+//! Table rendering and experiment-result persistence.
+//!
+//! Every experiment in `quill-bench` produces a [`Table`] (printed as
+//! markdown, written as CSV) so the reconstructed paper tables/figures can
+//! be regenerated and diffed run over run.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table of stringified cells.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (rendered as a caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table with headers.
+    pub fn new(
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; short rows are padded with empty cells, long rows
+    /// truncated, so the table stays rectangular.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = impl Into<String>>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavored markdown table with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {c:w$} |", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180 style quoting for cells containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Format a float compactly for table cells (3 significant decimals,
+/// trailing zeros trimmed).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned_and_rectangular() {
+        let mut t = Table::new("Demo", ["name", "value"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["b"]); // short row padded
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| name  | value |"));
+        assert!(md.contains("| b     |       |"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("", ["a", "b"]);
+        t.push_row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("quill_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new("t", ["h"]);
+        t.push_row(["v"]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "h\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+        assert_eq!(fmt_f64(1.2000), "1.2");
+    }
+}

@@ -1,0 +1,272 @@
+//! Scalar statistics: streaming moments and batch summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Batch summary of a sample: moments plus exact percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// An all-zero summary for an empty sample.
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            min: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Summarize a sample (copied and sorted internally).
+    pub fn of(sample: &[f64]) -> Summary {
+        if sample.is_empty() {
+            return Summary::empty();
+        }
+        let mut sorted: Vec<f64> = sample.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut s = StreamingStats::new();
+        for &x in sample {
+            s.push(x);
+        }
+        Summary {
+            count: s.count(),
+            mean: s.mean(),
+            stddev: s.stddev(),
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 0.50),
+            p90: percentile_sorted(&sorted, 0.90),
+            p99: percentile_sorted(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// p-th percentile (0..=1) of an ascending-sorted slice, with linear
+/// interpolation between ranks. Returns 0 for an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi.min(sorted.len() - 1)] - sorted[lo]) * frac
+}
+
+/// Empirical CDF value `P(X <= x)` over an ascending-sorted sample.
+pub fn ecdf_sorted(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 1.0;
+    }
+    // partition_point gives the count of elements <= x.
+    let cnt = sorted.partition_point(|&v| v <= x);
+    cnt as f64 / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_streaming_stats() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&StreamingStats::new());
+        assert!((a.mean() - before.mean()).abs() < 1e-12);
+        let mut e = StreamingStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 40.0);
+        assert!((percentile_sorted(&sorted, 0.5) - 25.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(Summary::of(&[]), Summary::empty());
+    }
+
+    #[test]
+    fn ecdf_counts_inclusive() {
+        let sorted = [1.0, 2.0, 2.0, 5.0];
+        assert_eq!(ecdf_sorted(&sorted, 0.5), 0.0);
+        assert_eq!(ecdf_sorted(&sorted, 2.0), 0.75);
+        assert_eq!(ecdf_sorted(&sorted, 10.0), 1.0);
+        assert_eq!(ecdf_sorted(&[], 1.0), 1.0);
+    }
+}

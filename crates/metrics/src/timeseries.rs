@@ -1,0 +1,165 @@
+//! Time-series recording for adaptivity plots (K(t), quality(t), ...).
+
+use quill_engine::prelude::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A named sequence of `(event time, value)` points.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as the CSV column header).
+    pub name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given name.
+    pub fn new(name: impl Into<String>) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point. Timestamps should be non-decreasing; out-of-order
+    /// appends are kept but flagged by [`TimeSeries::is_sorted`].
+    pub fn push(&mut self, t: Timestamp, v: f64) {
+        self.points.push((t.raw(), v));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Whether timestamps are non-decreasing.
+    pub fn is_sorted(&self) -> bool {
+        self.points.windows(2).all(|p| p[0].0 <= p[1].0)
+    }
+
+    /// Mean of the values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Downsample to at most `max_points` by averaging fixed-size runs of
+    /// consecutive points (keeps the time of each run's last point).
+    /// Returns a copy; the original is untouched.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        if max_points == 0 || self.points.len() <= max_points {
+            return self.clone();
+        }
+        let chunk = self.points.len().div_ceil(max_points);
+        let mut out = TimeSeries::new(self.name.clone());
+        for run in self.points.chunks(chunk) {
+            let t = run.last().expect("non-empty chunk").0;
+            let mean = run.iter().map(|&(_, v)| v).sum::<f64>() / run.len() as f64;
+            out.points.push((t, mean));
+        }
+        out
+    }
+
+    /// Align several series on their union of timestamps and render CSV:
+    /// `time,<name1>,<name2>,...` with empty cells where a series has no
+    /// point at that time.
+    pub fn to_csv(series: &[&TimeSeries]) -> String {
+        use std::collections::BTreeMap;
+        let mut rows: BTreeMap<u64, Vec<Option<f64>>> = BTreeMap::new();
+        for (i, s) in series.iter().enumerate() {
+            for &(t, v) in &s.points {
+                rows.entry(t).or_insert_with(|| vec![None; series.len()])[i] = Some(v);
+            }
+        }
+        let mut out = String::from("time");
+        for s in series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for (t, vals) in rows {
+            out.push_str(&t.to_string());
+            for v in vals {
+                out.push(',');
+                if let Some(v) = v {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut s = TimeSeries::new("k");
+        s.push(Timestamp(1), 10.0);
+        s.push(Timestamp(2), 20.0);
+        assert_eq!(s.len(), 2);
+        assert!(s.is_sorted());
+        assert_eq!(s.mean(), 15.0);
+    }
+
+    #[test]
+    fn detects_unsorted() {
+        let mut s = TimeSeries::new("k");
+        s.push(Timestamp(5), 1.0);
+        s.push(Timestamp(3), 1.0);
+        assert!(!s.is_sorted());
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let mut s = TimeSeries::new("k");
+        for i in 0..1000u64 {
+            s.push(Timestamp(i), i as f64);
+        }
+        let d = s.downsample(10);
+        assert!(d.len() <= 10);
+        assert!((d.mean() - s.mean()).abs() < 51.0);
+        // No-op cases.
+        assert_eq!(s.downsample(0).len(), 1000);
+        assert_eq!(s.downsample(2000).len(), 1000);
+    }
+
+    #[test]
+    fn csv_aligns_multiple_series() {
+        let mut a = TimeSeries::new("a");
+        a.push(Timestamp(1), 1.0);
+        a.push(Timestamp(3), 3.0);
+        let mut b = TimeSeries::new("b");
+        b.push(Timestamp(2), 2.0);
+        b.push(Timestamp(3), 30.0);
+        let csv = TimeSeries::to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,a,b");
+        assert_eq!(lines[1], "1,1,");
+        assert_eq!(lines[2], "2,,2");
+        assert_eq!(lines[3], "3,3,30");
+    }
+
+    #[test]
+    fn empty_series_mean_is_zero() {
+        let s = TimeSeries::new("x");
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+        assert!(s.is_sorted());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of measurement primitives: histogram error bounds,
+//! parallel-merge equivalence, quality-scoring identities.
+
+use proptest::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::*;
+use quill_metrics::quality_eval::{oracle_results, score};
+use quill_metrics::{ecdf_sorted, percentile_sorted, LogHistogram, StreamingStats, Summary};
+
+proptest! {
+    #[test]
+    fn histogram_quantile_relative_error_is_bounded(
+        values in prop::collection::vec(1u64..1_000_000_000, 1..500),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = LogHistogram::new(7);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = sorted[target - 1];
+        let approx = h.quantile(q).expect("non-empty") as f64;
+        // Bucket precision 7 bits → ≤ 2^-7 relative error, use 1% headroom.
+        let rel = (approx - exact as f64).abs() / exact as f64;
+        prop_assert!(rel <= 0.01 + 1e-9, "q={q}: approx {approx} exact {exact} rel {rel}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = LogHistogram::new(6);
+        let mut hb = LogHistogram::new(6);
+        let mut hu = LogHistogram::new(6);
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        prop_assert_eq!(ha.quantile(0.5), hu.quantile(0.5));
+        prop_assert!((ha.mean() - hu.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_merge_matches_sequential(
+        a in prop::collection::vec(-1e6f64..1e6, 0..100),
+        b in prop::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut whole = StreamingStats::new();
+        let mut pa = StreamingStats::new();
+        let mut pb = StreamingStats::new();
+        for &x in &a {
+            whole.push(x);
+            pa.push(x);
+        }
+        for &x in &b {
+            whole.push(x);
+            pb.push(x);
+        }
+        pa.merge(&pb);
+        prop_assert_eq!(pa.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((pa.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((pa.variance() - whole.variance()).abs() / whole.variance().max(1.0) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        mut sample in prop::collection::vec(-1e9f64..1e9, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..10),
+    ) {
+        sample.sort_by(|a, b| a.total_cmp(b));
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(|a, b| a.total_cmp(b));
+        let mut last = f64::NEG_INFINITY;
+        for q in sorted_qs {
+            let p = percentile_sorted(&sample, q);
+            prop_assert!(p >= last);
+            prop_assert!(p >= sample[0] && p <= *sample.last().expect("non-empty"));
+            last = p;
+        }
+        // ECDF at the interpolated q-th percentile covers at least the
+        // floor-rank mass: percentile_sorted(q) >= sample[floor(q*(n-1))],
+        // so at least floor(q*(n-1)) + 1 samples lie at or below it. (It can
+        // be *less* than q·n — interpolation sits between sample points.)
+        let n = sample.len();
+        let p90 = percentile_sorted(&sample, 0.9);
+        let floor_rank = (0.9 * (n - 1) as f64).floor() as usize;
+        prop_assert!(
+            ecdf_sorted(&sample, p90) >= (floor_rank + 1) as f64 / n as f64 - 1e-9
+        );
+    }
+
+    #[test]
+    fn summary_is_internally_consistent(sample in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&sample);
+        prop_assert_eq!(s.count as usize, sample.len());
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    #[test]
+    fn scoring_a_run_against_itself_is_perfect(
+        tss in prop::collection::vec((0u64..5_000, -100.0f64..100.0), 1..100),
+        window in 10u64..500,
+    ) {
+        let events: Vec<Event> = tss
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, v))| Event::new(t, i as u64, Row::new([Value::Float(v)])))
+            .collect();
+        let aggs = vec![
+            AggregateSpec::new(AggregateKind::Sum, 0, "sum"),
+            AggregateSpec::new(AggregateKind::Median, 0, "median"),
+        ];
+        let oracle = oracle_results(&events, WindowSpec::tumbling(window), &aggs, None);
+        let report = score(&oracle, &oracle);
+        prop_assert_eq!(report.windows_missing, 0);
+        prop_assert_eq!(report.mean_completeness, 1.0);
+        for e in &report.mean_rel_error {
+            prop_assert!(*e < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dropping_results_only_lowers_quality(
+        tss in prop::collection::vec(0u64..5_000, 2..100),
+        window in 10u64..500,
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let events: Vec<Event> = tss
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(t, i as u64, Row::new([Value::Float(1.0)])))
+            .collect();
+        let aggs = vec![AggregateSpec::new(AggregateKind::Count, 0, "n")];
+        let oracle = oracle_results(&events, WindowSpec::tumbling(window), &aggs, None);
+        let keep = ((oracle.len() as f64) * keep_fraction) as usize;
+        let partial: Vec<_> = oracle.iter().take(keep).cloned().collect();
+        let full = score(&oracle, &oracle);
+        let cut = score(&partial, &oracle);
+        prop_assert!(cut.mean_completeness <= full.mean_completeness + 1e-12);
+        prop_assert_eq!(cut.windows_missing as usize, oracle.len() - keep);
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared helpers for the runnable examples: compact printing of run
+//! outputs and a tiny text sparkline for time series.
+
+use quill_core::prelude::RunOutput;
+use quill_metrics::TimeSeries;
+
+/// Print a one-line summary of a run (strategy, quality, latency, buffer).
+pub fn print_run(out: &RunOutput) {
+    println!(
+        "  {:<18} completeness {:>6.2}%  mean latency {:>8.1}  p99 {:>8.1}  mean buffered {:>7.1}  late {:>5}",
+        out.strategy,
+        out.quality.mean_completeness * 100.0,
+        out.latency.mean,
+        out.latency.p99,
+        out.buffer.mean_buffered(),
+        out.buffer.late_passed,
+    );
+}
+
+/// Render a time series as a unicode sparkline (downsampled to `width`).
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let s = series.downsample(width);
+    let pts = s.points();
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, v) in pts {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-12);
+    pts.iter()
+        .map(|&(_, v)| {
+            let idx = (((v - lo) / span) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Header helper.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

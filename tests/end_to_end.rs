@@ -1,0 +1,152 @@
+//! End-to-end: generated workloads through disorder control, windowed
+//! aggregation and quality scoring, across all crates.
+
+use quill_core::prelude::*;
+use quill_engine::prelude::*;
+use quill_gen::workload::standard_suite;
+use quill_integration::{mean_query, rich_query, uniform_disordered};
+
+#[test]
+fn oracle_is_exact_on_every_standard_workload() {
+    for w in standard_suite() {
+        let stream = (w.generate)(5_000, 101);
+        let query = quill_core::runner::QuerySpec::new(
+            WindowSpec::tumbling(1_000u64),
+            vec![AggregateSpec::new(AggregateKind::Count, 0, "n")],
+            None,
+        );
+        let mut s = OracleBuffer::new();
+        let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+        assert_eq!(out.quality.windows_missing, 0, "{}", w.name);
+        assert_eq!(out.quality.mean_completeness, 1.0, "{}", w.name);
+    }
+}
+
+#[test]
+fn aq_meets_target_on_every_standard_workload() {
+    // Tuple-level completeness within a small tolerance of the target on
+    // every workload, including the bursty ones.
+    for w in standard_suite() {
+        let stream = (w.generate)(30_000, 202);
+        let q = 0.95;
+        let mut aq = AqKSlack::for_completeness(q);
+        let out = run_query(&stream.events, &mut aq, &mean_query(1_000)).expect("valid query");
+        assert!(
+            out.quality.mean_completeness >= q - 0.05,
+            "{}: completeness {} far below target {q}",
+            w.name,
+            out.quality.mean_completeness
+        );
+    }
+}
+
+#[test]
+fn aq_latency_sits_between_drop_and_mp() {
+    let events = uniform_disordered(20_000, 10, 400, 7);
+    let query = mean_query(500);
+    let mut drop = DropAll::new();
+    let mut aq = AqKSlack::for_completeness(0.95);
+    let mut mp = MpKSlack::new();
+    let drop_out = run_query(&events, &mut drop, &query).expect("valid query");
+    let aq_out = run_query(&events, &mut aq, &query).expect("valid query");
+    let mp_out = run_query(&events, &mut mp, &query).expect("valid query");
+    assert!(drop_out.latency.mean <= aq_out.latency.mean);
+    assert!(aq_out.latency.mean <= mp_out.latency.mean);
+    assert!(drop_out.quality.mean_completeness <= aq_out.quality.mean_completeness + 1e-9);
+}
+
+#[test]
+fn rich_queries_run_under_all_strategies() {
+    let events = uniform_disordered(5_000, 10, 200, 8);
+    let query = rich_query(500);
+    let strategies: Vec<Box<dyn DisorderControl>> = vec![
+        Box::new(DropAll::new()),
+        Box::new(FixedKSlack::new(100u64)),
+        Box::new(MpKSlack::new()),
+        Box::new(AqKSlack::for_completeness(0.9)),
+        Box::new(OracleBuffer::new()),
+    ];
+    for mut s in strategies {
+        let out = run_query(&events, s.as_mut(), &query).expect("valid query");
+        assert!(out.quality.windows_total > 0, "{}", out.strategy);
+        // Every emitted aggregate row has all six outputs.
+        for r in &out.results {
+            assert_eq!(r.aggregates.len(), 6, "{}", out.strategy);
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_with_preprocessing_stages() {
+    // Filter + map in front of the window aggregation, fed by a strategy:
+    // glue the strategy output through a Pipeline manually.
+    let events = uniform_disordered(10_000, 10, 300, 9);
+    let mut strategy = AqKSlack::for_completeness(0.95);
+    let mut elements = Vec::new();
+    for e in &events {
+        strategy.on_event(e.clone(), &mut elements);
+    }
+    strategy.finish(&mut elements);
+
+    let mut pipeline = Pipeline::new()
+        .filter("drop-small", |r: &Row| r.f64(0).unwrap_or(0.0) >= 100.0)
+        .map("halve", |r: Row| {
+            Row::new([Value::Float(r.f64(0).unwrap_or(0.0) / 2.0)])
+        })
+        .window_aggregate(
+            WindowAggregateOp::new(
+                WindowSpec::tumbling(1_000u64),
+                vec![AggregateSpec::new(AggregateKind::Max, 0, "max")],
+                None,
+                LatePolicy::Drop,
+            )
+            .expect("valid op"),
+        );
+    let out = pipeline.run_collect(elements);
+    let results: Vec<WindowResult> = out
+        .iter()
+        .filter_map(|e| e.as_event())
+        .filter_map(|e| WindowResult::from_row(&e.row))
+        .collect();
+    assert!(!results.is_empty());
+    // Max per window is (window_end - 10) / 2 for complete windows.
+    for r in results.iter().take(5) {
+        let expect = (r.window.end.raw() as f64 - 10.0) / 2.0;
+        let got = r.aggregates[0].as_f64().expect("max is numeric");
+        assert!(
+            (got - expect).abs() < 200.0,
+            "window {}: max {got} vs expected ~{expect}",
+            r.window
+        );
+    }
+}
+
+#[test]
+fn single_threaded_and_parallel_executors_agree_end_to_end() {
+    let stream = quill_gen::workload::synthetic::exponential(5_000, 10, 80.0, 33);
+    let build = || {
+        Pipeline::new().window_aggregate(
+            WindowAggregateOp::new(
+                WindowSpec::sliding(500u64, 100u64),
+                vec![
+                    AggregateSpec::new(AggregateKind::Mean, 0, "mean"),
+                    AggregateSpec::new(AggregateKind::StdDev, 0, "sd"),
+                ],
+                None,
+                LatePolicy::Drop,
+            )
+            .expect("valid op"),
+        )
+    };
+    // Order the stream through a fixed buffer first so watermarks exist.
+    let mut strategy = FixedKSlack::new(300u64);
+    let mut elements = Vec::new();
+    for e in &stream.events {
+        strategy.on_event(e.clone(), &mut elements);
+    }
+    strategy.finish(&mut elements);
+
+    let seq = build().run_collect(elements.clone());
+    let par = build().run_parallel(elements, 64).expect("parallel run");
+    assert_eq!(seq, par);
+}

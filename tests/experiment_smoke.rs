@@ -1,0 +1,67 @@
+//! Smoke test: every reconstructed experiment runs at quick scale, produces
+//! artifacts, and persists them.
+
+use quill_bench::{run_experiment, Artifact, ExperimentCtx, ALL_EXPERIMENTS};
+
+#[test]
+fn all_experiments_run_and_save_artifacts() {
+    let mut ctx = ExperimentCtx::quick();
+    ctx.events = 3_000;
+    ctx.out_dir = std::env::temp_dir().join("quill_exp_smoke");
+    let _ = std::fs::remove_dir_all(&ctx.out_dir);
+    for id in ALL_EXPERIMENTS {
+        let artifacts = run_experiment(id, &ctx);
+        assert!(!artifacts.is_empty(), "{id}: no artifacts");
+        for a in &artifacts {
+            let rendered = a.save_and_render(&ctx).expect("artifact saves");
+            assert!(!rendered.is_empty());
+            let file = match a {
+                Artifact::Table { id, .. } => ctx.out_dir.join(format!("{id}.csv")),
+                Artifact::Series { id, .. } => ctx.out_dir.join(format!("{id}.csv")),
+            };
+            let content = std::fs::read_to_string(&file).expect("csv written");
+            assert!(content.lines().count() >= 2, "{id}: csv has no data rows");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ctx.out_dir);
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn unknown_experiment_panics() {
+    let ctx = ExperimentCtx::quick();
+    let _ = run_experiment("nope", &ctx);
+}
+
+#[test]
+fn experiment_suite_is_deterministic() {
+    // Two runs with the same context must produce byte-identical CSVs.
+    let render_all = |out_dir: std::path::PathBuf| {
+        let mut ctx = ExperimentCtx::quick();
+        ctx.events = 1_500;
+        ctx.out_dir = out_dir.clone();
+        let _ = std::fs::remove_dir_all(&out_dir);
+        for id in ["t1", "f3", "t6"] {
+            for a in run_experiment(id, &ctx) {
+                a.save_and_render(&ctx).expect("artifact saves");
+            }
+        }
+        let mut contents = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(&out_dir).expect("dir exists") {
+            let path = entry.expect("entry").path();
+            contents.insert(
+                path.file_name().unwrap().to_string_lossy().to_string(),
+                std::fs::read_to_string(&path).expect("readable"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&out_dir);
+        contents
+    };
+    let a = render_all(std::env::temp_dir().join("quill_det_a"));
+    let b = render_all(std::env::temp_dir().join("quill_det_b"));
+    // Drop wall-clock-dependent columns: only t6 has none; t1/f3 are pure.
+    assert_eq!(a.keys().collect::<Vec<_>>(), b.keys().collect::<Vec<_>>());
+    for (name, content) in &a {
+        assert_eq!(content, &b[name], "{name} differs between identical runs");
+    }
+}

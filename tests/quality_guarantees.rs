@@ -1,0 +1,146 @@
+//! Statistical guarantees: under stationary delay distributions, AQ-K-slack's
+//! long-run achieved quality must sit at (or above, minus a small tolerance)
+//! the user's target — across targets and delay families. These are the
+//! load-bearing claims of the reconstruction (DESIGN.md §4 invariants).
+
+use quill_core::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::WindowSpec;
+use quill_gen::source::GeneratedStream;
+use quill_gen::workload::synthetic;
+
+fn query() -> QuerySpec {
+    QuerySpec::new(
+        WindowSpec::tumbling(1_000u64),
+        vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
+        None,
+    )
+}
+
+fn tuple_completeness(out: &RunOutput) -> f64 {
+    let total = out.buffer.released + out.buffer.late_passed;
+    1.0 - out.buffer.late_passed as f64 / total.max(1) as f64
+}
+
+fn check_target(stream: &GeneratedStream, q: f64, tolerance: f64, label: &str) {
+    let mut aq = AqKSlack::for_completeness(q);
+    let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+    let achieved = tuple_completeness(&out);
+    assert!(
+        achieved >= q - tolerance,
+        "{label} q={q}: achieved tuple completeness {achieved:.4} below target - {tolerance}"
+    );
+    // Window-level completeness should track tuple level closely.
+    assert!(
+        out.quality.mean_completeness >= q - tolerance - 0.02,
+        "{label} q={q}: window completeness {:.4} too low",
+        out.quality.mean_completeness
+    );
+}
+
+#[test]
+fn targets_hold_under_exponential_delays() {
+    let stream = synthetic::exponential(50_000, 10, 100.0, 1001);
+    for &q in &[0.85, 0.95, 0.99] {
+        check_target(&stream, q, 0.03, "exp");
+    }
+}
+
+#[test]
+fn targets_hold_under_uniform_delays() {
+    let stream = synthetic::uniform(50_000, 10, 0, 500, 1002);
+    for &q in &[0.9, 0.99] {
+        check_target(&stream, q, 0.03, "uniform");
+    }
+}
+
+#[test]
+fn targets_hold_under_heavy_tailed_delays() {
+    // Pareto tails are the hard case: the quantile estimate is noisy. Allow
+    // a slightly wider tolerance.
+    let stream = synthetic::pareto(50_000, 10, 200.0, 3.0, 1003);
+    for &q in &[0.9, 0.95] {
+        check_target(&stream, q, 0.04, "pareto");
+    }
+}
+
+#[test]
+fn latency_scales_with_the_delay_quantile_not_the_max() {
+    // Structural property: for q = 0.9 on exp(100), AQ's mean latency must
+    // be within a small factor of F⁻¹(0.9) ≈ 230, and far below the max
+    // delay (which grows with stream length).
+    let stream = synthetic::exponential(50_000, 10, 100.0, 1004);
+    let mut aq = AqKSlack::for_completeness(0.9);
+    let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+    let f_inv = 230.0;
+    assert!(
+        out.mean_k < f_inv * 2.5,
+        "mean K {} should be near F⁻¹(0.9) ≈ {f_inv}",
+        out.mean_k
+    );
+    assert!(
+        (out.mean_k as f64) < stream.stats.max_delay.raw() as f64 / 2.0,
+        "mean K {} should be far below max delay {}",
+        out.mean_k,
+        stream.stats.max_delay
+    );
+}
+
+#[test]
+fn error_targets_bound_the_achieved_aggregate_error() {
+    let stream = synthetic::exponential(50_000, 10, 100.0, 1005);
+    for &eps in &[0.02, 0.05] {
+        let mut aq = AqKSlack::new(AqConfig::max_rel_error(eps, 0));
+        let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+        // Mean achieved relative error must respect the budget with modest
+        // slack (the sensitivity model is conservative in expectation).
+        assert!(
+            out.quality.mean_rel_error[0] <= eps * 1.5,
+            "eps={eps}: mean rel error {} blew the budget",
+            out.quality.mean_rel_error[0]
+        );
+    }
+}
+
+#[test]
+fn tighter_targets_cost_monotonically_more_latency() {
+    let stream = synthetic::exponential(40_000, 10, 100.0, 1006);
+    let mut last_latency = 0.0;
+    for &q in &[0.8, 0.9, 0.99, 0.999] {
+        let mut aq = AqKSlack::for_completeness(q);
+        let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+        assert!(
+            out.latency.mean >= last_latency * 0.8,
+            "latency not (weakly) increasing at q={q}: {} after {last_latency}",
+            out.latency.mean
+        );
+        last_latency = out.latency.mean;
+    }
+}
+
+#[test]
+fn quality_recovers_after_a_burst_regime() {
+    // Markov-burst delays: long-run achieved quality still near target.
+    use quill_gen::delay::{Constant, MarkovBurst, Pareto};
+    let mut delay = MarkovBurst::new(
+        Box::new(Constant(10)),
+        Box::new(Pareto {
+            scale: 2_000.0,
+            shape: 2.5,
+        }),
+        0.02,
+        0.10,
+    );
+    let stream = synthetic::with_delay(60_000, 10, &mut delay, 1007);
+    let mut aq = AqKSlack::for_completeness(0.9);
+    let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+    let achieved = tuple_completeness(&out);
+    assert!(
+        achieved >= 0.85,
+        "bursty achieved {achieved} too far below 0.9"
+    );
+    // And it must not pay MP's price for it.
+    let mut mp = MpKSlack::new();
+    let mp_out = run_query(&stream.events, &mut mp, &query()).expect("valid query");
+    assert!(out.latency.mean < mp_out.latency.mean);
+}

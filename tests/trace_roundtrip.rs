@@ -1,0 +1,73 @@
+//! Trace persistence: captured streams replay bit-identically, and replayed
+//! streams produce identical experiment results.
+
+use quill_core::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::WindowSpec;
+use quill_gen::trace;
+use quill_gen::workload::{netmon, soccer, stock, synthetic};
+
+#[test]
+fn all_workloads_roundtrip_through_the_trace_format() {
+    let streams = vec![
+        synthetic::exponential(2_000, 10, 100.0, 1),
+        synthetic::pareto(2_000, 10, 200.0, 3.0, 2),
+        soccer::generate(&soccer::SoccerConfig::default(), 2_000, 3),
+        stock::generate(&stock::StockConfig::default(), 2_000, 4),
+        netmon::generate(&netmon::NetmonConfig::default(), 2_000, 5),
+    ];
+    for s in streams {
+        let decoded = trace::decode(&trace::encode(&s)).expect("decodes");
+        assert_eq!(decoded.schema, s.schema);
+        assert_eq!(decoded.events, s.events);
+        assert_eq!(decoded.stats, s.stats);
+    }
+}
+
+#[test]
+fn replayed_trace_reproduces_run_results_exactly() {
+    let stream = stock::generate(&stock::StockConfig::default(), 5_000, 6);
+    let dir = std::env::temp_dir().join("quill_it_trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("stock.trace");
+    trace::save(&stream, &path).expect("saves");
+    let replayed = trace::load(&path).expect("loads");
+
+    let query = QuerySpec::new(
+        WindowSpec::tumbling(2_000u64),
+        vec![AggregateSpec::new(
+            AggregateKind::Mean,
+            stock::PRICE_FIELD,
+            "mean",
+        )],
+        Some(stock::SYMBOL_FIELD),
+    );
+    // Deterministic strategy → identical results on original and replay.
+    let mut s1 = FixedKSlack::new(300u64);
+    let mut s2 = FixedKSlack::new(300u64);
+    let out1 = run_query(&stream.events, &mut s1, &query).expect("valid query");
+    let out2 = run_query(&replayed.events, &mut s2, &query).expect("valid query");
+    assert_eq!(out1.results, out2.results);
+    assert_eq!(
+        out1.quality.mean_completeness,
+        out2.quality.mean_completeness
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aq_is_deterministic_on_a_replayed_trace() {
+    let stream = synthetic::exponential(10_000, 10, 80.0, 7);
+    let replayed = trace::decode(&trace::encode(&stream)).expect("decodes");
+    let query = QuerySpec::new(
+        WindowSpec::tumbling(500u64),
+        vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+        None,
+    );
+    let mut a = AqKSlack::for_completeness(0.95);
+    let mut b = AqKSlack::for_completeness(0.95);
+    let out_a = run_query(&stream.events, &mut a, &query).expect("valid query");
+    let out_b = run_query(&replayed.events, &mut b, &query).expect("valid query");
+    assert_eq!(out_a.results, out_b.results);
+    assert_eq!(a.current_k(), b.current_k());
+}
