@@ -84,7 +84,7 @@ criterion_group!(benches, bench_aggregates, bench_window_shapes);
 mod parallel_bench {
     use super::*;
     use criterion::{BenchmarkId, Criterion, Throughput};
-    use quill_engine::parallel::run_keyed_parallel;
+    use quill_engine::parallel::{run_keyed_parallel, run_keyed_parallel_with, ParallelConfig};
 
     fn keyed_stream(n: u64, keys: i64) -> Vec<StreamElement> {
         let mut v: Vec<StreamElement> = (0..n)
@@ -132,7 +132,55 @@ mod parallel_bench {
         }
         group.finish();
     }
+
+    /// Throughput across the shards × batch-size matrix on the keyed
+    /// Median+Quantile workload (the ISSUE's acceptance workload): shows
+    /// both the scaling curve and the batching win over per-event sends.
+    pub fn bench_keyed_parallel_batched(c: &mut Criterion) {
+        let n = 20_000u64;
+        let input = keyed_stream(n, 64);
+        let make_op = || {
+            WindowAggregateOp::new(
+                WindowSpec::sliding(200u64, 40u64),
+                vec![
+                    AggregateSpec::new(AggregateKind::Median, 1, "med"),
+                    AggregateSpec::new(AggregateKind::Quantile(0.9), 1, "q90"),
+                ],
+                Some(0),
+                LatePolicy::Drop,
+            )
+            .expect("valid op")
+        };
+        let mut group = c.benchmark_group("keyed_parallel_batched");
+        group.throughput(Throughput::Elements(n));
+        for shards in [1usize, 2, 4, 8] {
+            for batch in [1usize, 64, 256, 1024] {
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(format!("s{shards}_b{batch}")),
+                    &(shards, batch),
+                    |b, &(shards, batch)| {
+                        b.iter(|| {
+                            run_keyed_parallel_with(
+                                input.clone(),
+                                0,
+                                ParallelConfig::new(shards).with_batch_size(batch),
+                                make_op,
+                            )
+                            .expect("parallel run")
+                            .0
+                            .len()
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
 }
 
-criterion_group!(parallel_benches, parallel_bench::bench_keyed_parallel);
+criterion_group!(
+    parallel_benches,
+    parallel_bench::bench_keyed_parallel,
+    parallel_bench::bench_keyed_parallel_batched
+);
 criterion_main!(benches, parallel_benches);

@@ -35,7 +35,8 @@ fn bench_strategies(c: &mut Criterion) {
     let q = query();
     let mut group = c.benchmark_group("strategy_end_to_end");
     group.throughput(Throughput::Elements(events.len() as u64));
-    let make: Vec<(&str, fn() -> Box<dyn DisorderControl>)> = vec![
+    type StrategyFactory = fn() -> Box<dyn DisorderControl>;
+    let make: Vec<(&str, StrategyFactory)> = vec![
         ("drop", || Box::new(DropAll::new())),
         ("fixed500", || Box::new(FixedKSlack::new(500u64))),
         ("mp", || Box::new(MpKSlack::new())),

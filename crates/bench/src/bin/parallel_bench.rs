@@ -1,0 +1,276 @@
+//! Machine-readable throughput benchmark for the batched keyed-parallel
+//! executor.
+//!
+//! ```text
+//! parallel-bench [--events N] [--keys K] [--repeat R] [--out FILE] [--quick]
+//! ```
+//!
+//! Measures events/sec on the keyed Median+Quantile workload (the ISSUE's
+//! acceptance workload: sliding(200, 40), order statistics per key) for:
+//!
+//! * the **seed single-event path** — a faithful reproduction of the seed's
+//!   `run_keyed_parallel`: one channel send per event, per-event
+//!   `DefaultHasher` + key clone for routing, results funnelled one at a
+//!   time through an unbounded channel, and a global `sort_by` that
+//!   re-parses the row and allocates a `String` key on *every comparison*;
+//! * an in-process sequential reference (one operator, one `process` call
+//!   per element) for context; and
+//! * the batched parallel executor across shards {1, 2, 4, 8} × batch sizes
+//!   {1, 256, 1024}.
+//!
+//! Writes `results/BENCH_parallel.json` so the perf trajectory is
+//! machine-readable PR-over-PR, and prints a human summary.
+
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
+use quill_engine::parallel::{run_keyed_parallel_with, ParallelConfig};
+use quill_engine::prelude::{Event, Row, StreamElement, Value, WindowSpec};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn make_op() -> WindowAggregateOp {
+    WindowAggregateOp::new(
+        WindowSpec::sliding(200u64, 40u64),
+        vec![
+            AggregateSpec::new(AggregateKind::Median, 1, "med"),
+            AggregateSpec::new(AggregateKind::Quantile(0.9), 1, "q90"),
+        ],
+        Some(0),
+        LatePolicy::Drop,
+    )
+    .expect("valid op")
+}
+
+fn keyed_stream(n: u64, keys: i64) -> Vec<StreamElement> {
+    let mut v: Vec<StreamElement> = (0..n)
+        .map(|i| {
+            StreamElement::Event(Event::new(
+                i,
+                i,
+                Row::new([Value::Int((i as i64) % keys), Value::Float((i % 97) as f64)]),
+            ))
+        })
+        .collect();
+    v.push(StreamElement::Flush);
+    v
+}
+
+/// The seed's keyed-parallel executor, reproduced verbatim as the
+/// acceptance baseline: per-event sends, per-event `DefaultHasher` over a
+/// cloned key, an unbounded per-result funnel, and a global sort whose
+/// order key (including a `String` render of the key) is recomputed on
+/// every comparison.
+fn seed_single_event_parallel(
+    elements: Vec<StreamElement>,
+    key_field: usize,
+    shards: usize,
+    make_op: impl Fn() -> WindowAggregateOp,
+) -> Vec<StreamElement> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn seed_shard_of(key: &Value, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        quill_engine::value::Key(key.clone()).hash(&mut h);
+        (h.finish() % shards.max(1) as u64) as usize
+    }
+    fn order_key(el: &StreamElement) -> (u64, u64, String) {
+        match el {
+            StreamElement::Event(e) => {
+                if let Some(r) = WindowResult::from_row(&e.row) {
+                    (r.window.end.raw(), r.window.start.raw(), r.key.to_string())
+                } else {
+                    (e.ts.raw(), e.seq, String::new())
+                }
+            }
+            _ => (u64::MAX, u64::MAX, String::new()),
+        }
+    }
+
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, StreamElement)>();
+    let mut txs = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (tx, rx) = crossbeam::channel::bounded::<StreamElement>(1024);
+        let mut op = make_op();
+        let out_tx = out_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for el in rx {
+                op.process(el, &mut |o| {
+                    if matches!(o, StreamElement::Event(_)) {
+                        let _ = out_tx.send((shard, o));
+                    }
+                });
+            }
+        }));
+        txs.push(tx);
+    }
+    drop(out_tx);
+    for el in elements {
+        match &el {
+            StreamElement::Event(e) => {
+                let shard = seed_shard_of(e.row.get(key_field), shards);
+                txs[shard].send(el).expect("shard alive");
+            }
+            _ => {
+                for tx in &txs {
+                    tx.send(el.clone()).expect("shard alive");
+                }
+            }
+        }
+    }
+    drop(txs);
+    let mut out: Vec<(usize, StreamElement)> = out_rx.into_iter().collect();
+    for h in handles {
+        h.join().expect("shard thread");
+    }
+    out.sort_by(|(sa, a), (sb, b)| order_key(a).cmp(&order_key(b)).then(sa.cmp(sb)));
+    out.into_iter().map(|(_, el)| el).collect()
+}
+
+/// Best-of-`repeat` wall seconds for one run of `f`.
+fn time_best(repeat: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..repeat.max(1) {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    assert!(sink != usize::MAX, "keep the result observable");
+    best
+}
+
+struct Args {
+    events: u64,
+    keys: i64,
+    repeat: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        events: 200_000,
+        keys: 64,
+        repeat: 3,
+        out: PathBuf::from("results/BENCH_parallel.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("bad --events: {e}"))?
+            }
+            "--keys" => {
+                args.keys = value("--keys")?
+                    .parse()
+                    .map_err(|e| format!("bad --keys: {e}"))?
+            }
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--quick" => {
+                args.events = 20_000;
+                args.repeat = 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: parallel-bench [--events N] [--keys K] [--repeat R] [--out FILE] [--quick]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let input = keyed_stream(args.events, args.keys);
+    let eps = |secs: f64| args.events as f64 / secs;
+
+    // Acceptance baseline: the seed's single-event keyed-parallel executor
+    // at 4 shards.
+    let seed_secs = time_best(args.repeat, || {
+        seed_single_event_parallel(input.clone(), 0, 4, make_op).len()
+    });
+    let seed_eps = eps(seed_secs);
+    println!("seed single-event path (4 shards): {seed_eps:>12.0} events/s");
+
+    // In-process sequential reference, for context.
+    let seq_secs = time_best(args.repeat, || {
+        let mut op = make_op();
+        let mut c = 0usize;
+        for el in &input {
+            op.process(el.clone(), &mut |_| c += 1);
+        }
+        c
+    });
+    let seq_eps = eps(seq_secs);
+    println!("sequential in-process reference:   {seq_eps:>12.0} events/s");
+
+    let mut rows = Vec::new();
+    let mut best_4shard = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        for batch in [1usize, 256, 1024] {
+            let secs = time_best(args.repeat, || {
+                run_keyed_parallel_with(
+                    input.clone(),
+                    0,
+                    ParallelConfig::new(shards).with_batch_size(batch),
+                    make_op,
+                )
+                .expect("parallel run")
+                .0
+                .len()
+            });
+            let e = eps(secs);
+            if shards == 4 {
+                best_4shard = best_4shard.max(e);
+            }
+            println!(
+                "shards={shards} batch={batch:>4}: {e:>12.0} events/s ({:>5.2}x vs seed)",
+                e / seed_eps
+            );
+            rows.push(format!(
+                "    {{\"shards\": {shards}, \"batch_size\": {batch}, \"events_per_sec\": {e:.1}, \"speedup_vs_seed\": {:.3}}}",
+                e / seed_eps
+            ));
+        }
+    }
+    let speedup_4 = best_4shard / seed_eps;
+    println!("best 4-shard speedup over seed single-event path: {speedup_4:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {seed_eps:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {seq_eps:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3}\n}}\n",
+        args.events,
+        args.keys,
+        args.repeat,
+        rows.join(",\n"),
+    );
+    if let Some(dir) = args.out.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error creating {}: {e}", dir.display());
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("error writing {}: {e}", args.out.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+    std::process::ExitCode::SUCCESS
+}

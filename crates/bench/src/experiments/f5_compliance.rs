@@ -28,8 +28,8 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
         let prefix: Vec<_> = stream
             .events
             .iter()
-            .cloned()
             .filter(|e| e.ts.raw() < step_at)
+            .cloned()
             .collect();
         delays_of(&prefix)
     };

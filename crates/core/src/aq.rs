@@ -288,7 +288,7 @@ impl DisorderControl for AqKSlack {
                 .min(self.cfg.k_max)
                 .max(self.cfg.k_min);
             self.buf.set_k(k);
-        } else if self.events_seen % self.cfg.adapt_every == 0 {
+        } else if self.events_seen.is_multiple_of(self.cfg.adapt_every) {
             self.adapt();
         }
         self.buf.insert(e, out);

@@ -74,6 +74,14 @@ impl AggregateKind {
                 | AggregateKind::ArgMax(_)
         )
     }
+
+    /// Whether per-pane partial states of this aggregate can be merged into
+    /// a window result ([`AggregateSpec::build_pane`] returns `Some`). Exact
+    /// order statistics and distinct counts are not decomposable without
+    /// retaining per-pane value sets, so they stay on the per-window path.
+    pub fn combinable(&self) -> bool {
+        self.constant_space()
+    }
 }
 
 impl fmt::Display for AggregateKind {
@@ -154,6 +162,29 @@ impl AggregateSpec {
         }
     }
 
+    /// Instantiate mergeable per-pane partial state, or `None` for kinds
+    /// whose partials cannot be combined (order statistics, distinct
+    /// counts). Used by the shared-pane sliding-window path; see
+    /// [`PaneAgg`].
+    pub(crate) fn build_pane(&self) -> Option<PaneAgg> {
+        Some(match self.kind {
+            AggregateKind::Count => PaneAgg::Count(CountAgg::default()),
+            AggregateKind::Sum => PaneAgg::Sum(SumAgg::default()),
+            AggregateKind::Mean => PaneAgg::Mean(MeanAgg::default()),
+            AggregateKind::Min => PaneAgg::Extreme(ExtremeAgg::new(false)),
+            AggregateKind::Max => PaneAgg::Extreme(ExtremeAgg::new(true)),
+            AggregateKind::StdDev => PaneAgg::Moments(MomentsAgg::new(true)),
+            AggregateKind::Variance => PaneAgg::Moments(MomentsAgg::new(false)),
+            AggregateKind::First => PaneAgg::Edge(EdgeAgg::new(false)),
+            AggregateKind::Last => PaneAgg::Edge(EdgeAgg::new(true)),
+            AggregateKind::ArgMin(by) => PaneAgg::Arg(ArgAgg::new(false, by)),
+            AggregateKind::ArgMax(by) => PaneAgg::Arg(ArgAgg::new(true, by)),
+            AggregateKind::Median
+            | AggregateKind::Quantile(_)
+            | AggregateKind::DistinctCount => return None,
+        })
+    }
+
     /// Reference implementation: compute the aggregate from the raw window
     /// contents in one pass. `values` is `(event timestamp, field value)` in
     /// any order. Arg-aggregates need the full rows — use
@@ -202,10 +233,86 @@ pub trait Aggregator: Send {
     }
 }
 
-#[derive(Default)]
-struct CountAgg {
+/// Mergeable per-pane partial aggregate state.
+///
+/// The shared-pane sliding-window path (stream slicing) folds each event
+/// into exactly one *pane* — the `[k·slide, (k+1)·slide)` interval owning its
+/// timestamp — and assembles window results by merging pane partials instead
+/// of re-folding raw events into every overlapping window. Each variant
+/// wraps the corresponding incremental aggregator and adds a `merge`
+/// operation combining two disjoint partials; merges always fold the *later*
+/// pane into the *earlier* one, so tie-breaking matches event-time order.
+///
+/// Per-event cost is O(1); per-window cost is O(aggs) amortized through the
+/// two-stacks suffix cache in the window operator.
+#[derive(Clone)]
+pub(crate) enum PaneAgg {
+    Count(CountAgg),
+    Sum(SumAgg),
+    Mean(MeanAgg),
+    Extreme(ExtremeAgg),
+    Moments(MomentsAgg),
+    Edge(EdgeAgg),
+    Arg(ArgAgg),
+}
+
+impl PaneAgg {
+    /// Fold one event into the partial (same contract as
+    /// [`Aggregator::insert_row`]).
+    pub(crate) fn insert_row(&mut self, ts: Timestamp, v: &Value, row: &Row) {
+        match self {
+            PaneAgg::Count(a) => a.insert(ts, v),
+            PaneAgg::Sum(a) => a.insert(ts, v),
+            PaneAgg::Mean(a) => a.insert(ts, v),
+            PaneAgg::Extreme(a) => a.insert(ts, v),
+            PaneAgg::Moments(a) => a.insert(ts, v),
+            PaneAgg::Edge(a) => a.insert(ts, v),
+            PaneAgg::Arg(a) => a.insert_row(ts, v, row),
+        }
+    }
+
+    /// Merge a *later* pane's partial into this one. Both sides must come
+    /// from the same [`AggregateSpec`] (enforced by construction; mismatched
+    /// variants are a logic error).
+    pub(crate) fn merge(&mut self, later: &PaneAgg) {
+        match (self, later) {
+            (PaneAgg::Count(a), PaneAgg::Count(b)) => a.merge(b),
+            (PaneAgg::Sum(a), PaneAgg::Sum(b)) => a.merge(b),
+            (PaneAgg::Mean(a), PaneAgg::Mean(b)) => a.merge(b),
+            (PaneAgg::Extreme(a), PaneAgg::Extreme(b)) => a.merge(b),
+            (PaneAgg::Moments(a), PaneAgg::Moments(b)) => a.merge(b),
+            (PaneAgg::Edge(a), PaneAgg::Edge(b)) => a.merge(b),
+            (PaneAgg::Arg(a), PaneAgg::Arg(b)) => a.merge(b),
+            _ => debug_assert!(false, "merging mismatched pane aggregates"),
+        }
+    }
+
+    /// Produce the current result (same contract as
+    /// [`Aggregator::finalize`]).
+    pub(crate) fn finalize(&self) -> Value {
+        match self {
+            PaneAgg::Count(a) => a.finalize(),
+            PaneAgg::Sum(a) => a.finalize(),
+            PaneAgg::Mean(a) => a.finalize(),
+            PaneAgg::Extreme(a) => a.finalize(),
+            PaneAgg::Moments(a) => a.finalize(),
+            PaneAgg::Edge(a) => a.finalize(),
+            PaneAgg::Arg(a) => a.finalize(),
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+pub(crate) struct CountAgg {
     n: u64,
     seen: u64,
+}
+
+impl CountAgg {
+    fn merge(&mut self, o: &CountAgg) {
+        self.n += o.n;
+        self.seen += o.seen;
+    }
 }
 
 impl Aggregator for CountAgg {
@@ -223,11 +330,19 @@ impl Aggregator for CountAgg {
     }
 }
 
-#[derive(Default)]
-struct SumAgg {
+#[derive(Clone, Default)]
+pub(crate) struct SumAgg {
     sum: f64,
     n: u64,
     seen: u64,
+}
+
+impl SumAgg {
+    fn merge(&mut self, o: &SumAgg) {
+        self.sum += o.sum;
+        self.n += o.n;
+        self.seen += o.seen;
+    }
 }
 
 impl Aggregator for SumAgg {
@@ -250,11 +365,19 @@ impl Aggregator for SumAgg {
     }
 }
 
-#[derive(Default)]
-struct MeanAgg {
+#[derive(Clone, Default)]
+pub(crate) struct MeanAgg {
     sum: f64,
     n: u64,
     seen: u64,
+}
+
+impl MeanAgg {
+    fn merge(&mut self, o: &MeanAgg) {
+        self.sum += o.sum;
+        self.n += o.n;
+        self.seen += o.seen;
+    }
 }
 
 impl Aggregator for MeanAgg {
@@ -278,7 +401,8 @@ impl Aggregator for MeanAgg {
 }
 
 /// Min/Max over the total value order.
-struct ExtremeAgg {
+#[derive(Clone)]
+pub(crate) struct ExtremeAgg {
     max: bool,
     best: Option<Value>,
     seen: u64,
@@ -290,6 +414,29 @@ impl ExtremeAgg {
             max,
             best: None,
             seen: 0,
+        }
+    }
+
+    /// Merge a later partial: its extremum replaces ours only when strictly
+    /// better, so `total_cmp`-equal values keep the earlier pane's
+    /// representative (deterministic in event-time order).
+    fn merge(&mut self, o: &ExtremeAgg) {
+        self.seen += o.seen;
+        if let Some(ov) = &o.best {
+            let better = match &self.best {
+                None => true,
+                Some(b) => {
+                    let ord = ov.total_cmp(b);
+                    if self.max {
+                        ord == std::cmp::Ordering::Greater
+                    } else {
+                        ord == std::cmp::Ordering::Less
+                    }
+                }
+            };
+            if better {
+                self.best = Some(ov.clone());
+            }
         }
     }
 }
@@ -325,7 +472,8 @@ impl Aggregator for ExtremeAgg {
 
 /// Welford-style running moments for variance / standard deviation
 /// (population). Numerically stable under long windows.
-struct MomentsAgg {
+#[derive(Clone)]
+pub(crate) struct MomentsAgg {
     stddev: bool,
     n: u64,
     mean: f64,
@@ -342,6 +490,28 @@ impl MomentsAgg {
             m2: 0.0,
             seen: 0,
         }
+    }
+
+    /// Chan et al.'s parallel-moments combine: exact counts, and mean/M2
+    /// merged without revisiting raw values.
+    fn merge(&mut self, o: &MomentsAgg) {
+        self.seen += o.seen;
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            self.n = o.n;
+            self.mean = o.mean;
+            self.m2 = o.m2;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = o.n as f64;
+        let n = na + nb;
+        let delta = o.mean - self.mean;
+        self.m2 += o.m2 + delta * delta * na * nb / n;
+        self.mean += delta * nb / n;
+        self.n += o.n;
     }
 }
 
@@ -367,12 +537,16 @@ impl Aggregator for MomentsAgg {
     }
 }
 
-/// Exact quantile via a retained sorted-on-demand buffer. O(window) space;
-/// finalize sorts a scratch copy (windows are bounded, and finalize happens
-/// once per window emission).
+/// Exact quantile over incrementally maintained *sorted* state: each ingest
+/// binary-searches the insertion point (`O(log n)` compare + `O(n)` shift of
+/// plain `f64`s — a fast `memmove`), so finalize is O(1) instead of the old
+/// clone-and-sort (`O(n)` allocation + `O(n log n)` compares per emission,
+/// which dominated Median/Quantile windows that finalize more often than
+/// they grow).
 struct QuantileAgg {
     p: f64,
-    values: Vec<f64>,
+    /// Values in ascending `total_cmp` order at all times.
+    sorted: Vec<f64>,
     seen: u64,
 }
 
@@ -380,7 +554,7 @@ impl QuantileAgg {
     fn new(p: f64) -> Self {
         QuantileAgg {
             p: p.clamp(0.0, 1.0),
-            values: Vec::new(),
+            sorted: Vec::new(),
             seen: 0,
         }
     }
@@ -406,13 +580,17 @@ impl Aggregator for QuantileAgg {
     fn insert(&mut self, _ts: Timestamp, v: &Value) {
         self.seen += 1;
         if let Some(x) = v.as_f64() {
-            self.values.push(x);
+            // Insert after any total_cmp-equal values: equal f64s are
+            // bit-identical, so this yields exactly the array a stable
+            // sort of the raw buffer would.
+            let at = self
+                .sorted
+                .partition_point(|y| y.total_cmp(&x) != std::cmp::Ordering::Greater);
+            self.sorted.insert(at, x);
         }
     }
     fn finalize(&self) -> Value {
-        let mut scratch = self.values.clone();
-        scratch.sort_by(|a, b| a.total_cmp(b));
-        match quantile_sorted(&scratch, self.p) {
+        match quantile_sorted(&self.sorted, self.p) {
             Some(q) => Value::Float(q),
             None => Value::Null,
         }
@@ -446,7 +624,8 @@ impl Aggregator for DistinctAgg {
 /// First/Last by event timestamp. For equal timestamps, the earliest (resp.
 /// latest) *insertion* wins, matching the reference implementation which
 /// feeds values in (ts, insertion) order.
-struct EdgeAgg {
+#[derive(Clone)]
+pub(crate) struct EdgeAgg {
     last: bool,
     best: Option<(Timestamp, Value)>,
     seen: u64,
@@ -458,6 +637,28 @@ impl EdgeAgg {
             last,
             best: None,
             seen: 0,
+        }
+    }
+
+    /// Merge a later pane's partial. Equal timestamps cannot occur across
+    /// panes (a timestamp maps to exactly one pane), so the insert-order tie
+    /// rule never fires here.
+    fn merge(&mut self, o: &EdgeAgg) {
+        self.seen += o.seen;
+        if let Some((ots, ov)) = &o.best {
+            let take = match &self.best {
+                None => true,
+                Some((bt, _)) => {
+                    if self.last {
+                        *ots >= *bt
+                    } else {
+                        *ots < *bt
+                    }
+                }
+            };
+            if take {
+                self.best = Some((*ots, ov.clone()));
+            }
         }
     }
 }
@@ -494,7 +695,8 @@ impl Aggregator for EdgeAgg {
 }
 
 /// ArgMin/ArgMax: report one field's value at the extremum of another.
-struct ArgAgg {
+#[derive(Clone)]
+pub(crate) struct ArgAgg {
     max: bool,
     by: usize,
     best: Option<(Value, Timestamp, Value)>,
@@ -508,6 +710,29 @@ impl ArgAgg {
             by,
             best: None,
             seen: 0,
+        }
+    }
+
+    /// Merge a later pane's partial with the same extremum/tie rule as
+    /// `insert_row`: strictly better `by` wins; equal `by` resolves to the
+    /// earliest event time.
+    fn merge(&mut self, o: &ArgAgg) {
+        self.seen += o.seen;
+        if let Some((oby, ots, ov)) = &o.best {
+            let better = match &self.best {
+                None => true,
+                Some((best_by, best_ts, _)) => {
+                    use std::cmp::Ordering::*;
+                    match oby.total_cmp(best_by) {
+                        Greater => self.max,
+                        Less => !self.max,
+                        Equal => *ots < *best_ts,
+                    }
+                }
+            };
+            if better {
+                self.best = Some((oby.clone(), *ots, ov.clone()));
+            }
         }
     }
 }
@@ -740,6 +965,122 @@ mod tests {
 }
 
 #[cfg(test)]
+mod pane_tests {
+    use super::*;
+
+    /// Split `(ts, row)` data into panes of width `slide`, fold each event
+    /// into its home pane's partial, merge partials in ascending pane order,
+    /// and compare with feeding the same data sequentially (in ts order)
+    /// into the plain incremental aggregator.
+    fn merged_vs_sequential(spec: &AggregateSpec, data: &[(u64, Row)], slide: u64) -> (Value, Value) {
+        let mut panes: std::collections::BTreeMap<u64, PaneAgg> = Default::default();
+        for (t, row) in data {
+            let pane = panes
+                .entry(t / slide * slide)
+                .or_insert_with(|| spec.build_pane().expect("combinable kind"));
+            pane.insert_row(Timestamp(*t), row.get(spec.field), row);
+        }
+        let mut merged: Option<PaneAgg> = None;
+        for (_, p) in panes {
+            match &mut merged {
+                None => merged = Some(p),
+                Some(m) => m.merge(&p),
+            }
+        }
+        let merged = merged
+            .unwrap_or_else(|| spec.build_pane().expect("combinable kind"))
+            .finalize();
+
+        let mut seq = spec.build();
+        let mut ordered: Vec<&(u64, Row)> = data.iter().collect();
+        ordered.sort_by_key(|(t, _)| *t);
+        for (t, row) in ordered {
+            seq.insert_row(Timestamp(*t), row.get(spec.field), row);
+        }
+        (merged, seq.finalize())
+    }
+
+    #[test]
+    fn pane_merge_matches_sequential_for_every_combinable_kind() {
+        let data: Vec<(u64, Row)> = [
+            (1u64, 3.0, 7.0),
+            (4, -2.5, 1.0),
+            (7, 8.0, 4.0),
+            (12, 0.5, 9.0),
+            (15, 8.0, 9.0),
+            (18, -2.5, 2.0),
+            (22, 1.0, 0.5),
+        ]
+        .iter()
+        .map(|&(t, v, by)| (t, Row::new([Value::Float(v), Value::Float(by)])))
+        .collect();
+        for kind in [
+            AggregateKind::Count,
+            AggregateKind::Sum,
+            AggregateKind::Mean,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::StdDev,
+            AggregateKind::Variance,
+            AggregateKind::First,
+            AggregateKind::Last,
+            AggregateKind::ArgMin(1),
+            AggregateKind::ArgMax(1),
+        ] {
+            let spec = AggregateSpec::new(kind, 0, "a");
+            let (merged, sequential) = merged_vs_sequential(&spec, &data, 10);
+            match (merged, sequential) {
+                (Value::Float(x), Value::Float(y)) => {
+                    assert!((x - y).abs() < 1e-9, "{kind}: merged {x} != sequential {y}")
+                }
+                (x, y) => assert_eq!(x, y, "{kind}"),
+            }
+        }
+    }
+
+    #[test]
+    fn moments_merge_handles_empty_sides() {
+        let mut a = MomentsAgg::new(false);
+        let mut b = MomentsAgg::new(false);
+        for x in [1.0, 2.0, 3.0] {
+            b.insert(Timestamp(0), &Value::Float(x));
+        }
+        a.merge(&b); // empty ⊕ populated copies
+        let mut c = MomentsAgg::new(false);
+        a.merge(&c); // populated ⊕ empty is a no-op
+        c.merge(&MomentsAgg::new(false)); // empty ⊕ empty stays empty
+        match a.finalize() {
+            Value::Float(v) => assert!((v - 2.0 / 3.0).abs() < 1e-12),
+            other => panic!("expected float, got {other:?}"),
+        }
+        assert_eq!(c.finalize(), Value::Null);
+    }
+
+    #[test]
+    fn non_combinable_kinds_have_no_pane_state() {
+        for kind in [
+            AggregateKind::Median,
+            AggregateKind::Quantile(0.9),
+            AggregateKind::DistinctCount,
+        ] {
+            assert!(!kind.combinable());
+            assert!(AggregateSpec::new(kind, 0, "a").build_pane().is_none());
+        }
+        assert!(AggregateKind::Sum.combinable());
+    }
+
+    #[test]
+    fn quantile_state_stays_sorted_under_disordered_inserts() {
+        let mut agg = QuantileAgg::new(0.5);
+        for x in [5.0, -1.0, 3.0, 3.0, 100.0, 0.0, 3.0] {
+            agg.insert(Timestamp(0), &Value::Float(x));
+        }
+        assert!(agg.sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(agg.finalize(), Value::Float(3.0));
+    }
+}
+
+#[cfg(test)]
 mod arg_tests {
     use super::*;
 
@@ -751,7 +1092,7 @@ mod arg_tests {
     fn argmax_reports_companion_field() {
         // Report field 0 at the max of field 1.
         let spec = AggregateSpec::new(AggregateKind::ArgMax(1), 0, "at_peak");
-        let rows = vec![
+        let rows = [
             (Timestamp(1), row(10.0, 5.0)),
             (Timestamp(2), row(20.0, 50.0)), // peak of `by`
             (Timestamp(3), row(30.0, 7.0)),
@@ -765,7 +1106,7 @@ mod arg_tests {
     #[test]
     fn arg_ties_resolve_to_earliest_event_time() {
         let spec = AggregateSpec::new(AggregateKind::ArgMax(1), 0, "a");
-        let rows = vec![
+        let rows = [
             (Timestamp(5), row(1.0, 9.0)),
             (Timestamp(2), row(2.0, 9.0)), // same `by`, earlier ts → wins
         ];
@@ -776,7 +1117,7 @@ mod arg_tests {
     #[test]
     fn arg_skips_null_by_values_and_handles_empty() {
         let spec = AggregateSpec::new(AggregateKind::ArgMax(1), 0, "a");
-        let rows = vec![(Timestamp(1), Row::new([Value::Float(1.0), Value::Null]))];
+        let rows = [(Timestamp(1), Row::new([Value::Float(1.0), Value::Null]))];
         let refs: Vec<(Timestamp, &Row)> = rows.iter().map(|(t, r)| (*t, r)).collect();
         assert_eq!(spec.compute_rows(&refs), Value::Null);
         assert_eq!(spec.compute_rows(&[]), Value::Null);

@@ -1,0 +1,165 @@
+//! Fast, seeded, allocation-free hashing for shard routing.
+//!
+//! The keyed-parallel executor hashes every event's grouping key to pick a
+//! shard. `std`'s [`DefaultHasher`](std::collections::hash_map::DefaultHasher)
+//! is SipHash-1-3: strong against adversarial keys, but an order of magnitude
+//! slower than needed for routing, and constructing one per event costs a
+//! fresh key-schedule each time. [`FxHasher`] is the FxHash multiply-rotate
+//! fold used by rustc's internal hash maps: one rotate, one xor and one
+//! multiply per word, with an explicit seed so shard assignment is a pure,
+//! stable function of the key bytes — identical across runs, threads and
+//! platforms (all words are folded in little-endian order).
+//!
+//! This is *not* a DoS-resistant hash; it is used only for internal shard
+//! routing where the key distribution is the workload's own.
+
+use std::hash::Hasher;
+
+/// The multiply constant from FxHash (derived from the golden ratio,
+/// `2^64 / φ`, forced odd).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Seed for shard routing. Any fixed value works; a non-zero seed avoids the
+/// degenerate `hash(0) == 0` fixed point of the fold.
+pub const SHARD_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A seeded FxHash-style [`Hasher`]: `state = rotl5(state ^ word) * K` per
+/// 64-bit word.
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// A hasher seeded with [`SHARD_SEED`].
+    pub fn new() -> FxHasher {
+        FxHasher::with_seed(SHARD_SEED)
+    }
+
+    /// A hasher with an explicit seed (the initial fold state).
+    pub fn with_seed(seed: u64) -> FxHasher {
+        FxHasher { hash: seed }
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash ^ word).rotate_left(5).wrapping_mul(K);
+    }
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher::new()
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold full little-endian words, then the zero-padded tail. The tail
+        // is folded together with its length so "ab" + "" != "a" + "b".
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(tail));
+        }
+        self.fold(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.fold(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl Fn(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_for_equal_input() {
+        let a = hash_of(|h| h.write(b"hello world"));
+        let b = hash_of(|h| h.write(b"hello world"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_input_and_seed() {
+        let a = hash_of(|h| h.write_u64(1));
+        let b = hash_of(|h| h.write_u64(2));
+        assert_ne!(a, b);
+        let mut s = FxHasher::with_seed(123);
+        s.write_u64(1);
+        assert_ne!(a, s.finish());
+    }
+
+    #[test]
+    fn byte_stream_framing_distinguishes_splits() {
+        // Same bytes, different message boundaries, must differ (length fold).
+        let a = hash_of(|h| {
+            h.write(b"ab");
+            h.write(b"");
+        });
+        let b = hash_of(|h| {
+            h.write(b"a");
+            h.write(b"b");
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_inputs_use_every_word() {
+        let mut bytes = [0u8; 32];
+        let a = hash_of(|h| h.write(&bytes));
+        bytes[31] = 1; // flip a bit in the last chunk
+        let b = hash_of(|h| h.write(&bytes));
+        assert_ne!(a, b);
+    }
+}

@@ -50,6 +50,7 @@
 pub mod aggregate;
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod operator;
 pub mod parallel;
 pub mod pipeline;
@@ -66,9 +67,12 @@ pub mod prelude {
         merge_by_arrival, CountWindowOp, FilterOp, IntervalJoin, LatePolicy, MapOp, Operator,
         ProjectOp, SessionOpStats, SessionWindowOp, WindowAggregateOp, WindowOpStats, WindowResult,
     };
-    pub use crate::parallel::{run_keyed_parallel, shard_of};
+    pub use crate::hash::FxHasher;
+    pub use crate::parallel::{
+        run_keyed_parallel, run_keyed_parallel_with, shard_of, ParallelConfig,
+    };
     pub use crate::pipeline::Pipeline;
     pub use crate::time::{TimeDelta, Timestamp};
-    pub use crate::value::{Field, FieldType, Key, Row, Schema, Value};
+    pub use crate::value::{hash_value, Field, FieldType, Key, Row, Schema, Value};
     pub use crate::window::{Window, WindowSpec};
 }

@@ -29,6 +29,16 @@ pub trait Operator: Send {
     fn process(&mut self, el: StreamElement, out: &mut dyn FnMut(StreamElement));
 }
 
+impl Operator for Box<dyn Operator> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn process(&mut self, el: StreamElement, out: &mut dyn FnMut(StreamElement)) {
+        (**self).process(el, out)
+    }
+}
+
 /// Stateless 1:1 transformation of event rows. Watermarks and flush pass
 /// through untouched.
 pub struct MapOp<F> {

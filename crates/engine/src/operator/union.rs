@@ -47,7 +47,7 @@ pub fn merge_by_arrival(inputs: Vec<Vec<StreamElement>>) -> Vec<StreamElement> {
                         it.next();
                     }
                     Some(StreamElement::Event(e)) => {
-                        if best.map_or(true, |(_, s)| e.seq < s) {
+                        if best.is_none_or(|(_, s)| e.seq < s) {
                             best = Some((i, e.seq));
                         }
                         break;
@@ -70,7 +70,7 @@ pub fn merge_by_arrival(inputs: Vec<Vec<StreamElement>>) -> Vec<StreamElement> {
             None
         };
         if let Some(c) = combined {
-            if c != Timestamp::MAX && emitted_wm.map_or(true, |e| c > e) {
+            if c != Timestamp::MAX && emitted_wm.is_none_or(|e| c > e) {
                 out.push(StreamElement::Watermark(c));
                 emitted_wm = Some(c);
             }

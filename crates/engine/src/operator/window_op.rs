@@ -11,8 +11,25 @@
 //! disorder-control strategies in `quill-core` decide how long to hold
 //! events (and therefore where watermarks sit); this operator turns those
 //! watermarks into results whose completeness the metrics crate scores.
+//!
+//! ## Execution paths
+//!
+//! Two state layouts are used, chosen at construction:
+//!
+//! * **Per-window** (the general path): every `(key, window)` instance holds
+//!   its own aggregate state; an event is folded into each of the
+//!   `ceil(length/slide)` windows containing its timestamp.
+//! * **Shared-pane** (stream slicing): when the window is sliding with
+//!   `slide < length`, `slide | length`, the late policy is `Drop` and every
+//!   aggregate is [combinable](crate::aggregate::AggregateKind::combinable),
+//!   each event is folded *once* into its home pane (`[k·slide,
+//!   (k+1)·slide)`), and window results are assembled by merging pane
+//!   partials with a two-stacks FIFO suffix cache — amortized O(1) pane
+//!   merges per emission. Sliding Sum/Variance therefore no longer recompute
+//!   from raw window contents on emit; [`WindowOpStats::agg_inserts`]
+//!   instruments the difference.
 
-use crate::aggregate::{AggregateSpec, Aggregator};
+use crate::aggregate::{AggregateSpec, Aggregator, PaneAgg};
 use crate::error::Result;
 use crate::event::{Event, StreamElement};
 use crate::operator::Operator;
@@ -20,7 +37,7 @@ use crate::time::Timestamp;
 use crate::value::{Key, Row, Value};
 use crate::window::{Window, WindowSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What to do with an event whose window has already been finalized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,6 +68,12 @@ pub struct WindowOpStats {
     pub revisions: u64,
     /// Window results emitted (first emissions, not revisions).
     pub windows_emitted: u64,
+    /// Aggregate-state folds performed: one per open window instance the
+    /// event lands in on the per-window path, exactly one per accepted event
+    /// on the shared-pane path. The ratio to `accepted` shows whether
+    /// sliding windows share state (`1`) or recompute per instance
+    /// (`≈ length/slide`).
+    pub agg_inserts: u64,
 }
 
 /// Parsed view of a result row emitted by [`WindowAggregateOp`].
@@ -119,6 +142,65 @@ struct WindowState {
 /// which makes output deterministic.
 type StateKey = (Timestamp, Timestamp, Key);
 
+/// One pane's mergeable partials plus its event count.
+struct Pane {
+    partials: Vec<PaneAgg>,
+    rows: u64,
+}
+
+/// A combined partial: per-spec pane aggregates plus total event count.
+type Combined = (Vec<PaneAgg>, u64);
+
+/// Two-stacks FIFO combine cache over one key's pane sequence.
+///
+/// Between emissions, `front ∪ back` (front older, oldest on top of the
+/// stack) holds exactly the panes of the last emitted window. Emitting the
+/// next window pushes the newly covered pane onto the back (extending the
+/// running `back_agg`), evicts the expired pane from the front — flipping
+/// the back into suffix-combined front entries when the front runs dry —
+/// and answers with `front.top ⊕ back_agg`. Each pane is merged O(1) times
+/// amortized, so an emission costs O(aggs) instead of O(length/slide).
+struct FifoRun {
+    /// Window end this run can advance to; anything else forces a rebuild.
+    next_end: u64,
+    /// Value of [`KeyPanes::mods`] when the caches were built; any insert
+    /// into the key's panes bumps `mods` and invalidates the run.
+    epoch: u64,
+    /// Newest pane first, so the oldest pane is `last()` (stack top). Each
+    /// entry caches the combine of that pane with every newer front pane.
+    front: Vec<(u64, Combined)>,
+    /// Pane starts in the back, oldest first — dense (empty panes included)
+    /// so eviction stays positionally aligned with window starts.
+    back: Vec<u64>,
+    /// Running combine of the back panes.
+    back_agg: Option<Combined>,
+}
+
+/// Pane state for one grouping key.
+#[derive(Default)]
+struct KeyPanes {
+    /// Pane start → partials. Panes are GC'd once every window covering
+    /// them has been emitted.
+    panes: BTreeMap<u64, Pane>,
+    /// Insert epoch; see [`FifoRun::epoch`].
+    mods: u64,
+    run: Option<FifoRun>,
+}
+
+/// Shared-pane (stream slicing) state; present only when the window shape,
+/// aggregates and late policy allow it.
+struct PanedState {
+    length: u64,
+    slide: u64,
+    /// Fresh (empty) partials, cloned per new pane.
+    template: Vec<PaneAgg>,
+    keys: BTreeMap<Key, KeyPanes>,
+    /// Registered-but-unemitted `(window end, key)` pairs; drained in order
+    /// as the watermark advances, which reproduces the per-window path's
+    /// `(end, start, key)` emission order (equal ends share a start).
+    pending: BTreeSet<(Timestamp, Key)>,
+}
+
 /// Keyed sliding/tumbling window aggregation operator.
 pub struct WindowAggregateOp {
     name: String,
@@ -127,6 +209,7 @@ pub struct WindowAggregateOp {
     key_field: Option<usize>,
     late_policy: LatePolicy,
     state: BTreeMap<StateKey, WindowState>,
+    paned: Option<PanedState>,
     watermark: Timestamp,
     out_seq: u64,
     stats: WindowOpStats,
@@ -157,6 +240,7 @@ impl WindowAggregateOp {
                 "window aggregation requires at least one aggregate".into(),
             ));
         }
+        let paned = Self::pane_state(&spec, &aggs, late_policy);
         Ok(WindowAggregateOp {
             name: format!("window-agg({spec})"),
             spec,
@@ -164,10 +248,57 @@ impl WindowAggregateOp {
             key_field,
             late_policy,
             state: BTreeMap::new(),
+            paned,
             watermark: Timestamp::MIN,
             out_seq: 0,
             stats: WindowOpStats::default(),
         })
+    }
+
+    /// Shared-pane state when eligible: overlapping sliding windows whose
+    /// slide divides the length, `Drop` lateness, and only combinable
+    /// aggregates. Everything else uses per-window state.
+    fn pane_state(
+        spec: &WindowSpec,
+        aggs: &[AggregateSpec],
+        late_policy: LatePolicy,
+    ) -> Option<PanedState> {
+        let (length, slide) = match *spec {
+            WindowSpec::Sliding { length, slide } => (length.raw(), slide.raw()),
+            WindowSpec::Tumbling { .. } => return None,
+        };
+        if slide == 0 || slide >= length || length % slide != 0 {
+            return None;
+        }
+        if late_policy != LatePolicy::Drop {
+            return None;
+        }
+        let template: Option<Vec<PaneAgg>> = aggs.iter().map(|a| a.build_pane()).collect();
+        Some(PanedState {
+            length,
+            slide,
+            template: template?,
+            keys: BTreeMap::new(),
+            pending: BTreeSet::new(),
+        })
+    }
+
+    /// Whether this operator runs on the shared-pane path (see module docs).
+    pub fn shares_panes(&self) -> bool {
+        self.paned.is_some()
+    }
+
+    /// Force the execution path: `false` pins the per-window layout even
+    /// when pane sharing would apply (for differential testing and
+    /// benchmarking); `true` re-enables it where eligible. Call before
+    /// processing any elements — switching discards accumulated pane state.
+    pub fn with_shared_panes(mut self, enabled: bool) -> Self {
+        self.paned = if enabled {
+            Self::pane_state(&self.spec, &self.aggs, self.late_policy)
+        } else {
+            None
+        };
+        self
     }
 
     /// Counters accumulated so far.
@@ -175,9 +306,13 @@ impl WindowAggregateOp {
         self.stats
     }
 
-    /// Number of (key, window) states currently held.
+    /// Number of (key, window) states currently held (registered pending
+    /// windows on the shared-pane path).
     pub fn open_windows(&self) -> usize {
-        self.state.len()
+        match &self.paned {
+            Some(ps) => ps.pending.len(),
+            None => self.state.len(),
+        }
     }
 
     fn key_of(&self, row: &Row) -> Key {
@@ -218,6 +353,7 @@ impl WindowAggregateOp {
                 agg.insert_row(e.ts, e.row.get(spec.field), &e.row);
             }
             st.count += 1;
+            self.stats.agg_inserts += 1;
             accepted = true;
         }
         if accepted {
@@ -228,6 +364,51 @@ impl WindowAggregateOp {
             // No window contained the event (cannot happen for valid specs,
             // but account for it rather than losing events silently).
             self.stats.late_dropped += 1;
+        }
+    }
+
+    /// Shared-pane ingest: one aggregate fold into the event's home pane,
+    /// plus (for a freshly created pane) registering the pane's still-open
+    /// windows as pending emissions.
+    fn fold_event_paned(&mut self, e: &Event) {
+        let key = self.key_of(&e.row);
+        let wm = self.watermark.raw();
+        let ps = self.paned.as_mut().expect("paned path");
+        let t = e.ts.raw();
+        let p = t / ps.slide * ps.slide;
+        // The last window containing `t` ends at `p + length`; if the
+        // watermark passed it, every containing window is closed.
+        if p.saturating_add(ps.length) <= wm {
+            self.stats.late_dropped += 1;
+            return;
+        }
+        let kp = ps.keys.entry(key.clone()).or_default();
+        kp.mods += 1;
+        let new_pane = !kp.panes.contains_key(&p);
+        let pane = kp.panes.entry(p).or_insert_with(|| Pane {
+            partials: ps.template.clone(),
+            rows: 0,
+        });
+        for (agg, spec) in pane.partials.iter_mut().zip(&self.aggs) {
+            agg.insert_row(e.ts, e.row.get(spec.field), &e.row);
+        }
+        pane.rows += 1;
+        self.stats.agg_inserts += 1;
+        self.stats.accepted += 1;
+        if new_pane {
+            // Register ends {p+slide, …, p+length} that are real windows
+            // (end ≥ length, i.e. start ≥ 0) and still open. Already-emitted
+            // ends stay final (Drop policy), so idempotent registration per
+            // pane creation suffices.
+            let mut end = p.saturating_add(ps.length);
+            let first = p + ps.slide;
+            while end >= first && end >= ps.length && end > wm {
+                ps.pending.insert((Timestamp(end), key.clone()));
+                match end.checked_sub(ps.slide) {
+                    Some(prev) => end = prev,
+                    None => break,
+                }
+            }
         }
     }
 
@@ -270,6 +451,11 @@ impl WindowAggregateOp {
             return;
         }
         self.watermark = wm;
+        if self.paned.is_some() {
+            self.drain_pending_paned(wm, out);
+            out(StreamElement::Watermark(wm));
+            return;
+        }
         // Emit every not-yet-emitted window with end <= wm, in (end, start,
         // key) order. Under Drop policy the state is removed; under Revise it
         // is retained until allowed lateness expires.
@@ -321,6 +507,170 @@ impl WindowAggregateOp {
         }
         out(StreamElement::Watermark(wm));
     }
+
+    /// Shared-pane emission: pop every pending `(end, key)` up to the
+    /// watermark (already in emission order), combine that window's panes,
+    /// and GC panes no later window can cover.
+    fn drain_pending_paned(&mut self, wm: Timestamp, out: &mut dyn FnMut(StreamElement)) {
+        loop {
+            let (end, key) = {
+                let ps = self.paned.as_mut().expect("paned path");
+                match ps.pending.first() {
+                    Some((e, _)) if *e <= wm => {
+                        let (e, k) = ps.pending.pop_first().expect("non-empty");
+                        (e.raw(), k)
+                    }
+                    _ => break,
+                }
+            };
+            let row = self.emit_paned_window(end, &key);
+            self.stats.windows_emitted += 1;
+            self.out_seq += 1;
+            out(StreamElement::Event(Event::new(
+                Timestamp(end),
+                self.out_seq,
+                row,
+            )));
+        }
+    }
+
+    fn emit_paned_window(&mut self, end: u64, key: &Key) -> Row {
+        let ps = self.paned.as_mut().expect("paned path");
+        // Registration guarantees `end >= length` (window start ≥ 0).
+        let start = end - ps.length;
+        let combined: Option<Combined> = match ps.keys.get_mut(key) {
+            None => None,
+            Some(kp) => {
+                let c = combine_window(kp, start, end, ps.slide, &ps.template);
+                // Panes before `end + slide − length` can never be covered
+                // by a later window of this key.
+                let min_keep = end.saturating_add(ps.slide).saturating_sub(ps.length);
+                kp.panes = kp.panes.split_off(&min_keep);
+                if kp.panes.is_empty() {
+                    // All of this key's registered windows are emitted (the
+                    // newest pane's last window is the newest pending end).
+                    ps.keys.remove(key);
+                }
+                c
+            }
+        };
+        let (aggregates, count) = match combined {
+            Some((partials, rows)) => (partials.iter().map(|a| a.finalize()).collect(), rows),
+            // Defensive: a registered window always covers ≥ 1 non-empty
+            // pane, but emit an empty result rather than lose the window.
+            None => (ps.template.iter().map(|a| a.finalize()).collect(), 0),
+        };
+        WindowResult {
+            key: key.0.clone(),
+            window: Window::new(Timestamp(start), Timestamp(end)),
+            count,
+            revision: 0,
+            aggregates,
+        }
+        .to_row()
+    }
+}
+
+/// Combine the panes of window `[start, end)` through the key's
+/// [`FifoRun`], rebuilding it when the cache is stale (non-consecutive end,
+/// or inserts since the last combine).
+fn combine_window(
+    kp: &mut KeyPanes,
+    start: u64,
+    end: u64,
+    slide: u64,
+    template: &[PaneAgg],
+) -> Option<Combined> {
+    let valid = kp
+        .run
+        .as_ref()
+        .is_some_and(|r| r.next_end == end && r.epoch == kp.mods);
+    if !valid {
+        // Rebuild: every pane of this window goes to the back, combined
+        // left-to-right (oldest first, preserving merge orientation).
+        let mut back = Vec::with_capacity(((end - start) / slide) as usize);
+        let mut back_agg: Option<Combined> = None;
+        let mut p = start;
+        while p < end {
+            back.push(p);
+            if let Some(pane) = kp.panes.get(&p) {
+                merge_combined(&mut back_agg, &pane.partials, pane.rows);
+            }
+            p += slide;
+        }
+        let result = back_agg.clone();
+        kp.run = Some(FifoRun {
+            next_end: end.saturating_add(slide),
+            epoch: kp.mods,
+            front: Vec::new(),
+            back,
+            back_agg,
+        });
+        return result;
+    }
+    let run = kp.run.as_mut().expect("validated above");
+    // Slide one step: admit pane `end − slide`, evict pane `start − slide`.
+    let newest = end - slide;
+    run.back.push(newest);
+    if let Some(pane) = kp.panes.get(&newest) {
+        merge_combined(&mut run.back_agg, &pane.partials, pane.rows);
+    }
+    if run.front.is_empty() {
+        // Flip: turn the back into front entries caching suffix combines
+        // (walk newest → oldest; each entry = pane ⊕ previous suffix).
+        let mut suffix: Option<Combined> = None;
+        for &p in run.back.iter().rev() {
+            let mut entry: Combined = match kp.panes.get(&p) {
+                Some(pane) => (pane.partials.clone(), pane.rows),
+                None => (template.to_vec(), 0),
+            };
+            if let Some((sfx, srows)) = &suffix {
+                for (a, b) in entry.0.iter_mut().zip(sfx) {
+                    a.merge(b);
+                }
+                entry.1 += srows;
+            }
+            suffix = Some(entry.clone());
+            run.front.push((p, entry));
+        }
+        run.back.clear();
+        run.back_agg = None;
+    }
+    let evicted = run.front.pop();
+    debug_assert_eq!(
+        evicted.as_ref().map(|(p, _)| *p),
+        Some(start - slide),
+        "front top must be the expired pane"
+    );
+    let result = match run.front.last() {
+        Some((_, (sfx, srows))) => {
+            let mut out = (sfx.clone(), *srows);
+            if let Some((b, brows)) = &run.back_agg {
+                for (a, x) in out.0.iter_mut().zip(b) {
+                    a.merge(x);
+                }
+                out.1 += brows;
+            }
+            Some(out)
+        }
+        None => run.back_agg.clone(),
+    };
+    run.next_end = end.saturating_add(slide);
+    run.epoch = kp.mods;
+    result
+}
+
+/// Fold a later pane into an accumulating combined partial.
+fn merge_combined(acc: &mut Option<Combined>, partials: &[PaneAgg], rows: u64) {
+    match acc {
+        None => *acc = (partials.to_vec(), rows).into(),
+        Some((aggs, n)) => {
+            for (a, b) in aggs.iter_mut().zip(partials) {
+                a.merge(b);
+            }
+            *n += rows;
+        }
+    }
 }
 
 impl Operator for WindowAggregateOp {
@@ -331,8 +681,12 @@ impl Operator for WindowAggregateOp {
     fn process(&mut self, el: StreamElement, out: &mut dyn FnMut(StreamElement)) {
         match el {
             StreamElement::Event(e) => {
-                self.fold_event(&e);
-                self.emit_revisions(&e, out);
+                if self.paned.is_some() {
+                    self.fold_event_paned(&e);
+                } else {
+                    self.fold_event(&e);
+                    self.emit_revisions(&e, out);
+                }
             }
             StreamElement::Watermark(wm) => self.advance_watermark(wm, out),
             StreamElement::Flush => {
@@ -585,6 +939,173 @@ mod tests {
             LatePolicy::Drop
         )
         .is_err());
+    }
+
+    fn approx_eq(a: &WindowResult, b: &WindowResult) {
+        assert_eq!(a.window, b.window);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.count, b.count);
+        for (x, y) in a.aggregates.iter().zip(&b.aggregates) {
+            match (x, y) {
+                (Value::Float(x), Value::Float(y)) => assert!(
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "float aggregate diverged: {x} vs {y}"
+                ),
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_sum_variance_share_pane_state() {
+        // Acceptance: sliding Sum/Variance must not recompute from raw
+        // window contents on emit — exactly one aggregate fold per event on
+        // the shared-pane path, vs. one per covering window instance on the
+        // per-window path.
+        let mk = || {
+            WindowAggregateOp::new(
+                WindowSpec::sliding(100u64, 20u64),
+                vec![
+                    AggregateSpec::new(AggregateKind::Sum, 0, "s"),
+                    AggregateSpec::new(AggregateKind::Variance, 0, "v"),
+                ],
+                None,
+                LatePolicy::Drop,
+            )
+            .unwrap()
+        };
+        let mut paned = mk();
+        assert!(paned.shares_panes());
+        let mut legacy = mk().with_shared_panes(false);
+        assert!(!legacy.shares_panes());
+        let n = 500u64;
+        let input: Vec<StreamElement> = (0..n)
+            .map(|i| ev(i * 3, i, (i % 13) as f64))
+            .chain([StreamElement::Flush])
+            .collect();
+        let rp = run(&mut paned, input.clone());
+        let rl = run(&mut legacy, input);
+        assert_eq!(
+            paned.stats().agg_inserts,
+            n,
+            "pane path must fold each event exactly once"
+        );
+        assert!(
+            legacy.stats().agg_inserts > 4 * n,
+            "per-window path folds each event into ~length/slide instances, got {}",
+            legacy.stats().agg_inserts
+        );
+        assert_eq!(rp.len(), rl.len());
+        for (a, b) in rp.iter().zip(&rl) {
+            approx_eq(a, b);
+        }
+        assert_eq!(paned.open_windows(), 0);
+        assert_eq!(paned.stats().accepted, legacy.stats().accepted);
+    }
+
+    #[test]
+    fn pane_path_matches_per_window_under_disorder_and_lateness() {
+        let mk = || {
+            WindowAggregateOp::new(
+                WindowSpec::sliding(40u64, 10u64),
+                vec![
+                    AggregateSpec::new(AggregateKind::Count, 0, "n"),
+                    AggregateSpec::new(AggregateKind::Max, 0, "m"),
+                    AggregateSpec::new(AggregateKind::Last, 0, "l"),
+                ],
+                None,
+                LatePolicy::Drop,
+            )
+            .unwrap()
+        };
+        let mut input = Vec::new();
+        for i in 0..300u64 {
+            // Deterministic disorder: every 7th event jumps far back — far
+            // enough that all its windows are behind the watermark (late),
+            // given the watermark lag of 30..130 plus window length 40.
+            let ts = if i % 7 == 3 {
+                (i * 5).saturating_sub(200)
+            } else {
+                i * 5
+            };
+            input.push(ev(ts, i, (ts % 11) as f64));
+            if i % 20 == 19 {
+                input.push(StreamElement::Watermark(Timestamp((i * 5).saturating_sub(30))));
+            }
+        }
+        input.push(StreamElement::Flush);
+        let mut paned = mk();
+        let mut legacy = mk().with_shared_panes(false);
+        assert!(paned.shares_panes() && !legacy.shares_panes());
+        let rp = run(&mut paned, input.clone());
+        let rl = run(&mut legacy, input);
+        // Count/Max/Last over identical f64s are bit-exact on both paths.
+        assert_eq!(rp, rl);
+        assert_eq!(paned.stats().accepted, legacy.stats().accepted);
+        assert_eq!(paned.stats().late_dropped, legacy.stats().late_dropped);
+        assert_eq!(paned.stats().windows_emitted, legacy.stats().windows_emitted);
+        assert!(paned.stats().late_dropped > 0, "disorder must produce lates");
+    }
+
+    #[test]
+    fn keyed_pane_path_matches_per_window() {
+        let mk = || {
+            WindowAggregateOp::new(
+                WindowSpec::sliding(30u64, 10u64),
+                vec![AggregateSpec::new(AggregateKind::Mean, 1, "mean")],
+                Some(0),
+                LatePolicy::Drop,
+            )
+            .unwrap()
+        };
+        let mut input: Vec<StreamElement> = (0..200u64)
+            .map(|i| {
+                StreamElement::Event(Event::new(
+                    i * 4,
+                    i,
+                    Row::new([Value::Int((i % 5) as i64), Value::Float((i % 17) as f64)]),
+                ))
+            })
+            .collect();
+        input.push(StreamElement::Flush);
+        let mut paned = mk();
+        let mut legacy = mk().with_shared_panes(false);
+        let rp = run(&mut paned, input.clone());
+        let rl = run(&mut legacy, input);
+        assert_eq!(rp.len(), rl.len());
+        for (a, b) in rp.iter().zip(&rl) {
+            approx_eq(a, b);
+        }
+    }
+
+    #[test]
+    fn pane_path_requires_divisible_overlapping_sliding_and_drop() {
+        let aggs = || vec![AggregateSpec::new(AggregateKind::Sum, 0, "s")];
+        let eligible =
+            WindowAggregateOp::new(WindowSpec::sliding(100u64, 25u64), aggs(), None, LatePolicy::Drop)
+                .unwrap();
+        assert!(eligible.shares_panes());
+        for (spec, policy) in [
+            (WindowSpec::tumbling(100u64), LatePolicy::Drop),
+            (WindowSpec::sliding(100u64, 30u64), LatePolicy::Drop), // 30 ∤ 100
+            (WindowSpec::sliding(100u64, 100u64), LatePolicy::Drop), // no overlap
+            (
+                WindowSpec::sliding(100u64, 25u64),
+                LatePolicy::Revise { allowed_lateness: 10 },
+            ),
+        ] {
+            let op = WindowAggregateOp::new(spec, aggs(), None, policy).unwrap();
+            assert!(!op.shares_panes(), "{spec:?} {policy:?}");
+        }
+        // Non-combinable aggregates pin the per-window path too.
+        let median = WindowAggregateOp::new(
+            WindowSpec::sliding(100u64, 25u64),
+            vec![AggregateSpec::new(AggregateKind::Median, 0, "m")],
+            None,
+            LatePolicy::Drop,
+        )
+        .unwrap();
+        assert!(!median.shares_panes());
     }
 
     #[test]

@@ -3,36 +3,207 @@
 //! Keyed window aggregation partitions cleanly by grouping key: each shard
 //! owns a disjoint key subset, receives every watermark (broadcast), and
 //! runs an independent operator instance on its own thread. Results are
-//! merged and re-ordered deterministically, so the parallel run is
-//! observationally identical (as a set, and in (window, key) order) to the
-//! single-threaded one — asserted by tests and used by the scalability
+//! merged deterministically, so the parallel run is observationally
+//! identical (as a set, and in (window, key) order) to the single-threaded
+//! one — asserted by tests and a proptest, and used by the scalability
 //! bench.
+//!
+//! The executor is batched and allocation-lean:
+//!
+//! * **Batched routing** — events travel to shards as `Vec<StreamElement>`
+//!   chunks over bounded channels ([`ParallelConfig::batch_size`] per chunk)
+//!   instead of one channel send per event. Watermarks and flush are batch
+//!   delimiters: they are appended to *every* shard's pending batch and all
+//!   batches are flushed immediately, so punctuation never lags data.
+//! * **Shard routing** — [`shard_of`] hashes the key `Value` in place with a
+//!   seeded [`FxHasher`]: no `Key` clone, no per-event `DefaultHasher`
+//!   construction, stable across runs/threads/platforms.
+//! * **Ordered merge** — each shard's [`WindowAggregateOp`] already emits in
+//!   `(window.end, window.start, key)` order, so the global order is
+//!   recovered by a k-way merge of the per-shard runs (binary heap over
+//!   shard heads, ties broken by shard index). If a shard's run is not
+//!   sorted — e.g. a revising operator interleaves revision rows — the
+//!   merge falls back to one stable sort over order keys that are computed
+//!   *once per element* (no per-comparison `String` allocation).
+//!
+//! [`WindowAggregateOp`]: crate::operator::WindowAggregateOp
 
 use crate::error::{EngineError, Result};
 use crate::event::StreamElement;
+use crate::hash::FxHasher;
 use crate::operator::{Operator, WindowResult};
-use crate::value::{Key, Value};
+use crate::value::{hash_value, Key, Value};
 use crossbeam::channel;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hash::Hasher;
 
-/// Stable shard assignment for a key.
+/// Tuning knobs for [`run_keyed_parallel_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker shards (threads). Must be > 0.
+    pub shards: usize,
+    /// Events per routed batch. `1` degenerates to per-event sends; larger
+    /// batches amortise channel synchronisation. Must be > 0.
+    pub batch_size: usize,
+    /// Bounded channel capacity, in *batches*, per shard. Bounds memory to
+    /// roughly `shards × channel_capacity × batch_size` in-flight events.
+    /// Must be > 0.
+    pub channel_capacity: usize,
+}
+
+impl ParallelConfig {
+    /// Config with the given shard count and default batching parameters.
+    pub fn new(shards: usize) -> ParallelConfig {
+        ParallelConfig {
+            shards,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// Set the routed batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> ParallelConfig {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Set the per-shard channel capacity (in batches).
+    pub fn with_channel_capacity(mut self, capacity: usize) -> ParallelConfig {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(EngineError::InvalidPipeline("shards must be > 0".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(EngineError::InvalidPipeline("batch_size must be > 0".into()));
+        }
+        if self.channel_capacity == 0 {
+            return Err(EngineError::InvalidPipeline(
+                "channel_capacity must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            shards: 4,
+            batch_size: 256,
+            channel_capacity: 64,
+        }
+    }
+}
+
+/// Stable shard assignment for a key: hashes the borrowed `Value` with a
+/// seeded [`FxHasher`] — no clone, no hasher key-schedule per call, and
+/// coherent with [`Key`] equality (`Int(3)` and `Float(3.0)` land on the
+/// same shard).
 pub fn shard_of(key: &Value, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    Key(key.clone()).hash(&mut h);
+    let mut h = FxHasher::new();
+    hash_value(key, &mut h);
     (h.finish() % shards.max(1) as u64) as usize
 }
 
-/// Run a keyed operator data-parallel over `shards` threads.
+/// Run a keyed operator data-parallel over `config.shards` threads, routing
+/// events in batches, and return the merged output together with the
+/// per-shard operator instances (for stats aggregation).
 ///
 /// * `elements` — the (already disorder-controlled) input stream;
 /// * `key_field` — the row index events are partitioned by;
+/// * `config` — shard count and batching parameters;
 /// * `make_op` — factory producing one operator instance per shard (each
 ///   must behave identically on its key subset).
 ///
-/// Events are routed by key hash; watermarks and flush are broadcast.
-/// Returns all output *events* (window results), re-sorted by
-/// (timestamp, window metadata) so the result is deterministic.
+/// Events are routed by key hash; watermarks and flush are broadcast to all
+/// shards as batch delimiters. Returns all output *events* (window results)
+/// in deterministic `(window.end, window.start, key)` order, plus the
+/// operators in shard order.
+///
+/// # Errors
+/// [`EngineError::ExecutorFailure`] if a worker panics or dies early;
+/// [`EngineError::InvalidPipeline`] for a zero shard count, batch size or
+/// channel capacity.
+pub fn run_keyed_parallel_with<O>(
+    elements: Vec<StreamElement>,
+    key_field: usize,
+    config: ParallelConfig,
+    make_op: impl Fn() -> O,
+) -> Result<(Vec<StreamElement>, Vec<O>)>
+where
+    O: Operator + 'static,
+{
+    config.validate()?;
+    let shards = config.shards;
+    let mut txs = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel::bounded::<Vec<StreamElement>>(config.channel_capacity);
+        let mut op = make_op();
+        handles.push(std::thread::spawn(move || {
+            let mut outs: Vec<StreamElement> = Vec::new();
+            for batch in rx {
+                for el in batch {
+                    op.process(el, &mut |o| {
+                        // Punctuation is re-derived after the merge; keep
+                        // only data.
+                        if matches!(o, StreamElement::Event(_)) {
+                            outs.push(o);
+                        }
+                    });
+                }
+            }
+            (outs, op)
+        }));
+        txs.push(tx);
+    }
+
+    // Route. Events accumulate in per-shard buffers flushed at batch_size;
+    // punctuation goes to every shard and forces all buffers out so the
+    // watermark is a true batch delimiter.
+    let mut bufs: Vec<Vec<StreamElement>> = (0..shards)
+        .map(|_| Vec::with_capacity(config.batch_size))
+        .collect();
+    for el in elements {
+        match &el {
+            StreamElement::Event(e) => {
+                let shard = shard_of(e.row.get(key_field), shards);
+                bufs[shard].push(el);
+                if bufs[shard].len() >= config.batch_size {
+                    flush_batch(&txs[shard], &mut bufs[shard], config.batch_size)?;
+                }
+            }
+            _ => {
+                for (tx, buf) in txs.iter().zip(&mut bufs) {
+                    buf.push(el.clone());
+                    flush_batch(tx, buf, config.batch_size)?;
+                }
+            }
+        }
+    }
+    for (tx, buf) in txs.iter().zip(&mut bufs) {
+        flush_batch(tx, buf, config.batch_size)?;
+    }
+    drop(txs);
+
+    let mut shard_outs = Vec::with_capacity(shards);
+    let mut ops = Vec::with_capacity(shards);
+    for h in handles {
+        let (outs, op) = h
+            .join()
+            .map_err(|_| EngineError::ExecutorFailure("shard thread panicked".into()))?;
+        shard_outs.push(outs);
+        ops.push(op);
+    }
+    Ok((merge_shard_outputs(shard_outs), ops))
+}
+
+/// Run a keyed operator data-parallel over `shards` threads with default
+/// batching. See [`run_keyed_parallel_with`] for semantics.
 ///
 /// # Errors
 /// [`EngineError::ExecutorFailure`] if a worker panics;
@@ -43,75 +214,105 @@ pub fn run_keyed_parallel(
     shards: usize,
     make_op: impl Fn() -> Box<dyn Operator>,
 ) -> Result<Vec<StreamElement>> {
-    if shards == 0 {
-        return Err(EngineError::InvalidPipeline("shards must be > 0".into()));
-    }
-    let mut txs = Vec::with_capacity(shards);
-    let mut handles = Vec::with_capacity(shards);
-    let (out_tx, out_rx) = channel::unbounded::<(usize, StreamElement)>();
-    for shard in 0..shards {
-        let (tx, rx) = channel::bounded::<StreamElement>(1024);
-        let mut op = make_op();
-        let out_tx = out_tx.clone();
-        handles.push(std::thread::spawn(move || {
-            for el in rx {
-                op.process(el, &mut |o| {
-                    // Punctuation is re-derived after the merge; forward
-                    // only data.
-                    if matches!(o, StreamElement::Event(_)) {
-                        let _ = out_tx.send((shard, o));
-                    }
-                });
-            }
-        }));
-        txs.push(tx);
-    }
-    drop(out_tx);
-    for el in elements {
-        match &el {
-            StreamElement::Event(e) => {
-                let shard = shard_of(e.row.get(key_field), shards);
-                txs[shard]
-                    .send(el)
-                    .map_err(|_| EngineError::ExecutorFailure("shard died".into()))?;
-            }
-            _ => {
-                for tx in &txs {
-                    tx.send(el.clone())
-                        .map_err(|_| EngineError::ExecutorFailure("shard died".into()))?;
-                }
-            }
-        }
-    }
-    drop(txs);
-    let mut out: Vec<(usize, StreamElement)> = out_rx.into_iter().collect();
-    for h in handles {
-        h.join()
-            .map_err(|_| EngineError::ExecutorFailure("shard thread panicked".into()))?;
-    }
-    // Deterministic global order: by event timestamp, then parsed window
-    // result metadata (start, key), then shard.
-    out.sort_by(|(sa, a), (sb, b)| {
-        let ka = order_key(a);
-        let kb = order_key(b);
-        ka.cmp(&kb).then(sa.cmp(sb))
-    });
-    Ok(out.into_iter().map(|(_, el)| el).collect())
+    run_keyed_parallel_with(elements, key_field, ParallelConfig::new(shards), make_op)
+        .map(|(out, _ops)| out)
 }
 
-type OrderKey = (u64, u64, String);
+fn flush_batch(
+    tx: &channel::Sender<Vec<StreamElement>>,
+    buf: &mut Vec<StreamElement>,
+    batch_size: usize,
+) -> Result<()> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    let batch = std::mem::replace(buf, Vec::with_capacity(batch_size));
+    tx.send(batch)
+        .map_err(|_| EngineError::ExecutorFailure("shard died".into()))
+}
 
-fn order_key(el: &StreamElement) -> OrderKey {
+/// Global output order: window end, window start, key. Computed once per
+/// element — comparisons are allocation-free (`Key` compares the `Value` in
+/// place; no `String` per comparison).
+type MergeKey = (u64, u64, Key);
+
+fn merge_key(el: &StreamElement) -> MergeKey {
     match el {
         StreamElement::Event(e) => {
-            if let Some(r) = WindowResult::from_row(&e.row) {
-                (r.window.end.raw(), r.window.start.raw(), r.key.to_string())
+            // Read the window-result metadata columns directly (same layout
+            // checks as [`WindowResult::from_row`]) instead of materialising
+            // a full `WindowResult`, which would clone the aggregates vec
+            // for every merged element.
+            let meta = if e.row.len() >= WindowResult::META_COLS {
+                match (
+                    e.row.get(1).as_i64(),
+                    e.row.get(2).as_i64(),
+                    e.row.get(3).as_i64(),
+                    e.row.get(4).as_i64(),
+                ) {
+                    (Some(start), Some(end), Some(_), Some(_)) => {
+                        Some((end as u64, start as u64))
+                    }
+                    _ => None,
+                }
             } else {
-                (e.ts.raw(), e.seq, String::new())
+                None
+            };
+            match meta {
+                Some((end, start)) => (end, start, Key(e.row.get(0).clone())),
+                None => (e.ts.raw(), e.seq, Key(Value::Null)),
             }
         }
-        _ => (u64::MAX, u64::MAX, String::new()),
+        _ => (u64::MAX, u64::MAX, Key(Value::Null)),
     }
+}
+
+/// Merge per-shard output runs into one deterministically ordered stream.
+///
+/// Fast path: every run is already sorted by [`MergeKey`] (non-strictly —
+/// revisions of the same window compare equal), so a k-way heap merge
+/// recovers the global order in O(n log shards). Fallback: one stable sort
+/// over the cached keys, preserving within-shard emission order.
+fn merge_shard_outputs(shard_outs: Vec<Vec<StreamElement>>) -> Vec<StreamElement> {
+    let total: usize = shard_outs.iter().map(Vec::len).sum();
+    let keyed: Vec<Vec<(MergeKey, StreamElement)>> = shard_outs
+        .into_iter()
+        .map(|outs| outs.into_iter().map(|el| (merge_key(&el), el)).collect())
+        .collect();
+    let sorted = keyed
+        .iter()
+        .all(|run| run.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut out = Vec::with_capacity(total);
+    if sorted {
+        let mut iters: Vec<_> = keyed.into_iter().map(|run| run.into_iter()).collect();
+        let mut heads: Vec<Option<StreamElement>> = Vec::with_capacity(iters.len());
+        let mut heap: BinaryHeap<Reverse<(MergeKey, usize)>> = BinaryHeap::new();
+        for (shard, it) in iters.iter_mut().enumerate() {
+            match it.next() {
+                Some((k, el)) => {
+                    heap.push(Reverse((k, shard)));
+                    heads.push(Some(el));
+                }
+                None => heads.push(None),
+            }
+        }
+        while let Some(Reverse((_, shard))) = heap.pop() {
+            out.push(heads[shard].take().expect("queued shard has a head"));
+            if let Some((k, el)) = iters[shard].next() {
+                heads[shard] = Some(el);
+                heap.push(Reverse((k, shard)));
+            }
+        }
+    } else {
+        let mut flat: Vec<(MergeKey, usize, StreamElement)> = keyed
+            .into_iter()
+            .enumerate()
+            .flat_map(|(shard, run)| run.into_iter().map(move |(k, el)| (k, shard, el)))
+            .collect();
+        flat.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        out.extend(flat.into_iter().map(|(_, _, el)| el));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -124,19 +325,21 @@ mod tests {
     use crate::value::Row;
     use crate::window::WindowSpec;
 
-    fn make_op() -> Box<dyn Operator> {
-        Box::new(
-            WindowAggregateOp::new(
-                WindowSpec::tumbling(100u64),
-                vec![
-                    AggregateSpec::new(AggregateKind::Sum, 1, "sum"),
-                    AggregateSpec::new(AggregateKind::Count, 1, "n"),
-                ],
-                Some(0),
-                LatePolicy::Drop,
-            )
-            .expect("valid op"),
+    fn window_op() -> WindowAggregateOp {
+        WindowAggregateOp::new(
+            WindowSpec::tumbling(100u64),
+            vec![
+                AggregateSpec::new(AggregateKind::Sum, 1, "sum"),
+                AggregateSpec::new(AggregateKind::Count, 1, "n"),
+            ],
+            Some(0),
+            LatePolicy::Drop,
         )
+        .expect("valid op")
+    }
+
+    fn make_op() -> Box<dyn Operator> {
+        Box::new(window_op())
     }
 
     fn input(n: u64, keys: i64) -> Vec<StreamElement> {
@@ -174,7 +377,7 @@ mod tests {
             });
         }
         let mut seq_results = results_of(&seq_out);
-        seq_results.sort_by_key(|r| (r.window.end, r.window.start, r.key.to_string()));
+        seq_results.sort_by_key(|r| (r.window.end, r.window.start, Key(r.key.clone())));
 
         for shards in [1usize, 2, 4, 8] {
             let par_out =
@@ -182,6 +385,42 @@ mod tests {
             let par_results = results_of(&par_out);
             assert_eq!(par_results, seq_results, "shards={shards}");
         }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let elements = input(2_000, 13);
+        let reference = run_keyed_parallel_with(
+            elements.clone(),
+            0,
+            ParallelConfig::new(4).with_batch_size(1),
+            window_op,
+        )
+        .expect("batch=1 run")
+        .0;
+        for batch in [7usize, 256, 1024, 100_000] {
+            let out = run_keyed_parallel_with(
+                elements.clone(),
+                0,
+                ParallelConfig::new(4)
+                    .with_batch_size(batch)
+                    .with_channel_capacity(2),
+                window_op,
+            )
+            .expect("batched run")
+            .0;
+            assert_eq!(out, reference, "batch_size={batch}");
+        }
+    }
+
+    #[test]
+    fn returned_ops_carry_shard_stats() {
+        let n = 1_000u64;
+        let (_, ops) = run_keyed_parallel_with(input(n, 8), 0, ParallelConfig::new(4), window_op)
+            .expect("parallel run");
+        assert_eq!(ops.len(), 4);
+        let accepted: u64 = ops.iter().map(|op| op.stats().accepted).sum();
+        assert_eq!(accepted, n, "every event lands on exactly one shard");
     }
 
     #[test]
@@ -194,6 +433,9 @@ mod tests {
         }
         // Int/Float key coherence (same hash for 3 and 3.0).
         assert_eq!(shard_of(&Value::Int(3), 5), shard_of(&Value::Float(3.0), 5));
+        // Strings route without cloning the Arc payload and stay stable.
+        let s = Value::str("alpha");
+        assert_eq!(shard_of(&s, 9), shard_of(&Value::str("alpha"), 9));
     }
 
     #[test]
@@ -202,6 +444,20 @@ mod tests {
             run_keyed_parallel(vec![], 0, 0, make_op),
             Err(EngineError::InvalidPipeline(_))
         ));
+    }
+
+    #[test]
+    fn degenerate_config_rejected() {
+        for cfg in [
+            ParallelConfig::new(4).with_batch_size(0),
+            ParallelConfig::new(4).with_channel_capacity(0),
+            ParallelConfig::new(0),
+        ] {
+            assert!(matches!(
+                run_keyed_parallel_with(vec![], 0, cfg, window_op),
+                Err(EngineError::InvalidPipeline(_))
+            ));
+        }
     }
 
     #[test]
@@ -215,5 +471,36 @@ mod tests {
         assert_eq!(keys.len(), 8, "all key groups must produce results");
         let total: u64 = results.iter().map(|r| r.count).sum();
         assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn merge_fallback_handles_unsorted_shard_runs() {
+        // An operator that emits events with descending timestamps breaks
+        // the sortedness invariant; the fallback must still produce a
+        // deterministic global order.
+        struct Backwards(u64);
+        impl Operator for Backwards {
+            fn name(&self) -> &str {
+                "backwards"
+            }
+            fn process(&mut self, el: StreamElement, out: &mut dyn FnMut(StreamElement)) {
+                if let StreamElement::Event(mut e) = el {
+                    self.0 += 1;
+                    e.ts = Timestamp(1_000_000 - self.0);
+                    out(StreamElement::Event(e));
+                }
+            }
+        }
+        let elements = input(100, 5);
+        let (out, _) =
+            run_keyed_parallel_with(elements, 0, ParallelConfig::new(3), || Backwards(0))
+                .expect("parallel run");
+        assert_eq!(out.len(), 100);
+        let ts: Vec<u64> = out
+            .iter()
+            .filter_map(|e| e.as_event())
+            .map(|e| e.ts.raw())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "fallback sorts output");
     }
 }

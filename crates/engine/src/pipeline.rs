@@ -118,8 +118,9 @@ impl Pipeline {
     }
 
     /// Run with one thread per operator, connected by bounded channels of
-    /// the given capacity. Consumes the pipeline (operators move to their
-    /// threads). Returns the collected output.
+    /// the given capacity (in batches) with the default batch size.
+    /// Consumes the pipeline (operators move to their threads). Returns the
+    /// collected output.
     ///
     /// # Errors
     /// [`EngineError::ExecutorFailure`] if any worker thread panics.
@@ -128,40 +129,83 @@ impl Pipeline {
         source: Vec<StreamElement>,
         channel_capacity: usize,
     ) -> Result<Vec<StreamElement>> {
+        self.run_parallel_batched(source, channel_capacity, 128)
+    }
+
+    /// Like [`Pipeline::run_parallel`], but with an explicit batch size:
+    /// elements cross stage boundaries as `Vec<StreamElement>` chunks of up
+    /// to `batch_size` elements, amortising channel synchronisation.
+    /// Punctuation (watermarks, flush) delimits batches — it forces the
+    /// pending chunk out immediately, so downstream stages never see a
+    /// watermark lag its events. Output order is identical to the
+    /// single-threaded executor.
+    ///
+    /// # Errors
+    /// [`EngineError::ExecutorFailure`] if any worker thread panics;
+    /// [`EngineError::InvalidPipeline`] for a zero capacity or batch size.
+    pub fn run_parallel_batched(
+        self,
+        source: Vec<StreamElement>,
+        channel_capacity: usize,
+        batch_size: usize,
+    ) -> Result<Vec<StreamElement>> {
         if channel_capacity == 0 {
             return Err(EngineError::InvalidPipeline(
                 "channel capacity must be > 0".into(),
             ));
         }
+        if batch_size == 0 {
+            return Err(EngineError::InvalidPipeline(
+                "batch size must be > 0".into(),
+            ));
+        }
         let mut handles = Vec::new();
         // Source channel.
-        let (src_tx, mut rx) = channel::bounded::<StreamElement>(channel_capacity);
+        let (src_tx, mut rx) = channel::bounded::<Vec<StreamElement>>(channel_capacity);
         handles.push(std::thread::spawn(move || {
+            let mut buf = Vec::with_capacity(batch_size);
             for el in source {
-                if src_tx.send(el).is_err() {
-                    break;
+                let delimit = !matches!(el, StreamElement::Event(_));
+                buf.push(el);
+                if (buf.len() >= batch_size || delimit)
+                    && src_tx.send(std::mem::take(&mut buf)).is_err()
+                {
+                    return;
                 }
+            }
+            if !buf.is_empty() {
+                let _ = src_tx.send(buf);
             }
         }));
         for mut op in self.ops {
-            let (tx, next_rx) = channel::bounded::<StreamElement>(channel_capacity);
+            let (tx, next_rx) = channel::bounded::<Vec<StreamElement>>(channel_capacity);
             let op_rx = rx;
             handles.push(std::thread::spawn(move || {
-                for el in op_rx {
-                    let mut failed = false;
-                    op.process(el, &mut |o| {
-                        if tx.send(o).is_err() {
-                            failed = true;
+                let mut out_buf: Vec<StreamElement> = Vec::with_capacity(batch_size);
+                'stage: for batch in op_rx {
+                    for el in batch {
+                        let mut failed = false;
+                        op.process(el, &mut |o| {
+                            let delimit = !matches!(o, StreamElement::Event(_));
+                            out_buf.push(o);
+                            if (out_buf.len() >= batch_size || delimit)
+                                && tx.send(std::mem::take(&mut out_buf)).is_err()
+                            {
+                                failed = true;
+                            }
+                        });
+                        if failed {
+                            break 'stage;
                         }
-                    });
-                    if failed {
-                        break;
                     }
+                }
+                if !out_buf.is_empty() {
+                    let _ = tx.send(out_buf);
                 }
             }));
             rx = next_rx;
         }
-        let out: Vec<StreamElement> = rx.into_iter().collect();
+        let out: Vec<StreamElement> = rx.into_iter().flatten().collect();
         for h in handles {
             h.join()
                 .map_err(|_| EngineError::ExecutorFailure("worker thread panicked".into()))?;
@@ -176,7 +220,6 @@ mod tests {
     use crate::aggregate::{AggregateKind, AggregateSpec};
     use crate::event::Event;
     use crate::operator::{LatePolicy, WindowResult};
-    use crate::time::Timestamp;
     use crate::value::Value;
     use crate::window::WindowSpec;
 
@@ -248,10 +291,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batched_matches_single_threaded() {
+        let mut p1 = test_pipeline();
+        let expected = p1.run_collect(source(200));
+        for batch in [1usize, 3, 64, 1000] {
+            let got = test_pipeline()
+                .run_parallel_batched(source(200), 4, batch)
+                .unwrap();
+            assert_eq!(expected, got, "batch={batch}");
+        }
+    }
+
+    #[test]
     fn zero_capacity_rejected() {
         let p = Pipeline::new();
         assert!(matches!(
             p.run_parallel(vec![], 0),
+            Err(EngineError::InvalidPipeline(_))
+        ));
+        assert!(matches!(
+            Pipeline::new().run_parallel_batched(vec![], 4, 0),
             Err(EngineError::InvalidPipeline(_))
         ));
     }

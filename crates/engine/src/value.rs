@@ -196,27 +196,36 @@ impl Ord for Key {
         self.0.total_cmp(&other.0)
     }
 }
+/// Hash a [`Value`] consistently with [`Key`]'s equality (`total_cmp`):
+/// ints hash as their `f64` bit pattern so `Int(3)` and `Float(3.0)` — equal
+/// keys — collide, and floats hash by bits. Borrows the value, so hot paths
+/// (shard routing) hash without cloning into a [`Key`] first.
+pub fn hash_value<H: std::hash::Hasher>(v: &Value, state: &mut H) {
+    use std::hash::Hash;
+    match v {
+        Value::Null => 0u8.hash(state),
+        Value::Bool(b) => {
+            1u8.hash(state);
+            b.hash(state);
+        }
+        Value::Int(i) => {
+            2u8.hash(state);
+            (*i as f64).to_bits().hash(state);
+        }
+        Value::Float(f) => {
+            2u8.hash(state);
+            f.to_bits().hash(state);
+        }
+        Value::Str(s) => {
+            3u8.hash(state);
+            s.hash(state);
+        }
+    }
+}
+
 impl std::hash::Hash for Key {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        match &self.0 {
-            Value::Null => 0u8.hash(state),
-            Value::Bool(b) => {
-                1u8.hash(state);
-                b.hash(state);
-            }
-            Value::Int(i) => {
-                2u8.hash(state);
-                (*i as f64).to_bits().hash(state);
-            }
-            Value::Float(f) => {
-                2u8.hash(state);
-                f.to_bits().hash(state);
-            }
-            Value::Str(s) => {
-                3u8.hash(state);
-                s.hash(state);
-            }
-        }
+        hash_value(&self.0, state);
     }
 }
 

@@ -184,7 +184,7 @@ proptest! {
                 any::<bool>().prop_map(Value::Bool),
                 any::<i32>().prop_map(|i| Value::Int(i as i64)),
                 (-1e12f64..1e12).prop_map(Value::Float),
-                "[a-z]{0,6}".prop_map(|s| Value::str(s)),
+                "[a-z]{0,6}".prop_map(Value::str),
             ],
             3..10,
         ),

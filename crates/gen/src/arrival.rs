@@ -62,7 +62,7 @@ pub fn timestamps(
     let mut t = start;
     for i in 0..n {
         if i > 0 {
-            t = t + process.next_gap(rng);
+            t += process.next_gap(rng);
         }
         out.push(t);
     }

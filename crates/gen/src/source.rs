@@ -116,7 +116,7 @@ pub fn build_stream(
     let mut source_events = Vec::with_capacity(n);
     for i in 0..n {
         if i > 0 {
-            t = t + arrival.next_gap(rng);
+            t += arrival.next_gap(rng);
         }
         let row = row_fn(rng, t, i);
         source_events.push((t, row));

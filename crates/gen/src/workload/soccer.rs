@@ -71,7 +71,7 @@ pub const SPEED_FIELD: usize = 4;
 pub fn generate(cfg: &SoccerConfig, n: usize, seed: u64) -> GeneratedStream {
     let mut rng = StdRng::seed_from_u64(seed);
     let players = cfg.players.max(1);
-    let per_player = n / players + usize::from(n % players != 0);
+    let per_player = n / players + usize::from(!n.is_multiple_of(players));
 
     // Per-player motion state.
     struct PlayerState {
@@ -93,13 +93,12 @@ pub fn generate(cfg: &SoccerConfig, n: usize, seed: u64) -> GeneratedStream {
     // multiplexed links.
     let mut source_events: Vec<SourceEvent> = Vec::with_capacity(n);
     'outer: for tick in 0..per_player {
-        for p in 0..players {
+        for (p, st) in states.iter_mut().enumerate() {
             if source_events.len() >= n {
                 break 'outer;
             }
             let phase = (p as u64 * cfg.sample_period) / players as u64;
             let ts = Timestamp(tick as u64 * cfg.sample_period + phase);
-            let st = &mut states[p];
             let x =
                 st.x.next_value(&mut rng)
                     .as_f64()

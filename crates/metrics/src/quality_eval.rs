@@ -243,7 +243,6 @@ pub fn score(produced: &[WindowResult], oracle: &[WindowResult]) -> QualityRepor
 mod tests {
     use super::*;
     use quill_engine::aggregate::AggregateKind;
-    use quill_engine::time::Timestamp;
     use quill_engine::value::Row;
 
     fn ev(ts: u64, seq: u64, v: f64) -> Event {

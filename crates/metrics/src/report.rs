@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f64(3.0), "3");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(3.4567), "3.457");
         assert_eq!(fmt_f64(0.5), "0.5");
         assert_eq!(fmt_f64(f64::INFINITY), "inf");
         assert_eq!(fmt_f64(1.2000), "1.2");

@@ -63,7 +63,7 @@ fn interval_join_correlates_two_sensor_streams() {
         .iter()
         .cloned()
         .map(|mut e| {
-            e.ts = e.ts + TimeDelta(1_000);
+            e.ts += TimeDelta(1_000);
             StreamElement::Event(e)
         })
         .chain([StreamElement::Flush])
@@ -147,7 +147,7 @@ fn revise_policy_converges_to_oracle_counts() {
     )
     .expect("valid op");
     let mut latest: std::collections::BTreeMap<Window, u64> = Default::default();
-    let mut drive = |el: StreamElement,
+    let drive = |el: StreamElement,
                      op: &mut WindowAggregateOp,
                      latest: &mut std::collections::BTreeMap<Window, u64>| {
         let mut outs = Vec::new();
