@@ -46,7 +46,7 @@ fn bench_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, f| {
             b.iter(|| {
                 let mut s = f();
-                run_query(&events, s.as_mut(), &q)
+                execute(&events, s.as_mut(), &q, &ExecOptions::sequential())
                     .expect("valid query")
                     .results
                     .len()
@@ -67,7 +67,7 @@ fn bench_aq_adaptation_interval(c: &mut Criterion) {
                 let mut cfg = AqConfig::completeness(0.95);
                 cfg.adapt_every = every;
                 let mut s = AqKSlack::new(cfg);
-                run_query(&events, &mut s, &q)
+                execute(&events, &mut s, &q, &ExecOptions::sequential())
                     .expect("valid query")
                     .results
                     .len()

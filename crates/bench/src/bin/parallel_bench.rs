@@ -23,8 +23,11 @@
 
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
-use quill_engine::parallel::{run_keyed_parallel_with, ParallelConfig};
+use quill_engine::parallel::{
+    run_keyed_parallel_instrumented, run_keyed_parallel_with, ParallelConfig,
+};
 use quill_engine::prelude::{Event, Row, StreamElement, Value, WindowSpec};
+use quill_telemetry::Registry;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -254,8 +257,55 @@ fn main() -> std::process::ExitCode {
     let speedup_4 = best_4shard / seed_eps;
     println!("best 4-shard speedup over seed single-event path: {speedup_4:.2}x");
 
+    // Telemetry overhead: the same 4-shard batched run through the
+    // instrumented entry point, once with the disabled (no-op) registry and
+    // once with a live one. Disabled must stay within noise of the plain
+    // path; enabled quantifies the cost of live counters.
+    let telemetry_cfg = ParallelConfig::new(4).with_batch_size(1024);
+    let disabled_secs = time_best(args.repeat, || {
+        run_keyed_parallel_instrumented(
+            input.clone(),
+            0,
+            telemetry_cfg,
+            &Registry::disabled(),
+            make_op,
+        )
+        .expect("parallel run")
+        .0
+        .len()
+    });
+    let enabled_secs = time_best(args.repeat, || {
+        let registry = Registry::new();
+        run_keyed_parallel_instrumented(input.clone(), 0, telemetry_cfg, &registry, make_op)
+            .expect("parallel run")
+            .0
+            .len()
+    });
+    let disabled_eps = eps(disabled_secs);
+    let enabled_eps = eps(enabled_secs);
+    let enabled_overhead_pct = (disabled_eps / enabled_eps - 1.0) * 100.0;
+    println!("telemetry disabled (4 shards, batch 1024): {disabled_eps:>12.0} events/s");
+    println!(
+        "telemetry enabled  (4 shards, batch 1024): {enabled_eps:>12.0} events/s ({enabled_overhead_pct:+.1}% overhead)"
+    );
+
+    // Record one instrumented run's final snapshot next to the numbers so
+    // the executor counters are inspectable PR-over-PR.
+    let registry = Registry::new();
+    let (snap_out, _) =
+        run_keyed_parallel_instrumented(input.clone(), 0, telemetry_cfg, &registry, make_op)
+            .expect("parallel run");
+    drop(snap_out);
+    let snapshot = registry.snapshot();
+    let snapshot_path = args.out.with_file_name("BENCH_parallel_telemetry.jsonl");
+    if let Err(e) = quill_telemetry::reporter::write_jsonl(&snapshot_path, &[snapshot]) {
+        eprintln!("error writing {}: {e}", snapshot_path.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("wrote {}", snapshot_path.display());
+
     let json = format!(
-        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {seed_eps:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {seq_eps:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3}\n}}\n",
+        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {seed_eps:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {seq_eps:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"telemetry\": {{\"disabled_events_per_sec\": {disabled_eps:.1}, \"enabled_events_per_sec\": {enabled_eps:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}}\n}}\n",
         args.events,
         args.keys,
         args.repeat,

@@ -121,7 +121,12 @@ fn main() -> ExitCode {
                 None,
             );
             let mut strategy = AqKSlack::for_completeness(q);
-            let out = match run_query(&stream.events, &mut strategy, &query) {
+            let out = match execute(
+                &stream.events,
+                &mut strategy,
+                &query,
+                &ExecOptions::sequential(),
+            ) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");

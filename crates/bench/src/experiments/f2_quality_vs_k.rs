@@ -33,7 +33,8 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
         let mut row = vec![k.to_string()];
         for stream in [&exp, &par] {
             let mut s = FixedKSlack::new(k);
-            let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+            let out = execute(&stream.events, &mut s, &query, &ExecOptions::sequential())
+                .expect("valid query");
             row.push(fmt_f64(out.quality.mean_completeness * 100.0));
             row.push(fmt_f64(out.latency.mean));
         }

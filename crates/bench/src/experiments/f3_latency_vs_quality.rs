@@ -34,12 +34,30 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
         let delays = delays_of(&b.stream.events);
         // MP is target-independent: run once per workload.
         let mut mp = make_strategy(&StrategySpec::Mp, &delays);
-        let mp_out = run_query(&b.stream.events, mp.as_mut(), &b.query).expect("valid query");
+        let mp_out = execute(
+            &b.stream.events,
+            mp.as_mut(),
+            &b.query,
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         for &q in TARGETS {
             let mut aq = make_strategy(&StrategySpec::Aq(q), &delays);
-            let aq_out = run_query(&b.stream.events, aq.as_mut(), &b.query).expect("valid query");
+            let aq_out = execute(
+                &b.stream.events,
+                aq.as_mut(),
+                &b.query,
+                &ExecOptions::sequential(),
+            )
+            .expect("valid query");
             let mut fx = make_strategy(&StrategySpec::FixedQuantile(q), &delays);
-            let fx_out = run_query(&b.stream.events, fx.as_mut(), &b.query).expect("valid query");
+            let fx_out = execute(
+                &b.stream.events,
+                fx.as_mut(),
+                &b.query,
+                &ExecOptions::sequential(),
+            )
+            .expect("valid query");
             table.push_row([
                 b.name.to_string(),
                 fmt_f64(q),

@@ -19,10 +19,23 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     let stream = netmon::generate(&cfg, ctx.events, ctx.seed);
     let query = standard_query("netmon");
 
+    // The AQ run records live telemetry: controller gauges and estimator
+    // quantiles snapshotted 8 times across the run, persisted below as a
+    // JSON-lines artifact.
+    let telemetry = Registry::new();
+    let aq_opts = ExecOptions::sequential()
+        .with_telemetry(&telemetry)
+        .with_snapshot_every((ctx.events as u64 / 8).max(1));
     let mut aq = AqKSlack::for_completeness(0.95);
-    let aq_out = run_query(&stream.events, &mut aq, &query).expect("valid query");
+    let aq_out = execute(&stream.events, &mut aq, &query, &aq_opts).expect("valid query");
     let mut mp = MpKSlack::new();
-    let mp_out = run_query(&stream.events, &mut mp, &query).expect("valid query");
+    let mp_out =
+        execute(&stream.events, &mut mp, &query, &ExecOptions::sequential()).expect("valid query");
+    let snapshot_lines: Vec<String> = aq_out
+        .snapshots
+        .iter()
+        .map(quill_telemetry::export::to_json_line)
+        .collect();
 
     let mut aq_series = aq_out.k_series.downsample(400);
     aq_series.name = "aq_k".into();
@@ -77,9 +90,21 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     };
     let sine_stream = netmon::generate(&sine_cfg, ctx.events, ctx.seed.wrapping_add(1));
     let mut aq2 = AqKSlack::for_completeness(0.95);
-    let aq2_out = run_query(&sine_stream.events, &mut aq2, &query).expect("valid query");
+    let aq2_out = execute(
+        &sine_stream.events,
+        &mut aq2,
+        &query,
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let mut mp2 = MpKSlack::new();
-    let mp2_out = run_query(&sine_stream.events, &mut mp2, &query).expect("valid query");
+    let mp2_out = execute(
+        &sine_stream.events,
+        &mut mp2,
+        &query,
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let mut aq2_series = aq2_out.k_series.downsample(400);
     aq2_series.name = "aq_k_sine".into();
     let mut mp2_series = mp2_out.k_series.downsample(400);
@@ -138,6 +163,11 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
             title: "R-F4b: K(t) under oscillating delays (aq recovers, mp ratchets)".into(),
             series: vec![aq2_series, mp2_series],
         },
+        Artifact::Jsonl {
+            id: "f4_telemetry_snapshots".into(),
+            title: "R-F4: AQ controller/estimator telemetry snapshots".into(),
+            lines: snapshot_lines,
+        },
     ]
 }
 
@@ -180,5 +210,12 @@ mod tests {
             "AQ recovery {aq_rec} not better than MP {mp_rec}"
         );
         assert!(mp_rec > 0.99, "MP should never recover, got {mp_rec}");
+        // Telemetry snapshots rode along with the AQ run.
+        let lines = match arts.last().expect("artifacts") {
+            Artifact::Jsonl { lines, .. } => lines,
+            _ => panic!("expected jsonl artifact"),
+        };
+        assert!(!lines.is_empty(), "no telemetry snapshots recorded");
+        assert!(lines.last().unwrap().contains("quill.controller.k"));
     }
 }

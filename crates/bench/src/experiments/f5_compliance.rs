@@ -36,9 +36,11 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     let k_fixed = delay_quantile(&calm_delays, TARGET);
 
     let mut aq = AqKSlack::for_completeness(TARGET);
-    let aq_out = run_query(&stream.events, &mut aq, &query).expect("valid query");
+    let aq_out =
+        execute(&stream.events, &mut aq, &query, &ExecOptions::sequential()).expect("valid query");
     let mut fx = FixedKSlack::new(k_fixed);
-    let fx_out = run_query(&stream.events, &mut fx, &query).expect("valid query");
+    let fx_out =
+        execute(&stream.events, &mut fx, &query, &ExecOptions::sequential()).expect("valid query");
 
     let series_of = |name: &str, out: &RunOutput| {
         let mut s = TimeSeries::new(name);

@@ -10,7 +10,7 @@
 use crate::harness::{
     delays_of, fmt_f64, make_strategy, standard_query, Artifact, ExperimentCtx, StrategySpec,
 };
-use quill_core::prelude::run_query;
+use quill_core::prelude::{execute, ExecOptions};
 use quill_metrics::Table;
 
 /// Run the experiment.
@@ -32,7 +32,13 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     );
     for (label, spec) in specs {
         let mut s = make_strategy(&spec, &delays);
-        let out = run_query(&stream.events, s.as_mut(), &query).expect("valid query");
+        let out = execute(
+            &stream.events,
+            s.as_mut(),
+            &query,
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         table.push_row([
             label.to_string(),
             out.events.to_string(),

@@ -76,7 +76,8 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     );
     for (name, aq_cfg) in variants() {
         let mut s = AqKSlack::new(aq_cfg);
-        let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+        let out = execute(&stream.events, &mut s, &query, &ExecOptions::sequential())
+            .expect("valid query");
         table.push_row([
             name,
             fmt_f64(out.quality.mean_completeness * 100.0),

@@ -33,7 +33,8 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     );
     for &eps in EPSILONS {
         let mut s = AqKSlack::new(AqConfig::max_rel_error(eps, stock::PRICE_FIELD));
-        let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+        let out = execute(&stream.events, &mut s, &query, &ExecOptions::sequential())
+            .expect("valid query");
         table.push_row([
             format!("eps={eps}"),
             fmt_f64(out.latency.mean),
@@ -45,7 +46,8 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     }
     // Reference: a near-exact completeness run.
     let mut s = AqKSlack::for_completeness(0.999);
-    let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+    let out =
+        execute(&stream.events, &mut s, &query, &ExecOptions::sequential()).expect("valid query");
     table.push_row([
         "compl=0.999 (ref)".to_string(),
         fmt_f64(out.latency.mean),

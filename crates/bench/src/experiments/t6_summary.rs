@@ -10,7 +10,7 @@
 use crate::harness::{
     delays_of, fmt_f64, make_strategy, standard_benches, Artifact, ExperimentCtx, StrategySpec,
 };
-use quill_core::prelude::run_query;
+use quill_core::prelude::{execute, ExecOptions};
 use quill_metrics::Table;
 
 /// The completeness level used for violation accounting.
@@ -56,7 +56,13 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
         }
         for (label, spec) in all {
             let mut s = make_strategy(&spec, &delays);
-            let out = run_query(&b.stream.events, s.as_mut(), &b.query).expect("valid query");
+            let out = execute(
+                &b.stream.events,
+                s.as_mut(),
+                &b.query,
+                &ExecOptions::sequential(),
+            )
+            .expect("valid query");
             table.push_row([
                 b.name.to_string(),
                 label.to_string(),

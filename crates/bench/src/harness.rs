@@ -59,6 +59,16 @@ pub enum Artifact {
         /// The series (aligned on time when saved).
         series: Vec<TimeSeries>,
     },
+    /// Raw JSON-lines records saved as `<id>.jsonl` (e.g. telemetry
+    /// snapshots).
+    Jsonl {
+        /// File stem.
+        id: String,
+        /// Caption printed above the summary.
+        title: String,
+        /// One JSON object per line.
+        lines: Vec<String>,
+    },
 }
 
 impl Artifact {
@@ -84,6 +94,15 @@ impl Artifact {
                     ));
                 }
                 Ok(out)
+            }
+            Artifact::Jsonl { id, title, lines } => {
+                let mut body = lines.join("\n");
+                body.push('\n');
+                std::fs::write(ctx.out_dir.join(format!("{id}.jsonl")), body)?;
+                Ok(format!(
+                    "### {title}\n  {} records -> {id}.jsonl\n",
+                    lines.len()
+                ))
             }
         }
     }

@@ -28,6 +28,7 @@ use crate::estimator::{DistEstimator, EstimatorKind};
 use crate::quality::{QualityTarget, SensitivityModel};
 use crate::strategy::DisorderControl;
 use quill_engine::prelude::{Event, StreamElement, TimeDelta};
+use quill_telemetry::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
 
 /// Tuning parameters of AQ-K-slack. The defaults are the values used across
@@ -138,6 +139,22 @@ pub struct AqStats {
     pub effective_quantile: f64,
 }
 
+/// Control-loop telemetry under `quill.controller.*` / `quill.estimator.*`,
+/// updated once per adaptation step. Default handles are no-ops.
+#[derive(Debug, Default)]
+struct AqTelemetry {
+    enabled: bool,
+    k: Gauge,
+    error: Gauge,
+    margin: Gauge,
+    measured_completeness: Gauge,
+    effective_quantile: Gauge,
+    adaptations: Counter,
+    est_p50: Gauge,
+    est_p95: Gauge,
+    est_p99: Gauge,
+}
+
 /// The adaptive quality-driven K-slack strategy.
 pub struct AqKSlack {
     cfg: AqConfig,
@@ -150,6 +167,7 @@ pub struct AqKSlack {
     ontime_count: usize,
     events_seen: u64,
     stats: AqStats,
+    telemetry: AqTelemetry,
 }
 
 impl AqKSlack {
@@ -175,6 +193,7 @@ impl AqKSlack {
                 measured_completeness: 1.0,
                 ..AqStats::default()
             },
+            telemetry: AqTelemetry::default(),
             cfg,
         }
     }
@@ -255,10 +274,45 @@ impl AqKSlack {
         self.stats.adaptations += 1;
         self.stats.measured_completeness = measured;
         self.stats.effective_quantile = q_eff;
+        if self.telemetry.enabled {
+            let t = &self.telemetry;
+            t.adaptations.inc();
+            t.k.set(next.as_f64());
+            t.error.set(q_req - measured);
+            t.margin.set(margin);
+            t.measured_completeness.set(measured);
+            t.effective_quantile.set(q_eff);
+            // Estimator quantiles are computed only when someone is
+            // watching — they cost a sort/scan on the sliding estimator.
+            for (q, g) in [(0.5, &t.est_p50), (0.95, &t.est_p95), (0.99, &t.est_p99)] {
+                g.set(
+                    self.estimator
+                        .quantile(q)
+                        .unwrap_or(TimeDelta::ZERO)
+                        .as_f64(),
+                );
+            }
+        }
     }
 }
 
 impl DisorderControl for AqKSlack {
+    fn instrument(&mut self, telemetry: &Registry) {
+        self.buf.instrument(telemetry);
+        self.telemetry = AqTelemetry {
+            enabled: telemetry.is_enabled(),
+            k: telemetry.gauge("quill.controller.k"),
+            error: telemetry.gauge("quill.controller.error"),
+            margin: telemetry.gauge("quill.controller.margin"),
+            measured_completeness: telemetry.gauge("quill.controller.measured_completeness"),
+            effective_quantile: telemetry.gauge("quill.controller.effective_quantile"),
+            adaptations: telemetry.counter("quill.controller.adaptations"),
+            est_p50: telemetry.gauge("quill.estimator.p50"),
+            est_p95: telemetry.gauge("quill.estimator.p95"),
+            est_p99: telemetry.gauge("quill.estimator.p99"),
+        };
+    }
+
     fn name(&self) -> String {
         match self.cfg.target {
             QualityTarget::Completeness { q } => format!("aq(q={q})"),
@@ -497,6 +551,34 @@ mod tests {
             lax.current_k().raw(),
             strict.current_k().raw()
         );
+    }
+
+    #[test]
+    fn instrumented_aq_reports_control_loop() {
+        let reg = Registry::new();
+        let mut s = AqKSlack::for_completeness(0.95);
+        s.instrument(&reg);
+        let s = feed_stream(s, 10_000, 100.0, 42);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("quill.controller.adaptations"),
+            s.aq_stats().adaptations
+        );
+        assert_eq!(
+            snap.gauge("quill.controller.k"),
+            Some(s.current_k().as_f64())
+        );
+        assert_eq!(
+            snap.gauge("quill.controller.measured_completeness"),
+            Some(s.aq_stats().measured_completeness)
+        );
+        assert!(snap.gauge("quill.estimator.p95").unwrap() > 0.0);
+        assert!(
+            snap.gauge("quill.estimator.p99").unwrap()
+                >= snap.gauge("quill.estimator.p50").unwrap()
+        );
+        // The buffer was wired through the same call.
+        assert!(snap.counter("quill.buffer.inserted") > 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   downstream out of order, where the window operator accounts for them).
 
 use quill_engine::prelude::{Event, StreamElement, TimeDelta, Timestamp};
+use quill_telemetry::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
 
 /// Counters describing a buffer's lifetime behaviour.
@@ -47,6 +48,18 @@ impl BufferStats {
     }
 }
 
+/// Telemetry handles for one buffer under the `quill.buffer.*` namespace.
+/// Default-constructed handles are no-ops, so an un-instrumented buffer
+/// pays one branch per update.
+#[derive(Debug, Default)]
+struct BufferTelemetry {
+    inserted: Counter,
+    released: Counter,
+    late_passed: Counter,
+    depth: Gauge,
+    watermark_lag: Gauge,
+}
+
 /// A timestamp-ordering buffer with a dynamically adjustable slack bound.
 #[derive(Debug)]
 pub struct SlackBuffer {
@@ -58,6 +71,7 @@ pub struct SlackBuffer {
     /// must have `ts >= watermark`.
     watermark: Timestamp,
     stats: BufferStats,
+    telemetry: BufferTelemetry,
 }
 
 impl SlackBuffer {
@@ -70,7 +84,23 @@ impl SlackBuffer {
             saw_event: false,
             watermark: Timestamp::MIN,
             stats: BufferStats::default(),
+            telemetry: BufferTelemetry::default(),
         }
+    }
+
+    /// Attach `quill.buffer.*` instruments from `telemetry`: `inserted` /
+    /// `released` / `late_passed` counters, a `depth` gauge (events held
+    /// right now), and a `watermark_lag` gauge (stream clock minus emitted
+    /// watermark — the reordering latency currently in force). With a
+    /// disabled registry this is free.
+    pub fn instrument(&mut self, telemetry: &Registry) {
+        self.telemetry = BufferTelemetry {
+            inserted: telemetry.counter("quill.buffer.inserted"),
+            released: telemetry.counter("quill.buffer.released"),
+            late_passed: telemetry.counter("quill.buffer.late_passed"),
+            depth: telemetry.gauge("quill.buffer.depth"),
+            watermark_lag: telemetry.gauge("quill.buffer.watermark_lag"),
+        };
     }
 
     /// Current slack bound.
@@ -123,6 +153,7 @@ impl SlackBuffer {
         self.saw_event = true;
         if e.ts < self.watermark {
             self.stats.late_passed += 1;
+            self.telemetry.late_passed.inc();
             out.push(StreamElement::Event(e));
             // The clock may still have advanced; later events could now be
             // releasable.
@@ -130,10 +161,12 @@ impl SlackBuffer {
             return;
         }
         self.stats.inserted += 1;
+        self.telemetry.inserted.inc();
         self.buf.insert((e.ts, e.seq), e);
         self.stats.max_buffered = self.stats.max_buffered.max(self.buf.len());
         self.stats.size_integral += self.buf.len() as u128;
         self.drain_ready(out);
+        self.telemetry.depth.set_u64(self.buf.len() as u64);
     }
 
     /// Release every buffered event that the current clock and slack allow,
@@ -156,9 +189,13 @@ impl SlackBuffer {
             .split_off(&(Timestamp(safe.raw().saturating_add(1)), 0));
         for (_, e) in std::mem::replace(&mut self.buf, keep) {
             self.stats.released += 1;
+            self.telemetry.released.inc();
             out.push(StreamElement::Event(e));
         }
         self.watermark = safe;
+        self.telemetry
+            .watermark_lag
+            .set_u64(self.clock.delta_since(safe).raw());
         out.push(StreamElement::Watermark(safe));
     }
 
@@ -166,9 +203,12 @@ impl SlackBuffer {
     pub fn finish(&mut self, out: &mut Vec<StreamElement>) {
         for (_, e) in std::mem::take(&mut self.buf) {
             self.stats.released += 1;
+            self.telemetry.released.inc();
             out.push(StreamElement::Event(e));
         }
         self.watermark = Timestamp::MAX;
+        self.telemetry.depth.set_u64(0);
+        self.telemetry.watermark_lag.set_u64(0);
         out.push(StreamElement::Flush);
     }
 }
@@ -329,6 +369,24 @@ mod tests {
         let out = feed(&mut b, vec![ev(5, 0), ev(1, 1), ev(3, 2)]);
         assert_eq!(released_ts(&out), vec![1, 3, 5]);
         assert!(out.last().unwrap().is_flush());
+    }
+
+    #[test]
+    fn instrumented_buffer_mirrors_stats() {
+        let reg = Registry::new();
+        let mut b = SlackBuffer::new(5u64);
+        b.instrument(&reg);
+        let mut out = Vec::new();
+        b.insert(ev(20, 0), &mut out); // watermark 15
+        b.insert(ev(8, 1), &mut out); // late pass
+        b.insert(ev(30, 2), &mut out);
+        b.finish(&mut out);
+        let snap = reg.snapshot();
+        let s = b.stats();
+        assert_eq!(snap.counter("quill.buffer.inserted"), s.inserted);
+        assert_eq!(snap.counter("quill.buffer.released"), s.released);
+        assert_eq!(snap.counter("quill.buffer.late_passed"), s.late_passed);
+        assert_eq!(snap.gauge("quill.buffer.depth"), Some(0.0));
     }
 
     #[test]

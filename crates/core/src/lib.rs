@@ -13,11 +13,16 @@
 //! [`strategy::OracleBuffer`]) share the same [`buffer::SlackBuffer`]
 //! mechanism and differ only in their K policy.
 //!
+//! Execution goes through one facade: [`runner::execute`] (and
+//! [`shared::execute_shared`] for multi-query runs), with
+//! [`runner::ExecOptions`] selecting sequential vs. keyed-parallel execution
+//! and optionally attaching a [`quill_telemetry::Registry`] for runtime
+//! observability.
+//!
 //! ## Quick example
 //!
 //! ```
 //! use quill_core::prelude::*;
-//! use quill_engine::prelude::*;
 //!
 //! // An out-of-order toy stream.
 //! let events = vec![
@@ -25,13 +30,13 @@
 //!     Event::new(5u64, 1, Row::new([Value::Float(2.0)])),
 //!     Event::new(25u64, 2, Row::new([Value::Float(3.0)])),
 //! ];
-//! let query = QuerySpec::new(
-//!     WindowSpec::tumbling(10u64),
-//!     vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
-//!     None,
-//! );
+//! let query = QuerySpec::builder()
+//!     .window(WindowSpec::tumbling(10u64))
+//!     .aggregate(AggregateKind::Sum, 0, "sum")
+//!     .build()
+//!     .unwrap();
 //! let mut strategy = AqKSlack::for_completeness(0.95);
-//! let out = run_query(&events, &mut strategy, &query).unwrap();
+//! let out = execute(&events, &mut strategy, &query, &ExecOptions::sequential()).unwrap();
 //! assert_eq!(out.quality.windows_total, 3);
 //! ```
 
@@ -49,7 +54,9 @@ pub mod runner;
 pub mod shared;
 pub mod strategy;
 
-/// Convenient glob-import surface.
+/// Convenient glob-import surface: the execution facade, query building,
+/// every strategy, telemetry, and the engine's own prelude (events, rows,
+/// windows, aggregates).
 pub mod prelude {
     pub use crate::aq::{AqConfig, AqKSlack, AqStats};
     pub use crate::buffer::{BufferStats, SlackBuffer};
@@ -58,7 +65,16 @@ pub mod prelude {
     pub use crate::online::OnlineQuery;
     pub use crate::punctuated::PunctuatedBuffer;
     pub use crate::quality::{QualityTarget, SensitivityModel};
-    pub use crate::runner::{run_query, QuerySpec, RunOutput};
-    pub use crate::shared::{run_shared, strictest_completeness, SharedRunOutput};
+    #[allow(deprecated)]
+    pub use crate::runner::run_query;
+    pub use crate::runner::{execute, ExecOptions, QuerySpec, QuerySpecBuilder, RunOutput};
+    #[allow(deprecated)]
+    pub use crate::shared::run_shared;
+    pub use crate::shared::{
+        execute_shared, strictest_completeness, SharedQueryOutput, SharedRunOutput,
+    };
     pub use crate::strategy::{DisorderControl, DropAll, FixedKSlack, MpKSlack, OracleBuffer};
+    pub use quill_engine::parallel::ParallelConfig;
+    pub use quill_engine::prelude::*;
+    pub use quill_telemetry::{Registry, ReporterConfig, Snapshot, TelemetryReporter};
 }

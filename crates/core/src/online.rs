@@ -1,6 +1,6 @@
 //! Online (push-based) quality-driven query execution.
 //!
-//! [`run_query`](crate::runner::run_query) is batch-style: it consumes a
+//! [`execute`](crate::runner::execute) is batch-style: it consumes a
 //! finished event vector and scores against the oracle afterwards.
 //! [`OnlineQuery`] is the production-facing interface: construct it once,
 //! [`push`](OnlineQuery::push) events as they arrive, and collect
@@ -164,7 +164,7 @@ impl OnlineQuery {
 mod tests {
     use super::*;
     use crate::aq::AqKSlack;
-    use crate::runner::run_query;
+    use crate::runner::{execute, ExecOptions};
     use crate::strategy::FixedKSlack;
     use quill_engine::aggregate::{AggregateKind, AggregateSpec};
     use quill_engine::prelude::{Row, Value, WindowSpec};
@@ -202,7 +202,13 @@ mod tests {
         online_results.extend(online.finish());
 
         let mut batch_strategy = FixedKSlack::new(50u64);
-        let batch = run_query(&evs, &mut batch_strategy, &query()).unwrap();
+        let batch = execute(
+            &evs,
+            &mut batch_strategy,
+            &query(),
+            &ExecOptions::sequential(),
+        )
+        .unwrap();
         assert_eq!(online_results, batch.results);
         assert_eq!(online.results_emitted() as usize, batch.results.len());
     }

@@ -71,6 +71,10 @@ impl PunctuatedBuffer {
 }
 
 impl DisorderControl for PunctuatedBuffer {
+    fn instrument(&mut self, telemetry: &quill_telemetry::Registry) {
+        self.buf.instrument(telemetry);
+    }
+
     fn name(&self) -> String {
         if self.source_slack == TimeDelta::ZERO {
             "punct".into()

@@ -1,23 +1,28 @@
 //! End-to-end query runner: strategy + windowed query + measurement.
 //!
-//! [`run_query`] drives one continuous query over one arrival-ordered event
+//! [`execute`] drives one continuous query over one arrival-ordered event
 //! sequence under a chosen [`DisorderControl`] strategy, and measures
 //! everything the experiments report: per-result latency (event-time),
 //! result quality vs. the in-order oracle, K and buffer-occupancy time
-//! series, and wall-clock processing time.
+//! series, wall-clock processing time, and (when an enabled
+//! [`quill_telemetry::Registry`] is supplied via [`ExecOptions`]) periodic
+//! telemetry snapshots. [`ExecOptions`] selects sequential execution or the
+//! batched keyed-parallel executor; the legacy [`run_query`] /
+//! [`run_query_parallel`] entry points are deprecated shims over it.
 
 use crate::strategy::DisorderControl;
-use quill_engine::aggregate::AggregateSpec;
-use quill_engine::error::Result;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::error::{EngineError, Result};
 use quill_engine::event::{ClockTracker, Event, StreamElement};
 use quill_engine::operator::{
     LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
 };
-use quill_engine::parallel::{run_keyed_parallel_with, ParallelConfig};
+use quill_engine::parallel::{run_keyed_parallel_instrumented, ParallelConfig};
 use quill_engine::time::{TimeDelta, Timestamp};
 use quill_engine::window::WindowSpec;
 use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
 use quill_metrics::{LatencyRecorder, Summary, TimeSeries};
+use quill_telemetry::{Registry, ReporterConfig, Snapshot, TelemetryReporter};
 
 /// The continuous query to execute.
 #[derive(Debug, Clone)]
@@ -31,6 +36,29 @@ pub struct QuerySpec {
 }
 
 impl QuerySpec {
+    /// Start building a query fluently: window, then aggregates, then an
+    /// optional key field; everything is validated at
+    /// [`QuerySpecBuilder::build`].
+    ///
+    /// ```
+    /// use quill_core::prelude::*;
+    ///
+    /// let query = QuerySpec::builder()
+    ///     .window(WindowSpec::tumbling(1000u64))
+    ///     .aggregate(AggregateKind::Mean, 1, "mean_price")
+    ///     .key_field(0)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(query.key_field, Some(0));
+    /// ```
+    pub fn builder() -> QuerySpecBuilder {
+        QuerySpecBuilder {
+            window: None,
+            aggregates: Vec::new(),
+            key_field: None,
+        }
+    }
+
     /// Convenience constructor.
     pub fn new(
         window: WindowSpec,
@@ -95,6 +123,107 @@ impl QuerySpec {
     }
 }
 
+/// Fluent, validated construction of a [`QuerySpec`] — see
+/// [`QuerySpec::builder`].
+#[derive(Debug, Clone)]
+pub struct QuerySpecBuilder {
+    window: Option<WindowSpec>,
+    aggregates: Vec<AggregateSpec>,
+    key_field: Option<usize>,
+}
+
+impl QuerySpecBuilder {
+    /// Set the window shape (required).
+    pub fn window(mut self, window: WindowSpec) -> QuerySpecBuilder {
+        self.window = Some(window);
+        self
+    }
+
+    /// Append one aggregate over `field`, naming its output column.
+    pub fn aggregate(
+        mut self,
+        kind: AggregateKind,
+        field: usize,
+        name: impl Into<String>,
+    ) -> QuerySpecBuilder {
+        self.aggregates.push(AggregateSpec::new(kind, field, name));
+        self
+    }
+
+    /// Group results by the given row index.
+    pub fn key_field(mut self, field: usize) -> QuerySpecBuilder {
+        self.key_field = Some(field);
+        self
+    }
+
+    /// Validate and build the query.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidPipeline`] when the window is missing or no
+    /// aggregate was added; invalid window/aggregate parameters propagate.
+    pub fn build(self) -> Result<QuerySpec> {
+        let window = self
+            .window
+            .ok_or_else(|| EngineError::InvalidPipeline("query window is required".into()))?;
+        window.validate()?;
+        if self.aggregates.is_empty() {
+            return Err(EngineError::InvalidPipeline(
+                "at least one aggregate is required".into(),
+            ));
+        }
+        for a in &self.aggregates {
+            a.validate()?;
+        }
+        Ok(QuerySpec {
+            window,
+            aggregates: self.aggregates,
+            key_field: self.key_field,
+        })
+    }
+}
+
+/// How the runner executes a query and what it observes while doing so.
+/// `Default` is sequential, telemetry disabled.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// `Some(config)` fans the windowing work out on the batched
+    /// keyed-parallel executor; `None` runs single-threaded.
+    pub parallel: Option<ParallelConfig>,
+    /// Telemetry registry instruments record into.
+    /// [`Registry::disabled`] (the default) makes every instrument a no-op.
+    pub telemetry: Registry,
+    /// Take a telemetry snapshot every this many input events (0 = only the
+    /// final end-of-run snapshot). Ignored when telemetry is disabled.
+    pub snapshot_every_events: u64,
+}
+
+impl ExecOptions {
+    /// Sequential execution, telemetry disabled (same as `Default`).
+    pub fn sequential() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Parallel execution with the given executor configuration.
+    pub fn parallel(config: ParallelConfig) -> ExecOptions {
+        ExecOptions {
+            parallel: Some(config),
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Record telemetry into `registry` (cloned; clones share instruments).
+    pub fn with_telemetry(mut self, registry: &Registry) -> ExecOptions {
+        self.telemetry = registry.clone();
+        self
+    }
+
+    /// Snapshot every `n` input events in addition to the final snapshot.
+    pub fn with_snapshot_every(mut self, n: u64) -> ExecOptions {
+        self.snapshot_every_events = n;
+        self
+    }
+}
+
 /// How often (in events) to sample K and buffer occupancy into time series.
 const SERIES_SAMPLE_EVERY: u64 = 32;
 
@@ -124,6 +253,10 @@ pub struct RunOutput {
     pub wall_micros: u128,
     /// Events processed.
     pub events: u64,
+    /// Telemetry snapshots collected during the run (empty when telemetry is
+    /// disabled). The final snapshot is taken after all windowing work, so
+    /// its counters cover the whole run.
+    pub snapshots: Vec<Snapshot>,
 }
 
 impl RunOutput {
@@ -137,134 +270,55 @@ impl RunOutput {
     }
 }
 
-/// Execute `query` over `events` (already in arrival order) under
-/// `strategy`, scoring quality against the exact in-order oracle.
-///
-/// # Errors
-/// Propagates invalid window/aggregate specifications.
-pub fn run_query(
-    events: &[Event],
-    strategy: &mut dyn DisorderControl,
-    query: &QuerySpec,
-) -> Result<RunOutput> {
-    let mut op = WindowAggregateOp::new(
-        query.window,
-        query.aggregates.clone(),
-        query.key_field,
-        LatePolicy::Drop,
-    )?;
-
-    let mut latency = LatencyRecorder::with_samples();
-    let mut k_series = TimeSeries::new("k");
-    let mut buffer_series = TimeSeries::new("buffered");
-    let mut results: Vec<WindowResult> = Vec::new();
-    let mut clock = ClockTracker::new();
-
-    let start = std::time::Instant::now();
-    let mut staged: Vec<StreamElement> = Vec::new();
-    for (i, e) in events.iter().enumerate() {
-        clock.observe(e.ts);
-        let now = clock.clock().expect("observed at least one event");
-        staged.clear();
-        strategy.on_event(e.clone(), &mut staged);
-        for el in staged.drain(..) {
-            op.process(el, &mut |o| {
-                if let StreamElement::Event(out_ev) = o {
-                    if let Some(r) = WindowResult::from_row(&out_ev.row) {
-                        latency.record(now.delta_since(r.window.end));
-                        results.push(r);
-                    }
-                }
-            });
-        }
-        if (i as u64).is_multiple_of(SERIES_SAMPLE_EVERY) {
-            let k = strategy.current_k();
-            // Cap the oracle's "infinite" K for plottability.
-            let k_plot = if k == TimeDelta::MAX {
-                f64::NAN
-            } else {
-                k.as_f64()
-            };
-            if k_plot.is_finite() {
-                k_series.push(now, k_plot);
-            }
-            buffer_series.push(
-                now,
-                strategy.buffer_stats().inserted as f64 - strategy.buffer_stats().released as f64,
-            );
-        }
-    }
-    // Flush: remaining results are emitted at the final clock.
-    staged.clear();
-    strategy.finish(&mut staged);
-    let final_clock = clock.clock().unwrap_or_default();
-    for el in staged.drain(..) {
-        op.process(el, &mut |o| {
-            if let StreamElement::Event(out_ev) = o {
-                if let Some(r) = WindowResult::from_row(&out_ev.row) {
-                    latency.record(final_clock.delta_since(r.window.end));
-                    results.push(r);
-                }
-            }
-        });
-    }
-    let wall_micros = start.elapsed().as_micros();
-
-    let oracle = oracle_results(events, query.window, &query.aggregates, query.key_field);
-    let quality = score(&results, &oracle);
-
-    Ok(RunOutput {
-        strategy: strategy.name(),
-        latency: latency.summary(),
-        quality,
-        mean_k: k_series.mean(),
-        k_series,
-        buffer_series,
-        buffer: strategy.buffer_stats(),
-        window_stats: op.stats(),
-        wall_micros,
-        events: events.len() as u64,
-        results,
-    })
+/// Strategy output staged for windowing, plus everything measured while
+/// draining the strategy.
+pub(crate) struct StagedStream {
+    /// Released events and watermarks, in release order.
+    pub elements: Vec<StreamElement>,
+    /// `(watermark, clock at release)` pairs, in release order.
+    pub wm_clock: Vec<(Timestamp, Timestamp)>,
+    /// Clock after the last arrival.
+    pub final_clock: Timestamp,
+    /// K over event time.
+    pub k_series: TimeSeries,
+    /// Buffer occupancy over event time.
+    pub buffer_series: TimeSeries,
+    /// Carried out so the caller can `finish()` *after* the windowing work —
+    /// the final snapshot then covers executor and result instruments too.
+    pub reporter: TelemetryReporter,
 }
 
-/// Execute `query` over `events` under `strategy` on the batched
-/// keyed-parallel executor ([`run_keyed_parallel_with`]), scoring quality
-/// against the same in-order oracle as [`run_query`].
-///
-/// The disorder-control strategy itself is inherently sequential (it decides
-/// watermarks from arrival order), so the released stream is staged first —
-/// recording the clock at each watermark release — then the windowing work
-/// is fanned out across `config.shards` shard threads. Per-result latency is
-/// reconstructed from the recorded watermark clocks: a window result is
-/// emitted at the first watermark that passes its end. Window-operator
-/// counters are summed across the per-shard operator instances.
-///
-/// Unkeyed queries (`key_field == None`) still run — every event routes to
-/// one shard — but only keyed queries benefit from parallelism.
-///
-/// # Errors
-/// Propagates invalid window/aggregate specifications and executor failures.
-pub fn run_query_parallel(
+impl StagedStream {
+    /// Clock at which a window ending at `end` was emitted: the clock of the
+    /// first released watermark that passed the end; Flush-emitted windows
+    /// use the final clock.
+    pub fn emission_clock(&self, end: Timestamp) -> Timestamp {
+        let at = self.wm_clock.partition_point(|(w, _)| w.raw() < end.raw());
+        self.wm_clock.get(at).map_or(self.final_clock, |&(_, c)| c)
+    }
+}
+
+/// Drain `strategy` over `events`, recording watermark release clocks, the
+/// K / buffer-occupancy series, and telemetry ticks. Shared by [`execute`]
+/// and [`crate::shared::execute_shared`]: the strategy is inherently
+/// sequential (it decides watermarks from arrival order), so its output is
+/// staged once and the windowing work — sequential, parallel, or multi-query
+/// — runs over the staged stream.
+pub(crate) fn stage_strategy(
     events: &[Event],
     strategy: &mut dyn DisorderControl,
-    query: &QuerySpec,
-    config: ParallelConfig,
-) -> Result<RunOutput> {
-    // Validate the query up front so the per-shard factory below can't fail.
-    WindowAggregateOp::new(
-        query.window,
-        query.aggregates.clone(),
-        query.key_field,
-        LatePolicy::Drop,
-    )?;
+    opts: &ExecOptions,
+) -> StagedStream {
+    strategy.instrument(&opts.telemetry);
+    let run_events = opts.telemetry.counter("quill.run.events");
+    let mut reporter = TelemetryReporter::new(
+        &opts.telemetry,
+        ReporterConfig::every_events(opts.snapshot_every_events),
+    );
 
     let mut k_series = TimeSeries::new("k");
     let mut buffer_series = TimeSeries::new("buffered");
     let mut clock = ClockTracker::new();
-
-    let start = std::time::Instant::now();
-    // Stage the released stream, recording (watermark, clock-at-release).
     let mut elements: Vec<StreamElement> = Vec::with_capacity(events.len() + 1);
     let mut wm_clock: Vec<(Timestamp, Timestamp)> = Vec::new();
     let mut staged: Vec<StreamElement> = Vec::new();
@@ -279,8 +333,11 @@ pub fn run_query_parallel(
             }
             elements.push(el);
         }
+        run_events.inc();
+        reporter.observe_events(1);
         if (i as u64).is_multiple_of(SERIES_SAMPLE_EVERY) {
             let k = strategy.current_k();
+            // Cap the oracle's "infinite" K for plottability.
             let k_plot = if k == TimeDelta::MAX {
                 f64::NAN
             } else {
@@ -305,60 +362,187 @@ pub fn run_query_parallel(
         elements.push(el);
     }
 
-    // Fan out. Unkeyed queries route on the (out-of-range ⇒ Null) key so
-    // every event lands on one shard.
-    let key_field = query.key_field.unwrap_or(usize::MAX);
-    let (out, ops) = run_keyed_parallel_with(elements, key_field, config, || {
-        WindowAggregateOp::new(
-            query.window,
-            query.aggregates.clone(),
-            query.key_field,
-            LatePolicy::Drop,
-        )
-        .expect("query validated above")
-    })?;
+    StagedStream {
+        elements,
+        wm_clock,
+        final_clock,
+        k_series,
+        buffer_series,
+        reporter,
+    }
+}
+
+/// Sum window-operator counters across per-shard operator instances.
+pub(crate) fn sum_window_stats(ops: &[WindowAggregateOp]) -> WindowOpStats {
+    let mut total = WindowOpStats::default();
+    for op in ops {
+        let s = op.stats();
+        total.accepted += s.accepted;
+        total.late_dropped += s.late_dropped;
+        total.revisions += s.revisions;
+        total.windows_emitted += s.windows_emitted;
+        total.agg_inserts += s.agg_inserts;
+    }
+    total
+}
+
+/// Execute `query` over `events` (already in arrival order) under
+/// `strategy`, per `opts`: sequentially or on the batched keyed-parallel
+/// executor, optionally recording telemetry. Quality is scored against the
+/// exact in-order oracle.
+///
+/// The released stream is staged first — recording the clock at each
+/// watermark release — then the windowing work runs over the staged stream:
+/// through one operator (sequential) or fanned out across
+/// [`ParallelConfig::shards`] shard threads (parallel). Per-result latency
+/// is reconstructed from the recorded watermark clocks: a window result is
+/// emitted at the first watermark that passes its end, which is exactly when
+/// interleaved execution would have emitted it. Unkeyed queries
+/// (`key_field == None`) still run in parallel mode — every event routes to
+/// one shard — but only keyed queries benefit from parallelism.
+///
+/// With an enabled [`Registry`] in `opts`, the run additionally records
+/// `quill.run.events` / `quill.run.results` / `quill.run.late_dropped`
+/// counters and a `quill.run.latency` histogram on top of whatever the
+/// strategy ([`DisorderControl::instrument`]) and the parallel executor
+/// record, and [`RunOutput::snapshots`] carries the periodic and final
+/// registry snapshots.
+///
+/// # Errors
+/// Propagates invalid window/aggregate specifications and executor failures.
+pub fn execute(
+    events: &[Event],
+    strategy: &mut dyn DisorderControl,
+    query: &QuerySpec,
+    opts: &ExecOptions,
+) -> Result<RunOutput> {
+    // Validate up front so the per-shard operator factory below can't fail.
+    WindowAggregateOp::new(
+        query.window,
+        query.aggregates.clone(),
+        query.key_field,
+        LatePolicy::Drop,
+    )?;
+    let results_count = opts.telemetry.counter("quill.run.results");
+    let latency_hist = opts.telemetry.histogram("quill.run.latency");
+
+    let start = std::time::Instant::now();
+    let mut staged = stage_strategy(events, strategy, opts);
+    let elements = std::mem::take(&mut staged.elements);
+
+    let (results, window_stats) = match opts.parallel {
+        None => {
+            let mut op = WindowAggregateOp::new(
+                query.window,
+                query.aggregates.clone(),
+                query.key_field,
+                LatePolicy::Drop,
+            )?;
+            let mut results: Vec<WindowResult> = Vec::new();
+            for el in elements {
+                op.process(el, &mut |o| {
+                    if let StreamElement::Event(out_ev) = o {
+                        if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                            results.push(r);
+                        }
+                    }
+                });
+            }
+            (results, op.stats())
+        }
+        Some(config) => {
+            // Unkeyed queries route on the (out-of-range ⇒ Null) key so
+            // every event lands on one shard.
+            let key_field = query.key_field.unwrap_or(usize::MAX);
+            let (out, ops) = run_keyed_parallel_instrumented(
+                elements,
+                key_field,
+                config,
+                &opts.telemetry,
+                || {
+                    WindowAggregateOp::new(
+                        query.window,
+                        query.aggregates.clone(),
+                        query.key_field,
+                        LatePolicy::Drop,
+                    )
+                    .expect("query validated above")
+                },
+            )?;
+            let results: Vec<WindowResult> = out
+                .iter()
+                .filter_map(|el| el.as_event())
+                .filter_map(|e| WindowResult::from_row(&e.row))
+                .collect();
+            (results, sum_window_stats(&ops))
+        }
+    };
     let wall_micros = start.elapsed().as_micros();
 
     let mut latency = LatencyRecorder::with_samples();
-    let results: Vec<WindowResult> = out
-        .iter()
-        .filter_map(|el| el.as_event())
-        .filter_map(|e| WindowResult::from_row(&e.row))
-        .collect();
     for r in &results {
-        // Emission clock: the first released watermark that passed the
-        // window end; Flush-emitted windows use the final clock.
-        let at = wm_clock.partition_point(|(w, _)| w.raw() < r.window.end.raw());
-        let emitted_at = wm_clock.get(at).map_or(final_clock, |&(_, c)| c);
-        latency.record(emitted_at.delta_since(r.window.end));
+        let lat = staged
+            .emission_clock(r.window.end)
+            .delta_since(r.window.end);
+        latency_hist.record(lat.raw());
+        latency.record(lat);
     }
-
-    let mut window_stats = WindowOpStats::default();
-    for op in &ops {
-        let s = op.stats();
-        window_stats.accepted += s.accepted;
-        window_stats.late_dropped += s.late_dropped;
-        window_stats.revisions += s.revisions;
-        window_stats.windows_emitted += s.windows_emitted;
-        window_stats.agg_inserts += s.agg_inserts;
-    }
+    results_count.add(results.len() as u64);
+    opts.telemetry
+        .counter("quill.run.late_dropped")
+        .add(window_stats.late_dropped);
 
     let oracle = oracle_results(events, query.window, &query.aggregates, query.key_field);
     let quality = score(&results, &oracle);
+    // Force the end-of-run snapshot so it covers the executor and result
+    // instruments recorded after staging, even when the last periodic tick
+    // coincided with the final event.
+    if opts.telemetry.is_enabled() {
+        staged.reporter.force();
+    }
+    let snapshots = staged.reporter.finish();
 
     Ok(RunOutput {
         strategy: strategy.name(),
         latency: latency.summary(),
         quality,
-        mean_k: k_series.mean(),
-        k_series,
-        buffer_series,
+        mean_k: staged.k_series.mean(),
+        k_series: staged.k_series,
+        buffer_series: staged.buffer_series,
         buffer: strategy.buffer_stats(),
         window_stats,
         wall_micros,
         events: events.len() as u64,
         results,
+        snapshots,
     })
+}
+
+/// Sequential execution with telemetry disabled.
+///
+/// # Errors
+/// Propagates invalid window/aggregate specifications.
+#[deprecated(note = "use `execute` with `ExecOptions::sequential()`")]
+pub fn run_query(
+    events: &[Event],
+    strategy: &mut dyn DisorderControl,
+    query: &QuerySpec,
+) -> Result<RunOutput> {
+    execute(events, strategy, query, &ExecOptions::sequential())
+}
+
+/// Keyed-parallel execution with telemetry disabled.
+///
+/// # Errors
+/// Propagates invalid window/aggregate specifications and executor failures.
+#[deprecated(note = "use `execute` with `ExecOptions::parallel(config)`")]
+pub fn run_query_parallel(
+    events: &[Event],
+    strategy: &mut dyn DisorderControl,
+    query: &QuerySpec,
+    config: ParallelConfig,
+) -> Result<RunOutput> {
+    execute(events, strategy, query, &ExecOptions::parallel(config))
 }
 
 #[cfg(test)]
@@ -395,11 +579,19 @@ mod tests {
         )
     }
 
+    fn exec_seq(
+        events: &[Event],
+        strategy: &mut dyn DisorderControl,
+        query: &QuerySpec,
+    ) -> Result<RunOutput> {
+        execute(events, strategy, query, &ExecOptions::sequential())
+    }
+
     #[test]
     fn oracle_strategy_achieves_perfect_quality() {
         let events = disordered_events(2000, 300, 1);
         let mut s = OracleBuffer::new();
-        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        let out = exec_seq(&events, &mut s, &sum_query()).unwrap();
         assert_eq!(out.quality.windows_missing, 0);
         assert_eq!(out.quality.mean_completeness, 1.0);
         assert_eq!(out.quality.mean_rel_error, vec![0.0]);
@@ -409,7 +601,7 @@ mod tests {
     fn drop_all_has_zero_latency_and_poor_quality() {
         let events = disordered_events(2000, 300, 2);
         let mut s = DropAll::new();
-        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        let out = exec_seq(&events, &mut s, &sum_query()).unwrap();
         // Near-zero latency modulo clock overshoot: with K=0 the watermark
         // is the clock itself, which can jump past a window end by up to the
         // delay bound when an early-timestamped event is still in flight.
@@ -422,8 +614,8 @@ mod tests {
         let events = disordered_events(2000, 300, 3);
         let mut lo = FixedKSlack::new(10u64);
         let mut hi = FixedKSlack::new(400u64);
-        let out_lo = run_query(&events, &mut lo, &sum_query()).unwrap();
-        let out_hi = run_query(&events, &mut hi, &sum_query()).unwrap();
+        let out_lo = exec_seq(&events, &mut lo, &sum_query()).unwrap();
+        let out_hi = exec_seq(&events, &mut hi, &sum_query()).unwrap();
         assert!(out_hi.quality.mean_completeness > out_lo.quality.mean_completeness);
         assert!(out_hi.latency.mean > out_lo.latency.mean);
         // Delay bound 300 < K=400: zero loss.
@@ -434,7 +626,7 @@ mod tests {
     fn mp_matches_max_delay_latency() {
         let events = disordered_events(3000, 200, 4);
         let mut s = MpKSlack::new();
-        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        let out = exec_seq(&events, &mut s, &sum_query()).unwrap();
         // MP converges to K ≈ max delay ≈ 200.
         assert!(out.k_series.points().last().unwrap().1 >= 150.0);
         assert!(out.quality.mean_completeness > 0.99);
@@ -446,8 +638,8 @@ mod tests {
         let q = 0.95;
         let mut aq = AqKSlack::for_completeness(q);
         let mut mp = MpKSlack::new();
-        let out_aq = run_query(&events, &mut aq, &sum_query()).unwrap();
-        let out_mp = run_query(&events, &mut mp, &sum_query()).unwrap();
+        let out_aq = exec_seq(&events, &mut aq, &sum_query()).unwrap();
+        let out_mp = exec_seq(&events, &mut mp, &sum_query()).unwrap();
         assert!(
             out_aq.quality.mean_completeness >= q - 0.03,
             "AQ quality {} below target {q}",
@@ -465,7 +657,7 @@ mod tests {
     fn run_output_accounting_is_consistent() {
         let events = disordered_events(1000, 100, 6);
         let mut s = FixedKSlack::new(50u64);
-        let out = run_query(&events, &mut s, &sum_query()).unwrap();
+        let out = exec_seq(&events, &mut s, &sum_query()).unwrap();
         assert_eq!(out.events, 1000);
         let b = out.buffer;
         assert_eq!(b.released + b.late_passed, 1000);
@@ -495,7 +687,7 @@ mod tests {
             Some(0),
         );
         let mut s = FixedKSlack::new(120u64);
-        let out = run_query(&events, &mut s, &query).unwrap();
+        let out = exec_seq(&events, &mut s, &query).unwrap();
         assert!(out.quality.windows_total > 10);
         assert!(out.quality.mean_completeness > 0.9);
     }
@@ -532,12 +724,12 @@ mod tests {
         );
         let mut s_seq = FixedKSlack::new(160u64);
         let mut s_par = FixedKSlack::new(160u64);
-        let seq = run_query(&events, &mut s_seq, &query).unwrap();
-        let par = run_query_parallel(
+        let seq = exec_seq(&events, &mut s_seq, &query).unwrap();
+        let par = execute(
             &events,
             &mut s_par,
             &query,
-            ParallelConfig::new(4).with_batch_size(7),
+            &ExecOptions::parallel(ParallelConfig::new(4).with_batch_size(7)),
         )
         .unwrap();
 
@@ -574,8 +766,13 @@ mod tests {
     fn parallel_runner_handles_unkeyed_queries() {
         let events = disordered_events(1000, 100, 10);
         let mut s = FixedKSlack::new(150u64);
-        let out =
-            run_query_parallel(&events, &mut s, &sum_query(), ParallelConfig::new(4)).unwrap();
+        let out = execute(
+            &events,
+            &mut s,
+            &sum_query(),
+            &ExecOptions::parallel(ParallelConfig::new(4)),
+        )
+        .unwrap();
         assert_eq!(out.quality.mean_completeness, 1.0);
         assert_eq!(out.window_stats.accepted, 1000);
     }
@@ -585,6 +782,92 @@ mod tests {
         let events = disordered_events(10, 10, 8);
         let bad = QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None);
         let mut s = DropAll::new();
-        assert!(run_query(&events, &mut s, &bad).is_err());
+        assert!(exec_seq(&events, &mut s, &bad).is_err());
+    }
+
+    #[test]
+    fn builder_builds_validated_queries() {
+        let q = QuerySpec::builder()
+            .window(WindowSpec::sliding(200u64, 100u64))
+            .aggregate(AggregateKind::Sum, 1, "sum")
+            .aggregate(AggregateKind::Count, 1, "n")
+            .key_field(0)
+            .build()
+            .unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.key_field, Some(0));
+
+        // Missing window and missing aggregates are both rejected.
+        assert!(QuerySpec::builder()
+            .aggregate(AggregateKind::Sum, 0, "sum")
+            .build()
+            .is_err());
+        assert!(QuerySpec::builder()
+            .window(WindowSpec::tumbling(100u64))
+            .build()
+            .is_err());
+        // Invalid window parameters propagate.
+        assert!(QuerySpec::builder()
+            .window(WindowSpec::tumbling(0u64))
+            .aggregate(AggregateKind::Sum, 0, "sum")
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn telemetry_snapshots_cover_the_whole_run() {
+        let events = disordered_events(2000, 300, 11);
+        let telemetry = quill_telemetry::Registry::new();
+        let mut s = FixedKSlack::new(350u64);
+        let out = execute(
+            &events,
+            &mut s,
+            &sum_query(),
+            &ExecOptions::sequential()
+                .with_telemetry(&telemetry)
+                .with_snapshot_every(500),
+        )
+        .unwrap();
+        // Periodic snapshots at 500/1000/1500/2000 events plus nothing extra
+        // at finish (2000 coincides with the last tick).
+        assert!(out.snapshots.len() >= 4, "got {}", out.snapshots.len());
+        let last = out.snapshots.last().unwrap();
+        assert_eq!(last.counter("quill.run.events"), 2000);
+        assert_eq!(last.counter("quill.run.results"), out.results.len() as u64);
+        assert_eq!(
+            last.counter("quill.buffer.inserted") + last.counter("quill.buffer.late_passed"),
+            2000
+        );
+        assert_eq!(
+            last.counter("quill.run.late_dropped"),
+            out.window_stats.late_dropped
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_produces_no_snapshots() {
+        let events = disordered_events(500, 100, 12);
+        let mut s = FixedKSlack::new(150u64);
+        let out = execute(
+            &events,
+            &mut s,
+            &sum_query(),
+            &ExecOptions::sequential().with_snapshot_every(100),
+        )
+        .unwrap();
+        assert!(out.snapshots.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let events = disordered_events(800, 100, 13);
+        let query = sum_query();
+        let mut s1 = FixedKSlack::new(150u64);
+        let mut s2 = FixedKSlack::new(150u64);
+        let seq = run_query(&events, &mut s1, &query).unwrap();
+        let par = run_query_parallel(&events, &mut s2, &query, ParallelConfig::new(2)).unwrap();
+        assert_eq!(seq.events, 800);
+        assert_eq!(seq.quality.mean_completeness, par.quality.mean_completeness);
     }
 }

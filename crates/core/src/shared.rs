@@ -7,13 +7,15 @@
 //! looser queries simply enjoy surplus quality. This mirrors the
 //! multi-query sharing angle of the original system demo.
 
-use crate::runner::QuerySpec;
+use crate::runner::{stage_strategy, ExecOptions, QuerySpec};
 use crate::strategy::DisorderControl;
 use quill_engine::error::Result;
-use quill_engine::event::{ClockTracker, Event, StreamElement};
+use quill_engine::event::{Event, StreamElement};
 use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
+use quill_engine::parallel::run_keyed_parallel_instrumented;
 use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
 use quill_metrics::{LatencyRecorder, Summary};
+use quill_telemetry::Snapshot;
 
 /// Per-query measurement of a shared run.
 #[derive(Debug, Clone)]
@@ -37,6 +39,9 @@ pub struct SharedRunOutput {
     pub per_query: Vec<SharedQueryOutput>,
     /// Wall-clock time for the whole shared run, microseconds.
     pub wall_micros: u128,
+    /// Telemetry snapshots collected during the run (empty when telemetry is
+    /// disabled).
+    pub snapshots: Vec<Snapshot>,
 }
 
 /// The completeness target a shared buffer must honour: the maximum over
@@ -51,98 +56,145 @@ pub fn strictest_completeness(targets: &[f64]) -> Option<f64> {
 }
 
 /// Run several queries over one stream sharing a single disorder-control
-/// strategy (one buffer, one watermark sequence, N window operators).
+/// strategy (one buffer, one watermark sequence, N window operators), per
+/// `opts`: each query's windowing runs sequentially or on the keyed-parallel
+/// executor, and an enabled telemetry registry observes the shared buffer
+/// once rather than once per query.
+///
+/// Note that with `opts.parallel` set, the per-shard executor counters
+/// accumulate across queries (each query fans the staged stream out again),
+/// so `quill.shard.*.events` totals `queries × events` rather than `events`.
 ///
 /// # Errors
-/// Propagates invalid query specifications.
-pub fn run_shared(
+/// Propagates invalid query specifications and executor failures.
+pub fn execute_shared(
     events: &[Event],
     strategy: &mut dyn DisorderControl,
     queries: &[QuerySpec],
+    opts: &ExecOptions,
 ) -> Result<SharedRunOutput> {
-    let mut ops: Vec<WindowAggregateOp> = queries
-        .iter()
-        .map(|q| {
-            WindowAggregateOp::new(
-                q.window,
-                q.aggregates.clone(),
-                q.key_field,
-                LatePolicy::Drop,
-            )
-        })
-        .collect::<Result<_>>()?;
-    let mut latencies: Vec<LatencyRecorder> = queries
-        .iter()
-        .map(|_| LatencyRecorder::with_samples())
-        .collect();
-    let mut results: Vec<Vec<WindowResult>> = queries.iter().map(|_| Vec::new()).collect();
-    let mut clock = ClockTracker::new();
+    // Validate every query up front so per-shard factories below can't fail.
+    for q in queries {
+        WindowAggregateOp::new(
+            q.window,
+            q.aggregates.clone(),
+            q.key_field,
+            LatePolicy::Drop,
+        )?;
+    }
+    let results_count = opts.telemetry.counter("quill.run.results");
 
     let start = std::time::Instant::now();
-    let mut staged = Vec::new();
-    let route = |staged: &mut Vec<StreamElement>,
-                 ops: &mut [WindowAggregateOp],
-                 latencies: &mut [LatencyRecorder],
-                 results: &mut [Vec<WindowResult>],
-                 now: quill_engine::time::Timestamp| {
-        for el in staged.drain(..) {
-            for ((op, lat), res) in ops
-                .iter_mut()
-                .zip(latencies.iter_mut())
-                .zip(results.iter_mut())
-            {
-                op.process(el.clone(), &mut |o| {
-                    if let StreamElement::Event(out_ev) = o {
-                        if let Some(r) = WindowResult::from_row(&out_ev.row) {
-                            lat.record(now.delta_since(r.window.end));
-                            res.push(r);
+    let mut staged = stage_strategy(events, strategy, opts);
+
+    let mut all_results: Vec<Vec<WindowResult>> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let results: Vec<WindowResult> = match opts.parallel {
+            None => {
+                let mut op = WindowAggregateOp::new(
+                    q.window,
+                    q.aggregates.clone(),
+                    q.key_field,
+                    LatePolicy::Drop,
+                )?;
+                let mut res = Vec::new();
+                for el in &staged.elements {
+                    op.process(el.clone(), &mut |o| {
+                        if let StreamElement::Event(out_ev) = o {
+                            if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                                res.push(r);
+                            }
                         }
-                    }
-                });
+                    });
+                }
+                res
             }
-        }
-    };
-    for e in events {
-        clock.observe(e.ts);
-        let now = clock.clock().expect("observed event");
-        staged.clear();
-        strategy.on_event(e.clone(), &mut staged);
-        route(&mut staged, &mut ops, &mut latencies, &mut results, now);
+            Some(config) => {
+                let key_field = q.key_field.unwrap_or(usize::MAX);
+                let (out, _ops) = run_keyed_parallel_instrumented(
+                    staged.elements.clone(),
+                    key_field,
+                    config,
+                    &opts.telemetry,
+                    || {
+                        WindowAggregateOp::new(
+                            q.window,
+                            q.aggregates.clone(),
+                            q.key_field,
+                            LatePolicy::Drop,
+                        )
+                        .expect("query validated above")
+                    },
+                )?;
+                out.iter()
+                    .filter_map(|el| el.as_event())
+                    .filter_map(|e| WindowResult::from_row(&e.row))
+                    .collect()
+            }
+        };
+        results_count.add(results.len() as u64);
+        all_results.push(results);
     }
-    staged.clear();
-    strategy.finish(&mut staged);
-    let now = clock.clock().unwrap_or_default();
-    route(&mut staged, &mut ops, &mut latencies, &mut results, now);
     let wall_micros = start.elapsed().as_micros();
 
     let per_query = queries
         .iter()
         .enumerate()
         .map(|(i, q)| {
+            let results = std::mem::take(&mut all_results[i]);
+            let mut latency = LatencyRecorder::with_samples();
+            for r in &results {
+                latency.record(
+                    staged
+                        .emission_clock(r.window.end)
+                        .delta_since(r.window.end),
+                );
+            }
             let oracle = oracle_results(events, q.window, &q.aggregates, q.key_field);
             SharedQueryOutput {
                 query_index: i,
-                latency: latencies[i].summary(),
-                quality: score(&results[i], &oracle),
-                results: std::mem::take(&mut results[i]),
+                latency: latency.summary(),
+                quality: score(&results, &oracle),
+                results,
             }
         })
         .collect();
+    // Force the end-of-run snapshot so it covers the per-query result
+    // instruments recorded after staging.
+    if opts.telemetry.is_enabled() {
+        staged.reporter.force();
+    }
+    let snapshots = staged.reporter.finish();
 
     Ok(SharedRunOutput {
         strategy: strategy.name(),
         per_query,
         wall_micros,
+        snapshots,
     })
+}
+
+/// Shared sequential execution with telemetry disabled.
+///
+/// # Errors
+/// Propagates invalid query specifications.
+#[deprecated(note = "use `execute_shared` with `ExecOptions::sequential()`")]
+pub fn run_shared(
+    events: &[Event],
+    strategy: &mut dyn DisorderControl,
+    queries: &[QuerySpec],
+) -> Result<SharedRunOutput> {
+    execute_shared(events, strategy, queries, &ExecOptions::sequential())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::aq::AqKSlack;
-    use crate::runner::run_query;
+    use crate::runner::execute;
     use crate::strategy::FixedKSlack;
     use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+    use quill_engine::parallel::ParallelConfig;
     use quill_engine::prelude::{Row, Value, WindowSpec};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -180,14 +232,47 @@ mod tests {
         let evs = events(3_000, 1);
         let qs = queries();
         let mut shared_strategy = FixedKSlack::new(150u64);
-        let shared = run_shared(&evs, &mut shared_strategy, &qs).unwrap();
+        let shared =
+            execute_shared(&evs, &mut shared_strategy, &qs, &ExecOptions::sequential()).unwrap();
         for (i, q) in qs.iter().enumerate() {
             let mut solo_strategy = FixedKSlack::new(150u64);
-            let solo = run_query(&evs, &mut solo_strategy, q).unwrap();
+            let solo = execute(&evs, &mut solo_strategy, q, &ExecOptions::sequential()).unwrap();
             assert_eq!(shared.per_query[i].results, solo.results, "query {i}");
             assert_eq!(
                 shared.per_query[i].quality.mean_completeness,
                 solo.quality.mean_completeness
+            );
+            assert!(
+                (shared.per_query[i].latency.mean - solo.latency.mean).abs() < 1e-6,
+                "query {i} latency {} vs {}",
+                shared.per_query[i].latency.mean,
+                solo.latency.mean
+            );
+        }
+    }
+
+    #[test]
+    fn shared_parallel_matches_shared_sequential() {
+        let evs = events(2_000, 5);
+        let qs = queries();
+        let mut s_seq = FixedKSlack::new(150u64);
+        let mut s_par = FixedKSlack::new(150u64);
+        let seq = execute_shared(&evs, &mut s_seq, &qs, &ExecOptions::sequential()).unwrap();
+        let par = execute_shared(
+            &evs,
+            &mut s_par,
+            &qs,
+            &ExecOptions::parallel(ParallelConfig::new(2).with_batch_size(16)),
+        )
+        .unwrap();
+        for i in 0..qs.len() {
+            assert_eq!(
+                seq.per_query[i].quality.mean_completeness,
+                par.per_query[i].quality.mean_completeness
+            );
+            assert_eq!(
+                seq.per_query[i].results.len(),
+                par.per_query[i].results.len()
             );
         }
     }
@@ -204,7 +289,7 @@ mod tests {
         let qs = queries();
         let q = strictest_completeness(&[0.9, 0.99]).unwrap();
         let mut strategy = AqKSlack::for_completeness(q);
-        let shared = run_shared(&evs, &mut strategy, &qs).unwrap();
+        let shared = execute_shared(&evs, &mut strategy, &qs, &ExecOptions::sequential()).unwrap();
         for out in &shared.per_query {
             assert!(
                 out.quality.mean_completeness >= 0.9,
@@ -218,10 +303,33 @@ mod tests {
     }
 
     #[test]
+    fn shared_telemetry_counts_the_buffer_once() {
+        let evs = events(1_000, 6);
+        let qs = queries();
+        let telemetry = quill_telemetry::Registry::new();
+        let mut strategy = FixedKSlack::new(150u64);
+        let shared = execute_shared(
+            &evs,
+            &mut strategy,
+            &qs,
+            &ExecOptions::sequential().with_telemetry(&telemetry),
+        )
+        .unwrap();
+        let last = shared.snapshots.last().expect("final snapshot");
+        assert_eq!(last.counter("quill.run.events"), 1_000);
+        assert_eq!(
+            last.counter("quill.buffer.inserted") + last.counter("quill.buffer.late_passed"),
+            1_000
+        );
+        let total_results: usize = shared.per_query.iter().map(|q| q.results.len()).sum();
+        assert_eq!(last.counter("quill.run.results"), total_results as u64);
+    }
+
+    #[test]
     fn empty_query_set_is_fine() {
         let evs = events(100, 3);
         let mut s = FixedKSlack::new(10u64);
-        let shared = run_shared(&evs, &mut s, &[]).unwrap();
+        let shared = execute_shared(&evs, &mut s, &[], &ExecOptions::sequential()).unwrap();
         assert!(shared.per_query.is_empty());
     }
 
@@ -230,6 +338,15 @@ mod tests {
         let evs = events(10, 4);
         let mut s = FixedKSlack::new(10u64);
         let bad = vec![QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None)];
-        assert!(run_shared(&evs, &mut s, &bad).is_err());
+        assert!(execute_shared(&evs, &mut s, &bad, &ExecOptions::sequential()).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shared_shim_still_runs() {
+        let evs = events(500, 7);
+        let mut s = FixedKSlack::new(100u64);
+        let shared = run_shared(&evs, &mut s, &queries()).unwrap();
+        assert_eq!(shared.per_query.len(), 2);
     }
 }

@@ -16,11 +16,17 @@
 
 use crate::buffer::{BufferStats, SlackBuffer};
 use quill_engine::prelude::{Event, StreamElement, TimeDelta};
+use quill_telemetry::Registry;
 
 /// A pluggable disorder-control strategy.
 pub trait DisorderControl: Send {
     /// Strategy name for reports.
     fn name(&self) -> String;
+
+    /// Attach runtime telemetry instruments. Buffer-backed strategies wire
+    /// their [`SlackBuffer`] to `quill.buffer.*`; adaptive strategies add
+    /// `quill.controller.*` / `quill.estimator.*`. Default: no telemetry.
+    fn instrument(&mut self, _telemetry: &Registry) {}
 
     /// Feed one arriving event; ordered releases and watermarks are appended
     /// to `out`.
@@ -58,6 +64,9 @@ impl Default for DropAll {
 }
 
 impl DisorderControl for DropAll {
+    fn instrument(&mut self, telemetry: &Registry) {
+        self.buf.instrument(telemetry);
+    }
     fn name(&self) -> String {
         "drop".into()
     }
@@ -93,6 +102,9 @@ impl FixedKSlack {
 }
 
 impl DisorderControl for FixedKSlack {
+    fn instrument(&mut self, telemetry: &Registry) {
+        self.buf.instrument(telemetry);
+    }
     fn name(&self) -> String {
         format!("fixed(K={})", self.k.raw())
     }
@@ -148,6 +160,9 @@ impl Default for MpKSlack {
 }
 
 impl DisorderControl for MpKSlack {
+    fn instrument(&mut self, telemetry: &Registry) {
+        self.buf.instrument(telemetry);
+    }
     fn name(&self) -> String {
         if self.cap == TimeDelta::MAX {
             "mp".into()
@@ -197,6 +212,9 @@ impl Default for OracleBuffer {
 }
 
 impl DisorderControl for OracleBuffer {
+    fn instrument(&mut self, telemetry: &Registry) {
+        self.buf.instrument(telemetry);
+    }
     fn name(&self) -> String {
         "oracle".into()
     }

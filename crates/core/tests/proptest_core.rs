@@ -5,7 +5,6 @@
 
 use proptest::prelude::*;
 use quill_core::prelude::*;
-use quill_engine::prelude::*;
 
 /// Arbitrary arrival sequence: (timestamp, K to set before the insert).
 fn arrivals() -> impl Strategy<Value = Vec<(u64, u64)>> {

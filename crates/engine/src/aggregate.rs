@@ -76,7 +76,7 @@ impl AggregateKind {
     }
 
     /// Whether per-pane partial states of this aggregate can be merged into
-    /// a window result ([`AggregateSpec::build_pane`] returns `Some`). Exact
+    /// a window result (`AggregateSpec::build_pane` returns `Some`). Exact
     /// order statistics and distinct counts are not decomposable without
     /// retaining per-pane value sets, so they stay on the per-window path.
     pub fn combinable(&self) -> bool {
@@ -179,9 +179,9 @@ impl AggregateSpec {
             AggregateKind::Last => PaneAgg::Edge(EdgeAgg::new(true)),
             AggregateKind::ArgMin(by) => PaneAgg::Arg(ArgAgg::new(false, by)),
             AggregateKind::ArgMax(by) => PaneAgg::Arg(ArgAgg::new(true, by)),
-            AggregateKind::Median
-            | AggregateKind::Quantile(_)
-            | AggregateKind::DistinctCount => return None,
+            AggregateKind::Median | AggregateKind::Quantile(_) | AggregateKind::DistinctCount => {
+                return None
+            }
         })
     }
 
@@ -972,7 +972,11 @@ mod pane_tests {
     /// into its home pane's partial, merge partials in ascending pane order,
     /// and compare with feeding the same data sequentially (in ts order)
     /// into the plain incremental aggregator.
-    fn merged_vs_sequential(spec: &AggregateSpec, data: &[(u64, Row)], slide: u64) -> (Value, Value) {
+    fn merged_vs_sequential(
+        spec: &AggregateSpec,
+        data: &[(u64, Row)],
+        slide: u64,
+    ) -> (Value, Value) {
         let mut panes: std::collections::BTreeMap<u64, PaneAgg> = Default::default();
         for (t, row) in data {
             let pane = panes

@@ -63,11 +63,11 @@ pub mod prelude {
     pub use crate::aggregate::{AggregateKind, AggregateSpec, Aggregator};
     pub use crate::error::{EngineError, Result};
     pub use crate::event::{ClockTracker, DisorderStats, Event, StreamElement};
+    pub use crate::hash::FxHasher;
     pub use crate::operator::{
         merge_by_arrival, CountWindowOp, FilterOp, IntervalJoin, LatePolicy, MapOp, Operator,
         ProjectOp, SessionOpStats, SessionWindowOp, WindowAggregateOp, WindowOpStats, WindowResult,
     };
-    pub use crate::hash::FxHasher;
     pub use crate::parallel::{
         run_keyed_parallel, run_keyed_parallel_with, shard_of, ParallelConfig,
     };

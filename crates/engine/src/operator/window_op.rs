@@ -1030,7 +1030,9 @@ mod tests {
             };
             input.push(ev(ts, i, (ts % 11) as f64));
             if i % 20 == 19 {
-                input.push(StreamElement::Watermark(Timestamp((i * 5).saturating_sub(30))));
+                input.push(StreamElement::Watermark(Timestamp(
+                    (i * 5).saturating_sub(30),
+                )));
             }
         }
         input.push(StreamElement::Flush);
@@ -1043,8 +1045,14 @@ mod tests {
         assert_eq!(rp, rl);
         assert_eq!(paned.stats().accepted, legacy.stats().accepted);
         assert_eq!(paned.stats().late_dropped, legacy.stats().late_dropped);
-        assert_eq!(paned.stats().windows_emitted, legacy.stats().windows_emitted);
-        assert!(paned.stats().late_dropped > 0, "disorder must produce lates");
+        assert_eq!(
+            paned.stats().windows_emitted,
+            legacy.stats().windows_emitted
+        );
+        assert!(
+            paned.stats().late_dropped > 0,
+            "disorder must produce lates"
+        );
     }
 
     #[test]
@@ -1081,9 +1089,13 @@ mod tests {
     #[test]
     fn pane_path_requires_divisible_overlapping_sliding_and_drop() {
         let aggs = || vec![AggregateSpec::new(AggregateKind::Sum, 0, "s")];
-        let eligible =
-            WindowAggregateOp::new(WindowSpec::sliding(100u64, 25u64), aggs(), None, LatePolicy::Drop)
-                .unwrap();
+        let eligible = WindowAggregateOp::new(
+            WindowSpec::sliding(100u64, 25u64),
+            aggs(),
+            None,
+            LatePolicy::Drop,
+        )
+        .unwrap();
         assert!(eligible.shares_panes());
         for (spec, policy) in [
             (WindowSpec::tumbling(100u64), LatePolicy::Drop),
@@ -1091,7 +1103,9 @@ mod tests {
             (WindowSpec::sliding(100u64, 100u64), LatePolicy::Drop), // no overlap
             (
                 WindowSpec::sliding(100u64, 25u64),
-                LatePolicy::Revise { allowed_lateness: 10 },
+                LatePolicy::Revise {
+                    allowed_lateness: 10,
+                },
             ),
         ] {
             let op = WindowAggregateOp::new(spec, aggs(), None, policy).unwrap();

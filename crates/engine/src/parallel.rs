@@ -34,9 +34,12 @@ use crate::hash::FxHasher;
 use crate::operator::{Operator, WindowResult};
 use crate::value::{hash_value, Key, Value};
 use crossbeam::channel;
+use quill_telemetry::{Counter, Gauge, Registry};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Tuning knobs for [`run_keyed_parallel_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +81,9 @@ impl ParallelConfig {
             return Err(EngineError::InvalidPipeline("shards must be > 0".into()));
         }
         if self.batch_size == 0 {
-            return Err(EngineError::InvalidPipeline("batch_size must be > 0".into()));
+            return Err(EngineError::InvalidPipeline(
+                "batch_size must be > 0".into(),
+            ));
         }
         if self.channel_capacity == 0 {
             return Err(EngineError::InvalidPipeline(
@@ -137,13 +142,74 @@ pub fn run_keyed_parallel_with<O>(
 where
     O: Operator + 'static,
 {
+    run_keyed_parallel_instrumented(elements, key_field, config, &Registry::disabled(), make_op)
+}
+
+/// Per-shard executor telemetry: routed-event/batch counters, a derived
+/// queue-depth gauge (batches sent minus batches the worker finished — the
+/// stub channel has no `len()`), and a shared done-counter the worker
+/// bumps. All `None`-backed no-ops when the registry is disabled.
+struct ShardMetrics {
+    events: Counter,
+    batches: Counter,
+    queue_depth: Gauge,
+    /// Batches the worker thread has fully processed (shared with it).
+    done: Option<Arc<AtomicU64>>,
+    /// Batches the router has sent to this shard.
+    sent: u64,
+}
+
+impl ShardMetrics {
+    fn new(telemetry: &Registry, shard: usize) -> ShardMetrics {
+        ShardMetrics {
+            events: telemetry.counter(&format!("quill.shard.{shard}.events")),
+            batches: telemetry.counter(&format!("quill.shard.{shard}.batches")),
+            queue_depth: telemetry.gauge(&format!("quill.shard.{shard}.queue_depth")),
+            done: telemetry.is_enabled().then(|| Arc::new(AtomicU64::new(0))),
+            sent: 0,
+        }
+    }
+
+    /// In-flight batches right now (0 when telemetry is disabled).
+    fn depth(&self) -> u64 {
+        self.done
+            .as_ref()
+            .map_or(0, |d| self.sent.saturating_sub(d.load(Ordering::Relaxed)))
+    }
+}
+
+/// Like [`run_keyed_parallel_with`], but recording executor telemetry into
+/// `telemetry`: per shard `quill.shard.<i>.events` / `.batches` counters
+/// and a `.queue_depth` gauge, `quill.executor.send_stalls` (sends issued
+/// while the shard's channel was at capacity, i.e. backpressure), and
+/// `quill.merge.elements` / `quill.merge.fallback_sorts` for the output
+/// merge. With a disabled registry this *is* `run_keyed_parallel_with` —
+/// every instrument update folds to a branch on `None`.
+///
+/// # Errors
+/// Same as [`run_keyed_parallel_with`].
+pub fn run_keyed_parallel_instrumented<O>(
+    elements: Vec<StreamElement>,
+    key_field: usize,
+    config: ParallelConfig,
+    telemetry: &Registry,
+    make_op: impl Fn() -> O,
+) -> Result<(Vec<StreamElement>, Vec<O>)>
+where
+    O: Operator + 'static,
+{
     config.validate()?;
     let shards = config.shards;
+    let mut metrics: Vec<ShardMetrics> = (0..shards)
+        .map(|s| ShardMetrics::new(telemetry, s))
+        .collect();
+    let send_stalls = telemetry.counter("quill.executor.send_stalls");
     let mut txs = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
-    for _ in 0..shards {
+    for m in &metrics {
         let (tx, rx) = channel::bounded::<Vec<StreamElement>>(config.channel_capacity);
         let mut op = make_op();
+        let done = m.done.clone();
         handles.push(std::thread::spawn(move || {
             let mut outs: Vec<StreamElement> = Vec::new();
             for batch in rx {
@@ -155,6 +221,9 @@ where
                             outs.push(o);
                         }
                     });
+                }
+                if let Some(d) = &done {
+                    d.fetch_add(1, Ordering::Relaxed);
                 }
             }
             (outs, op)
@@ -172,34 +241,42 @@ where
         match &el {
             StreamElement::Event(e) => {
                 let shard = shard_of(e.row.get(key_field), shards);
+                metrics[shard].events.inc();
                 bufs[shard].push(el);
                 if bufs[shard].len() >= config.batch_size {
-                    flush_batch(&txs[shard], &mut bufs[shard], config.batch_size)?;
+                    flush_batch(
+                        &txs[shard],
+                        &mut bufs[shard],
+                        &config,
+                        &mut metrics[shard],
+                        &send_stalls,
+                    )?;
                 }
             }
             _ => {
-                for (tx, buf) in txs.iter().zip(&mut bufs) {
+                for ((tx, buf), m) in txs.iter().zip(&mut bufs).zip(&mut metrics) {
                     buf.push(el.clone());
-                    flush_batch(tx, buf, config.batch_size)?;
+                    flush_batch(tx, buf, &config, m, &send_stalls)?;
                 }
             }
         }
     }
-    for (tx, buf) in txs.iter().zip(&mut bufs) {
-        flush_batch(tx, buf, config.batch_size)?;
+    for ((tx, buf), m) in txs.iter().zip(&mut bufs).zip(&mut metrics) {
+        flush_batch(tx, buf, &config, m, &send_stalls)?;
     }
     drop(txs);
 
     let mut shard_outs = Vec::with_capacity(shards);
     let mut ops = Vec::with_capacity(shards);
-    for h in handles {
+    for (h, m) in handles.into_iter().zip(&metrics) {
         let (outs, op) = h
             .join()
             .map_err(|_| EngineError::ExecutorFailure("shard thread panicked".into()))?;
+        m.queue_depth.set_u64(0);
         shard_outs.push(outs);
         ops.push(op);
     }
-    Ok((merge_shard_outputs(shard_outs), ops))
+    Ok((merge_shard_outputs(shard_outs, telemetry), ops))
 }
 
 /// Run a keyed operator data-parallel over `shards` threads with default
@@ -221,14 +298,29 @@ pub fn run_keyed_parallel(
 fn flush_batch(
     tx: &channel::Sender<Vec<StreamElement>>,
     buf: &mut Vec<StreamElement>,
-    batch_size: usize,
+    config: &ParallelConfig,
+    metrics: &mut ShardMetrics,
+    send_stalls: &Counter,
 ) -> Result<()> {
     if buf.is_empty() {
         return Ok(());
     }
-    let batch = std::mem::replace(buf, Vec::with_capacity(batch_size));
+    if metrics.done.is_some() {
+        // Backpressure: the bounded send below will block until the worker
+        // drains a batch.
+        if metrics.depth() >= config.channel_capacity as u64 {
+            send_stalls.inc();
+        }
+        metrics.batches.inc();
+    }
+    let batch = std::mem::replace(buf, Vec::with_capacity(config.batch_size));
     tx.send(batch)
-        .map_err(|_| EngineError::ExecutorFailure("shard died".into()))
+        .map_err(|_| EngineError::ExecutorFailure("shard died".into()))?;
+    if metrics.done.is_some() {
+        metrics.sent += 1;
+        metrics.queue_depth.set_u64(metrics.depth());
+    }
+    Ok(())
 }
 
 /// Global output order: window end, window start, key. Computed once per
@@ -250,9 +342,7 @@ fn merge_key(el: &StreamElement) -> MergeKey {
                     e.row.get(3).as_i64(),
                     e.row.get(4).as_i64(),
                 ) {
-                    (Some(start), Some(end), Some(_), Some(_)) => {
-                        Some((end as u64, start as u64))
-                    }
+                    (Some(start), Some(end), Some(_), Some(_)) => Some((end as u64, start as u64)),
                     _ => None,
                 }
             } else {
@@ -273,8 +363,12 @@ fn merge_key(el: &StreamElement) -> MergeKey {
 /// revisions of the same window compare equal), so a k-way heap merge
 /// recovers the global order in O(n log shards). Fallback: one stable sort
 /// over the cached keys, preserving within-shard emission order.
-fn merge_shard_outputs(shard_outs: Vec<Vec<StreamElement>>) -> Vec<StreamElement> {
+fn merge_shard_outputs(
+    shard_outs: Vec<Vec<StreamElement>>,
+    telemetry: &Registry,
+) -> Vec<StreamElement> {
     let total: usize = shard_outs.iter().map(Vec::len).sum();
+    telemetry.counter("quill.merge.elements").add(total as u64);
     let keyed: Vec<Vec<(MergeKey, StreamElement)>> = shard_outs
         .into_iter()
         .map(|outs| outs.into_iter().map(|el| (merge_key(&el), el)).collect())
@@ -296,6 +390,11 @@ fn merge_shard_outputs(shard_outs: Vec<Vec<StreamElement>>) -> Vec<StreamElement
                 None => heads.push(None),
             }
         }
+        // Peak heap occupancy = shards that produced output (the heap only
+        // shrinks from here).
+        telemetry
+            .gauge("quill.merge.heap_peak")
+            .set_u64(heap.len() as u64);
         while let Some(Reverse((_, shard))) = heap.pop() {
             out.push(heads[shard].take().expect("queued shard has a head"));
             if let Some((k, el)) = iters[shard].next() {
@@ -304,6 +403,7 @@ fn merge_shard_outputs(shard_outs: Vec<Vec<StreamElement>>) -> Vec<StreamElement
             }
         }
     } else {
+        telemetry.counter("quill.merge.fallback_sorts").inc();
         let mut flat: Vec<(MergeKey, usize, StreamElement)> = keyed
             .into_iter()
             .enumerate()
@@ -471,6 +571,33 @@ mod tests {
         assert_eq!(keys.len(), 8, "all key groups must produce results");
         let total: u64 = results.iter().map(|r| r.count).sum();
         assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn instrumented_run_records_shard_and_merge_metrics() {
+        let reg = Registry::new();
+        let n = 1_000u64;
+        let cfg = ParallelConfig::new(4)
+            .with_batch_size(64)
+            .with_channel_capacity(2);
+        let (out, _ops) =
+            run_keyed_parallel_instrumented(input(n, 8), 0, cfg, &reg, window_op).expect("run");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_family_sum("quill.shard.", ".events"),
+            n,
+            "every event routed to exactly one shard"
+        );
+        assert!(snap.counter_family_sum("quill.shard.", ".batches") >= 4);
+        assert_eq!(snap.counter("quill.merge.elements"), out.len() as u64);
+        assert_eq!(snap.counter("quill.merge.fallback_sorts"), 0);
+        // Workers drained everything before join, so depth gauges end at 0.
+        for s in 0..4 {
+            assert_eq!(
+                snap.gauge(&format!("quill.shard.{s}.queue_depth")),
+                Some(0.0)
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::event::StreamElement;
 use crate::operator::{FilterOp, MapOp, Operator, ProjectOp, WindowAggregateOp};
 use crate::value::Row;
 use crossbeam::channel;
+use quill_telemetry::Registry;
 
 /// A linear chain of push-based operators.
 #[derive(Default)]
@@ -149,6 +150,24 @@ impl Pipeline {
         channel_capacity: usize,
         batch_size: usize,
     ) -> Result<Vec<StreamElement>> {
+        self.run_parallel_instrumented(source, channel_capacity, batch_size, &Registry::disabled())
+    }
+
+    /// Like [`Pipeline::run_parallel_batched`], but recording per-stage
+    /// telemetry into `telemetry`: `quill.pipeline.stage.<i>.batches` and
+    /// `quill.pipeline.stage.<i>.elements` counters (elements entering each
+    /// stage, batches it received) plus `quill.pipeline.source.batches`.
+    /// With a disabled registry the instrument updates are no-op branches.
+    ///
+    /// # Errors
+    /// Same as [`Pipeline::run_parallel_batched`].
+    pub fn run_parallel_instrumented(
+        self,
+        source: Vec<StreamElement>,
+        channel_capacity: usize,
+        batch_size: usize,
+        telemetry: &Registry,
+    ) -> Result<Vec<StreamElement>> {
         if channel_capacity == 0 {
             return Err(EngineError::InvalidPipeline(
                 "channel capacity must be > 0".into(),
@@ -162,27 +181,35 @@ impl Pipeline {
         let mut handles = Vec::new();
         // Source channel.
         let (src_tx, mut rx) = channel::bounded::<Vec<StreamElement>>(channel_capacity);
+        let src_batches = telemetry.counter("quill.pipeline.source.batches");
         handles.push(std::thread::spawn(move || {
             let mut buf = Vec::with_capacity(batch_size);
             for el in source {
                 let delimit = !matches!(el, StreamElement::Event(_));
                 buf.push(el);
-                if (buf.len() >= batch_size || delimit)
-                    && src_tx.send(std::mem::take(&mut buf)).is_err()
-                {
-                    return;
+                if buf.len() >= batch_size || delimit {
+                    src_batches.inc();
+                    if src_tx.send(std::mem::take(&mut buf)).is_err() {
+                        return;
+                    }
                 }
             }
             if !buf.is_empty() {
+                src_batches.inc();
                 let _ = src_tx.send(buf);
             }
         }));
-        for mut op in self.ops {
+        for (stage, mut op) in self.ops.into_iter().enumerate() {
             let (tx, next_rx) = channel::bounded::<Vec<StreamElement>>(channel_capacity);
             let op_rx = rx;
+            let stage_batches = telemetry.counter(&format!("quill.pipeline.stage.{stage}.batches"));
+            let stage_elements =
+                telemetry.counter(&format!("quill.pipeline.stage.{stage}.elements"));
             handles.push(std::thread::spawn(move || {
                 let mut out_buf: Vec<StreamElement> = Vec::with_capacity(batch_size);
                 'stage: for batch in op_rx {
+                    stage_batches.inc();
+                    stage_elements.add(batch.len() as u64);
                     for el in batch {
                         let mut failed = false;
                         op.process(el, &mut |o| {
@@ -300,6 +327,22 @@ mod tests {
                 .unwrap();
             assert_eq!(expected, got, "batch={batch}");
         }
+    }
+
+    #[test]
+    fn instrumented_parallel_records_per_stage_counts() {
+        let reg = Registry::new();
+        let expected = test_pipeline().run_collect(source(200));
+        let got = test_pipeline()
+            .run_parallel_instrumented(source(200), 4, 16, &reg)
+            .unwrap();
+        assert_eq!(expected, got);
+        let snap = reg.snapshot();
+        assert!(snap.counter("quill.pipeline.source.batches") > 0);
+        // Stage 0 sees everything the source sent: 200 events + Flush.
+        assert_eq!(snap.counter("quill.pipeline.stage.0.elements"), 201);
+        // The filter halves the event count for stage 1 (100 evens + Flush).
+        assert_eq!(snap.counter("quill.pipeline.stage.1.elements"), 101);
     }
 
     #[test]

@@ -116,13 +116,7 @@ fn check_identical(
                 .filter_map(|e| e.as_event())
                 .filter_map(|e| WindowResult::from_row(&e.row))
                 .collect();
-            prop_assert_eq!(
-                &got,
-                &reference,
-                "shards={} batch={}",
-                shards,
-                batch
-            );
+            prop_assert_eq!(&got, &reference, "shards={} batch={}", shards, batch);
         }
     }
     Ok(())
@@ -131,19 +125,17 @@ fn check_identical(
 fn rows_strategy(n: usize) -> impl Strategy<Value = Vec<(u64, i64, f64, f64)>> {
     // Mostly-increasing timestamps with jitter that can pull an event far
     // behind the watermark (late under slack below).
-    prop::collection::vec(
-        (0u64..120, 0i64..5, -100.0f64..100.0, -10.0f64..10.0),
-        1..n,
+    prop::collection::vec((0u64..120, 0i64..5, -100.0f64..100.0, -10.0f64..10.0), 1..n).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (jitter, key, value, by))| {
+                    let base = (i as u64) * 9;
+                    (base.saturating_sub(jitter), key, value, by)
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (jitter, key, value, by))| {
-                let base = (i as u64) * 9;
-                (base.saturating_sub(jitter), key, value, by)
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -8,8 +8,8 @@
 //! and testbed-independent; wall-clock overhead is measured separately by
 //! the criterion benches.
 
-use crate::histogram::LogHistogram;
 use crate::stats::{StreamingStats, Summary};
+use crate::LogHistogram;
 use quill_engine::prelude::{TimeDelta, Timestamp};
 use serde::{Deserialize, Serialize};
 

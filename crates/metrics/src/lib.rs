@@ -4,8 +4,9 @@
 //! execution:
 //!
 //! * [`stats`] — streaming moments, batch summaries, percentiles, ECDF;
-//! * [`histogram`] — HDR-style log-bucketed histograms for latency/delay
-//!   distributions with bounded relative quantile error;
+//! * [`LogHistogram`] — HDR-style log-bucketed histogram for latency/delay
+//!   distributions with bounded relative quantile error (re-exported from
+//!   `quill-telemetry`, where it also backs registry histograms);
 //! * [`latency`] — per-result latency recording in event-time units;
 //! * [`timeseries`] — `(time, value)` series for adaptivity plots;
 //! * [`quality_eval`] — the in-order oracle plus per-window quality scoring
@@ -16,16 +17,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod histogram;
 pub mod latency;
 pub mod quality_eval;
 pub mod report;
 pub mod stats;
 pub mod timeseries;
 
-pub use histogram::LogHistogram;
 pub use latency::LatencyRecorder;
 pub use quality_eval::{oracle_results, relative_error, score, QualityReport, WindowQuality};
+pub use quill_telemetry::LogHistogram;
 pub use report::{fmt_f64, Table};
 pub use stats::{ecdf_sorted, percentile_sorted, StreamingStats, Summary};
 pub use timeseries::TimeSeries;

@@ -1,0 +1,281 @@
+//! Snapshot exporters: Prometheus text exposition format and JSON-lines.
+//!
+//! Both are hand-rolled text renderers — snapshots are plain sorted maps,
+//! so the output is deterministic and diff-friendly. A small Prometheus
+//! line parser ([`parse_prometheus`]) is included so tests (and tools) can
+//! round-trip exports without an external scraper.
+
+use crate::{HistogramSummary, Snapshot};
+use std::fmt::Write as _;
+
+/// Sanitise a dotted instrument name into a Prometheus metric name:
+/// `quill.shard.0.events` → `quill_shard_0_events`. Prometheus names match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; anything else becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format (version
+/// 0.0.4). Counters become `counter`, gauges `gauge`, and histograms
+/// `summary` metrics with `quantile` labels plus `_sum`/`_count` series.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", fmt_f64(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", fmt_f64(h.mean * h.count as f64));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// One sample parsed back out of a Prometheus text export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sanitised metric name (e.g. `quill_shard_0_events`).
+    pub name: String,
+    /// Label pairs in source order (e.g. `[("quantile", "0.5")]`).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse the subset of the Prometheus text format that [`to_prometheus`]
+/// emits (and that real exporters commonly produce): comment lines are
+/// skipped, samples are `name[{k="v",..}] value`. Timestamps are not
+/// supported. Returns an error naming the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {raw:?}", lineno + 1);
+        let (head, value_str) = match line.find('}') {
+            Some(close) => {
+                let (h, rest) = line.split_at(close + 1);
+                (h, rest.trim())
+            }
+            None => line
+                .split_once(char::is_whitespace)
+                .map(|(h, v)| (h, v.trim()))
+                .ok_or_else(|| err("missing value"))?,
+        };
+        if value_str.is_empty() {
+            return Err(err("missing value"));
+        }
+        let value: f64 = value_str.parse().map_err(|_| err("unparseable value"))?;
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unclosed label set"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| err("malformed label"))?;
+                    let v = v
+                        .trim()
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("unquoted label value"))?;
+                    labels.push((k.trim().to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if name.is_empty() {
+            return Err(err("empty metric name"));
+        }
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Render a snapshot as one JSON object on a single line (JSON-lines
+/// record), suitable for appending to files under `results/`.
+pub fn to_json_line(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"seq\":{},\"at_events\":{},\"wall_micros\":{}",
+        snap.seq, snap.at_events, snap.wall_micros
+    );
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", json_string(name));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), fmt_f64(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), summary_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn summary_json(h: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count,
+        h.min,
+        h.max,
+        fmt_f64(h.mean),
+        h.p50,
+        h.p90,
+        h.p99
+    )
+}
+
+/// JSON-escape and quote a string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 so the output is valid JSON / Prometheus: finite values
+/// keep full precision, non-finite ones become 0 (JSON has no NaN/Inf).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("quill.shard.0.events").add(40);
+        reg.counter("quill.shard.1.events").add(60);
+        reg.gauge("quill.controller.k").set(250.5);
+        let h = reg.histogram("quill.run.latency");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes() {
+        assert_eq!(
+            prometheus_name("quill.shard.0.events"),
+            "quill_shard_0_events"
+        );
+        assert_eq!(prometheus_name("0weird"), "_0weird");
+    }
+
+    #[test]
+    fn prometheus_export_round_trips() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let samples = parse_prometheus(&text).expect("parse own export");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.labels.is_empty())
+                .map(|s| s.value)
+        };
+        assert_eq!(get("quill_shard_0_events"), Some(40.0));
+        assert_eq!(get("quill_shard_1_events"), Some(60.0));
+        assert_eq!(get("quill_controller_k"), Some(250.5));
+        assert_eq!(get("quill_run_latency_count"), Some(100.0));
+        let p50 = samples
+            .iter()
+            .find(|s| {
+                s.name == "quill_run_latency"
+                    && s.labels == vec![("quantile".to_string(), "0.5".to_string())]
+            })
+            .expect("quantile sample");
+        assert!(p50.value >= 45.0 && p50.value <= 55.0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_prometheus("just_a_name").is_err());
+        assert!(parse_prometheus("name{quantile=0.5} 1").is_err());
+        assert!(parse_prometheus("name notanumber").is_err());
+        assert!(parse_prometheus("# a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_balanced() {
+        let snap = sample_snapshot();
+        let line = to_json_line(&snap);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        let opens = line.matches('{').count();
+        let closes = line.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(line.contains("\"quill.shard.0.events\":40"));
+        assert!(line.contains("\"quill.controller.k\":250.5"));
+        assert!(line.contains("\"count\":100"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

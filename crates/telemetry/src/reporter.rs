@@ -1,0 +1,204 @@
+//! Periodic snapshotting: turn a stream of "N events processed" ticks into
+//! a series of registry snapshots, emitted every N events and/or every M
+//! milliseconds, whichever fires first.
+
+use crate::{Registry, Snapshot};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// When the reporter takes a snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct ReporterConfig {
+    /// Snapshot every this many observed events (0 disables the trigger).
+    pub every_events: u64,
+    /// Snapshot when this many milliseconds elapsed since the last one
+    /// (0 disables the trigger).
+    pub every_millis: u64,
+}
+
+impl Default for ReporterConfig {
+    fn default() -> Self {
+        ReporterConfig {
+            every_events: 10_000,
+            every_millis: 0,
+        }
+    }
+}
+
+impl ReporterConfig {
+    /// Event-count-triggered snapshots only.
+    pub fn every_events(n: u64) -> ReporterConfig {
+        ReporterConfig {
+            every_events: n,
+            every_millis: 0,
+        }
+    }
+}
+
+/// Collects periodic [`Snapshot`]s of a [`Registry`] while a run is in
+/// flight. Drive it with [`observe_events`](TelemetryReporter::observe_events)
+/// from the ingest loop; call [`finish`](TelemetryReporter::finish) for a
+/// final snapshot at end of stream.
+///
+/// A reporter over a disabled registry never snapshots, so the hot-path
+/// cost stays at one integer add and compare per tick.
+#[derive(Debug)]
+pub struct TelemetryReporter {
+    registry: Registry,
+    cfg: ReporterConfig,
+    started: Instant,
+    last_snapshot_at: Instant,
+    events_seen: u64,
+    events_at_last: u64,
+    snapshots: Vec<Snapshot>,
+}
+
+impl TelemetryReporter {
+    /// Create a reporter over `registry` (cloned; clones share instruments).
+    pub fn new(registry: &Registry, cfg: ReporterConfig) -> TelemetryReporter {
+        let now = Instant::now();
+        TelemetryReporter {
+            registry: registry.clone(),
+            cfg,
+            started: now,
+            last_snapshot_at: now,
+            events_seen: 0,
+            events_at_last: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Record that `n` more events were processed; returns the snapshot if
+    /// one of the configured triggers fired.
+    pub fn observe_events(&mut self, n: u64) -> Option<&Snapshot> {
+        self.events_seen += n;
+        if !self.registry.is_enabled() {
+            return None;
+        }
+        let by_events = self.cfg.every_events > 0
+            && self.events_seen - self.events_at_last >= self.cfg.every_events;
+        let by_time = self.cfg.every_millis > 0
+            && self.last_snapshot_at.elapsed().as_millis() >= self.cfg.every_millis as u128;
+        if by_events || by_time {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// Take a snapshot unconditionally (no-op returning an empty snapshot
+    /// reference is avoided: disabled registries still record seq/events so
+    /// callers can rely on `snapshots()` sequencing when enabled).
+    pub fn force(&mut self) -> &Snapshot {
+        self.take()
+    }
+
+    /// Final snapshot at end of run, if any events were seen since the last
+    /// one (or none were taken yet). Returns all collected snapshots.
+    pub fn finish(mut self) -> Vec<Snapshot> {
+        if self.registry.is_enabled()
+            && (self.snapshots.is_empty() || self.events_seen > self.events_at_last)
+        {
+            self.take();
+        }
+        self.snapshots
+    }
+
+    /// Snapshots collected so far.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Events observed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    fn take(&mut self) -> &Snapshot {
+        let mut snap = self.registry.snapshot();
+        snap.seq = self.snapshots.len() as u64;
+        snap.at_events = self.events_seen;
+        snap.wall_micros = self.started.elapsed().as_micros();
+        self.events_at_last = self.events_seen;
+        self.last_snapshot_at = Instant::now();
+        self.snapshots.push(snap);
+        self.snapshots.last().expect("just pushed")
+    }
+}
+
+/// Write snapshots as JSON-lines (one object per line) to `path`,
+/// creating parent directories as needed.
+pub fn write_jsonl(path: &Path, snapshots: &[Snapshot]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for snap in snapshots {
+        writeln!(f, "{}", crate::export::to_json_line(snap))?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_fire_on_event_threshold() {
+        let reg = Registry::new();
+        let c = reg.counter("quill.n");
+        let mut rep = TelemetryReporter::new(&reg, ReporterConfig::every_events(100));
+        for _ in 0..5 {
+            c.add(30);
+            rep.observe_events(30);
+        }
+        // 150 events crossed the threshold once (at 120), then 150→new window.
+        assert_eq!(rep.snapshots().len(), 1);
+        assert_eq!(rep.snapshots()[0].at_events, 120);
+        let snaps = rep.finish();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[1].seq, 1);
+        assert_eq!(snaps[1].at_events, 150);
+        assert_eq!(snaps[1].counter("quill.n"), 150);
+    }
+
+    #[test]
+    fn disabled_registry_never_snapshots() {
+        let reg = Registry::disabled();
+        let mut rep = TelemetryReporter::new(&reg, ReporterConfig::every_events(1));
+        for _ in 0..10 {
+            assert!(rep.observe_events(5).is_none());
+        }
+        assert!(rep.finish().is_empty());
+    }
+
+    #[test]
+    fn finish_skips_redundant_tail_snapshot() {
+        let reg = Registry::new();
+        let mut rep = TelemetryReporter::new(&reg, ReporterConfig::every_events(10));
+        rep.observe_events(10);
+        assert_eq!(rep.snapshots().len(), 1);
+        // No events since the last snapshot → finish adds nothing.
+        assert_eq!(rep.finish().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_snapshot() {
+        let reg = Registry::new();
+        reg.counter("quill.n").add(1);
+        let mut rep = TelemetryReporter::new(&reg, ReporterConfig::default());
+        rep.force();
+        reg.counter("quill.n").add(1);
+        rep.force();
+        let dir = std::env::temp_dir().join("quill-telemetry-test");
+        let path = dir.join("snaps.jsonl");
+        write_jsonl(&path, rep.snapshots()).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"quill.n\":2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

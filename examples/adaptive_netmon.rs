@@ -9,8 +9,6 @@
 
 use oos_examples::{print_run, section, sparkline};
 use quill_core::prelude::*;
-use quill_engine::aggregate::{AggregateKind, AggregateSpec};
-use quill_engine::prelude::WindowSpec;
 use quill_gen::workload::netmon::{self, NetmonConfig};
 
 fn main() {
@@ -27,20 +25,23 @@ fn main() {
         stream.stats.max_delay
     );
 
-    let query = QuerySpec::new(
-        WindowSpec::tumbling(1_000u64),
-        vec![AggregateSpec::new(
-            AggregateKind::Sum,
-            netmon::BYTES_FIELD,
-            "bytes",
-        )],
-        Some(netmon::HOST_FIELD),
-    );
+    let query = QuerySpec::builder()
+        .window(WindowSpec::tumbling(1_000u64))
+        .aggregate(AggregateKind::Sum, netmon::BYTES_FIELD, "bytes")
+        .key_field(netmon::HOST_FIELD)
+        .build()
+        .expect("valid query spec");
 
+    // Watch the run live: periodic registry snapshots every 10k events.
+    let telemetry = Registry::new();
+    let opts = ExecOptions::sequential()
+        .with_telemetry(&telemetry)
+        .with_snapshot_every(10_000);
     let mut aq = AqKSlack::for_completeness(0.95);
-    let aq_out = run_query(&stream.events, &mut aq, &query).expect("valid query");
+    let aq_out = execute(&stream.events, &mut aq, &query, &opts).expect("valid query");
     let mut mp = MpKSlack::new();
-    let mp_out = run_query(&stream.events, &mut mp, &query).expect("valid query");
+    let mp_out =
+        execute(&stream.events, &mut mp, &query, &ExecOptions::sequential()).expect("valid query");
 
     section("buffer bound K over time (left = calm, right = congested)");
     println!("  aq  {}", sparkline(&aq_out.k_series, 72));
@@ -61,4 +62,16 @@ fn main() {
         "  violation rate vs q=0.95: {:.2}%",
         aq_out.quality.violation_rate(0.95) * 100.0
     );
+
+    section("telemetry: controller K gauge across snapshots (aq)");
+    for snap in &aq_out.snapshots {
+        println!(
+            "  at {:>6} events: K {:>7.1}, adaptations {:>3}, buffer depth {:>5}, est p95 {:>7.1}",
+            snap.at_events,
+            snap.gauge("quill.controller.k").unwrap_or(0.0),
+            snap.counter("quill.controller.adaptations"),
+            snap.gauge("quill.buffer.depth").unwrap_or(0.0),
+            snap.gauge("quill.estimator.p95").unwrap_or(0.0),
+        );
+    }
 }

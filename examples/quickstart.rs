@@ -8,8 +8,6 @@
 
 use oos_examples::{print_run, section};
 use quill_core::prelude::*;
-use quill_engine::aggregate::{AggregateKind, AggregateSpec};
-use quill_engine::prelude::WindowSpec;
 
 fn main() {
     // 1. A synthetic stream: one event every 10 time units, transport
@@ -26,22 +24,23 @@ fn main() {
 
     // 2. The continuous query: mean of the value field over tumbling
     //    500-unit windows.
-    let query = QuerySpec::new(
-        WindowSpec::tumbling(500u64),
-        vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
-        None,
-    );
+    let query = QuerySpec::builder()
+        .window(WindowSpec::tumbling(500u64))
+        .aggregate(AggregateKind::Mean, 0, "mean")
+        .build()
+        .expect("valid query spec");
 
     // 3. Same query, four strategies.
     section("strategy comparison (target completeness for AQ: 95%)");
+    let opts = ExecOptions::sequential();
     let mut drop = DropAll::new();
-    print_run(&run_query(&stream.events, &mut drop, &query).expect("valid query"));
+    print_run(&execute(&stream.events, &mut drop, &query, &opts).expect("valid query"));
     let mut fixed = FixedKSlack::new(300u64);
-    print_run(&run_query(&stream.events, &mut fixed, &query).expect("valid query"));
+    print_run(&execute(&stream.events, &mut fixed, &query, &opts).expect("valid query"));
     let mut mp = MpKSlack::new();
-    print_run(&run_query(&stream.events, &mut mp, &query).expect("valid query"));
+    print_run(&execute(&stream.events, &mut mp, &query, &opts).expect("valid query"));
     let mut aq = AqKSlack::for_completeness(0.95);
-    let aq_out = run_query(&stream.events, &mut aq, &query).expect("valid query");
+    let aq_out = execute(&stream.events, &mut aq, &query, &opts).expect("valid query");
     print_run(&aq_out);
 
     // 4. What AQ actually did: the adaptive K.

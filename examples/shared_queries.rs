@@ -13,7 +13,6 @@ use oos_examples::section;
 use quill_core::online::OnlineQuery;
 use quill_core::prelude::*;
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
-use quill_engine::prelude::*;
 use quill_gen::workload::netmon::{self, NetmonConfig};
 
 fn main() {
@@ -59,10 +58,11 @@ fn main() {
 
     section(&format!("shared buffer at strictest target q={strictest}"));
     let mut strategy = AqKSlack::for_completeness(strictest);
-    let shared = run_shared(
+    let shared = execute_shared(
         &stream.events,
         &mut strategy,
         &[billing.clone(), alerting, trend],
+        &ExecOptions::sequential(),
     )
     .expect("valid queries");
     for (out, (name, target)) in

@@ -37,11 +37,22 @@ fn main() {
 
     section("strategies (dashboard wants 97% complete windows)");
     let mut drop = DropAll::new();
-    print_run(&run_query(&stream.events, &mut drop, &query).expect("valid query"));
+    print_run(
+        &execute(
+            &stream.events,
+            &mut drop,
+            &query,
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query"),
+    );
     let mut mp = MpKSlack::new();
-    print_run(&run_query(&stream.events, &mut mp, &query).expect("valid query"));
+    print_run(
+        &execute(&stream.events, &mut mp, &query, &ExecOptions::sequential()).expect("valid query"),
+    );
     let mut aq = AqKSlack::for_completeness(0.97);
-    let out = run_query(&stream.events, &mut aq, &query).expect("valid query");
+    let out =
+        execute(&stream.events, &mut aq, &query, &ExecOptions::sequential()).expect("valid query");
     print_run(&out);
 
     section("player 0, first complete windows (AQ results)");

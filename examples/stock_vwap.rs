@@ -49,7 +49,7 @@ fn main() {
 
     section("error-driven execution (VWAP error <= 1%)");
     let mut aq = AqKSlack::new(AqConfig::max_rel_error(0.01, stock::PRICE_FIELD));
-    let out = run_query(&events, &mut aq, &query).expect("valid query");
+    let out = execute(&events, &mut aq, &query, &ExecOptions::sequential()).expect("valid query");
     print_run(&out);
     println!(
         "  achieved mean rel error: notional {:.3}%, volume {:.3}%",
@@ -77,7 +77,8 @@ fn main() {
 
     section("versus a strict completeness target (99.9%)");
     let mut strict = AqKSlack::for_completeness(0.999);
-    let strict_out = run_query(&events, &mut strict, &query).expect("valid query");
+    let strict_out =
+        execute(&events, &mut strict, &query, &ExecOptions::sequential()).expect("valid query");
     print_run(&strict_out);
     println!(
         "  => error budget saved {:.1}x mean latency ({:.1} vs {:.1})",

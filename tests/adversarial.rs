@@ -3,7 +3,6 @@
 //! events silently, or break the accounting invariants.
 
 use quill_core::prelude::*;
-use quill_engine::prelude::*;
 
 fn sum_query(window: u64) -> QuerySpec {
     QuerySpec::new(
@@ -29,7 +28,8 @@ fn all_strategies() -> Vec<Box<dyn DisorderControl>> {
 #[test]
 fn empty_stream_is_fine_everywhere() {
     for mut s in all_strategies() {
-        let out = run_query(&[], s.as_mut(), &sum_query(100)).expect("valid query");
+        let out = execute(&[], s.as_mut(), &sum_query(100), &ExecOptions::sequential())
+            .expect("valid query");
         assert_eq!(out.events, 0);
         assert_eq!(out.quality.windows_total, 0);
         assert_eq!(out.quality.mean_completeness, 1.0);
@@ -40,7 +40,13 @@ fn empty_stream_is_fine_everywhere() {
 fn single_event_stream() {
     let events = vec![Event::new(5u64, 0, Row::new([Value::Float(1.5)]))];
     for mut s in all_strategies() {
-        let out = run_query(&events, s.as_mut(), &sum_query(100)).expect("valid query");
+        let out = execute(
+            &events,
+            s.as_mut(),
+            &sum_query(100),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         assert_eq!(out.quality.windows_total, 1, "{}", out.strategy);
         assert_eq!(out.quality.mean_completeness, 1.0, "{}", out.strategy);
     }
@@ -55,7 +61,13 @@ fn exactly_reversed_arrival_order() {
         .map(|i| Event::new((n - 1 - i) * 10, i, Row::new([Value::Float(1.0)])))
         .collect();
     for mut s in all_strategies() {
-        let out = run_query(&events, s.as_mut(), &sum_query(500)).expect("valid query");
+        let out = execute(
+            &events,
+            s.as_mut(),
+            &sum_query(500),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         let b = out.buffer;
         assert_eq!(b.released + b.late_passed, n, "{}", out.strategy);
         if out.strategy == "oracle" {
@@ -65,7 +77,13 @@ fn exactly_reversed_arrival_order() {
     // MP on reversed order: first event sets the clock; every subsequent
     // event has a growing delay, so K ratchets to ~the full span.
     let mut mp = MpKSlack::new();
-    let _ = run_query(&events, &mut mp, &sum_query(500)).expect("valid query");
+    let _ = execute(
+        &events,
+        &mut mp,
+        &sum_query(500),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     assert!(mp.current_k() >= TimeDelta((n - 2) * 10));
 }
 
@@ -75,7 +93,13 @@ fn all_identical_timestamps() {
         .map(|i| Event::new(42u64, i, Row::new([Value::Float(1.0)])))
         .collect();
     for mut s in all_strategies() {
-        let out = run_query(&events, s.as_mut(), &sum_query(100)).expect("valid query");
+        let out = execute(
+            &events,
+            s.as_mut(),
+            &sum_query(100),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         assert_eq!(out.quality.windows_total, 1, "{}", out.strategy);
         assert_eq!(
             out.quality.mean_completeness, 1.0,
@@ -91,7 +115,13 @@ fn all_null_payloads() {
         .map(|i| Event::new(i * 10, i, Row::new([Value::Null])))
         .collect();
     let mut s = FixedKSlack::new(50u64);
-    let out = run_query(&events, &mut s, &sum_query(1_000)).expect("valid query");
+    let out = execute(
+        &events,
+        &mut s,
+        &sum_query(1_000),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     assert!(out.quality.windows_total > 0);
     for r in &out.results {
         assert_eq!(r.aggregates[0], Value::Null, "sum of nulls is null");
@@ -112,7 +142,7 @@ fn rows_with_missing_fields_do_not_panic() {
         Some(3),
     );
     let mut s = AqKSlack::for_completeness(0.9);
-    let out = run_query(&events, &mut s, &query).expect("valid query");
+    let out = execute(&events, &mut s, &query, &ExecOptions::sequential()).expect("valid query");
     assert!(out.quality.windows_total > 0);
 }
 
@@ -123,7 +153,13 @@ fn extreme_timestamps_near_u64_max() {
         .map(|i| Event::new(base + i * 7, i, Row::new([Value::Float(1.0)])))
         .collect();
     let mut s = FixedKSlack::new(50u64);
-    let out = run_query(&events, &mut s, &sum_query(1_000)).expect("valid query");
+    let out = execute(
+        &events,
+        &mut s,
+        &sum_query(1_000),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let b = out.buffer;
     assert_eq!(b.released + b.late_passed, 100);
 }
@@ -135,7 +171,13 @@ fn timestamp_zero_events() {
         .chain((50..100u64).map(|i| Event::new(i * 3, i, Row::new([Value::Float(1.0)]))))
         .collect();
     for mut s in all_strategies() {
-        let out = run_query(&events, s.as_mut(), &sum_query(30)).expect("valid query");
+        let out = execute(
+            &events,
+            s.as_mut(),
+            &sum_query(30),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         let b = out.buffer;
         assert_eq!(b.released + b.late_passed, 100, "{}", out.strategy);
     }
@@ -150,7 +192,8 @@ fn huge_k_bounds_do_not_overflow() {
     let events: Vec<Event> = (0..500u64)
         .map(|i| Event::new(i * 10, i, Row::new([Value::Float(1.0)])))
         .collect();
-    let out = run_query(&events, &mut s, &sum_query(100)).expect("valid query");
+    let out =
+        execute(&events, &mut s, &sum_query(100), &ExecOptions::sequential()).expect("valid query");
     // With K >= u64::MAX/4 nothing is ever released before flush.
     assert_eq!(out.buffer.late_passed, 0);
     assert_eq!(out.quality.mean_completeness, 1.0);
@@ -171,7 +214,8 @@ fn mixed_type_payloads_in_numeric_aggregates() {
         })
         .collect();
     let mut s = OracleBuffer::new();
-    let out = run_query(&events, &mut s, &sum_query(400)).expect("valid query");
+    let out =
+        execute(&events, &mut s, &sum_query(400), &ExecOptions::sequential()).expect("valid query");
     for r in &out.results {
         // Each 40-event window: 10 floats (1.0) + 10 ints (2) = 30.
         if r.count == 40 {
@@ -188,7 +232,8 @@ fn punctuated_buffer_with_unknown_source_field_degrades_gracefully() {
         .map(|i| Event::new(i * 5, i, Row::new([Value::Float(1.0)])))
         .collect();
     let mut s = PunctuatedBuffer::new(9, 1);
-    let out = run_query(&events, &mut s, &sum_query(100)).expect("valid query");
+    let out =
+        execute(&events, &mut s, &sum_query(100), &ExecOptions::sequential()).expect("valid query");
     assert_eq!(out.buffer.released + out.buffer.late_passed, 200);
 }
 

@@ -2,7 +2,6 @@
 //! aggregation and quality scoring, across all crates.
 
 use quill_core::prelude::*;
-use quill_engine::prelude::*;
 use quill_gen::workload::standard_suite;
 use quill_integration::{mean_query, rich_query, uniform_disordered};
 
@@ -16,7 +15,8 @@ fn oracle_is_exact_on_every_standard_workload() {
             None,
         );
         let mut s = OracleBuffer::new();
-        let out = run_query(&stream.events, &mut s, &query).expect("valid query");
+        let out = execute(&stream.events, &mut s, &query, &ExecOptions::sequential())
+            .expect("valid query");
         assert_eq!(out.quality.windows_missing, 0, "{}", w.name);
         assert_eq!(out.quality.mean_completeness, 1.0, "{}", w.name);
     }
@@ -30,7 +30,13 @@ fn aq_meets_target_on_every_standard_workload() {
         let stream = (w.generate)(30_000, 202);
         let q = 0.95;
         let mut aq = AqKSlack::for_completeness(q);
-        let out = run_query(&stream.events, &mut aq, &mean_query(1_000)).expect("valid query");
+        let out = execute(
+            &stream.events,
+            &mut aq,
+            &mean_query(1_000),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         assert!(
             out.quality.mean_completeness >= q - 0.05,
             "{}: completeness {} far below target {q}",
@@ -47,9 +53,12 @@ fn aq_latency_sits_between_drop_and_mp() {
     let mut drop = DropAll::new();
     let mut aq = AqKSlack::for_completeness(0.95);
     let mut mp = MpKSlack::new();
-    let drop_out = run_query(&events, &mut drop, &query).expect("valid query");
-    let aq_out = run_query(&events, &mut aq, &query).expect("valid query");
-    let mp_out = run_query(&events, &mut mp, &query).expect("valid query");
+    let drop_out =
+        execute(&events, &mut drop, &query, &ExecOptions::sequential()).expect("valid query");
+    let aq_out =
+        execute(&events, &mut aq, &query, &ExecOptions::sequential()).expect("valid query");
+    let mp_out =
+        execute(&events, &mut mp, &query, &ExecOptions::sequential()).expect("valid query");
     assert!(drop_out.latency.mean <= aq_out.latency.mean);
     assert!(aq_out.latency.mean <= mp_out.latency.mean);
     assert!(drop_out.quality.mean_completeness <= aq_out.quality.mean_completeness + 1e-9);
@@ -67,7 +76,8 @@ fn rich_queries_run_under_all_strategies() {
         Box::new(OracleBuffer::new()),
     ];
     for mut s in strategies {
-        let out = run_query(&events, s.as_mut(), &query).expect("valid query");
+        let out =
+            execute(&events, s.as_mut(), &query, &ExecOptions::sequential()).expect("valid query");
         assert!(out.quality.windows_total > 0, "{}", out.strategy);
         // Every emitted aggregate row has all six outputs.
         for r in &out.results {

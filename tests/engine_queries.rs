@@ -148,8 +148,8 @@ fn revise_policy_converges_to_oracle_counts() {
     .expect("valid op");
     let mut latest: std::collections::BTreeMap<Window, u64> = Default::default();
     let drive = |el: StreamElement,
-                     op: &mut WindowAggregateOp,
-                     latest: &mut std::collections::BTreeMap<Window, u64>| {
+                 op: &mut WindowAggregateOp,
+                 latest: &mut std::collections::BTreeMap<Window, u64>| {
         let mut outs = Vec::new();
         op.process(el, &mut |o| outs.push(o));
         for o in outs {

@@ -15,12 +15,16 @@ fn all_experiments_run_and_save_artifacts() {
         for a in &artifacts {
             let rendered = a.save_and_render(&ctx).expect("artifact saves");
             assert!(!rendered.is_empty());
-            let file = match a {
-                Artifact::Table { id, .. } => ctx.out_dir.join(format!("{id}.csv")),
-                Artifact::Series { id, .. } => ctx.out_dir.join(format!("{id}.csv")),
+            let (file, min_lines) = match a {
+                Artifact::Table { id, .. } => (ctx.out_dir.join(format!("{id}.csv")), 2),
+                Artifact::Series { id, .. } => (ctx.out_dir.join(format!("{id}.csv")), 2),
+                Artifact::Jsonl { id, .. } => (ctx.out_dir.join(format!("{id}.jsonl")), 1),
             };
-            let content = std::fs::read_to_string(&file).expect("csv written");
-            assert!(content.lines().count() >= 2, "{id}: csv has no data rows");
+            let content = std::fs::read_to_string(&file).expect("artifact written");
+            assert!(
+                content.lines().count() >= min_lines,
+                "{id}: artifact has no data rows"
+            );
         }
     }
     let _ = std::fs::remove_dir_all(&ctx.out_dir);

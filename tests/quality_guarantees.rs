@@ -24,7 +24,13 @@ fn tuple_completeness(out: &RunOutput) -> f64 {
 
 fn check_target(stream: &GeneratedStream, q: f64, tolerance: f64, label: &str) {
     let mut aq = AqKSlack::for_completeness(q);
-    let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+    let out = execute(
+        &stream.events,
+        &mut aq,
+        &query(),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let achieved = tuple_completeness(&out);
     assert!(
         achieved >= q - tolerance,
@@ -71,7 +77,13 @@ fn latency_scales_with_the_delay_quantile_not_the_max() {
     // delay (which grows with stream length).
     let stream = synthetic::exponential(50_000, 10, 100.0, 1004);
     let mut aq = AqKSlack::for_completeness(0.9);
-    let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+    let out = execute(
+        &stream.events,
+        &mut aq,
+        &query(),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let f_inv = 230.0;
     assert!(
         out.mean_k < f_inv * 2.5,
@@ -91,7 +103,13 @@ fn error_targets_bound_the_achieved_aggregate_error() {
     let stream = synthetic::exponential(50_000, 10, 100.0, 1005);
     for &eps in &[0.02, 0.05] {
         let mut aq = AqKSlack::new(AqConfig::max_rel_error(eps, 0));
-        let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+        let out = execute(
+            &stream.events,
+            &mut aq,
+            &query(),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         // Mean achieved relative error must respect the budget with modest
         // slack (the sensitivity model is conservative in expectation).
         assert!(
@@ -108,7 +126,13 @@ fn tighter_targets_cost_monotonically_more_latency() {
     let mut last_latency = 0.0;
     for &q in &[0.8, 0.9, 0.99, 0.999] {
         let mut aq = AqKSlack::for_completeness(q);
-        let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+        let out = execute(
+            &stream.events,
+            &mut aq,
+            &query(),
+            &ExecOptions::sequential(),
+        )
+        .expect("valid query");
         assert!(
             out.latency.mean >= last_latency * 0.8,
             "latency not (weakly) increasing at q={q}: {} after {last_latency}",
@@ -133,7 +157,13 @@ fn quality_recovers_after_a_burst_regime() {
     );
     let stream = synthetic::with_delay(60_000, 10, &mut delay, 1007);
     let mut aq = AqKSlack::for_completeness(0.9);
-    let out = run_query(&stream.events, &mut aq, &query()).expect("valid query");
+    let out = execute(
+        &stream.events,
+        &mut aq,
+        &query(),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let achieved = tuple_completeness(&out);
     assert!(
         achieved >= 0.85,
@@ -141,6 +171,12 @@ fn quality_recovers_after_a_burst_regime() {
     );
     // And it must not pay MP's price for it.
     let mut mp = MpKSlack::new();
-    let mp_out = run_query(&stream.events, &mut mp, &query()).expect("valid query");
+    let mp_out = execute(
+        &stream.events,
+        &mut mp,
+        &query(),
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     assert!(out.latency.mean < mp_out.latency.mean);
 }

@@ -5,7 +5,6 @@
 //! and histogram paths.
 
 use quill_core::prelude::*;
-use quill_engine::prelude::*;
 use quill_metrics::{LatencyRecorder, Table};
 
 #[test]
@@ -25,7 +24,9 @@ fn pipeline_parallel_executor_equals_sequential_on_workload_data() {
     let build = || {
         Pipeline::new()
             .filter("volume>10", |r: &Row| {
-                r.f64(quill_gen::workload::stock::VOLUME_FIELD).unwrap_or(0.0) > 10.0
+                r.f64(quill_gen::workload::stock::VOLUME_FIELD)
+                    .unwrap_or(0.0)
+                    > 10.0
             })
             .window_aggregate(
                 WindowAggregateOp::new(
@@ -130,7 +131,10 @@ fn latency_recorder_exact_and_histogram_paths_agree() {
     let a = exact.summary();
     let b = hist.summary();
     assert_eq!(a.count, b.count);
-    assert!((a.mean - b.mean).abs() < 1e-9, "means must be exact on both paths");
+    assert!(
+        (a.mean - b.mean).abs() < 1e-9,
+        "means must be exact on both paths"
+    );
     // Histogram percentiles within its precision bound of exact ones.
     for (pa, pb) in [(a.p50, b.p50), (a.p90, b.p90), (a.p99, b.p99)] {
         assert!(

@@ -2,7 +2,6 @@
 //! composed with the ordering strategies.
 
 use quill_core::prelude::*;
-use quill_engine::prelude::*;
 use quill_gen::workload::netmon::{self, NetmonConfig};
 
 /// Order a stream through a strategy, returning elements for an operator.

@@ -3,7 +3,6 @@
 //! strategies are designed around.
 
 use quill_core::prelude::*;
-use quill_engine::prelude::*;
 use quill_gen::workload::standard_suite;
 use quill_integration::{mean_query, uniform_disordered};
 
@@ -136,8 +135,10 @@ fn bounded_mp_trades_quality_for_bounded_latency() {
     let query = mean_query(1_000);
     let mut unbounded = MpKSlack::new();
     let mut bounded = MpKSlack::bounded(200u64);
-    let u = run_query(&events, &mut unbounded, &query).expect("valid query");
-    let b = run_query(&events, &mut bounded, &query).expect("valid query");
+    let u =
+        execute(&events, &mut unbounded, &query, &ExecOptions::sequential()).expect("valid query");
+    let b =
+        execute(&events, &mut bounded, &query, &ExecOptions::sequential()).expect("valid query");
     assert!(b.latency.mean < u.latency.mean);
     assert!(b.quality.mean_completeness <= u.quality.mean_completeness);
     assert!(u.quality.mean_completeness > 0.999);
@@ -164,7 +165,7 @@ fn fixed_k_completeness_matches_disorder_cdf_prediction() {
 
     let query = mean_query(2_000);
     let mut s = FixedKSlack::new(k);
-    let out = run_query(&events, &mut s, &query).expect("valid query");
+    let out = execute(&events, &mut s, &query, &ExecOptions::sequential()).expect("valid query");
     let on_time_fraction =
         1.0 - out.buffer.late_passed as f64 / (out.buffer.late_passed + out.buffer.released) as f64;
     assert!(
@@ -183,9 +184,21 @@ fn aq_violation_rate_decreases_with_target_headroom() {
     let stream = quill_gen::workload::synthetic::exponential(30_000, 10, 100.0, 83);
     let query = mean_query(1_000);
     let mut strict = AqKSlack::for_completeness(0.999);
-    let strict_out = run_query(&stream.events, &mut strict, &query).expect("valid query");
+    let strict_out = execute(
+        &stream.events,
+        &mut strict,
+        &query,
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     let mut loose = AqKSlack::for_completeness(0.8);
-    let loose_out = run_query(&stream.events, &mut loose, &query).expect("valid query");
+    let loose_out = execute(
+        &stream.events,
+        &mut loose,
+        &query,
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     // Violations measured against each run's own target.
     let strict_viol = strict_out.quality.violation_rate(0.999);
     let loose_viol = loose_out.quality.violation_rate(0.8);

@@ -45,8 +45,15 @@ fn replayed_trace_reproduces_run_results_exactly() {
     // Deterministic strategy → identical results on original and replay.
     let mut s1 = FixedKSlack::new(300u64);
     let mut s2 = FixedKSlack::new(300u64);
-    let out1 = run_query(&stream.events, &mut s1, &query).expect("valid query");
-    let out2 = run_query(&replayed.events, &mut s2, &query).expect("valid query");
+    let out1 =
+        execute(&stream.events, &mut s1, &query, &ExecOptions::sequential()).expect("valid query");
+    let out2 = execute(
+        &replayed.events,
+        &mut s2,
+        &query,
+        &ExecOptions::sequential(),
+    )
+    .expect("valid query");
     assert_eq!(out1.results, out2.results);
     assert_eq!(
         out1.quality.mean_completeness,
@@ -66,8 +73,10 @@ fn aq_is_deterministic_on_a_replayed_trace() {
     );
     let mut a = AqKSlack::for_completeness(0.95);
     let mut b = AqKSlack::for_completeness(0.95);
-    let out_a = run_query(&stream.events, &mut a, &query).expect("valid query");
-    let out_b = run_query(&replayed.events, &mut b, &query).expect("valid query");
+    let out_a =
+        execute(&stream.events, &mut a, &query, &ExecOptions::sequential()).expect("valid query");
+    let out_b =
+        execute(&replayed.events, &mut b, &query, &ExecOptions::sequential()).expect("valid query");
     assert_eq!(out_a.results, out_b.results);
     assert_eq!(a.current_k(), b.current_k());
 }

@@ -1,0 +1,90 @@
+//! Offline API stub of the criterion surface this workspace uses. Runs each
+//! bench body a handful of times so `cargo test --benches` stays fast.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId(String);
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+    pub fn new(name: impl Into<String>, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+}
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        let _ = t.elapsed();
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion;
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, _t: Throughput) {}
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        eprintln!("bench {}/{id}", self.name);
+        f(&mut Bencher { iters: 2 });
+    }
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        eprintln!("bench {}/{}", self.name, id.0);
+        f(&mut Bencher { iters: 2 }, input);
+    }
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline API stub: crossbeam::channel shaped over std::sync::mpsc.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct SendError<T>(pub T);
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+    pub struct Sender<T>(Flavor<T>);
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+            })
+        }
+    }
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(s) => s.send(t).map_err(|e| SendError(e.0)),
+                Flavor::Unbounded(s) => s.send(t).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> { self.0.recv() }
+        pub fn iter(&self) -> mpsc::Iter<'_, T> { self.0.iter() }
+    }
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter { self.0.into_iter() }
+    }
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter { self.0.iter() }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline API stub: std-backed locks with parking_lot's no-poison surface.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self { Mutex(std::sync::Mutex::new(t)) }
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self { Mutex::new(T::default()) }
+}
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> Self { RwLock(std::sync::RwLock::new(t)) }
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self { RwLock::new(T::default()) }
+}
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline API stub of the proptest surface this workspace uses: seeded
+//! random sampling, no shrinking. Failures panic with the case's message.
+
+use std::rc::Rc;
+
+/// Deterministic splitmix64 case generator.
+pub struct TestRng {
+    state: u64,
+}
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { s: self, f }
+    }
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { s: self, f }
+    }
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+pub struct Map<S, F> {
+    s: S,
+    f: F,
+}
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.s.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    s: S,
+    f: F,
+}
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.s.sample(rng)).sample(rng)
+    }
+}
+
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty());
+        Union { arms }
+    }
+}
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start() + (rng.unit_f64() as $t) * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Minimal regex-shaped string strategy: `[class]{lo,hi}` with ranges and
+/// `\t`/`\n`/`\\` escapes in the class. Anything else samples as a literal.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    if chars.first() != Some(&'[') {
+        return pat.to_string();
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut i = 1;
+    let read = |i: &mut usize| -> Option<char> {
+        let c = *chars.get(*i)?;
+        *i += 1;
+        if c == '\\' {
+            let e = *chars.get(*i)?;
+            *i += 1;
+            Some(match e {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            })
+        } else {
+            Some(c)
+        }
+    };
+    while i < chars.len() && chars[i] != ']' {
+        let lo = read(&mut i).expect("class char");
+        if chars.get(i) == Some(&'-') && chars.get(i + 1) != Some(&']') {
+            i += 1;
+            let hi = read(&mut i).expect("class range end");
+            for c in (lo as u32)..=(hi as u32) {
+                if let Some(c) = char::from_u32(c) {
+                    set.push(c);
+                }
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(!set.is_empty(), "empty char class in {pat}");
+    i += 1; // ']'
+    assert_eq!(chars.get(i), Some(&'{'), "expected repetition in {pat}");
+    i += 1;
+    let rest: String = chars[i..].iter().collect();
+    let body = rest.trim_end_matches('}');
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.parse::<u64>().expect("lo"), b.parse::<u64>().expect("hi")),
+        None => {
+            let n = body.parse::<u64>().expect("count");
+            (n, n)
+        }
+    };
+    let len = lo + rng.below(hi - lo + 1);
+    (0..len)
+        .map(|_| set[rng.below(set.len() as u64) as usize])
+        .collect()
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        s: S,
+        lo: usize,
+        hi: usize,
+    }
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.lo + rng.below((self.hi - self.lo).max(1) as u64) as usize;
+            (0..len).map(|_| self.s.sample(rng)).collect()
+        }
+    }
+    pub fn vec<S: Strategy>(s: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            s,
+            lo: size.start,
+            hi: size.end,
+        }
+    }
+}
+
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&($a), &($b));
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}", l, r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&($a), &($b));
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: {:?} != {:?}", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&($a), &($b));
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}", l, r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&($a), &($b));
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: {:?} == {:?}", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($argn:pat in $args:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = {
+                    // Stable per-test seed from the test name.
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in stringify!($name).bytes() {
+                        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                    }
+                    $crate::TestRng::new(h)
+                };
+                for case in 0..cfg.cases {
+                    $(let $argn = $crate::Strategy::sample(&($args), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("proptest {} case {case} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,146 @@
+//! Offline API stub of the rand 0.8 surface this workspace uses:
+//! RngCore / Rng {gen, gen_range, gen_bool} / SeedableRng::seed_from_u64 /
+//! rngs::StdRng, backed by splitmix64.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 { (**self).next_u32() }
+    fn next_u64(&mut self) -> u64 { (**self).next_u64() }
+    fn fill_bytes(&mut self, dest: &mut [u8]) { (**self).fill_bytes(dest) }
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub trait Gennable {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+impl Gennable for f64 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { unit_f64(rng) }
+}
+impl Gennable for f32 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { unit_f64(rng) as f32 }
+}
+impl Gennable for bool {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { rng.next_u64() & 1 == 1 }
+}
+impl Gennable for u32 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { rng.next_u32() }
+}
+impl Gennable for u64 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { rng.next_u64() }
+}
+impl Gennable for i64 {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { rng.next_u64() as i64 }
+}
+impl Gennable for usize {
+    fn gen_from<R: RngCore + ?Sized>(rng: &mut R) -> Self { rng.next_u64() as usize }
+}
+
+/// Types uniformly sampleable from a [lo, hi) / [lo, hi] span.
+///
+/// The single blanket `SampleRange` impl below (mirroring real rand's shape)
+/// is what lets integer-literal ranges like `0..100` unify with the
+/// surrounding expression's type during inference.
+pub trait SampleUniform: Sized {
+    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range");
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, _inclusive: bool) -> $t {
+                assert!(lo <= hi, "empty range");
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_span(rng, self.start, self.end, false)
+    }
+}
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_span(rng, lo, hi, true)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Gennable>(&mut self) -> T {
+        T::gen_from(self)
+    }
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// splitmix64-backed stand-in for rand's StdRng (seeded, deterministic).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng {
+                state: state ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Offline stub: derive-only serde surface.
+pub use serde_derive::{Deserialize, Serialize};
