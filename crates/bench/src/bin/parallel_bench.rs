@@ -24,9 +24,11 @@
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
 use quill_engine::parallel::{
-    run_keyed_parallel_instrumented, run_keyed_parallel_with, ParallelConfig,
+    run_keyed_parallel_instrumented, run_keyed_parallel_observed, run_keyed_parallel_with,
+    ParallelConfig,
 };
 use quill_engine::prelude::{Event, Row, StreamElement, Value, WindowSpec};
+use quill_telemetry::trace::FlightRecorder;
 use quill_telemetry::Registry;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -289,6 +291,58 @@ fn main() -> std::process::ExitCode {
         "telemetry enabled  (4 shards, batch 1024): {enabled_eps:>12.0} events/s ({enabled_overhead_pct:+.1}% overhead)"
     );
 
+    // Flight-recorder overhead: the observed entry point with a disabled
+    // recorder (the default production shape — a single branch per would-be
+    // event) and with a live bounded ring. Disabled must stay within noise
+    // of the instrumented path above; enabled quantifies the cost of
+    // recording window finalizations, drops and merge progress.
+    let trace_disabled_secs = time_best(args.repeat, || {
+        let trace = FlightRecorder::disabled();
+        run_keyed_parallel_observed(
+            input.clone(),
+            0,
+            telemetry_cfg,
+            &Registry::disabled(),
+            &trace,
+            |shard| {
+                let mut op = make_op();
+                op.attach_trace(&trace, shard as u32);
+                op
+            },
+        )
+        .expect("parallel run")
+        .0
+        .len()
+    });
+    let trace_enabled_secs = time_best(args.repeat, || {
+        let trace = FlightRecorder::with_default_capacity();
+        run_keyed_parallel_observed(
+            input.clone(),
+            0,
+            telemetry_cfg,
+            &Registry::disabled(),
+            &trace,
+            |shard| {
+                let mut op = make_op();
+                op.attach_trace(&trace, shard as u32);
+                op
+            },
+        )
+        .expect("parallel run")
+        .0
+        .len()
+    });
+    let trace_disabled_eps = eps(trace_disabled_secs);
+    let trace_enabled_eps = eps(trace_enabled_secs);
+    let trace_disabled_overhead_pct = (disabled_eps / trace_disabled_eps - 1.0) * 100.0;
+    let trace_enabled_overhead_pct = (trace_disabled_eps / trace_enabled_eps - 1.0) * 100.0;
+    println!(
+        "recorder disabled  (4 shards, batch 1024): {trace_disabled_eps:>12.0} events/s ({trace_disabled_overhead_pct:+.1}% vs instrumented)"
+    );
+    println!(
+        "recorder enabled   (4 shards, batch 1024): {trace_enabled_eps:>12.0} events/s ({trace_enabled_overhead_pct:+.1}% overhead)"
+    );
+
     // Record one instrumented run's final snapshot next to the numbers so
     // the executor counters are inspectable PR-over-PR.
     let registry = Registry::new();
@@ -305,7 +359,7 @@ fn main() -> std::process::ExitCode {
     println!("wrote {}", snapshot_path.display());
 
     let json = format!(
-        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {seed_eps:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {seq_eps:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"telemetry\": {{\"disabled_events_per_sec\": {disabled_eps:.1}, \"enabled_events_per_sec\": {enabled_eps:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}}\n}}\n",
+        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {seed_eps:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {seq_eps:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"telemetry\": {{\"disabled_events_per_sec\": {disabled_eps:.1}, \"enabled_events_per_sec\": {enabled_eps:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}},\n  \"flight_recorder\": {{\"disabled_events_per_sec\": {trace_disabled_eps:.1}, \"enabled_events_per_sec\": {trace_enabled_eps:.1}, \"disabled_overhead_pct\": {trace_disabled_overhead_pct:.2}, \"enabled_overhead_pct\": {trace_enabled_overhead_pct:.2}}}\n}}\n",
         args.events,
         args.keys,
         args.repeat,

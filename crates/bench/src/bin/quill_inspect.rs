@@ -1,0 +1,68 @@
+//! `quill-inspect` — render a flight-recorder trace or violation
+//! post-mortem JSONL file as a human-readable report.
+//!
+//! ```text
+//! quill-inspect <trace.jsonl> [--top N]
+//! ```
+//!
+//! The input is either a flat trace (`write_trace_jsonl`, e.g.
+//! `results/f4_trace.jsonl`) or a post-mortem file
+//! (`write_post_mortems_jsonl`, e.g. `results/f5_postmortems.jsonl`).
+//! `--top` bounds the "latest tuples" leaderboard (default 10).
+
+use quill_bench::inspect::render_report;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut top_k: usize = 10;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--top requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                top_k = v;
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("usage: quill-inspect <trace.jsonl> [--top N]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "unexpected argument `{other}`\nusage: quill-inspect <trace.jsonl> [--top N]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: quill-inspect <trace.jsonl> [--top N]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match render_report(&text, top_k) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("malformed trace `{path}`: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

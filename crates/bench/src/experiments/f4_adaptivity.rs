@@ -21,13 +21,20 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
 
     // The AQ run records live telemetry: controller gauges and estimator
     // quantiles snapshotted 8 times across the run, persisted below as a
-    // JSON-lines artifact.
+    // JSON-lines artifact. It also carries a bounded flight recorder, so
+    // `results/f4_trace.jsonl` holds the (newest 8192) structured trace
+    // events — every controller K decision with its trigger reason, late
+    // arrivals with their lateness, buffer emissions and window
+    // finalizations — renderable with `quill-inspect`.
     let telemetry = Registry::new();
+    let trace = FlightRecorder::new(8192);
     let aq_opts = ExecOptions::sequential()
         .with_telemetry(&telemetry)
-        .with_snapshot_every((ctx.events as u64 / 8).max(1));
+        .with_snapshot_every((ctx.events as u64 / 8).max(1))
+        .with_trace(&trace);
     let mut aq = AqKSlack::for_completeness(0.95);
     let aq_out = execute(&stream.events, &mut aq, &query, &aq_opts).expect("valid query");
+    let trace_lines: Vec<String> = trace.events().iter().map(|e| e.to_json_line()).collect();
     let mut mp = MpKSlack::new();
     let mp_out =
         execute(&stream.events, &mut mp, &query, &ExecOptions::sequential()).expect("valid query");
@@ -164,6 +171,11 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
             series: vec![aq2_series, mp2_series],
         },
         Artifact::Jsonl {
+            id: "f4_trace".into(),
+            title: "R-F4: AQ flight-recorder trace (render with quill-inspect)".into(),
+            lines: trace_lines,
+        },
+        Artifact::Jsonl {
             id: "f4_telemetry_snapshots".into(),
             title: "R-F4: AQ controller/estimator telemetry snapshots".into(),
             lines: snapshot_lines,
@@ -217,5 +229,24 @@ mod tests {
         };
         assert!(!lines.is_empty(), "no telemetry snapshots recorded");
         assert!(lines.last().unwrap().contains("quill.controller.k"));
+        // The flight-recorder trace rode along too: every line parses and
+        // the controller's adaptive K decisions are on record.
+        let trace_lines = arts
+            .iter()
+            .find_map(|a| match a {
+                Artifact::Jsonl { id, lines, .. } if id == "f4_trace" => Some(lines),
+                _ => None,
+            })
+            .expect("f4_trace artifact");
+        assert!(!trace_lines.is_empty());
+        for l in trace_lines {
+            quill_telemetry::trace::parse_trace_line(l).expect("well-formed trace line");
+        }
+        assert!(
+            trace_lines.iter().any(|l| l.contains("\"k_change\"")),
+            "no controller decisions in trace"
+        );
+        let report = crate::inspect::render_report(&trace_lines.join("\n"), 5).expect("renders");
+        assert!(report.contains("Controller decision log"));
     }
 }

@@ -14,6 +14,10 @@ use quill_metrics::{Table, TimeSeries};
 /// The completeness target.
 pub const TARGET: f64 = 0.97;
 
+/// Post-mortems persisted per run (the earliest violations tell the story;
+/// the rest repeat it).
+const MAX_POSTMORTEMS: usize = 5;
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     let horizon = (ctx.events as u64) * 5;
@@ -38,9 +42,26 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
     let mut aq = AqKSlack::for_completeness(TARGET);
     let aq_out =
         execute(&stream.events, &mut aq, &query, &ExecOptions::sequential()).expect("valid query");
+    // The fixed baseline carries a flight recorder and the quality target:
+    // after the delay step its calm-calibrated K misses the target, and
+    // every violated window gets a post-mortem — the causal trace slice
+    // (late arrivals, the drops, the K decision in force, the finalize).
+    // The first few are persisted as `results/f5_postmortems.jsonl` for
+    // `quill-inspect`.
+    let fx_trace = FlightRecorder::with_default_capacity();
     let mut fx = FixedKSlack::new(k_fixed);
-    let fx_out =
-        execute(&stream.events, &mut fx, &query, &ExecOptions::sequential()).expect("valid query");
+    let fx_out = execute(
+        &stream.events,
+        &mut fx,
+        &query,
+        &ExecOptions::sequential()
+            .with_trace(&fx_trace)
+            .with_required_completeness(TARGET),
+    )
+    .expect("valid query");
+    let postmortem_lines = post_mortems_to_lines(
+        &fx_out.post_mortems[..fx_out.post_mortems.len().min(MAX_POSTMORTEMS)],
+    );
 
     let series_of = |name: &str, out: &RunOutput| {
         let mut s = TimeSeries::new(name);
@@ -93,6 +114,14 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Artifact> {
                 series_of("fixed_completeness", &fx_out),
             ],
         },
+        Artifact::Jsonl {
+            id: "f5_postmortems".into(),
+            title: format!(
+                "R-F5: post-mortems of the fixed baseline's first {MAX_POSTMORTEMS} \
+                 target violations (render with quill-inspect)"
+            ),
+            lines: postmortem_lines,
+        },
     ]
 }
 
@@ -122,5 +151,24 @@ mod tests {
             col(fx, 2) >= col(fx, 1),
             "fixed should degrade after the step"
         );
+        // The degraded baseline yields post-mortems, and they render.
+        let pm_lines = match arts.last().expect("artifacts") {
+            Artifact::Jsonl { id, lines, .. } => {
+                assert_eq!(id, "f5_postmortems");
+                lines
+            }
+            _ => panic!("expected post-mortem jsonl artifact"),
+        };
+        assert!(!pm_lines.is_empty(), "fixed baseline violated no windows?");
+        let pms = quill_telemetry::trace::parse_post_mortems(&pm_lines.join("\n")).expect("parses");
+        assert!(!pms.is_empty() && pms.len() <= MAX_POSTMORTEMS);
+        for pm in &pms {
+            assert!(pm.record.violated);
+            assert!(pm.record.achieved_completeness < TARGET);
+        }
+        let report =
+            crate::inspect::render_report(&pm_lines.join("\n"), 10).expect("report renders");
+        assert!(report.contains("Quality-violation post-mortem"));
+        assert!(report.contains("Violation: window ["));
     }
 }

@@ -1,0 +1,416 @@
+//! Human-readable rendering of flight-recorder traces and violation
+//! post-mortems — the library behind the `quill-inspect` binary.
+//!
+//! Two input shapes are accepted (both JSON-lines, both produced by
+//! `quill-telemetry`):
+//!
+//! * a **flat trace** — [`TraceEvent`] lines as written by
+//!   `write_trace_jsonl` (e.g. the `f4_trace` artifact);
+//! * a **post-mortem file** — alternating [`ProvenanceRecord`] headers and
+//!   their causal slices, as written by `write_post_mortems_jsonl` (e.g.
+//!   the `f5_postmortems` artifact).
+//!
+//! [`render_report`] sniffs the shape from the first line and renders a
+//! report with a summary, the controller decision log, the top-K latest
+//! tuples, and (for post-mortem files) one annotated timeline per violated
+//! window.
+
+use quill_telemetry::trace::{
+    parse_post_mortems, parse_trace_line, PostMortem, ProvenanceRecord, TraceEvent, TraceKind,
+    TraceLine, MERGE_SHARD,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render a trace or post-mortem JSONL document as a human-readable report.
+/// `top_k` bounds the "latest tuples" leaderboard.
+///
+/// # Errors
+/// Returns a message naming the first malformed line.
+pub fn render_report(text: &str, top_k: usize) -> Result<String, String> {
+    let first = text.lines().find(|l| !l.trim().is_empty());
+    let Some(first) = first else {
+        return Ok("(empty trace)\n".into());
+    };
+    match parse_trace_line(first)? {
+        TraceLine::Provenance(_) => {
+            let pms = parse_post_mortems(text)?;
+            Ok(render_post_mortems(&pms, top_k))
+        }
+        TraceLine::Event(_) => {
+            let mut events = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_trace_line(line).map_err(|e| format!("line {}: {e}", i + 1))? {
+                    TraceLine::Event(ev) => events.push(ev),
+                    TraceLine::Provenance(_) => {
+                        return Err(format!(
+                            "line {}: provenance record inside a flat trace",
+                            i + 1
+                        ))
+                    }
+                }
+            }
+            Ok(render_flat_trace(&events, top_k))
+        }
+    }
+}
+
+/// Report over a flat event trace: summary, controller log, late leaders.
+fn render_flat_trace(events: &[TraceEvent], top_k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Flight-recorder trace ==");
+    render_summary(&mut out, events);
+    render_controller_log(&mut out, events);
+    render_late_leaders(&mut out, events, top_k);
+    out
+}
+
+/// Report over post-mortems: global sections over the union of slices, then
+/// one timeline per violation.
+fn render_post_mortems(pms: &[PostMortem], top_k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Quality-violation post-mortem ==");
+    let _ = writeln!(out, "violations: {}", pms.len());
+    // Union of causal slices, deduplicated by sequence number so shared
+    // controller decisions are reported once.
+    let mut by_seq: BTreeMap<u64, &TraceEvent> = BTreeMap::new();
+    for pm in pms {
+        for ev in &pm.slice {
+            by_seq.insert(ev.seq, ev);
+        }
+    }
+    let union: Vec<TraceEvent> = by_seq.into_values().cloned().collect();
+    render_summary(&mut out, &union);
+    render_controller_log(&mut out, &union);
+    render_late_leaders(&mut out, &union, top_k);
+    for pm in pms {
+        render_violation_timeline(&mut out, pm);
+    }
+    out
+}
+
+fn render_summary(out: &mut String, events: &[TraceEvent]) {
+    let _ = writeln!(out, "\n-- Summary --");
+    if events.is_empty() {
+        let _ = writeln!(out, "no trace events");
+        return;
+    }
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut shards: BTreeMap<u32, u64> = BTreeMap::new();
+    for ev in events {
+        *kinds.entry(ev.kind.label()).or_default() += 1;
+        *shards.entry(ev.shard).or_default() += 1;
+    }
+    let _ = writeln!(
+        out,
+        "events: {}  (seq {}..={})",
+        events.len(),
+        events.first().map_or(0, |e| e.seq),
+        events.last().map_or(0, |e| e.seq),
+    );
+    for (kind, n) in &kinds {
+        let _ = writeln!(out, "  {kind:<16} {n}");
+    }
+    let shard_list: Vec<String> = shards
+        .iter()
+        .map(|(s, n)| {
+            if *s == MERGE_SHARD {
+                format!("merge:{n}")
+            } else {
+                format!("{s}:{n}")
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "shards (id:events): {}", shard_list.join(" "));
+}
+
+fn render_controller_log(out: &mut String, events: &[TraceEvent]) {
+    let _ = writeln!(out, "\n-- Controller decision log --");
+    let mut any = false;
+    for ev in events {
+        if let TraceKind::KChange {
+            old_k,
+            new_k,
+            reason,
+        } = &ev.kind
+        {
+            any = true;
+            let _ = writeln!(
+                out,
+                "seq={:<6} t={:<10} shard={:<3} K {} -> {}  ({reason})",
+                ev.seq,
+                ev.at,
+                shard_name(ev.shard),
+                fmt_k(*old_k),
+                fmt_k(*new_k),
+            );
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "(no K changes recorded)");
+    }
+}
+
+fn render_late_leaders(out: &mut String, events: &[TraceEvent], top_k: usize) {
+    let _ = writeln!(out, "\n-- Top {top_k} latest tuples --");
+    let mut lates: Vec<(&TraceEvent, u64, u64)> = events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            TraceKind::LateArrival {
+                lateness,
+                watermark,
+            } => Some((ev, lateness, watermark)),
+            _ => None,
+        })
+        .collect();
+    if lates.is_empty() {
+        let _ = writeln!(out, "(no late arrivals recorded)");
+        return;
+    }
+    // Worst first; ties broken by arrival order for determinism.
+    lates.sort_by_key(|&(ev, lateness, _)| (std::cmp::Reverse(lateness), ev.seq));
+    for (ev, lateness, watermark) in lates.into_iter().take(top_k) {
+        let _ = writeln!(
+            out,
+            "t={:<10} lateness={:<8} behind watermark {} (seq={}, shard={})",
+            ev.at,
+            lateness,
+            watermark,
+            ev.seq,
+            shard_name(ev.shard),
+        );
+    }
+}
+
+fn render_violation_timeline(out: &mut String, pm: &PostMortem) {
+    let r = &pm.record;
+    let _ = writeln!(
+        out,
+        "\n-- Violation: window [{}, {}) key={} --",
+        r.start, r.end, r.key
+    );
+    let _ = writeln!(
+        out,
+        "completeness: achieved {:.4}{}",
+        r.achieved_completeness,
+        r.required_completeness
+            .map_or(String::new(), |q| format!(" (required {q:.4})")),
+    );
+    let _ = writeln!(
+        out,
+        "tuples: {} contributed, {} arrived late, {} dropped (lateness p50={} max={})",
+        r.contributing, r.late_arrivals, r.dropped, r.lateness_p50, r.lateness_max
+    );
+    match (r.k_at_finalize, r.k_decision_reason) {
+        (Some(k), Some(reason)) => {
+            let _ = writeln!(
+                out,
+                "K in force: {} (set by `{reason}` decision seq={})",
+                fmt_k(k),
+                r.k_decision_seq.unwrap_or(0),
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "K in force: unknown (no K decision recorded)");
+        }
+    }
+    let _ = writeln!(out, "timeline:");
+    for ev in &pm.slice {
+        let _ = writeln!(out, "  {}", describe_event(ev, r));
+    }
+}
+
+/// One-line story for a trace event, annotated against the violated window.
+fn describe_event(ev: &TraceEvent, r: &ProvenanceRecord) -> String {
+    let head = format!("seq={:<6} t={:<10}", ev.seq, ev.at);
+    match &ev.kind {
+        TraceKind::LateArrival {
+            lateness,
+            watermark,
+        } => format!(
+            "{head} late arrival: {lateness} behind watermark {watermark} (shard {})",
+            shard_name(ev.shard)
+        ),
+        TraceKind::BufferEmit {
+            released,
+            watermark,
+        } => format!("{head} buffer released {released} events, watermark -> {watermark}"),
+        TraceKind::KChange {
+            old_k,
+            new_k,
+            reason,
+        } => format!("{head} K {} -> {} ({reason})", fmt_k(*old_k), fmt_k(*new_k)),
+        TraceKind::WindowFinalize {
+            start, end, count, ..
+        } => {
+            let marker = if *start == r.start && *end == r.end {
+                " <- this window"
+            } else {
+                ""
+            };
+            format!("{head} window [{start}, {end}) finalized with {count} tuples{marker}")
+        }
+        TraceKind::LateDrop { event_seq, windows } => {
+            let hit = windows.contains(&(r.start, r.end));
+            let marker = if hit { " <- lost from this window" } else { "" };
+            format!(
+                "{head} event #{event_seq} dropped, missed {} window(s){marker}",
+                windows.len()
+            )
+        }
+        TraceKind::SendStall { depth } => format!(
+            "{head} shard {} channel full ({depth} batches in flight)",
+            shard_name(ev.shard)
+        ),
+        TraceKind::MergeProgress { elements, fallback } => format!(
+            "{head} merged {elements} elements{}",
+            if *fallback { " (fallback sort)" } else { "" }
+        ),
+    }
+}
+
+fn shard_name(shard: u32) -> String {
+    if shard == MERGE_SHARD {
+        "merge".into()
+    } else {
+        shard.to_string()
+    }
+}
+
+/// `u64::MAX` is the oracle's "buffer everything" sentinel.
+fn fmt_k(k: u64) -> String {
+    if k == u64::MAX {
+        "inf".into()
+    } else {
+        k.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill_telemetry::trace::{
+        post_mortems_to_lines, FlightRecorder, KChangeReason, ProvenanceBuilder,
+    };
+
+    /// A small deterministic ring with one violated window [100, 200).
+    fn violation_trace() -> FlightRecorder {
+        let rec = FlightRecorder::new(128);
+        rec.record(
+            0,
+            0,
+            TraceKind::KChange {
+                old_k: 0,
+                new_k: 0,
+                reason: KChangeReason::Initial,
+            },
+        );
+        rec.record(
+            95,
+            0,
+            TraceKind::KChange {
+                old_k: 0,
+                new_k: 95,
+                reason: KChangeReason::Ratchet,
+            },
+        );
+        rec.record(
+            150,
+            0,
+            TraceKind::LateArrival {
+                lateness: 145,
+                watermark: 295,
+            },
+        );
+        rec.record(
+            150,
+            0,
+            TraceKind::LateDrop {
+                event_seq: 21,
+                windows: vec![(100, 200)],
+            },
+        );
+        rec.record(
+            200,
+            0,
+            TraceKind::WindowFinalize {
+                start: 100,
+                end: 200,
+                key: "null".into(),
+                count: 10,
+            },
+        );
+        rec
+    }
+
+    fn postmortem_text() -> String {
+        let builder = ProvenanceBuilder::new(violation_trace().events());
+        let rec = builder.record_for(100, 200, "null", 10.0 / 11.0, Some(0.97));
+        assert!(rec.violated);
+        let pm = builder.post_mortem(&rec);
+        let mut text = post_mortems_to_lines(&[pm]).join("\n");
+        text.push('\n');
+        text
+    }
+
+    #[test]
+    fn renders_post_mortem_with_timeline_and_decision_log() {
+        let report = render_report(&postmortem_text(), 5).expect("renders");
+        assert!(report.contains("Quality-violation post-mortem"));
+        assert!(report.contains("violations: 1"));
+        assert!(report.contains("window [100, 200) key=null"));
+        assert!(report.contains("required 0.97"));
+        assert!(report.contains("K 0 -> 95  (ratchet)"));
+        assert!(report.contains("lateness=145"));
+        assert!(report.contains("<- lost from this window"));
+        assert!(report.contains("<- this window"));
+    }
+
+    #[test]
+    fn renders_flat_trace_with_summary() {
+        let lines: Vec<String> = violation_trace()
+            .events()
+            .iter()
+            .map(|e| e.to_json_line())
+            .collect();
+        let report = render_report(&lines.join("\n"), 3).expect("renders");
+        assert!(report.contains("Flight-recorder trace"));
+        assert!(report.contains("k_change"));
+        assert!(report.contains("late_arrival"));
+        assert!(report.contains("Top 3 latest tuples"));
+        assert!(report.contains("K 0 -> 95"));
+    }
+
+    #[test]
+    fn empty_input_and_malformed_lines_are_handled() {
+        assert_eq!(render_report("", 5).unwrap(), "(empty trace)\n");
+        assert_eq!(render_report("\n  \n", 5).unwrap(), "(empty trace)\n");
+        let err = render_report("{\"bogus\":true}", 5).unwrap_err();
+        assert!(!err.is_empty());
+        // A valid first line followed by garbage names the offending line.
+        let mut text = violation_trace().events()[0].to_json_line();
+        text.push_str("\nnot json\n");
+        let err = render_report(&text, 5).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn infinite_k_renders_as_inf() {
+        let rec = FlightRecorder::new(8);
+        rec.record(
+            0,
+            0,
+            TraceKind::KChange {
+                old_k: 0,
+                new_k: u64::MAX,
+                reason: KChangeReason::Initial,
+            },
+        );
+        let lines: Vec<String> = rec.events().iter().map(|e| e.to_json_line()).collect();
+        let report = render_report(&lines.join("\n"), 1).expect("renders");
+        assert!(report.contains("K 0 -> inf"));
+    }
+}

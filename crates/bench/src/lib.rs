@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod inspect;
 
 pub use harness::{Artifact, ExperimentCtx};
 

@@ -28,6 +28,7 @@ use crate::estimator::{DistEstimator, EstimatorKind};
 use crate::quality::{QualityTarget, SensitivityModel};
 use crate::strategy::DisorderControl;
 use quill_engine::prelude::{Event, StreamElement, TimeDelta};
+use quill_telemetry::trace::{FlightRecorder, KChangeReason, TraceKind};
 use quill_telemetry::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
 
@@ -168,6 +169,7 @@ pub struct AqKSlack {
     events_seen: u64,
     stats: AqStats,
     telemetry: AqTelemetry,
+    trace: FlightRecorder,
 }
 
 impl AqKSlack {
@@ -194,6 +196,7 @@ impl AqKSlack {
                 ..AqStats::default()
             },
             telemetry: AqTelemetry::default(),
+            trace: FlightRecorder::disabled(),
             cfg,
         }
     }
@@ -255,12 +258,14 @@ impl AqKSlack {
         let candidate = self.estimator.quantile(q_eff).unwrap_or(TimeDelta::ZERO);
         let current = self.buf.k();
         // Grow immediately; shrink at most max_shrink per step.
+        let mut reason = KChangeReason::Adapt;
         let mut next = if candidate >= current {
             candidate
         } else {
             let floor = TimeDelta::from_f64(current.as_f64() * (1.0 - self.cfg.max_shrink));
             if candidate < floor {
                 self.stats.shrinks_limited += 1;
+                reason = KChangeReason::ShrinkLimited;
                 floor
             } else {
                 candidate
@@ -268,7 +273,19 @@ impl AqKSlack {
         };
         if next < self.cfg.k_min || next > self.cfg.k_max {
             self.stats.bound_hits += 1;
+            reason = KChangeReason::BoundClamped;
             next = next.max(self.cfg.k_min).min(self.cfg.k_max);
+        }
+        if self.trace.is_enabled() && next != current {
+            self.trace.record(
+                self.buf.clock().raw(),
+                0,
+                TraceKind::KChange {
+                    old_k: current.raw(),
+                    new_k: next.raw(),
+                    reason,
+                },
+            );
         }
         self.buf.set_k(next);
         self.stats.adaptations += 1;
@@ -313,6 +330,12 @@ impl DisorderControl for AqKSlack {
         };
     }
 
+    fn attach_trace(&mut self, trace: &FlightRecorder) {
+        self.buf.attach_trace(trace);
+        self.trace = trace.clone();
+        crate::strategy::record_initial_k(trace, self.buf.k().raw());
+    }
+
     fn name(&self) -> String {
         match self.cfg.target {
             QualityTarget::Completeness { q } => format!("aq(q={q})"),
@@ -341,6 +364,17 @@ impl DisorderControl for AqKSlack {
                 .max_ever()
                 .min(self.cfg.k_max)
                 .max(self.cfg.k_min);
+            if self.trace.is_enabled() && k != self.buf.k() {
+                self.trace.record(
+                    self.buf.clock().raw(),
+                    0,
+                    TraceKind::KChange {
+                        old_k: self.buf.k().raw(),
+                        new_k: k.raw(),
+                        reason: KChangeReason::Warmup,
+                    },
+                );
+            }
             self.buf.set_k(k);
         } else if self.events_seen.is_multiple_of(self.cfg.adapt_every) {
             self.adapt();
@@ -579,6 +613,48 @@ mod tests {
         );
         // The buffer was wired through the same call.
         assert!(snap.counter("quill.buffer.inserted") > 0);
+    }
+
+    #[test]
+    fn trace_records_k_decisions_with_reasons() {
+        use quill_telemetry::trace::{KChangeReason, TraceKind};
+        let trace = quill_telemetry::FlightRecorder::new(8192);
+        let mut cfg = AqConfig::completeness(0.9);
+        cfg.warmup = 10;
+        cfg.adapt_every = 5;
+        let mut s = AqKSlack::new(cfg);
+        s.attach_trace(&trace);
+        let s = feed_stream(s, 5_000, 100.0, 11);
+        let reasons: Vec<KChangeReason> = trace
+            .events()
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TraceKind::KChange { reason, .. } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons.first(), Some(&KChangeReason::Initial));
+        assert!(reasons.contains(&KChangeReason::Warmup), "{reasons:?}");
+        assert!(
+            reasons
+                .iter()
+                .any(|r| matches!(r, KChangeReason::Adapt | KChangeReason::ShrinkLimited)),
+            "{reasons:?}"
+        );
+        // Every recorded change actually changed K (except the initial).
+        for t in trace.events() {
+            if let TraceKind::KChange {
+                old_k,
+                new_k,
+                reason,
+            } = t.kind
+            {
+                if reason != KChangeReason::Initial {
+                    assert_ne!(old_k, new_k);
+                }
+            }
+        }
+        assert!(s.aq_stats().adaptations > 0);
     }
 
     #[test]

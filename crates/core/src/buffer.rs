@@ -19,6 +19,7 @@
 //!   downstream out of order, where the window operator accounts for them).
 
 use quill_engine::prelude::{Event, StreamElement, TimeDelta, Timestamp};
+use quill_telemetry::trace::{FlightRecorder, TraceKind};
 use quill_telemetry::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
 
@@ -72,6 +73,7 @@ pub struct SlackBuffer {
     watermark: Timestamp,
     stats: BufferStats,
     telemetry: BufferTelemetry,
+    trace: FlightRecorder,
 }
 
 impl SlackBuffer {
@@ -85,6 +87,7 @@ impl SlackBuffer {
             watermark: Timestamp::MIN,
             stats: BufferStats::default(),
             telemetry: BufferTelemetry::default(),
+            trace: FlightRecorder::disabled(),
         }
     }
 
@@ -101,6 +104,14 @@ impl SlackBuffer {
             depth: telemetry.gauge("quill.buffer.depth"),
             watermark_lag: telemetry.gauge("quill.buffer.watermark_lag"),
         };
+    }
+
+    /// Attach a flight recorder (cloned; clones share the ring). The buffer
+    /// records a [`TraceKind::LateArrival`] for every event forwarded behind
+    /// the watermark and a [`TraceKind::BufferEmit`] for every watermark
+    /// advance. A disabled recorder costs one branch per hook.
+    pub fn attach_trace(&mut self, trace: &FlightRecorder) {
+        self.trace = trace.clone();
     }
 
     /// Current slack bound.
@@ -154,6 +165,16 @@ impl SlackBuffer {
         if e.ts < self.watermark {
             self.stats.late_passed += 1;
             self.telemetry.late_passed.inc();
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    e.ts.raw(),
+                    0,
+                    TraceKind::LateArrival {
+                        lateness: self.watermark.delta_since(e.ts).raw(),
+                        watermark: self.watermark.raw(),
+                    },
+                );
+            }
             out.push(StreamElement::Event(e));
             // The clock may still have advanced; later events could now be
             // releasable.
@@ -187,10 +208,22 @@ impl SlackBuffer {
         let keep = self
             .buf
             .split_off(&(Timestamp(safe.raw().saturating_add(1)), 0));
+        let mut released = 0u64;
         for (_, e) in std::mem::replace(&mut self.buf, keep) {
             self.stats.released += 1;
             self.telemetry.released.inc();
+            released += 1;
             out.push(StreamElement::Event(e));
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                safe.raw(),
+                0,
+                TraceKind::BufferEmit {
+                    released,
+                    watermark: safe.raw(),
+                },
+            );
         }
         self.watermark = safe;
         self.telemetry
@@ -201,10 +234,22 @@ impl SlackBuffer {
 
     /// End of stream: release everything in order and emit `Flush`.
     pub fn finish(&mut self, out: &mut Vec<StreamElement>) {
+        let mut released = 0u64;
         for (_, e) in std::mem::take(&mut self.buf) {
             self.stats.released += 1;
             self.telemetry.released.inc();
+            released += 1;
             out.push(StreamElement::Event(e));
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                self.clock.raw(),
+                0,
+                TraceKind::BufferEmit {
+                    released,
+                    watermark: u64::MAX,
+                },
+            );
         }
         self.watermark = Timestamp::MAX;
         self.telemetry.depth.set_u64(0);
@@ -387,6 +432,35 @@ mod tests {
         assert_eq!(snap.counter("quill.buffer.released"), s.released);
         assert_eq!(snap.counter("quill.buffer.late_passed"), s.late_passed);
         assert_eq!(snap.gauge("quill.buffer.depth"), Some(0.0));
+    }
+
+    #[test]
+    fn trace_records_late_arrivals_and_emits() {
+        let trace = FlightRecorder::new(64);
+        let mut b = SlackBuffer::new(5u64);
+        b.attach_trace(&trace);
+        let mut out = Vec::new();
+        b.insert(ev(20, 0), &mut out); // watermark 15 → one BufferEmit
+        b.insert(ev(8, 1), &mut out); // lateness 7 behind watermark 15
+        b.finish(&mut out);
+        let events = trace.events();
+        assert!(events.iter().any(|t| matches!(
+            t.kind,
+            TraceKind::LateArrival {
+                lateness: 7,
+                watermark: 15
+            }
+        ) && t.at == 8));
+        assert!(events
+            .iter()
+            .any(|t| matches!(t.kind, TraceKind::BufferEmit { watermark: 15, .. })));
+        assert!(events.iter().any(|t| matches!(
+            t.kind,
+            TraceKind::BufferEmit {
+                watermark: u64::MAX,
+                ..
+            }
+        )));
     }
 
     #[test]

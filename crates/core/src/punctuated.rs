@@ -75,6 +75,11 @@ impl DisorderControl for PunctuatedBuffer {
         self.buf.instrument(telemetry);
     }
 
+    fn attach_trace(&mut self, trace: &quill_telemetry::FlightRecorder) {
+        self.buf.attach_trace(trace);
+        crate::strategy::record_initial_k(trace, self.buf.k().raw());
+    }
+
     fn name(&self) -> String {
         if self.source_slack == TimeDelta::ZERO {
             "punct".into()

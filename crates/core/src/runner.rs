@@ -17,11 +17,12 @@ use quill_engine::event::{ClockTracker, Event, StreamElement};
 use quill_engine::operator::{
     LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
 };
-use quill_engine::parallel::{run_keyed_parallel_instrumented, ParallelConfig};
+use quill_engine::parallel::{run_keyed_parallel_observed, ParallelConfig};
 use quill_engine::time::{TimeDelta, Timestamp};
 use quill_engine::window::WindowSpec;
 use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
 use quill_metrics::{LatencyRecorder, Summary, TimeSeries};
+use quill_telemetry::trace::{FlightRecorder, PostMortem, ProvenanceBuilder, ProvenanceRecord};
 use quill_telemetry::{Registry, ReporterConfig, Snapshot, TelemetryReporter};
 
 /// The continuous query to execute.
@@ -195,6 +196,18 @@ pub struct ExecOptions {
     /// Take a telemetry snapshot every this many input events (0 = only the
     /// final end-of-run snapshot). Ignored when telemetry is disabled.
     pub snapshot_every_events: u64,
+    /// Flight recorder the strategy, buffer and window operators record
+    /// structured [`quill_telemetry::TraceEvent`]s into.
+    /// [`FlightRecorder::disabled`] (the default) makes every hook a branch.
+    /// With an enabled recorder, [`RunOutput::provenance`] carries one
+    /// record per scored window and [`RunOutput::post_mortems`] the causal
+    /// trace slice of every window that violated
+    /// [`ExecOptions::required_completeness`].
+    pub trace: FlightRecorder,
+    /// Per-window completeness target used to flag violations in the
+    /// provenance layer. `None` (the default) means no window is considered
+    /// violated. Only consulted when `trace` is enabled.
+    pub required_completeness: Option<f64>,
 }
 
 impl ExecOptions {
@@ -220,6 +233,19 @@ impl ExecOptions {
     /// Snapshot every `n` input events in addition to the final snapshot.
     pub fn with_snapshot_every(mut self, n: u64) -> ExecOptions {
         self.snapshot_every_events = n;
+        self
+    }
+
+    /// Record trace events into `trace` (cloned; clones share the ring).
+    pub fn with_trace(mut self, trace: &FlightRecorder) -> ExecOptions {
+        self.trace = trace.clone();
+        self
+    }
+
+    /// Flag windows whose completeness falls below `q` as violations in the
+    /// provenance layer (builds their post-mortems when tracing).
+    pub fn with_required_completeness(mut self, q: f64) -> ExecOptions {
+        self.required_completeness = Some(q);
         self
     }
 }
@@ -257,6 +283,13 @@ pub struct RunOutput {
     /// disabled). The final snapshot is taken after all windowing work, so
     /// its counters cover the whole run.
     pub snapshots: Vec<Snapshot>,
+    /// Per-window provenance records, in quality-report order (empty unless
+    /// [`ExecOptions::trace`] is enabled).
+    pub provenance: Vec<ProvenanceRecord>,
+    /// Post-mortems for every window that violated
+    /// [`ExecOptions::required_completeness`] (empty unless tracing with a
+    /// target set).
+    pub post_mortems: Vec<PostMortem>,
 }
 
 impl RunOutput {
@@ -310,6 +343,7 @@ pub(crate) fn stage_strategy(
     opts: &ExecOptions,
 ) -> StagedStream {
     strategy.instrument(&opts.telemetry);
+    strategy.attach_trace(&opts.trace);
     let run_events = opts.telemetry.counter("quill.run.events");
     let mut reporter = TelemetryReporter::new(
         &opts.telemetry,
@@ -438,6 +472,7 @@ pub fn execute(
                 query.key_field,
                 LatePolicy::Drop,
             )?;
+            op.attach_trace(&opts.trace, 0);
             let mut results: Vec<WindowResult> = Vec::new();
             for el in elements {
                 op.process(el, &mut |o| {
@@ -454,19 +489,22 @@ pub fn execute(
             // Unkeyed queries route on the (out-of-range ⇒ Null) key so
             // every event lands on one shard.
             let key_field = query.key_field.unwrap_or(usize::MAX);
-            let (out, ops) = run_keyed_parallel_instrumented(
+            let (out, ops) = run_keyed_parallel_observed(
                 elements,
                 key_field,
                 config,
                 &opts.telemetry,
-                || {
-                    WindowAggregateOp::new(
+                &opts.trace,
+                |shard| {
+                    let mut op = WindowAggregateOp::new(
                         query.window,
                         query.aggregates.clone(),
                         query.key_field,
                         LatePolicy::Drop,
                     )
-                    .expect("query validated above")
+                    .expect("query validated above");
+                    op.attach_trace(&opts.trace, shard as u32);
+                    op
                 },
             )?;
             let results: Vec<WindowResult> = out
@@ -494,6 +532,30 @@ pub fn execute(
 
     let oracle = oracle_results(events, query.window, &query.aggregates, query.key_field);
     let quality = score(&results, &oracle);
+    // Join the flight-recorder ring with the per-window quality outcomes:
+    // one provenance record per scored window, and the causal trace slice
+    // for every window that missed its completeness target.
+    let (provenance, post_mortems) = if opts.trace.is_enabled() {
+        let builder = ProvenanceBuilder::new(opts.trace.events());
+        let mut provenance = Vec::with_capacity(quality.per_window.len());
+        let mut post_mortems = Vec::new();
+        for w in &quality.per_window {
+            let rec = builder.record_for(
+                w.window.start.raw(),
+                w.window.end.raw(),
+                &w.key,
+                w.completeness,
+                opts.required_completeness,
+            );
+            if rec.violated {
+                post_mortems.push(builder.post_mortem(&rec));
+            }
+            provenance.push(rec);
+        }
+        (provenance, post_mortems)
+    } else {
+        (Vec::new(), Vec::new())
+    };
     // Force the end-of-run snapshot so it covers the executor and result
     // instruments recorded after staging, even when the last periodic tick
     // coincided with the final event.
@@ -515,6 +577,8 @@ pub fn execute(
         events: events.len() as u64,
         results,
         snapshots,
+        provenance,
+        post_mortems,
     })
 }
 
@@ -856,6 +920,96 @@ mod tests {
         )
         .unwrap();
         assert!(out.snapshots.is_empty());
+    }
+
+    #[test]
+    fn traced_run_yields_provenance_and_post_mortems() {
+        use quill_telemetry::trace::TraceKind;
+        let mk = |ts: u64, seq: u64| Event::new(ts, seq, Row::new([Value::Float(1.0)]));
+        let mut events: Vec<Event> = (0..20u64).map(|i| mk(i * 10, i)).collect();
+        // One straggler for window [0,100), arriving after the clock passed
+        // 190 — with K=0 it is late at the buffer and dropped at the window.
+        events.push(mk(5, 20));
+        let trace = FlightRecorder::with_default_capacity();
+        let mut s = DropAll::new();
+        let out = execute(
+            &events,
+            &mut s,
+            &sum_query(),
+            &ExecOptions::sequential()
+                .with_trace(&trace)
+                .with_required_completeness(1.0),
+        )
+        .unwrap();
+        assert_eq!(out.provenance.len(), out.quality.per_window.len());
+        assert!(out.provenance.iter().all(|r| r.finalize_seq.is_some()));
+        let violated: Vec<&ProvenanceRecord> =
+            out.provenance.iter().filter(|r| r.violated).collect();
+        assert_eq!(violated.len(), 1);
+        let v = violated[0];
+        assert_eq!((v.start, v.end), (0, 100));
+        assert_eq!(v.late_arrivals, 1);
+        assert_eq!(v.dropped, 1);
+        assert!(v.achieved_completeness < 1.0);
+        assert_eq!(out.post_mortems.len(), 1);
+        let pm = &out.post_mortems[0];
+        assert_eq!((pm.record.start, pm.record.end), (0, 100));
+        assert!(pm.slice.iter().any(
+            |t| matches!(&t.kind, TraceKind::LateDrop { windows, .. } if windows.contains(&(0, 100)))
+        ));
+        assert!(pm
+            .slice
+            .iter()
+            .any(|t| matches!(t.kind, TraceKind::WindowFinalize { .. })));
+    }
+
+    #[test]
+    fn disabled_trace_produces_no_provenance() {
+        let events = disordered_events(500, 100, 14);
+        let mut s = FixedKSlack::new(20u64);
+        let out = execute(
+            &events,
+            &mut s,
+            &sum_query(),
+            &ExecOptions::sequential().with_required_completeness(1.0),
+        )
+        .unwrap();
+        assert!(out.provenance.is_empty());
+        assert!(out.post_mortems.is_empty());
+    }
+
+    #[test]
+    fn parallel_traced_run_assembles_provenance_across_shards() {
+        let events = keyed_events(3000, 15);
+        let query = QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 1, "sum")],
+            Some(0),
+        );
+        let trace = FlightRecorder::with_default_capacity();
+        let mut s = FixedKSlack::new(30u64); // well under the 150 delay bound
+        let out = execute(
+            &events,
+            &mut s,
+            &query,
+            &ExecOptions::parallel(ParallelConfig::new(4))
+                .with_trace(&trace)
+                .with_required_completeness(0.99),
+        )
+        .unwrap();
+        assert_eq!(out.provenance.len(), out.quality.per_window.len());
+        assert!(
+            out.provenance.iter().any(|r| r.violated),
+            "K=30 under delay bound 150 must lose events somewhere"
+        );
+        assert_eq!(
+            out.post_mortems.len(),
+            out.provenance.iter().filter(|r| r.violated).count()
+        );
+        // Per-window dropped counts come from shard-tagged LateDrop events;
+        // their total matches the operator counters.
+        let dropped: u64 = out.provenance.iter().map(|r| r.dropped).sum();
+        assert!(dropped > 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::buffer::{BufferStats, SlackBuffer};
 use quill_engine::prelude::{Event, StreamElement, TimeDelta};
+use quill_telemetry::trace::{FlightRecorder, KChangeReason, TraceKind};
 use quill_telemetry::Registry;
 
 /// A pluggable disorder-control strategy.
@@ -27,6 +28,13 @@ pub trait DisorderControl: Send {
     /// their [`SlackBuffer`] to `quill.buffer.*`; adaptive strategies add
     /// `quill.controller.*` / `quill.estimator.*`. Default: no telemetry.
     fn instrument(&mut self, _telemetry: &Registry) {}
+
+    /// Attach a flight recorder. Buffer-backed strategies wire their
+    /// [`SlackBuffer`] (late arrivals, emits) and record an
+    /// [`KChangeReason::Initial`] K-change so every trace names the K in
+    /// force from the start; adaptive strategies additionally record each
+    /// K decision with its trigger reason. Default: no tracing.
+    fn attach_trace(&mut self, _trace: &FlightRecorder) {}
 
     /// Feed one arriving event; ordered releases and watermarks are appended
     /// to `out`.
@@ -40,6 +48,22 @@ pub trait DisorderControl: Send {
 
     /// Buffer occupancy / lateness counters.
     fn buffer_stats(&self) -> BufferStats;
+}
+
+/// Record the strategy's starting K so a trace always names the slack in
+/// force before the first adaptive decision.
+pub(crate) fn record_initial_k(trace: &FlightRecorder, k: u64) {
+    if trace.is_enabled() {
+        trace.record(
+            0,
+            0,
+            TraceKind::KChange {
+                old_k: k,
+                new_k: k,
+                reason: KChangeReason::Initial,
+            },
+        );
+    }
 }
 
 /// K = 0: release every event instantly; any disorder reaches the query as
@@ -66,6 +90,10 @@ impl Default for DropAll {
 impl DisorderControl for DropAll {
     fn instrument(&mut self, telemetry: &Registry) {
         self.buf.instrument(telemetry);
+    }
+    fn attach_trace(&mut self, trace: &FlightRecorder) {
+        self.buf.attach_trace(trace);
+        record_initial_k(trace, 0);
     }
     fn name(&self) -> String {
         "drop".into()
@@ -105,6 +133,10 @@ impl DisorderControl for FixedKSlack {
     fn instrument(&mut self, telemetry: &Registry) {
         self.buf.instrument(telemetry);
     }
+    fn attach_trace(&mut self, trace: &FlightRecorder) {
+        self.buf.attach_trace(trace);
+        record_initial_k(trace, self.k.raw());
+    }
     fn name(&self) -> String {
         format!("fixed(K={})", self.k.raw())
     }
@@ -130,6 +162,7 @@ pub struct MpKSlack {
     buf: SlackBuffer,
     max_delay: TimeDelta,
     cap: TimeDelta,
+    trace: FlightRecorder,
 }
 
 impl MpKSlack {
@@ -139,6 +172,7 @@ impl MpKSlack {
             buf: SlackBuffer::new(0u64),
             max_delay: TimeDelta::ZERO,
             cap: TimeDelta::MAX,
+            trace: FlightRecorder::disabled(),
         }
     }
 
@@ -149,6 +183,7 @@ impl MpKSlack {
             buf: SlackBuffer::new(0u64),
             max_delay: TimeDelta::ZERO,
             cap: cap.into(),
+            trace: FlightRecorder::disabled(),
         }
     }
 }
@@ -163,6 +198,11 @@ impl DisorderControl for MpKSlack {
     fn instrument(&mut self, telemetry: &Registry) {
         self.buf.instrument(telemetry);
     }
+    fn attach_trace(&mut self, trace: &FlightRecorder) {
+        self.buf.attach_trace(trace);
+        self.trace = trace.clone();
+        record_initial_k(trace, self.max_delay.raw());
+    }
     fn name(&self) -> String {
         if self.cap == TimeDelta::MAX {
             "mp".into()
@@ -174,8 +214,20 @@ impl DisorderControl for MpKSlack {
         // Delay measured against the clock *before* this event advances it.
         let delay = self.buf.clock().delta_since(e.ts);
         if delay > self.max_delay {
+            let old = self.max_delay;
             self.max_delay = delay.min(self.cap);
             self.buf.set_k(self.max_delay);
+            if self.trace.is_enabled() && self.max_delay != old {
+                self.trace.record(
+                    e.ts.raw(),
+                    0,
+                    TraceKind::KChange {
+                        old_k: old.raw(),
+                        new_k: self.max_delay.raw(),
+                        reason: KChangeReason::Ratchet,
+                    },
+                );
+            }
         }
         self.buf.insert(e, out);
     }
@@ -214,6 +266,10 @@ impl Default for OracleBuffer {
 impl DisorderControl for OracleBuffer {
     fn instrument(&mut self, telemetry: &Registry) {
         self.buf.instrument(telemetry);
+    }
+    fn attach_trace(&mut self, trace: &FlightRecorder) {
+        self.buf.attach_trace(trace);
+        record_initial_k(trace, u64::MAX);
     }
     fn name(&self) -> String {
         "oracle".into()
@@ -329,6 +385,36 @@ mod tests {
         let mut out2 = Vec::new();
         s2.on_event(ev(10, 0), &mut out2);
         assert!(event_ts(&out2).is_empty());
+    }
+
+    #[test]
+    fn mp_ratchet_is_traced_with_reason() {
+        let trace = FlightRecorder::new(64);
+        let mut s = MpKSlack::new();
+        s.attach_trace(&trace);
+        let mut out = Vec::new();
+        s.on_event(ev(100, 0), &mut out);
+        s.on_event(ev(40, 1), &mut out); // delay 60 → ratchet
+        s.on_event(ev(90, 2), &mut out); // delay 10 → no change
+        let changes: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TraceKind::KChange {
+                    old_k,
+                    new_k,
+                    reason,
+                } => Some((old_k, new_k, reason, t.at)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            changes,
+            vec![
+                (0, 0, KChangeReason::Initial, 0),
+                (0, 60, KChangeReason::Ratchet, 40),
+            ]
+        );
     }
 
     #[test]

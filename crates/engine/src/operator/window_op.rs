@@ -36,6 +36,7 @@ use crate::operator::Operator;
 use crate::time::Timestamp;
 use crate::value::{Key, Row, Value};
 use crate::window::{Window, WindowSpec};
+use quill_telemetry::trace::{FlightRecorder, TraceKind};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -213,6 +214,8 @@ pub struct WindowAggregateOp {
     watermark: Timestamp,
     out_seq: u64,
     stats: WindowOpStats,
+    trace: FlightRecorder,
+    shard: u32,
 }
 
 impl WindowAggregateOp {
@@ -252,7 +255,18 @@ impl WindowAggregateOp {
             watermark: Timestamp::MIN,
             out_seq: 0,
             stats: WindowOpStats::default(),
+            trace: FlightRecorder::disabled(),
+            shard: 0,
         })
+    }
+
+    /// Attach a flight recorder; subsequent window finalizations and late
+    /// drops are recorded as [`TraceKind::WindowFinalize`] /
+    /// [`TraceKind::LateDrop`] events tagged with `shard` (0 for sequential
+    /// execution). Disabled recorders cost one branch per hook.
+    pub fn attach_trace(&mut self, trace: &FlightRecorder, shard: u32) {
+        self.trace = trace.clone();
+        self.shard = shard;
     }
 
     /// Shared-pane state when eligible: overlapping sliding windows whose
@@ -327,17 +341,26 @@ impl WindowAggregateOp {
         let windows = self.spec.assign(e.ts);
         let mut accepted = false;
         let mut late = false;
+        // Windows this event can no longer contribute to (trace only).
+        let mut missed: Vec<(u64, u64)> = Vec::new();
+        let tracing = self.trace.is_enabled();
         for w in windows {
             // A window is "closed" once the watermark passed its end.
             let closed = w.end <= self.watermark;
             match (closed, self.late_policy) {
                 (true, LatePolicy::Drop) => {
                     late = true;
+                    if tracing {
+                        missed.push((w.start.raw(), w.end.raw()));
+                    }
                     continue;
                 }
                 (true, LatePolicy::Revise { allowed_lateness }) => {
                     if self.watermark > w.end + crate::time::TimeDelta(allowed_lateness) {
                         late = true;
+                        if tracing {
+                            missed.push((w.start.raw(), w.end.raw()));
+                        }
                         continue;
                     }
                 }
@@ -365,6 +388,16 @@ impl WindowAggregateOp {
             // but account for it rather than losing events silently).
             self.stats.late_dropped += 1;
         }
+        if !missed.is_empty() {
+            self.trace.record(
+                e.ts.raw(),
+                self.shard,
+                TraceKind::LateDrop {
+                    event_seq: e.seq,
+                    windows: missed,
+                },
+            );
+        }
     }
 
     /// Shared-pane ingest: one aggregate fold into the event's home pane,
@@ -380,6 +413,22 @@ impl WindowAggregateOp {
         // watermark passed it, every containing window is closed.
         if p.saturating_add(ps.length) <= wm {
             self.stats.late_dropped += 1;
+            if self.trace.is_enabled() {
+                let missed: Vec<(u64, u64)> = self
+                    .spec
+                    .assign(e.ts)
+                    .into_iter()
+                    .map(|w| (w.start.raw(), w.end.raw()))
+                    .collect();
+                self.trace.record(
+                    e.ts.raw(),
+                    self.shard,
+                    TraceKind::LateDrop {
+                        event_seq: e.seq,
+                        windows: missed,
+                    },
+                );
+            }
             return;
         }
         let kp = ps.keys.entry(key.clone()).or_default();
@@ -484,21 +533,32 @@ impl WindowAggregateOp {
                     None // already emitted (a revision window awaiting GC)
                 } else {
                     st.emissions = 1;
-                    Some(
-                        WindowResult {
-                            key: key.0.clone(),
-                            window: Window::new(start, end),
-                            count: st.count,
-                            revision: 0,
-                            aggregates: st.aggs.iter().map(|a| a.finalize()).collect(),
-                        }
-                        .to_row(),
-                    )
+                    let row = WindowResult {
+                        key: key.0.clone(),
+                        window: Window::new(start, end),
+                        count: st.count,
+                        revision: 0,
+                        aggregates: st.aggs.iter().map(|a| a.finalize()).collect(),
+                    }
+                    .to_row();
+                    Some((row, st.count))
                 }
             };
-            if let Some(row) = emit_row {
+            if let Some((row, count)) = emit_row {
                 self.stats.windows_emitted += 1;
                 self.out_seq += 1;
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        end.raw(),
+                        self.shard,
+                        TraceKind::WindowFinalize {
+                            start: start.raw(),
+                            end: end.raw(),
+                            key: key.0.to_string(),
+                            count,
+                        },
+                    );
+                }
                 out(StreamElement::Event(Event::new(end, self.out_seq, row)));
             }
             if !retain {
@@ -560,6 +620,18 @@ impl WindowAggregateOp {
             // pane, but emit an empty result rather than lose the window.
             None => (ps.template.iter().map(|a| a.finalize()).collect(), 0),
         };
+        if self.trace.is_enabled() {
+            self.trace.record(
+                end,
+                self.shard,
+                TraceKind::WindowFinalize {
+                    start,
+                    end,
+                    key: key.0.to_string(),
+                    count,
+                },
+            );
+        }
         WindowResult {
             key: key.0.clone(),
             window: Window::new(Timestamp(start), Timestamp(end)),
@@ -1120,6 +1192,86 @@ mod tests {
         )
         .unwrap();
         assert!(!median.shares_panes());
+    }
+
+    #[test]
+    fn trace_records_finalize_and_late_drops() {
+        let rec = FlightRecorder::new(64);
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        w.attach_trace(&rec, 3);
+        let _ = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                StreamElement::Watermark(Timestamp(10)),
+                ev(3, 2, 99.0), // window [0,10) already finalized
+                StreamElement::Flush,
+            ],
+        );
+        let evs = rec.events();
+        let fins: Vec<&quill_telemetry::trace::TraceEvent> = evs
+            .iter()
+            .filter(|t| matches!(t.kind, TraceKind::WindowFinalize { .. }))
+            .collect();
+        assert_eq!(fins.len(), 1);
+        assert_eq!(fins[0].shard, 3);
+        match &fins[0].kind {
+            TraceKind::WindowFinalize {
+                start,
+                end,
+                key,
+                count,
+            } => {
+                assert_eq!((*start, *end, key.as_str(), *count), (0, 10, "null", 1));
+            }
+            _ => unreachable!(),
+        }
+        let drops: Vec<(u64, Vec<(u64, u64)>)> = evs
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TraceKind::LateDrop { event_seq, windows } => Some((*event_seq, windows.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![(2, vec![(0, 10)])]);
+    }
+
+    #[test]
+    fn paned_path_traces_finalize_and_late_drops() {
+        let rec = FlightRecorder::new(256);
+        let mut w = op(WindowSpec::sliding(20u64, 10u64), LatePolicy::Drop);
+        assert!(w.shares_panes());
+        w.attach_trace(&rec, 0);
+        let _ = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                ev(15, 2, 2.0),
+                StreamElement::Watermark(Timestamp(40)),
+                ev(3, 3, 9.0), // only window [0,20), finalized at wm=40
+                StreamElement::Flush,
+            ],
+        );
+        let evs = rec.events();
+        let fins: Vec<(u64, u64, u64)> = evs
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TraceKind::WindowFinalize {
+                    start, end, count, ..
+                } => Some((*start, *end, *count)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fins, vec![(0, 20, 2), (10, 30, 1)]);
+        let drops: Vec<(u64, Vec<(u64, u64)>)> = evs
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TraceKind::LateDrop { event_seq, windows } => Some((*event_seq, windows.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![(3, vec![(0, 20)])]);
+        assert_eq!(w.stats().late_dropped, 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::hash::FxHasher;
 use crate::operator::{Operator, WindowResult};
 use crate::value::{hash_value, Key, Value};
 use crossbeam::channel;
+use quill_telemetry::trace::{FlightRecorder, TraceKind, MERGE_SHARD};
 use quill_telemetry::{Counter, Gauge, Registry};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -150,6 +151,7 @@ where
 /// stub channel has no `len()`), and a shared done-counter the worker
 /// bumps. All `None`-backed no-ops when the registry is disabled.
 struct ShardMetrics {
+    shard: u32,
     events: Counter,
     batches: Counter,
     queue_depth: Gauge,
@@ -160,22 +162,31 @@ struct ShardMetrics {
 }
 
 impl ShardMetrics {
-    fn new(telemetry: &Registry, shard: usize) -> ShardMetrics {
+    /// `observe` enables the done-counter handshake with the worker (needed
+    /// by either telemetry or tracing; without it `depth()` is always 0).
+    fn new(telemetry: &Registry, shard: usize, observe: bool) -> ShardMetrics {
         ShardMetrics {
+            shard: shard as u32,
             events: telemetry.counter(&format!("quill.shard.{shard}.events")),
             batches: telemetry.counter(&format!("quill.shard.{shard}.batches")),
             queue_depth: telemetry.gauge(&format!("quill.shard.{shard}.queue_depth")),
-            done: telemetry.is_enabled().then(|| Arc::new(AtomicU64::new(0))),
+            done: observe.then(|| Arc::new(AtomicU64::new(0))),
             sent: 0,
         }
     }
 
-    /// In-flight batches right now (0 when telemetry is disabled).
+    /// In-flight batches right now (0 when observation is disabled).
     fn depth(&self) -> u64 {
         self.done
             .as_ref()
             .map_or(0, |d| self.sent.saturating_sub(d.load(Ordering::Relaxed)))
     }
+}
+
+/// Sum of per-shard in-flight batch depths (the explicit cross-shard
+/// aggregate behind `quill.executor.queue_depth`).
+fn depth_sum(metrics: &[ShardMetrics]) -> u64 {
+    metrics.iter().map(ShardMetrics::depth).sum()
 }
 
 /// Like [`run_keyed_parallel_with`], but recording executor telemetry into
@@ -198,17 +209,58 @@ pub fn run_keyed_parallel_instrumented<O>(
 where
     O: Operator + 'static,
 {
+    run_keyed_parallel_observed(
+        elements,
+        key_field,
+        config,
+        telemetry,
+        &FlightRecorder::disabled(),
+        move |_shard| make_op(),
+    )
+}
+
+/// Like [`run_keyed_parallel_instrumented`], but additionally recording
+/// flight-recorder trace events into `trace` and passing the shard index to
+/// the operator factory (so each shard's operator can tag its own trace
+/// events):
+///
+/// * [`TraceKind::SendStall`] whenever a batch send finds the shard's
+///   channel at capacity (timestamped with the batch's first event time);
+/// * [`TraceKind::MergeProgress`] once for the output merge, on the
+///   [`MERGE_SHARD`] pseudo-shard.
+///
+/// Executor telemetry additionally gains `quill.executor.queue_depth`, an
+/// explicit cross-shard aggregate gauge (sum of every
+/// `quill.shard.<i>.queue_depth`), updated on each flush. With a disabled
+/// registry *and* a disabled recorder this is exactly
+/// [`run_keyed_parallel_with`].
+///
+/// # Errors
+/// Same as [`run_keyed_parallel_with`].
+pub fn run_keyed_parallel_observed<O>(
+    elements: Vec<StreamElement>,
+    key_field: usize,
+    config: ParallelConfig,
+    telemetry: &Registry,
+    trace: &FlightRecorder,
+    make_op: impl Fn(usize) -> O,
+) -> Result<(Vec<StreamElement>, Vec<O>)>
+where
+    O: Operator + 'static,
+{
     config.validate()?;
     let shards = config.shards;
+    let observe = telemetry.is_enabled() || trace.is_enabled();
     let mut metrics: Vec<ShardMetrics> = (0..shards)
-        .map(|s| ShardMetrics::new(telemetry, s))
+        .map(|s| ShardMetrics::new(telemetry, s, observe))
         .collect();
     let send_stalls = telemetry.counter("quill.executor.send_stalls");
+    let agg_depth = telemetry.gauge("quill.executor.queue_depth");
     let mut txs = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
-    for m in &metrics {
+    for (s, m) in metrics.iter().enumerate() {
         let (tx, rx) = channel::bounded::<Vec<StreamElement>>(config.channel_capacity);
-        let mut op = make_op();
+        let mut op = make_op(s);
         let done = m.done.clone();
         handles.push(std::thread::spawn(move || {
             let mut outs: Vec<StreamElement> = Vec::new();
@@ -250,19 +302,26 @@ where
                         &config,
                         &mut metrics[shard],
                         &send_stalls,
+                        trace,
                     )?;
+                    if telemetry.is_enabled() {
+                        agg_depth.set_u64(depth_sum(&metrics));
+                    }
                 }
             }
             _ => {
                 for ((tx, buf), m) in txs.iter().zip(&mut bufs).zip(&mut metrics) {
                     buf.push(el.clone());
-                    flush_batch(tx, buf, &config, m, &send_stalls)?;
+                    flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
+                }
+                if telemetry.is_enabled() {
+                    agg_depth.set_u64(depth_sum(&metrics));
                 }
             }
         }
     }
     for ((tx, buf), m) in txs.iter().zip(&mut bufs).zip(&mut metrics) {
-        flush_batch(tx, buf, &config, m, &send_stalls)?;
+        flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
     }
     drop(txs);
 
@@ -276,7 +335,8 @@ where
         shard_outs.push(outs);
         ops.push(op);
     }
-    Ok((merge_shard_outputs(shard_outs, telemetry), ops))
+    agg_depth.set_u64(0);
+    Ok((merge_shard_outputs(shard_outs, telemetry, trace), ops))
 }
 
 /// Run a keyed operator data-parallel over `shards` threads with default
@@ -301,6 +361,7 @@ fn flush_batch(
     config: &ParallelConfig,
     metrics: &mut ShardMetrics,
     send_stalls: &Counter,
+    trace: &FlightRecorder,
 ) -> Result<()> {
     if buf.is_empty() {
         return Ok(());
@@ -308,8 +369,16 @@ fn flush_batch(
     if metrics.done.is_some() {
         // Backpressure: the bounded send below will block until the worker
         // drains a batch.
-        if metrics.depth() >= config.channel_capacity as u64 {
+        let depth = metrics.depth();
+        if depth >= config.channel_capacity as u64 {
             send_stalls.inc();
+            if trace.is_enabled() {
+                let at = buf
+                    .iter()
+                    .find_map(|el| el.as_event())
+                    .map_or(0, |e| e.ts.raw());
+                trace.record(at, metrics.shard, TraceKind::SendStall { depth });
+            }
         }
         metrics.batches.inc();
     }
@@ -366,6 +435,7 @@ fn merge_key(el: &StreamElement) -> MergeKey {
 fn merge_shard_outputs(
     shard_outs: Vec<Vec<StreamElement>>,
     telemetry: &Registry,
+    trace: &FlightRecorder,
 ) -> Vec<StreamElement> {
     let total: usize = shard_outs.iter().map(Vec::len).sum();
     telemetry.counter("quill.merge.elements").add(total as u64);
@@ -376,6 +446,14 @@ fn merge_shard_outputs(
     let sorted = keyed
         .iter()
         .all(|run| run.windows(2).all(|w| w[0].0 <= w[1].0));
+    trace.record(
+        0,
+        MERGE_SHARD,
+        TraceKind::MergeProgress {
+            elements: total as u64,
+            fallback: !sorted,
+        },
+    );
     let mut out = Vec::with_capacity(total);
     if sorted {
         let mut iters: Vec<_> = keyed.into_iter().map(|run| run.into_iter()).collect();
@@ -598,6 +676,78 @@ mod tests {
                 Some(0.0)
             );
         }
+        // The explicit cross-shard aggregate is present and agrees with the
+        // (drained) per-shard gauges.
+        assert_eq!(snap.gauge("quill.executor.queue_depth"), Some(0.0));
+        assert_eq!(snap.gauge_family_sum("quill.shard.", ".queue_depth"), 0.0);
+    }
+
+    #[test]
+    fn shard_gauges_are_labeled_per_shard_not_last_write_wins() {
+        // Regression: each shard owns its own `quill.shard.<i>.queue_depth`
+        // gauge; writes must not collide on a single shared name, and the
+        // family sum must see every shard.
+        let reg = Registry::new();
+        let m0 = ShardMetrics::new(&reg, 0, true);
+        let m1 = ShardMetrics::new(&reg, 1, true);
+        m0.queue_depth.set_u64(3);
+        m1.queue_depth.set_u64(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("quill.shard.0.queue_depth"), Some(3.0));
+        assert_eq!(snap.gauge("quill.shard.1.queue_depth"), Some(5.0));
+        assert_eq!(snap.gauge_family_sum("quill.shard.", ".queue_depth"), 8.0);
+    }
+
+    #[test]
+    fn observed_run_records_trace_events_without_telemetry() {
+        let trace = FlightRecorder::new(8192);
+        let n = 1_000u64;
+        let cfg = ParallelConfig::new(4)
+            .with_batch_size(16)
+            .with_channel_capacity(1);
+        let (out, _ops) = run_keyed_parallel_observed(
+            input(n, 8),
+            0,
+            cfg,
+            &Registry::disabled(),
+            &trace,
+            |shard| {
+                let mut op = window_op();
+                op.attach_trace(&trace, shard as u32);
+                op
+            },
+        )
+        .expect("observed run");
+        let evs = trace.events();
+        // Every event lands in exactly one finalized window; counts add up.
+        let fin_count: u64 = evs
+            .iter()
+            .filter_map(|t| match t.kind {
+                TraceKind::WindowFinalize { count, .. } => Some(count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(fin_count, n);
+        // Finalizations are tagged with real shard ids, not a single shard.
+        let fin_shards: std::collections::HashSet<u32> = evs
+            .iter()
+            .filter(|t| matches!(t.kind, TraceKind::WindowFinalize { .. }))
+            .map(|t| t.shard)
+            .collect();
+        assert!(fin_shards.len() > 1, "8 keys over 4 shards span shards");
+        // The merge reports once, on the pseudo-shard, fast path.
+        let merges: Vec<(u32, u64, bool)> = evs
+            .iter()
+            .filter_map(|t| match t.kind {
+                TraceKind::MergeProgress { elements, fallback } => {
+                    Some((t.shard, elements, fallback))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(merges, vec![(MERGE_SHARD, out.len() as u64, false)]);
+        // Sequence numbers interleave deterministically (strictly monotone).
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]

@@ -359,6 +359,38 @@ mod tests {
     }
 
     #[test]
+    fn traced_window_stage_records_finalizes_through_parallel_pipeline() {
+        use quill_telemetry::trace::{FlightRecorder, TraceKind};
+        // A window stage keeps its attached recorder when it moves to a
+        // worker thread; one WindowFinalize per emitted result.
+        let rec = FlightRecorder::new(1024);
+        let mut op = WindowAggregateOp::new(
+            WindowSpec::tumbling(10u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+            None,
+            LatePolicy::Drop,
+        )
+        .unwrap();
+        op.attach_trace(&rec, 0);
+        let out = Pipeline::new()
+            .window_aggregate(op)
+            .run_parallel_batched(source(50), 4, 8)
+            .unwrap();
+        let results = out
+            .iter()
+            .filter_map(|e| e.as_event())
+            .filter(|e| WindowResult::from_row(&e.row).is_some())
+            .count();
+        let fins = rec
+            .events()
+            .iter()
+            .filter(|t| matches!(t.kind, TraceKind::WindowFinalize { .. }))
+            .count();
+        assert_eq!(results, 5);
+        assert_eq!(fins, results);
+    }
+
+    #[test]
     fn flush_reaches_sink_through_all_stages() {
         let mut p = test_pipeline();
         let out = p.run_collect(vec![StreamElement::Flush]);

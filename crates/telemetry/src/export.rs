@@ -41,7 +41,7 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
     for (name, v) in &snap.gauges {
         let n = prometheus_name(name);
         let _ = writeln!(out, "# TYPE {n} gauge");
-        let _ = writeln!(out, "{n} {}", fmt_f64(*v));
+        let _ = writeln!(out, "{n} {}", fmt_prom_f64(*v));
     }
     for (name, h) in &snap.histograms {
         let n = prometheus_name(name);
@@ -49,8 +49,37 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
         for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
             let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
         }
-        let _ = writeln!(out, "{n}_sum {}", fmt_f64(h.mean * h.count as f64));
+        let _ = writeln!(out, "{n}_sum {}", fmt_prom_f64(h.mean * h.count as f64));
         let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+/// Format an f64 for the Prometheus text format. Unlike JSON, Prometheus
+/// has spellings for the non-finite values: `NaN`, `+Inf` and `-Inf`.
+pub fn fmt_prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a label value for the Prometheus text format: backslash, double
+/// quote and newline must be escaped inside the quotes.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -68,8 +97,11 @@ pub struct PromSample {
 
 /// Parse the subset of the Prometheus text format that [`to_prometheus`]
 /// emits (and that real exporters commonly produce): comment lines are
-/// skipped, samples are `name[{k="v",..}] value`. Timestamps are not
-/// supported. Returns an error naming the first malformed line.
+/// skipped, samples are `name[{k="v",..}] value`. Label values are fully
+/// quote-aware — `}`, `,` and `=` inside quotes are data, and the escapes
+/// `\\`, `\"` and `\n` are decoded. Values may be `NaN`, `+Inf` or
+/// `-Inf`. Timestamps are not supported. Returns an error naming the
+/// first malformed line.
 pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
     let mut out = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -78,39 +110,14 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
             continue;
         }
         let err = |what: &str| format!("line {}: {what}: {raw:?}", lineno + 1);
-        let (head, value_str) = match line.find('}') {
-            Some(close) => {
-                let (h, rest) = line.split_at(close + 1);
-                (h, rest.trim())
-            }
-            None => line
-                .split_once(char::is_whitespace)
-                .map(|(h, v)| (h, v.trim()))
-                .ok_or_else(|| err("missing value"))?,
-        };
+        let (name, labels, rest) = parse_sample_head(line).map_err(&err)?;
+        let value_str = rest.trim();
         if value_str.is_empty() {
             return Err(err("missing value"));
         }
+        // Rust's f64 parser accepts the Prometheus spellings NaN/+Inf/-Inf
+        // (case-insensitively, "inf" and "infinity" alike).
         let value: f64 = value_str.parse().map_err(|_| err("unparseable value"))?;
-        let (name, labels) = match head.split_once('{') {
-            None => (head.to_string(), Vec::new()),
-            Some((name, rest)) => {
-                let body = rest
-                    .strip_suffix('}')
-                    .ok_or_else(|| err("unclosed label set"))?;
-                let mut labels = Vec::new();
-                for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
-                    let (k, v) = pair.split_once('=').ok_or_else(|| err("malformed label"))?;
-                    let v = v
-                        .trim()
-                        .strip_prefix('"')
-                        .and_then(|v| v.strip_suffix('"'))
-                        .ok_or_else(|| err("unquoted label value"))?;
-                    labels.push((k.trim().to_string(), v.to_string()));
-                }
-                (name.to_string(), labels)
-            }
-        };
         if name.is_empty() {
             return Err(err("empty metric name"));
         }
@@ -121,6 +128,77 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
         });
     }
     Ok(out)
+}
+
+/// Split a sample line into (name, labels, remainder-after-head). Scans
+/// character by character so quoted label values may contain `}`, `,`,
+/// `=` and escaped quotes.
+#[allow(clippy::type_complexity)]
+fn parse_sample_head(line: &str) -> Result<(String, Vec<(String, String)>, &str), &'static str> {
+    let brace = line.find('{');
+    let space = line.find(char::is_whitespace);
+    let (name_end, has_labels) = match (brace, space) {
+        (Some(b), Some(s)) if b < s => (b, true),
+        (Some(b), None) => (b, true),
+        (_, Some(s)) => (s, false),
+        (None, None) => return Err("missing value"),
+    };
+    let name = line[..name_end].to_string();
+    if !has_labels {
+        return Ok((name, Vec::new(), &line[name_end..]));
+    }
+    let bytes = line.as_bytes();
+    let mut i = name_end + 1;
+    let mut labels = Vec::new();
+    loop {
+        while bytes.get(i).is_some_and(|c| *c == b' ' || *c == b',') {
+            i += 1;
+        }
+        match bytes.get(i) {
+            None => return Err("unclosed label set"),
+            Some(b'}') => return Ok((name, labels, &line[i + 1..])),
+            _ => {}
+        }
+        let key_start = i;
+        while bytes.get(i).is_some_and(|c| *c != b'=') {
+            i += 1;
+        }
+        if bytes.get(i).is_none() {
+            return Err("malformed label");
+        }
+        let key = line[key_start..i].trim().to_string();
+        i += 1; // consume '='
+        if bytes.get(i) != Some(&b'"') {
+            return Err("unquoted label value");
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value"),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err("bad escape in label value"),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let ch_len = line[i..].chars().next().map_or(1, char::len_utf8);
+                    value.push_str(&line[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+        labels.push((key, value));
+    }
 }
 
 /// Render a snapshot as one JSON object on a single line (JSON-lines
@@ -257,7 +335,61 @@ mod tests {
         assert!(parse_prometheus("just_a_name").is_err());
         assert!(parse_prometheus("name{quantile=0.5} 1").is_err());
         assert!(parse_prometheus("name notanumber").is_err());
+        assert!(parse_prometheus("name{k=\"v\" 1").is_err());
+        assert!(parse_prometheus("name{k=\"v\\x\"} 1").is_err());
         assert!(parse_prometheus("# a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip_through_prometheus() {
+        let reg = Registry::new();
+        reg.gauge("quill.test.nan").set(f64::NAN);
+        reg.gauge("quill.test.pinf").set(f64::INFINITY);
+        reg.gauge("quill.test.ninf").set(f64::NEG_INFINITY);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("quill_test_nan NaN"), "{text}");
+        assert!(text.contains("quill_test_pinf +Inf"), "{text}");
+        assert!(text.contains("quill_test_ninf -Inf"), "{text}");
+        let samples = parse_prometheus(&text).expect("parse own export");
+        let get = |name: &str| samples.iter().find(|s| s.name == name).unwrap().value;
+        assert!(get("quill_test_nan").is_nan());
+        assert_eq!(get("quill_test_pinf"), f64::INFINITY);
+        assert_eq!(get("quill_test_ninf"), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn labels_with_escapes_and_braces_round_trip() {
+        let tricky = "a\"b\\c}d,e=f\ng";
+        let line = format!(
+            "quill_test{{path=\"{}\",plain=\"ok\"}} 4.5",
+            escape_label_value(tricky)
+        );
+        let samples = parse_prometheus(&line).expect("parse escaped labels");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "quill_test");
+        assert_eq!(samples[0].value, 4.5);
+        assert_eq!(
+            samples[0].labels,
+            vec![
+                ("path".to_string(), tricky.to_string()),
+                ("plain".to_string(), "ok".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn escape_label_value_escapes_the_specials_only() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_label_value("plain{},="), "plain{},=");
+    }
+
+    #[test]
+    fn json_export_maps_non_finite_to_zero() {
+        let reg = Registry::new();
+        reg.gauge("quill.test.nan").set(f64::NAN);
+        let line = to_json_line(&reg.snapshot());
+        assert!(line.contains("\"quill.test.nan\":0"), "{line}");
+        assert!(!line.contains("NaN"), "JSON must stay valid: {line}");
     }
 
     #[test]

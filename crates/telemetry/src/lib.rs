@@ -37,9 +37,11 @@
 pub mod export;
 pub mod histogram;
 pub mod reporter;
+pub mod trace;
 
 pub use histogram::LogHistogram;
 pub use reporter::{ReporterConfig, TelemetryReporter};
+pub use trace::{FlightRecorder, TraceEvent, TraceKind};
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -313,6 +315,19 @@ impl Snapshot {
             .sum()
     }
 
+    /// Sum of all gauges whose name starts with `prefix` and ends with
+    /// `suffix` (either may be empty). The gauge counterpart of
+    /// [`Snapshot::counter_family_sum`], for aggregating shard-labelled
+    /// gauge families like `quill.shard.<i>.queue_depth` explicitly
+    /// instead of letting shards overwrite a shared name.
+    pub fn gauge_family_sum(&self, prefix: &str, suffix: &str) -> f64 {
+        self.gauges
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix) && name.ends_with(suffix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
     /// The per-interval view between `prev` (earlier) and `self` (later):
     /// counters and histogram counts are subtracted (saturating, so a
     /// restarted registry never underflows); gauges and histogram quantiles
@@ -414,6 +429,16 @@ mod tests {
         assert_eq!(d.counter("quill.n"), 7);
         assert_eq!(d.gauge("quill.k"), Some(2.0));
         assert_eq!(d.histograms["quill.lat"].count, 2);
+    }
+
+    #[test]
+    fn gauge_family_sum_filters_by_affix() {
+        let reg = Registry::new();
+        reg.gauge("quill.shard.0.queue_depth").set(3.0);
+        reg.gauge("quill.shard.1.queue_depth").set(4.5);
+        reg.gauge("quill.shard.0.other").set(99.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge_family_sum("quill.shard.", ".queue_depth"), 7.5);
     }
 
     #[test]

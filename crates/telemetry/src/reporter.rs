@@ -128,16 +128,47 @@ impl TelemetryReporter {
 }
 
 /// Write snapshots as JSON-lines (one object per line) to `path`,
-/// creating parent directories as needed.
+/// creating parent directories as needed. The write goes through a
+/// temp file in the same directory followed by an atomic rename, so a
+/// crashed run can never leave a truncated artifact at `path`.
 pub fn write_jsonl(path: &Path, snapshots: &[Snapshot]) -> std::io::Result<()> {
+    write_lines_atomic(path, snapshots.iter().map(crate::export::to_json_line))
+}
+
+/// Write `lines` to `path` (one per line, newline-terminated) via a temp
+/// file in the same directory plus an atomic rename. Readers either see
+/// the previous complete file or the new complete file, never a torn
+/// half-write. Parent directories are created as needed; the temp file is
+/// removed if anything fails before the rename.
+pub fn write_lines_atomic(path: &Path, lines: impl Iterator<Item = String>) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
     }
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for snap in snapshots {
-        writeln!(f, "{}", crate::export::to_json_line(snap))?;
+    // Same-directory temp file so the rename cannot cross filesystems.
+    // The pid suffix keeps concurrent processes from clobbering each
+    // other's in-flight temp file.
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let write_all = || -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        for line in lines {
+            writeln!(f, "{line}")?;
+        }
+        f.flush()?;
+        f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write_all() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    f.flush()
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -181,6 +212,31 @@ mod tests {
         assert_eq!(rep.snapshots().len(), 1);
         // No events since the last snapshot → finish adds nothing.
         assert_eq!(rep.finish().len(), 1);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("quill-telemetry-atomic-test");
+        let path = dir.join("out.jsonl");
+        write_lines_atomic(
+            &path,
+            ["first".to_string(), "second".to_string()].into_iter(),
+        )
+        .expect("initial write");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\nsecond\n");
+        // Overwrite: readers see either the old or the new complete file.
+        write_lines_atomic(&path, ["replaced".to_string()].into_iter()).expect("rewrite");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "replaced\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files must not survive: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -74,4 +74,52 @@ fn main() {
             snap.gauge("quill.estimator.p95").unwrap_or(0.0),
         );
     }
+
+    // Re-run with a bounded flight recorder and the quality target attached:
+    // every violated window yields a post-mortem — its provenance record
+    // plus the causal trace slice (late arrivals, drops, the K decision in
+    // force at the finalize). Persist them with `write_post_mortems_jsonl`
+    // and render the file with `cargo run --bin quill-inspect -- <file>`.
+    section("flight recorder: explaining the worst violated window (aq)");
+    let trace = FlightRecorder::with_default_capacity();
+    let mut aq_traced = AqKSlack::for_completeness(0.95);
+    let traced = execute(
+        &stream.events,
+        &mut aq_traced,
+        &query,
+        &ExecOptions::sequential()
+            .with_trace(&trace)
+            .with_required_completeness(0.95),
+    )
+    .expect("valid query");
+    println!(
+        "  {} windows scored, {} missed the 0.95 target, {} trace events on the ring",
+        traced.provenance.len(),
+        traced.post_mortems.len(),
+        trace.events().len()
+    );
+    if let Some(pm) = traced.post_mortems.iter().min_by(|a, b| {
+        a.record
+            .achieved_completeness
+            .total_cmp(&b.record.achieved_completeness)
+    }) {
+        let r = &pm.record;
+        println!(
+            "  worst: window [{}, {}) key={} achieved {:.1}% — {} contributed, {} late, {} dropped (max lateness {})",
+            r.start,
+            r.end,
+            r.key,
+            r.achieved_completeness * 100.0,
+            r.contributing,
+            r.late_arrivals,
+            r.dropped,
+            r.lateness_max
+        );
+        if let (Some(k), Some(seq)) = (r.k_at_finalize, r.k_decision_seq) {
+            println!(
+                "  K in force at finalize: {k} (decision seq {seq}); causal slice holds {} events",
+                pm.slice.len()
+            );
+        }
+    }
 }
