@@ -1,20 +1,23 @@
-//! Human-readable rendering of flight-recorder traces and violation
-//! post-mortems — the library behind the `quill-inspect` binary.
+//! Human-readable rendering of flight-recorder traces, violation
+//! post-mortems and static plan diagnostics — the library behind the
+//! `quill-inspect` binary.
 //!
-//! Two input shapes are accepted (both JSON-lines, both produced by
-//! `quill-telemetry`):
+//! Three input shapes are accepted (all JSON-lines):
 //!
 //! * a **flat trace** — [`TraceEvent`] lines as written by
 //!   `write_trace_jsonl` (e.g. the `f4_trace` artifact);
 //! * a **post-mortem file** — alternating [`ProvenanceRecord`] headers and
 //!   their causal slices, as written by `write_post_mortems_jsonl` (e.g.
-//!   the `f5_postmortems` artifact).
+//!   the `f5_postmortems` artifact);
+//! * a **plan-diagnostics file** — [`PlanDiagnostic`] lines as written by
+//!   `Diagnostic::to_jsonl_line` (the pre-execution static analysis).
 //!
 //! [`render_report`] sniffs the shape from the first line and renders a
 //! report with a summary, the controller decision log, the top-K latest
 //! tuples, and (for post-mortem files) one annotated timeline per violated
 //! window.
 
+use quill_core::plan::{parse_plan_jsonl, Diagnostic as PlanDiagnostic, Severity};
 use quill_telemetry::trace::{
     parse_post_mortems, parse_trace_line, PostMortem, ProvenanceRecord, TraceEvent, TraceKind,
     TraceLine, MERGE_SHARD,
@@ -32,6 +35,10 @@ pub fn render_report(text: &str, top_k: usize) -> Result<String, String> {
     let Some(first) = first else {
         return Ok("(empty trace)\n".into());
     };
+    if first.contains("\"rule\":") {
+        let diags = parse_plan_jsonl(text)?;
+        return Ok(render_plan_diagnostics(&diags));
+    }
     match parse_trace_line(first)? {
         TraceLine::Provenance(_) => {
             let pms = parse_post_mortems(text)?;
@@ -88,6 +95,38 @@ fn render_post_mortems(pms: &[PostMortem], top_k: usize) -> String {
     render_late_leaders(&mut out, &union, top_k);
     for pm in pms {
         render_violation_timeline(&mut out, pm);
+    }
+    out
+}
+
+/// Report over static plan diagnostics, grouped by severity (deny first) —
+/// also usable directly on `RunOutput::plan` / `SharedRunOutput::plan`.
+pub fn render_plan_diagnostics(diags: &[PlanDiagnostic]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Plan diagnostics ==");
+    if diags.is_empty() {
+        let _ = writeln!(out, "plan is clean: no findings");
+        return out;
+    }
+    let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
+    let _ = writeln!(
+        out,
+        "findings: {} ({} deny, {} warn, {} advice)",
+        diags.len(),
+        count(Severity::Deny),
+        count(Severity::Warn),
+        count(Severity::Advice),
+    );
+    for severity in [Severity::Deny, Severity::Warn, Severity::Advice] {
+        let group: Vec<&PlanDiagnostic> = diags.iter().filter(|d| d.severity == severity).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n-- {severity} --");
+        for d in group {
+            let _ = writeln!(out, "[{}] {}", d.rule, d.message);
+            let _ = writeln!(out, "    help: {}", d.help);
+        }
     }
     out
 }
@@ -395,6 +434,31 @@ mod tests {
         text.push_str("\nnot json\n");
         let err = render_report(&text, 5).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn renders_plan_diagnostics_grouped_by_severity() {
+        use quill_core::plan::{analyze_plan, DelayProfile, StrategyKind};
+        use quill_core::prelude::{
+            AggregateKind, AggregateSpec, ExecOptions, QuerySpec, WindowSpec,
+        };
+        let query = QuerySpec::new(
+            WindowSpec::sliding(100u64, 30u64),
+            vec![AggregateSpec::new(AggregateKind::Median, 0, "m")],
+            None,
+        );
+        let opts = ExecOptions::sequential()
+            .with_delay_profile(DelayProfile::Unbounded)
+            .with_required_completeness(1.0);
+        let diags = analyze_plan(&query, &StrategyKind::DropAll, &opts);
+        let text: String = diags.iter().map(|d| d.to_jsonl_line() + "\n").collect();
+        let report = render_report(&text, 5).expect("renders");
+        assert!(report.contains("Plan diagnostics"));
+        assert!(report.contains("-- deny --"));
+        assert!(report.contains("plan.quality.infeasible"));
+        assert!(report.contains("-- warn --"));
+        assert!(report.contains("help:"));
+        assert!(render_plan_diagnostics(&[]).contains("plan is clean"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! public APIs of the other crates. The `experiments` binary drives them;
 //! criterion micro-benchmarks live under `benches/`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;

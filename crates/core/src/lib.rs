@@ -40,7 +40,7 @@
 //! assert_eq!(out.quality.windows_total, 3);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aq;
@@ -48,6 +48,7 @@ pub mod buffer;
 pub mod controller;
 pub mod estimator;
 pub mod online;
+pub mod plan;
 pub mod punctuated;
 pub mod quality;
 pub mod runner;
@@ -63,6 +64,10 @@ pub mod prelude {
     pub use crate::controller::PiController;
     pub use crate::estimator::{DelayEstimator, DistEstimator, EstimatorKind, HistogramEstimator};
     pub use crate::online::OnlineQuery;
+    pub use crate::plan::{
+        analyze_plan, parse_plan_jsonl, DelayProfile, Diagnostic as PlanDiagnostic,
+        Severity as PlanSeverity, StrategyKind,
+    };
     pub use crate::punctuated::PunctuatedBuffer;
     pub use crate::quality::{QualityTarget, SensitivityModel};
     #[allow(deprecated)]

@@ -1,0 +1,640 @@
+//! Static query-plan analysis: catch infeasible or wasteful configurations
+//! *before* the first event is processed.
+//!
+//! [`analyze_plan`] inspects the query shape ([`QuerySpec`]), the statically
+//! known strategy behaviour ([`StrategyKind`]) and the execution options
+//! ([`ExecOptions`]) and returns structured [`Diagnostic`]s:
+//!
+//! * **Deny** — the plan cannot deliver what was asked (e.g. a completeness
+//!   target of 1.0 under an unbounded delay distribution, or a fixed slack
+//!   below a declared delay bound). [`crate::runner::execute`] refuses such
+//!   plans with [`quill_engine::error::EngineError::PlanRejected`] before
+//!   any event is buffered.
+//! * **Warn** — the plan runs but wastes resources or silently cannot do
+//!   what the options suggest (snapshots without telemetry, more shards
+//!   than keys, a pane-ineligible slide).
+//! * **Advice** — a better configuration exists.
+//!
+//! Delay knowledge is opt-in: the analyzer only reasons about feasibility
+//! when the caller declares a [`DelayProfile`] via
+//! [`ExecOptions::with_delay_profile`]. Without it, quality-feasibility
+//! checks stay silent (the delay distribution is a runtime observation).
+
+use crate::quality::QualityTarget;
+use crate::runner::{ExecOptions, QuerySpec};
+use quill_engine::window::WindowSpec;
+use std::fmt;
+
+/// How severe a plan finding is. Only [`Severity::Deny`] aborts execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A better configuration exists.
+    Advice,
+    /// The plan runs but part of the configuration is ineffective or costly.
+    Warn,
+    /// The plan cannot meet its stated requirements; execution is refused.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Advice => write!(f, "advice"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One plan finding: which check fired, how severe, what and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Check identifier, dotted (`plan.quality.infeasible`, ...).
+    pub rule: String,
+    /// Severity level.
+    pub severity: Severity,
+    /// What is wrong with the plan.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    fn new(
+        rule: &str,
+        severity: Severity,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            severity,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+
+    /// Render as one JSON-lines object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_jsonl_line(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"help\":\"{}\"}}",
+            esc(&self.rule),
+            self.severity,
+            esc(&self.message),
+            esc(&self.help),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} (help: {})",
+            self.severity, self.rule, self.message, self.help
+        )
+    }
+}
+
+/// Extract the string value of `"key":"..."` from one JSONL object,
+/// honouring backslash escapes.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[at..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(c);
+                    }
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parse plan diagnostics back from JSON lines (round-trip of
+/// [`Diagnostic::to_jsonl_line`]); used by `quill-inspect`.
+///
+/// # Errors
+/// Returns a description of the first malformed line.
+pub fn parse_plan_jsonl(text: &str) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let field = |key: &str| {
+            json_str_field(line, key).ok_or_else(|| format!("line {}: missing `{key}`", i + 1))
+        };
+        let severity = match field("severity")?.as_str() {
+            "advice" => Severity::Advice,
+            "warn" => Severity::Warn,
+            "deny" => Severity::Deny,
+            other => return Err(format!("line {}: unknown severity `{other}`", i + 1)),
+        };
+        out.push(Diagnostic {
+            rule: field("rule")?,
+            severity,
+            message: field("message")?,
+            help: field("help")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Statically known behaviour of a disorder-control strategy, as reported by
+/// [`crate::strategy::DisorderControl::kind`]. This is what the plan
+/// analyzer can reason about without running the strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// K = 0: zero latency, no reordering.
+    DropAll,
+    /// Constant user-chosen slack.
+    FixedK(u64),
+    /// Max-delay ratchet, optionally capped (`None` = unbounded K growth).
+    Mp {
+        /// Upper bound on K, if any.
+        cap: Option<u64>,
+    },
+    /// Quality-driven adaptive slack.
+    Aq {
+        /// The quality target the controller steers towards.
+        target: QualityTarget,
+        /// Hard upper bound on K (`None` = effectively unbounded).
+        k_max: Option<u64>,
+    },
+    /// Infinite buffer: exact results at end of stream.
+    Oracle,
+    /// A strategy the analyzer knows nothing about (external impls).
+    Custom,
+}
+
+impl StrategyKind {
+    /// The completeness level the strategy itself commits to, if any.
+    fn target_completeness(&self) -> Option<f64> {
+        match self {
+            StrategyKind::Aq {
+                target: QualityTarget::Completeness { q },
+                ..
+            } => Some(*q),
+            _ => None,
+        }
+    }
+}
+
+/// A static declaration of the transport-delay regime the stream is expected
+/// to exhibit, enabling feasibility checks before execution. See
+/// `quill_gen::delay` for the generative models these summarize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayProfile {
+    /// Delays never exceed `max_delay` event-time units.
+    Bounded {
+        /// The hard delay bound.
+        max_delay: u64,
+    },
+    /// Delays are heavy-tailed / unbounded (e.g. Pareto transport delay):
+    /// no finite K achieves completeness 1.0.
+    Unbounded,
+}
+
+/// Statically analyze one query plan. Returns findings in severity order
+/// (deny first); an empty vector means the plan is clean.
+pub fn analyze_plan(
+    query: &QuerySpec,
+    strategy: &StrategyKind,
+    opts: &ExecOptions,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_window(query, &mut diags);
+    check_fold_path(query, &mut diags);
+    check_quality_feasibility(strategy, opts, &mut diags);
+    check_strategy(strategy, opts, &mut diags);
+    check_parallel(query, opts, &mut diags);
+    check_options(opts, &mut diags);
+    diags.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(&b.rule)));
+    diags
+}
+
+/// Window/slide arithmetic: shared-pane eligibility and per-event fan-out.
+fn check_window(query: &QuerySpec, diags: &mut Vec<Diagnostic>) {
+    if let WindowSpec::Sliding { length, slide } = query.window {
+        let (length, slide) = (length.raw(), slide.raw());
+        if slide > 0 && length % slide != 0 {
+            diags.push(Diagnostic::new(
+                "plan.window.pane-alignment",
+                Severity::Warn,
+                format!(
+                    "slide {slide} does not divide window length {length}: windows cannot be \
+                     decomposed into shared panes, so every event folds into each of its \
+                     ~{} containing windows",
+                    length.div_ceil(slide.max(1))
+                ),
+                "choose a slide that divides the length to enable the shared-pane fold \
+                 (one aggregate insert per event)",
+            ));
+        } else if slide > 0 && length / slide >= 32 {
+            diags.push(Diagnostic::new(
+                "plan.window.fanout",
+                Severity::Advice,
+                format!(
+                    "each event belongs to {} overlapping windows (length {length} / slide \
+                     {slide})",
+                    length / slide
+                ),
+                "combinable aggregates use the shared-pane fold automatically; \
+                 non-combinable ones pay the full fan-out — consider a coarser slide",
+            ));
+        }
+    }
+}
+
+/// Aggregate combinability vs. the fold path the engine will choose.
+fn check_fold_path(query: &QuerySpec, diags: &mut Vec<Diagnostic>) {
+    if let WindowSpec::Sliding { length, slide } = query.window {
+        if slide < length {
+            let non_combinable: Vec<String> = query
+                .aggregates
+                .iter()
+                .filter(|a| !a.kind.combinable())
+                .map(|a| a.kind.to_string())
+                .collect();
+            if !non_combinable.is_empty() {
+                diags.push(Diagnostic::new(
+                    "plan.aggregate.fold-path",
+                    Severity::Warn,
+                    format!(
+                        "non-combinable aggregate(s) [{}] over sliding windows keep O(window) \
+                         state per window instance and forgo the shared-pane fold",
+                        non_combinable.join(", ")
+                    ),
+                    "exact order statistics / distinct counts are not pane-decomposable; \
+                     accept the cost, or use combinable aggregates (sum/mean/min/max/...)",
+                ));
+            }
+        }
+    }
+}
+
+/// The completeness level the run is being asked to achieve, combining the
+/// provenance threshold with the strategy's own target (strictest wins).
+fn required_completeness(strategy: &StrategyKind, opts: &ExecOptions) -> Option<f64> {
+    match (opts.required_completeness, strategy.target_completeness()) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Quality-target feasibility against the declared delay profile.
+fn check_quality_feasibility(
+    strategy: &StrategyKind,
+    opts: &ExecOptions,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(profile) = opts.delay_profile else {
+        return;
+    };
+    let req = required_completeness(strategy, opts);
+    let wants_exact = req.is_some_and(|q| q >= 1.0);
+
+    if wants_exact && profile == DelayProfile::Unbounded && *strategy != StrategyKind::Oracle {
+        diags.push(Diagnostic::new(
+            "plan.quality.infeasible",
+            Severity::Deny,
+            "completeness target 1.0 is unreachable under an unbounded delay distribution: \
+             no finite slack K covers an unbounded tail",
+            "lower the completeness target below 1.0, declare a bounded delay profile, or \
+             use the offline OracleBuffer reference",
+        ));
+        return;
+    }
+    if let DelayProfile::Bounded { max_delay } = profile {
+        let insufficient_k = match *strategy {
+            StrategyKind::DropAll => Some(0),
+            StrategyKind::FixedK(k) if k < max_delay => Some(k),
+            StrategyKind::Mp { cap: Some(cap) } if cap < max_delay => Some(cap),
+            StrategyKind::Aq {
+                k_max: Some(k_max), ..
+            } if k_max < max_delay => Some(k_max),
+            _ => None,
+        };
+        if wants_exact {
+            if let Some(k) = insufficient_k {
+                diags.push(Diagnostic::new(
+                    "plan.quality.infeasible",
+                    Severity::Deny,
+                    format!(
+                        "completeness target 1.0 requires slack K >= the delay bound \
+                         {max_delay}, but the strategy can reach at most K = {k}"
+                    ),
+                    "raise the slack (or its cap) to at least the delay bound, or lower \
+                     the completeness target",
+                ));
+            }
+        } else if let (Some(q), Some(k)) = (req, insufficient_k) {
+            // A sub-1.0 target may still be met (depends on the delay CDF);
+            // flag only the degenerate zero-slack case.
+            if k == 0 && q > 0.0 {
+                diags.push(Diagnostic::new(
+                    "plan.quality.at-risk",
+                    Severity::Warn,
+                    format!(
+                        "completeness target {q} with zero slack: every out-of-order \
+                         arrival within the delay bound {max_delay} is lost"
+                    ),
+                    "use FixedKSlack/MpKSlack/AqKSlack to buy completeness with latency",
+                ));
+            }
+        }
+    }
+}
+
+/// Strategy-level sanity independent of the query.
+fn check_strategy(strategy: &StrategyKind, opts: &ExecOptions, diags: &mut Vec<Diagnostic>) {
+    if matches!(strategy, StrategyKind::Mp { cap: None })
+        && opts.delay_profile == Some(DelayProfile::Unbounded)
+    {
+        diags.push(Diagnostic::new(
+            "plan.strategy.unbounded-k",
+            Severity::Warn,
+            "uncapped MP-K-slack under an unbounded delay distribution: K ratchets to the \
+             worst delay ever seen and never recovers, so latency and memory grow without \
+             bound",
+            "use MpKSlack::bounded(cap) or a quality-driven AqKSlack target",
+        ));
+    }
+    if *strategy == StrategyKind::Oracle {
+        diags.push(Diagnostic::new(
+            "plan.strategy.oracle-offline",
+            Severity::Advice,
+            "OracleBuffer releases nothing until end of stream: exact results, unbounded \
+             latency",
+            "the oracle is the offline quality reference, not an online configuration",
+        ));
+    }
+}
+
+/// Parallel-executor configuration vs. the query's key structure.
+fn check_parallel(query: &QuerySpec, opts: &ExecOptions, diags: &mut Vec<Diagnostic>) {
+    let Some(config) = opts.parallel else {
+        return;
+    };
+    if config.shards == 0 || config.batch_size == 0 || config.channel_capacity == 0 {
+        diags.push(Diagnostic::new(
+            "plan.parallel.config",
+            Severity::Deny,
+            format!(
+                "degenerate parallel configuration: shards={}, batch_size={}, \
+                 channel_capacity={} (all must be > 0)",
+                config.shards, config.batch_size, config.channel_capacity
+            ),
+            "use ParallelConfig::new(shards) and adjust batching via with_batch_size / \
+             with_channel_capacity",
+        ));
+        return;
+    }
+    if config.shards > 1 && query.key_field.is_none() {
+        diags.push(Diagnostic::new(
+            "plan.parallel.unkeyed",
+            Severity::Warn,
+            format!(
+                "{} shards configured but the query has no key field: every event routes \
+                 to one shard and the others idle",
+                config.shards
+            ),
+            "set QuerySpec::key_field to shard by key, or run sequentially",
+        ));
+    }
+    if let Some(keys) = opts.expected_key_cardinality {
+        if query.key_field.is_some() && (config.shards as u64) > keys {
+            diags.push(Diagnostic::new(
+                "plan.parallel.shards-vs-keys",
+                Severity::Warn,
+                format!(
+                    "{} shards exceed the expected key cardinality {keys}: at most {keys} \
+                     shards can ever be busy",
+                    config.shards
+                ),
+                "reduce shards to at most the number of distinct keys",
+            ));
+        }
+    }
+}
+
+/// Conflicting or ineffective `ExecOptions` combinations.
+fn check_options(opts: &ExecOptions, diags: &mut Vec<Diagnostic>) {
+    if let Some(q) = opts.required_completeness {
+        if !(q > 0.0 && q <= 1.0) || q.is_nan() {
+            diags.push(Diagnostic::new(
+                "plan.options.completeness-range",
+                Severity::Deny,
+                format!("required_completeness {q} outside (0, 1]"),
+                "pass a fraction in (0, 1], e.g. with_required_completeness(0.95)",
+            ));
+        } else if !opts.trace.is_enabled() {
+            diags.push(Diagnostic::new(
+                "plan.options.completeness-without-trace",
+                Severity::Warn,
+                "required_completeness is set but tracing is disabled: violations are \
+                 only flagged in the provenance layer, which needs an enabled \
+                 FlightRecorder",
+                "attach one via ExecOptions::with_trace(&recorder) or drop the target",
+            ));
+        }
+    }
+    if opts.snapshot_every_events > 0 && !opts.telemetry.is_enabled() {
+        diags.push(Diagnostic::new(
+            "plan.options.snapshot-without-telemetry",
+            Severity::Warn,
+            "periodic snapshots requested but telemetry is disabled: no snapshots will \
+             be taken",
+            "attach a registry via ExecOptions::with_telemetry(&registry) or drop \
+             with_snapshot_every",
+        ));
+    }
+    if opts.expected_key_cardinality == Some(0) {
+        diags.push(Diagnostic::new(
+            "plan.options.expected-keys-zero",
+            Severity::Deny,
+            "expected key cardinality of 0 (a keyed stream has at least one key)",
+            "pass the approximate number of distinct keys, or omit the hint",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::QuerySpec;
+    use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+    use quill_engine::parallel::ParallelConfig;
+    use quill_engine::window::WindowSpec;
+
+    fn query(window: WindowSpec, kind: AggregateKind, key: Option<usize>) -> QuerySpec {
+        QuerySpec::new(window, vec![AggregateSpec::new(kind, 0, "a")], key)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_plan_has_no_findings() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &ExecOptions::sequential());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn misaligned_slide_warns_about_panes() {
+        let q = query(WindowSpec::sliding(100u64, 30u64), AggregateKind::Sum, None);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &ExecOptions::sequential());
+        assert!(rules(&diags).contains(&"plan.window.pane-alignment"));
+        assert!(diags.iter().all(|d| d.severity < Severity::Deny));
+    }
+
+    #[test]
+    fn non_combinable_sliding_warns_about_fold_path() {
+        let q = query(
+            WindowSpec::sliding(100u64, 10u64),
+            AggregateKind::Median,
+            None,
+        );
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &ExecOptions::sequential());
+        assert!(rules(&diags).contains(&"plan.aggregate.fold-path"));
+    }
+
+    #[test]
+    fn exact_completeness_under_unbounded_delay_is_denied() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::sequential()
+            .with_delay_profile(DelayProfile::Unbounded)
+            .with_required_completeness(1.0);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(1_000_000), &opts);
+        assert_eq!(diags[0].rule, "plan.quality.infeasible");
+        assert_eq!(diags[0].severity, Severity::Deny);
+        // The oracle is exempt (exact results at end of stream).
+        let diags = analyze_plan(&q, &StrategyKind::Oracle, &opts);
+        assert!(!rules(&diags).contains(&"plan.quality.infeasible"));
+    }
+
+    #[test]
+    fn fixed_k_below_declared_bound_is_denied_for_exact_targets() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::sequential()
+            .with_delay_profile(DelayProfile::Bounded { max_delay: 500 })
+            .with_required_completeness(1.0);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(100), &opts);
+        assert_eq!(diags[0].rule, "plan.quality.infeasible");
+        // K at the bound is feasible.
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(500), &opts);
+        assert!(!rules(&diags).contains(&"plan.quality.infeasible"));
+    }
+
+    #[test]
+    fn aq_exact_target_with_low_k_max_is_denied() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let strategy = StrategyKind::Aq {
+            target: QualityTarget::Completeness { q: 1.0 },
+            k_max: Some(100),
+        };
+        let opts =
+            ExecOptions::sequential().with_delay_profile(DelayProfile::Bounded { max_delay: 500 });
+        let diags = analyze_plan(&q, &strategy, &opts);
+        assert_eq!(diags[0].rule, "plan.quality.infeasible");
+    }
+
+    #[test]
+    fn feasibility_is_silent_without_a_delay_profile() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::sequential().with_required_completeness(1.0);
+        let diags = analyze_plan(&q, &StrategyKind::DropAll, &opts);
+        assert!(!rules(&diags).contains(&"plan.quality.infeasible"));
+    }
+
+    #[test]
+    fn unkeyed_parallel_warns() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::parallel(ParallelConfig::new(4));
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(rules(&diags).contains(&"plan.parallel.unkeyed"));
+    }
+
+    #[test]
+    fn shards_beyond_keys_warn() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, Some(0));
+        let opts = ExecOptions::parallel(ParallelConfig::new(8)).with_expected_keys(3);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(rules(&diags).contains(&"plan.parallel.shards-vs-keys"));
+        let opts = ExecOptions::parallel(ParallelConfig::new(2)).with_expected_keys(3);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(!rules(&diags).contains(&"plan.parallel.shards-vs-keys"));
+    }
+
+    #[test]
+    fn conflicting_options_warn_or_deny() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::sequential().with_snapshot_every(100);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(rules(&diags).contains(&"plan.options.snapshot-without-telemetry"));
+
+        let opts = ExecOptions::sequential().with_required_completeness(1.5);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert_eq!(diags[0].rule, "plan.options.completeness-range");
+        assert_eq!(diags[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn diagnostics_round_trip_through_jsonl() {
+        let q = query(
+            WindowSpec::sliding(100u64, 30u64),
+            AggregateKind::Median,
+            None,
+        );
+        let opts = ExecOptions::parallel(ParallelConfig::new(4)).with_snapshot_every(10);
+        let diags = analyze_plan(&q, &StrategyKind::Oracle, &opts);
+        assert!(!diags.is_empty());
+        let text: String = diags.iter().map(|d| d.to_jsonl_line() + "\n").collect();
+        let parsed = parse_plan_jsonl(&text).unwrap();
+        assert_eq!(parsed, diags);
+    }
+
+    #[test]
+    fn deny_sorts_first() {
+        let q = query(WindowSpec::sliding(100u64, 30u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::sequential()
+            .with_delay_profile(DelayProfile::Unbounded)
+            .with_required_completeness(1.0);
+        let diags = analyze_plan(&q, &StrategyKind::DropAll, &opts);
+        assert!(diags.len() >= 2);
+        assert_eq!(diags[0].severity, Severity::Deny);
+    }
+}

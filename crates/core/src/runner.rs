@@ -10,6 +10,7 @@
 //! batched keyed-parallel executor; the legacy [`run_query`] /
 //! [`run_query_parallel`] entry points are deprecated shims over it.
 
+use crate::plan::{analyze_plan, DelayProfile, Diagnostic, Severity};
 use crate::strategy::DisorderControl;
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::error::{EngineError, Result};
@@ -208,6 +209,13 @@ pub struct ExecOptions {
     /// provenance layer. `None` (the default) means no window is considered
     /// violated. Only consulted when `trace` is enabled.
     pub required_completeness: Option<f64>,
+    /// Statically declared transport-delay regime, enabling the plan
+    /// analyzer's quality-feasibility checks ([`crate::plan::analyze_plan`]).
+    /// `None` (the default) keeps those checks silent.
+    pub delay_profile: Option<DelayProfile>,
+    /// Approximate number of distinct keys expected on the stream; lets the
+    /// plan analyzer flag shard counts that can never be saturated.
+    pub expected_key_cardinality: Option<u64>,
 }
 
 impl ExecOptions {
@@ -246,6 +254,22 @@ impl ExecOptions {
     /// provenance layer (builds their post-mortems when tracing).
     pub fn with_required_completeness(mut self, q: f64) -> ExecOptions {
         self.required_completeness = Some(q);
+        self
+    }
+
+    /// Declare the expected transport-delay regime so the plan analyzer can
+    /// check quality-target feasibility before execution. A deny-level
+    /// finding (e.g. completeness 1.0 under [`DelayProfile::Unbounded`])
+    /// makes [`execute`] refuse the plan.
+    pub fn with_delay_profile(mut self, profile: DelayProfile) -> ExecOptions {
+        self.delay_profile = Some(profile);
+        self
+    }
+
+    /// Hint the approximate number of distinct keys on the stream (plan
+    /// analyzer only; execution is unaffected).
+    pub fn with_expected_keys(mut self, keys: u64) -> ExecOptions {
+        self.expected_key_cardinality = Some(keys);
         self
     }
 }
@@ -290,6 +314,10 @@ pub struct RunOutput {
     /// [`ExecOptions::required_completeness`] (empty unless tracing with a
     /// target set).
     pub post_mortems: Vec<PostMortem>,
+    /// Advisory and warn-level plan diagnostics from the pre-execution
+    /// static analysis ([`crate::plan::analyze_plan`]); deny-level findings
+    /// never appear here because they abort [`execute`] instead.
+    pub plan: Vec<Diagnostic>,
 }
 
 impl RunOutput {
@@ -358,6 +386,7 @@ pub(crate) fn stage_strategy(
     let mut staged: Vec<StreamElement> = Vec::new();
     for (i, e) in events.iter().enumerate() {
         clock.observe(e.ts);
+        // quill-lint: allow(no-panic, reason = "observe() on the line above guarantees the clock is set")
         let now = clock.clock().expect("observed at least one event");
         staged.clear();
         strategy.on_event(e.clone(), &mut staged);
@@ -457,6 +486,9 @@ pub fn execute(
         query.key_field,
         LatePolicy::Drop,
     )?;
+    // Static plan analysis: refuse infeasible plans before any event is
+    // buffered; carry the non-fatal findings on the output.
+    let plan = vet_plan(query, strategy, opts)?;
     let results_count = opts.telemetry.counter("quill.run.results");
     let latency_hist = opts.telemetry.histogram("quill.run.latency");
 
@@ -502,6 +534,7 @@ pub fn execute(
                         query.key_field,
                         LatePolicy::Drop,
                     )
+                    // quill-lint: allow(no-panic, reason = "the identical WindowAggregateOp::new call was validated at the top of execute()")
                     .expect("query validated above");
                     op.attach_trace(&opts.trace, shard as u32);
                     op
@@ -579,7 +612,25 @@ pub fn execute(
         snapshots,
         provenance,
         post_mortems,
+        plan,
     })
+}
+
+/// Run the static plan analysis for one query. Deny-level findings become
+/// [`EngineError::PlanRejected`]; the rest are returned for the output.
+pub(crate) fn vet_plan(
+    query: &QuerySpec,
+    strategy: &dyn DisorderControl,
+    opts: &ExecOptions,
+) -> Result<Vec<Diagnostic>> {
+    let diags = analyze_plan(query, &strategy.kind(), opts);
+    if let Some(deny) = diags.iter().find(|d| d.severity == Severity::Deny) {
+        return Err(EngineError::PlanRejected(format!(
+            "[{}] {} (help: {})",
+            deny.rule, deny.message, deny.help
+        )));
+    }
+    Ok(diags)
 }
 
 /// Sequential execution with telemetry disabled.

@@ -7,7 +7,8 @@
 //! looser queries simply enjoy surplus quality. This mirrors the
 //! multi-query sharing angle of the original system demo.
 
-use crate::runner::{stage_strategy, ExecOptions, QuerySpec};
+use crate::plan::Diagnostic;
+use crate::runner::{stage_strategy, vet_plan, ExecOptions, QuerySpec};
 use crate::strategy::DisorderControl;
 use quill_engine::error::Result;
 use quill_engine::event::{Event, StreamElement};
@@ -42,6 +43,9 @@ pub struct SharedRunOutput {
     /// Telemetry snapshots collected during the run (empty when telemetry is
     /// disabled).
     pub snapshots: Vec<Snapshot>,
+    /// Advisory and warn-level plan diagnostics across all queries
+    /// (deduplicated); deny-level findings abort [`execute_shared`] instead.
+    pub plan: Vec<Diagnostic>,
 }
 
 /// The completeness target a shared buffer must honour: the maximum over
@@ -81,6 +85,16 @@ pub fn execute_shared(
             q.key_field,
             LatePolicy::Drop,
         )?;
+    }
+    // Static plan analysis per query: any deny-level finding refuses the
+    // whole shared run before the buffer sees an event.
+    let mut plan: Vec<Diagnostic> = Vec::new();
+    for q in queries {
+        for d in vet_plan(q, strategy, opts)? {
+            if !plan.contains(&d) {
+                plan.push(d);
+            }
+        }
     }
     let results_count = opts.telemetry.counter("quill.run.results");
 
@@ -171,6 +185,7 @@ pub fn execute_shared(
         per_query,
         wall_micros,
         snapshots,
+        plan,
     })
 }
 

@@ -15,6 +15,7 @@
 //! | [`OracleBuffer`] | ∞ | exact results | unbounded latency (offline reference) |
 
 use crate::buffer::{BufferStats, SlackBuffer};
+use crate::plan::StrategyKind;
 use quill_engine::prelude::{Event, StreamElement, TimeDelta};
 use quill_telemetry::trace::{FlightRecorder, KChangeReason, TraceKind};
 use quill_telemetry::Registry;
@@ -48,6 +49,13 @@ pub trait DisorderControl: Send {
 
     /// Buffer occupancy / lateness counters.
     fn buffer_stats(&self) -> BufferStats;
+
+    /// The statically known behaviour class of this strategy, consumed by
+    /// the pre-execution plan analyzer ([`crate::plan::analyze_plan`]).
+    /// Default: [`StrategyKind::Custom`] (the analyzer assumes nothing).
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Custom
+    }
 }
 
 /// Record the strategy's starting K so a trace always names the slack in
@@ -110,6 +118,9 @@ impl DisorderControl for DropAll {
     fn buffer_stats(&self) -> BufferStats {
         self.buf.stats()
     }
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::DropAll
+    }
 }
 
 /// Classic fixed K-slack (Babcock et al.): a constant, user-chosen slack.
@@ -151,6 +162,9 @@ impl DisorderControl for FixedKSlack {
     }
     fn buffer_stats(&self) -> BufferStats {
         self.buf.stats()
+    }
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::FixedK(self.k.raw())
     }
 }
 
@@ -240,6 +254,11 @@ impl DisorderControl for MpKSlack {
     fn buffer_stats(&self) -> BufferStats {
         self.buf.stats()
     }
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Mp {
+            cap: (self.cap != TimeDelta::MAX).then(|| self.cap.raw()),
+        }
+    }
 }
 
 /// Infinite buffer: holds everything until end of stream, then releases the
@@ -285,6 +304,9 @@ impl DisorderControl for OracleBuffer {
     }
     fn buffer_stats(&self) -> BufferStats {
         self.buf.stats()
+    }
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Oracle
     }
 }
 

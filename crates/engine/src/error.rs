@@ -40,6 +40,10 @@ pub enum EngineError {
     InvalidPipeline(String),
     /// A worker thread in the parallel executor panicked or disconnected.
     ExecutorFailure(String),
+    /// Static plan analysis found the plan unable to meet its stated
+    /// requirements (deny-level diagnostic); execution was refused before
+    /// any event was processed.
+    PlanRejected(String),
 }
 
 impl fmt::Display for EngineError {
@@ -67,6 +71,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidAggregate(msg) => write!(f, "invalid aggregate: {msg}"),
             EngineError::InvalidPipeline(msg) => write!(f, "invalid pipeline: {msg}"),
             EngineError::ExecutorFailure(msg) => write!(f, "executor failure: {msg}"),
+            EngineError::PlanRejected(msg) => write!(f, "plan rejected: {msg}"),
         }
     }
 }

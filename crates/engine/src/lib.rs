@@ -44,7 +44,7 @@
 //! assert_eq!(results[0].aggregates[0], Value::Float(5.0));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aggregate;

@@ -127,6 +127,7 @@ impl Operator for CountWindowOp {
                 batch.last_ts = batch.last_ts.max(e.ts);
                 batch.count += 1;
                 if batch.count >= self.n {
+                    // quill-lint: allow(no-panic, reason = "the entry was inserted or updated for this key a few lines above")
                     let full = self.state.remove(&key).expect("batch present");
                     self.emit(&key, full, out);
                 }

@@ -117,9 +117,11 @@ impl IntervalJoin {
                 },
             };
             if take_left {
+                // quill-lint: allow(no-panic, reason = "take_left is only true when l.peek() returned Some")
                 let el = l.next().expect("peeked");
                 self.push(Side::Left, el, &mut |o| out.push(o));
             } else {
+                // quill-lint: allow(no-panic, reason = "take_left is only false when r.peek() returned Some")
                 let el = r.next().expect("peeked");
                 self.push(Side::Right, el, &mut |o| out.push(o));
             }

@@ -406,6 +406,7 @@ impl WindowAggregateOp {
     fn fold_event_paned(&mut self, e: &Event) {
         let key = self.key_of(&e.row);
         let wm = self.watermark.raw();
+        // quill-lint: allow(no-panic, reason = "fold_event_paned is only reached via the paned dispatch, which requires paned.is_some()")
         let ps = self.paned.as_mut().expect("paned path");
         let t = e.ts.raw();
         let p = t / ps.slide * ps.slide;
@@ -574,9 +575,11 @@ impl WindowAggregateOp {
     fn drain_pending_paned(&mut self, wm: Timestamp, out: &mut dyn FnMut(StreamElement)) {
         loop {
             let (end, key) = {
+                // quill-lint: allow(no-panic, reason = "drain_pending_paned is only reached via the paned dispatch, which requires paned.is_some()")
                 let ps = self.paned.as_mut().expect("paned path");
                 match ps.pending.first() {
                     Some((e, _)) if *e <= wm => {
+                        // quill-lint: allow(no-panic, reason = "first() just returned Some on this same set")
                         let (e, k) = ps.pending.pop_first().expect("non-empty");
                         (e.raw(), k)
                     }
@@ -595,6 +598,7 @@ impl WindowAggregateOp {
     }
 
     fn emit_paned_window(&mut self, end: u64, key: &Key) -> Row {
+        // quill-lint: allow(no-panic, reason = "emit_paned_window is only called from drain_pending_paned, which already held the paned state")
         let ps = self.paned.as_mut().expect("paned path");
         // Registration guarantees `end >= length` (window start ≥ 0).
         let start = end - ps.length;
@@ -680,6 +684,7 @@ fn combine_window(
         });
         return result;
     }
+    // quill-lint: allow(no-panic, reason = "the rebuild branch above returns early after setting kp.run = Some(...)")
     let run = kp.run.as_mut().expect("validated above");
     // Slide one step: admit pane `end − slide`, evict pane `start − slide`.
     let newest = end - slide;

@@ -474,6 +474,7 @@ fn merge_shard_outputs(
             .gauge("quill.merge.heap_peak")
             .set_u64(heap.len() as u64);
         while let Some(Reverse((_, shard))) = heap.pop() {
+            // quill-lint: allow(no-panic, reason = "a shard enters the heap only with its head populated; both sites below set heads[shard] before pushing")
             out.push(heads[shard].take().expect("queued shard has a head"));
             if let Some((k, el)) = iters[shard].next() {
                 heads[shard] = Some(el);

@@ -17,7 +17,7 @@
 //!
 //! Everything is seeded: the same seed always yields the same stream.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arrival;

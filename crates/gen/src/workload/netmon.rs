@@ -157,11 +157,21 @@ mod tests {
 
     #[test]
     fn drift_increases_late_run_delays() {
-        // Compare measured max delay of the first vs. last third under a
-        // strong linear drift.
+        // Compare measured lateness of the first vs. last third under a
+        // strong linear drift. Lateness (clock − ts) understates raw delay
+        // and the Pareto bursts add heavy-tailed noise, so the drift is made
+        // steeper than the R-F4 default (1→3) to keep the signal clear of
+        // the noise floor.
         let n = 30_000;
         let horizon = (n as u64) * 5; // event-time span
-        let cfg = NetmonConfig::default().with_linear_drift(horizon);
+        let cfg = NetmonConfig {
+            drift: Some(DriftShape::Linear {
+                from: 1.0,
+                to: 6.0,
+                horizon,
+            }),
+            ..NetmonConfig::default()
+        };
         let s = generate(&cfg, n, 3);
         // Re-derive delays by replaying the arrival order.
         let mut clock = 0u64;

@@ -1,0 +1,185 @@
+//! # quill-lint
+//!
+//! Project-specific static analysis for the quill workspace. The invariants
+//! quill's quality guarantees rest on — watermark monotonicity, deterministic
+//! replay of the MP/AQ control loop, zero-cost-when-disabled telemetry, and
+//! no-panic hot paths — are not checked by rustc or clippy; this crate
+//! machine-enforces them on every commit (see DESIGN.md §11 for the rule
+//! catalog).
+//!
+//! The analysis is **dependency-free**: a hand-rolled Rust tokenizer
+//! ([`tokenizer`]) feeds path-scoped token rules ([`rules`]), producing
+//! structured [`Diagnostic`]s with text and JSON-lines renderers. The
+//! workspace is offline/vendored, so `syn`-based or dylint-style tooling is
+//! deliberately out of scope.
+//!
+//! ## Rules
+//!
+//! | id | rule | scope |
+//! |----|------|-------|
+//! | L1 | `no-panic` — no `unwrap()`/`expect()`/`panic!`-family macros | hot-path modules |
+//! | L2 | `no-wall-clock` — no `Instant::now`/`SystemTime::now` | deterministic control-loop modules |
+//! | L3 | `guarded-telemetry` — trace/metric emission only via enabled-guarded handles | whole workspace |
+//! | L4 | `crate-hygiene` — crate roots carry `#![forbid(unsafe_code)]`, crate docs, `missing_docs` | crate roots |
+//!
+//! Deliberate exceptions are annotated in the source:
+//!
+//! ```text
+//! // quill-lint: allow(no-panic, reason = "heap non-empty: checked by caller")
+//! ```
+//!
+//! The annotation suppresses findings of the named rule on its own line and
+//! on the next line that carries code; an annotation without a `reason` is
+//! itself a deny-level `allow-syntax` finding.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod tokenizer;
+
+use std::fmt;
+
+/// How severe a finding is. Only [`Severity::Deny`] findings fail the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a better configuration exists.
+    Advice,
+    /// Suspicious but not provably wrong.
+    Warn,
+    /// Violates a project invariant; the lint gate exits non-zero.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Advice => write!(f, "advice"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One structured finding: which rule fired, where, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`no-panic`, `no-wall-clock`, `guarded-telemetry`,
+    /// `crate-hygiene`, `allow-syntax`).
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the finding (0 for whole-file findings).
+    pub line: usize,
+    /// Severity level.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or deliberately allow it.
+    pub help: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}\n    help: {}",
+            self.path, self.line, self.severity, self.rule, self.message, self.help
+        )
+    }
+}
+
+/// Render findings as a human-readable report, one finding per paragraph.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    out.push_str(&format!(
+        "{} finding(s), {} deny-level\n",
+        diags.len(),
+        denies
+    ));
+    out
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as JSON lines (one object per finding), the format
+/// uploaded as `results/lint_report.jsonl` by CI.
+pub fn to_jsonl(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"severity\":\"{}\",\"message\":\"{}\",\"help\":\"{}\"}}\n",
+            json_escape(&d.rule),
+            json_escape(&d.path),
+            d.line,
+            d.severity,
+            json_escape(&d.message),
+            json_escape(&d.help),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "no-panic".into(),
+            path: "crates/engine/src/parallel.rs".into(),
+            line: 42,
+            severity: Severity::Deny,
+            message: "`unwrap()` in hot-path module".into(),
+            help: "return a typed error".into(),
+        }
+    }
+
+    #[test]
+    fn text_render_names_rule_and_location() {
+        let s = render_text(&[diag()]);
+        assert!(s.contains("crates/engine/src/parallel.rs:42"));
+        assert!(s.contains("[no-panic]"));
+        assert!(s.contains("1 deny-level"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_escapes() {
+        let mut d = diag();
+        d.message = "quote \" backslash \\ newline \n".into();
+        let s = to_jsonl(&[d]);
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("\\\""));
+        assert!(s.contains("\\\\"));
+        assert!(s.contains("\\n"));
+    }
+
+    #[test]
+    fn severity_orders_deny_highest() {
+        assert!(Severity::Deny > Severity::Warn);
+        assert!(Severity::Warn > Severity::Advice);
+    }
+}

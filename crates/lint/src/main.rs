@@ -1,0 +1,133 @@
+//! `quill-lint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! cargo run -p quill-lint -- --workspace [--root <dir>] [--format text|jsonl] [--out <file>]
+//! ```
+//!
+//! Lints every workspace member source file against the project rules
+//! (DESIGN.md §11) and exits non-zero when any deny-level finding remains.
+//! `--out` additionally writes the findings as JSON lines (the
+//! `results/lint_report.jsonl` artifact CI uploads).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use quill_lint::rules::lint_workspace;
+use quill_lint::{render_text, to_jsonl, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Locate the workspace root: an explicit `--root`, else the current
+/// directory if it holds a workspace manifest, else the compile-time
+/// manifest directory's grandparent (`crates/lint/../..`).
+fn find_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    let cwd = PathBuf::from(".");
+    let manifest = cwd.join("Cargo.toml");
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        if text.contains("[workspace]") {
+            return cwd;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
+}
+
+const USAGE: &str =
+    "usage: quill-lint --workspace [--root <dir>] [--format text|jsonl] [--out <file>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut out_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            // Whole-workspace is the only mode; the flag documents intent.
+            "--workspace" => i += 1,
+            "--root" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                root = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--format" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--format requires `text` or `jsonl`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                if v != "text" && v != "jsonl" {
+                    eprintln!("unknown format `{v}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+                format = v.clone();
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--out requires a file path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out_path = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = find_root(root);
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "quill-lint: cannot walk workspace at `{}`: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &out_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, to_jsonl(&diags)) {
+            eprintln!(
+                "quill-lint: cannot write report to `{}`: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match format.as_str() {
+        "jsonl" => print!("{}", to_jsonl(&diags)),
+        _ => print!("{}", render_text(&diags)),
+    }
+
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    if denies > 0 {
+        eprintln!("quill-lint: {denies} deny-level finding(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

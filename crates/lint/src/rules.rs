@@ -1,0 +1,561 @@
+//! The lint rules and the workspace walker.
+//!
+//! Rules are *path-scoped*: each rule knows which workspace-relative files
+//! it guards. [`lint_source`] lints one file given its workspace-relative
+//! path (which is what makes the rules unit-testable against fixtures);
+//! [`lint_workspace`] walks the live workspace and lints every `.rs` file of
+//! every member crate.
+//!
+//! `#[cfg(test)]` items are exempt from every token rule — tests exercise
+//! panics and wall-clocks deliberately — and deliberate production
+//! exceptions carry `// quill-lint: allow(<rule>, reason = "...")`
+//! annotations (grammar in DESIGN.md §11).
+
+use crate::tokenizer::{lex, Allow, Token, TokenKind};
+use crate::{Diagnostic, Severity};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id for L1.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule id for L2.
+pub const RULE_NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Rule id for L3.
+pub const RULE_GUARDED_TELEMETRY: &str = "guarded-telemetry";
+/// Rule id for L4.
+pub const RULE_CRATE_HYGIENE: &str = "crate-hygiene";
+/// Rule id for malformed allow-annotations.
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// Every rule id an annotation may name.
+pub const ALL_RULES: &[&str] = &[
+    RULE_NO_PANIC,
+    RULE_NO_WALL_CLOCK,
+    RULE_GUARDED_TELEMETRY,
+    RULE_CRATE_HYGIENE,
+];
+
+/// Hot-path modules where a panic aborts live query execution (L1 scope).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/engine/src/parallel.rs",
+    "crates/core/src/buffer.rs",
+    "crates/core/src/strategy.rs",
+    "crates/core/src/runner.rs",
+];
+
+/// Modules whose behaviour must be a pure function of the event sequence so
+/// MP/AQ K-estimation replays deterministically (L2 scope).
+const DETERMINISTIC_FILES: &[&str] = &[
+    "crates/core/src/strategy.rs",
+    "crates/core/src/aq.rs",
+    "crates/core/src/estimator.rs",
+    "crates/core/src/controller.rs",
+    "crates/core/src/buffer.rs",
+    "crates/core/src/punctuated.rs",
+    "crates/core/src/online.rs",
+    "crates/core/src/quality.rs",
+];
+
+/// Files allowed to construct trace events / enabled instruments directly
+/// (L3 exemptions): the recorder and registry themselves.
+const TELEMETRY_CONSTRUCTION_FILES: &[&str] = &[
+    "crates/telemetry/src/trace.rs",
+    "crates/telemetry/src/lib.rs",
+];
+
+fn is_hot_path(rel: &str) -> bool {
+    rel.starts_with("crates/engine/src/operator/") || HOT_PATH_FILES.contains(&rel)
+}
+
+fn is_deterministic(rel: &str) -> bool {
+    rel.starts_with("crates/engine/src/operator/") || DETERMINISTIC_FILES.contains(&rel)
+}
+
+/// Whether `rel` is a workspace member crate root subject to L4.
+fn crate_root_kind(rel: &str) -> Option<CrateRootKind> {
+    if rel.starts_with("crates/") && rel.ends_with("/src/lib.rs") {
+        return Some(CrateRootKind::Lib);
+    }
+    if rel == "examples/common.rs" || rel == "tests/common.rs" {
+        return Some(CrateRootKind::Member);
+    }
+    None
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum CrateRootKind {
+    /// A library crate under `crates/`: full hygiene (docs lint required).
+    Lib,
+    /// The examples/tests member roots: unsafe-forbid + crate docs.
+    Member,
+}
+
+/// Mark every token inside a `#[cfg(test)]` item (attribute included).
+fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let text = |i: usize| tokens.get(i).map(|t: &Token| t.text.as_str());
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = text(i) == Some("#")
+            && text(i + 1) == Some("[")
+            && text(i + 2) == Some("cfg")
+            && text(i + 3) == Some("(")
+            && text(i + 4) == Some("test")
+            && text(i + 5) == Some(")")
+            && text(i + 6) == Some("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        let mut j = i + 7;
+        while text(j) == Some("#") && text(j + 1) == Some("[") {
+            let mut depth = 0usize;
+            let mut k = j + 1;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // The item ends at the first `;` before any brace, or at the close
+        // of its first brace block (covers `mod`, `fn`, `impl`, `use`).
+        let mut end = tokens.len();
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                ";" => {
+                    end = k + 1;
+                    break;
+                }
+                "{" => {
+                    let mut depth = 1usize;
+                    let mut m = k + 1;
+                    while m < tokens.len() && depth > 0 {
+                        match tokens[m].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    end = m;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        for slot in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+            *slot = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Lines each allow-annotation suppresses: its own line plus the next line
+/// carrying a token.
+fn allow_lines(allows: &[Allow], tokens: &[Token]) -> HashMap<String, HashSet<usize>> {
+    let mut map: HashMap<String, HashSet<usize>> = HashMap::new();
+    for a in allows.iter().filter(|a| a.malformed.is_none()) {
+        let entry = map.entry(a.rule.clone()).or_default();
+        entry.insert(a.line);
+        if let Some(next) = tokens.iter().map(|t| t.line).find(|&l| l > a.line) {
+            entry.insert(next);
+        }
+    }
+    map
+}
+
+struct FileLinter<'a> {
+    rel: &'a str,
+    tokens: &'a [Token],
+    mask: Vec<bool>,
+    allows: HashMap<String, HashSet<usize>>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> FileLinter<'a> {
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.get(rule).is_some_and(|s| s.contains(&line))
+    }
+
+    fn push(&mut self, rule: &str, line: usize, message: String, help: String) {
+        if self.allowed(rule, line) {
+            return;
+        }
+        self.diags.push(Diagnostic {
+            rule: rule.to_string(),
+            path: self.rel.to_string(),
+            line,
+            severity: Severity::Deny,
+            message,
+            help,
+        });
+    }
+
+    fn text(&self, i: usize) -> Option<&str> {
+        self.tokens.get(i).map(|t| t.text.as_str())
+    }
+
+    /// L1: no `unwrap()` / `expect()` / panicking macros in hot paths.
+    fn rule_no_panic(&mut self) {
+        for i in 0..self.tokens.len() {
+            if self.mask[i] || self.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let line = self.tokens[i].line;
+            match self.tokens[i].text.as_str() {
+                m @ ("unwrap" | "expect")
+                    if i > 0 && self.text(i - 1) == Some(".") && self.text(i + 1) == Some("(") =>
+                {
+                    self.push(
+                        RULE_NO_PANIC,
+                        line,
+                        format!("`.{m}()` in a hot-path module can abort live query execution"),
+                        "return a typed `EngineError`, restructure so the invariant is by \
+                         construction, or annotate `// quill-lint: allow(no-panic, reason = \
+                         \"<invariant>\")`"
+                            .into(),
+                    );
+                }
+                m @ ("panic" | "unreachable" | "todo" | "unimplemented")
+                    if self.text(i + 1) == Some("!") =>
+                {
+                    self.push(
+                        RULE_NO_PANIC,
+                        line,
+                        format!("`{m}!` in a hot-path module can abort live query execution"),
+                        "return a typed `EngineError` or annotate `// quill-lint: \
+                         allow(no-panic, reason = \"<invariant>\")`"
+                            .into(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// L2: no wall-clock reads in deterministic control-loop modules.
+    fn rule_no_wall_clock(&mut self) {
+        for i in 0..self.tokens.len() {
+            if self.mask[i] || self.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let ty = self.tokens[i].text.as_str();
+            if (ty == "Instant" || ty == "SystemTime")
+                && self.text(i + 1) == Some(":")
+                && self.text(i + 2) == Some(":")
+                && self.text(i + 3) == Some("now")
+            {
+                let line = self.tokens[i].line;
+                self.push(
+                    RULE_NO_WALL_CLOCK,
+                    line,
+                    format!(
+                        "`{ty}::now()` in a deterministic module breaks replayable K estimation"
+                    ),
+                    "derive timing from event timestamps (the stream clock); wall-clock \
+                     measurement belongs in the runner/bench layer"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    /// L3: trace events and enabled instruments are only constructed inside
+    /// the telemetry crate; everything else goes through guarded handles.
+    fn rule_guarded_telemetry(&mut self) {
+        if TELEMETRY_CONSTRUCTION_FILES.contains(&self.rel) {
+            return;
+        }
+        for i in 0..self.tokens.len() {
+            if self.mask[i] || self.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let line = self.tokens[i].line;
+            let name = self.tokens[i].text.as_str();
+            if name == "TraceEvent"
+                && (self.text(i + 1) == Some("{")
+                    || (self.text(i + 1) == Some(":")
+                        && self.text(i + 2) == Some(":")
+                        && self.text(i + 3) == Some("new")))
+            {
+                self.push(
+                    RULE_GUARDED_TELEMETRY,
+                    line,
+                    "direct `TraceEvent` construction bypasses the enabled-guarded \
+                     flight recorder"
+                        .into(),
+                    "record through `FlightRecorder::record(at, shard, TraceKind::…)` so \
+                     disabled tracing stays zero-cost and seq-stamping stays consistent"
+                        .into(),
+                );
+            }
+            if matches!(name, "Counter" | "Gauge" | "Histogram")
+                && self.text(i + 1) == Some("(")
+                && self.text(i + 2) == Some("Some")
+            {
+                self.push(
+                    RULE_GUARDED_TELEMETRY,
+                    line,
+                    format!(
+                        "direct enabled `{name}` construction bypasses the registry's \
+                         enabled-guard"
+                    ),
+                    "obtain instruments via `Registry::counter/gauge/histogram` so disabled \
+                     telemetry stays zero-cost"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    /// L4: crate roots carry the workspace hygiene attributes.
+    fn rule_crate_hygiene(&mut self, source: &str) {
+        let Some(kind) = crate_root_kind(self.rel) else {
+            return;
+        };
+        if !source.contains("#![forbid(unsafe_code)]") {
+            self.push(
+                RULE_CRATE_HYGIENE,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`".into(),
+                "add `#![forbid(unsafe_code)]` to the crate root; the workspace is \
+                 100% safe Rust"
+                    .into(),
+            );
+        }
+        if !source.lines().any(|l| l.trim_start().starts_with("//!")) {
+            self.push(
+                RULE_CRATE_HYGIENE,
+                1,
+                "crate root lacks `//!` crate-level documentation".into(),
+                "document what the crate is for; rustdoc renders this as the crate front \
+                 page"
+                    .into(),
+            );
+        }
+        if kind == CrateRootKind::Lib
+            && !(source.contains("#![deny(missing_docs)]")
+                || source.contains("#![warn(missing_docs)]"))
+        {
+            self.push(
+                RULE_CRATE_HYGIENE,
+                1,
+                "library crate root lacks a `missing_docs` lint".into(),
+                "add `#![deny(missing_docs)]` (the workspace standard) to the crate root".into(),
+            );
+        }
+    }
+
+    /// Malformed or unknown-rule annotations are findings themselves.
+    fn rule_allow_syntax(&mut self, allows: &[Allow]) {
+        for a in allows {
+            if let Some(problem) = &a.malformed {
+                self.diags.push(Diagnostic {
+                    rule: RULE_ALLOW_SYNTAX.to_string(),
+                    path: self.rel.to_string(),
+                    line: a.line,
+                    severity: Severity::Deny,
+                    message: format!("malformed quill-lint annotation: {problem}"),
+                    help: "grammar: `// quill-lint: allow(<rule>, reason = \"<non-empty>\")`"
+                        .into(),
+                });
+            } else if !ALL_RULES.contains(&a.rule.as_str()) {
+                self.diags.push(Diagnostic {
+                    rule: RULE_ALLOW_SYNTAX.to_string(),
+                    path: self.rel.to_string(),
+                    line: a.line,
+                    severity: Severity::Deny,
+                    message: format!("annotation allows unknown rule `{}`", a.rule),
+                    help: format!("known rules: {}", ALL_RULES.join(", ")),
+                });
+            }
+        }
+    }
+}
+
+/// Lint one file's source given its workspace-relative path (forward-slash
+/// separated). This is the unit the fixture tests drive directly.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mask = cfg_test_mask(&lexed.tokens);
+    let allows = allow_lines(&lexed.allows, &lexed.tokens);
+    let mut linter = FileLinter {
+        rel: rel_path,
+        tokens: &lexed.tokens,
+        mask,
+        allows,
+        diags: Vec::new(),
+    };
+    linter.rule_allow_syntax(&lexed.allows);
+    if is_hot_path(rel_path) {
+        linter.rule_no_panic();
+    }
+    if is_deterministic(rel_path) {
+        linter.rule_no_wall_clock();
+    }
+    linter.rule_guarded_telemetry();
+    linter.rule_crate_hygiene(source);
+    let mut diags = linter.diags;
+    diags.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    diags
+}
+
+/// Collect every workspace `.rs` file to lint, as
+/// `(workspace-relative path, absolute path)` pairs in deterministic order.
+/// Vendored stand-in dependencies, build output and the lint fixtures
+/// (known-bad by design) are excluded.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    fn visit(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+        if !dir.is_dir() {
+            return Ok(());
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if path.is_dir() {
+                if rel == "crates/lint/tests/fixtures" {
+                    continue;
+                }
+                visit(&path, root, out)?;
+            } else if rel.ends_with(".rs") {
+                out.push((rel, path));
+            }
+        }
+        Ok(())
+    }
+
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let member = entry?.path();
+            if !member.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "benches"] {
+                visit(&member.join(sub), root, &mut out)?;
+            }
+        }
+    }
+    for member in ["examples", "tests"] {
+        let dir = root.join(member);
+        if dir.is_dir() {
+            for entry in std::fs::read_dir(&dir)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "rs") {
+                    let rel = path
+                        .strip_prefix(root)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    out.push((rel, path));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every workspace member file under `root`, returning all findings in
+/// path/line order.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading source files.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for (rel, abs) in workspace_files(root)? {
+        let source = std::fs::read_to_string(&abs)?;
+        diags.extend(lint_source(&rel, &source));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_scope_covers_the_issue_list() {
+        assert!(is_hot_path("crates/engine/src/operator/window_op.rs"));
+        assert!(is_hot_path("crates/engine/src/parallel.rs"));
+        assert!(is_hot_path("crates/core/src/runner.rs"));
+        assert!(!is_hot_path("crates/engine/src/value.rs"));
+        assert!(!is_hot_path("crates/gen/src/delay.rs"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = r#"
+            fn hot() { let x: Option<u32> = None; }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let x: Option<u32> = None; x.unwrap(); }
+            }
+        "#;
+        let diags = lint_source("crates/core/src/runner.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cfg_test_fn_is_exempt() {
+        let src = "#[cfg(test)]\nfn helper() { None::<u32>.unwrap(); }\n";
+        assert!(lint_source("crates/core/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses() {
+        let src =
+            "fn f() {\n    // quill-lint: allow(no-panic, reason = \"validated above\")\n    \
+                   None::<u32>.unwrap();\n}\n";
+        assert!(lint_source("crates/core/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses() {
+        let src = "fn f() {\n    None::<u32>.unwrap(); // quill-lint: allow(no-panic, reason = \
+                   \"validated\")\n}\n";
+        assert!(lint_source("crates/core/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_suppress() {
+        let src = "fn f() {\n    // quill-lint: allow(no-wall-clock, reason = \"x\")\n    \
+                   None::<u32>.unwrap();\n}\n";
+        let diags = lint_source("crates/core/src/runner.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_NO_PANIC);
+    }
+
+    #[test]
+    fn unknown_rule_annotation_is_a_finding() {
+        let src = "// quill-lint: allow(no-such-rule, reason = \"x\")\n";
+        let diags = lint_source("crates/core/src/online.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_ALLOW_SYNTAX);
+    }
+
+    #[test]
+    fn out_of_scope_files_do_not_fire_l1_l2() {
+        let src = "fn f() { None::<u32>.unwrap(); let t = Instant::now(); }";
+        assert!(lint_source("crates/gen/src/delay.rs", src).is_empty());
+    }
+}

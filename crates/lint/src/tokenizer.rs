@@ -1,0 +1,466 @@
+//! A hand-rolled Rust tokenizer, just enough for path-scoped token lints.
+//!
+//! The lexer understands the parts of Rust's lexical grammar that matter for
+//! not producing false positives: line/doc comments, nested block comments,
+//! string/char/byte/raw-string literals, lifetimes, numbers, identifiers and
+//! punctuation. Everything inside comments and string literals is invisible
+//! to the rules — so an `unwrap()` in a doctest or an error message never
+//! fires — with one exception: comments are scanned for `quill-lint:`
+//! allow-annotations, which are returned alongside the token stream.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`.`, `!`, `{`, ...).
+    Punct,
+    /// String/char/number literal (content not preserved verbatim for
+    /// strings; rules never need it).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (for [`TokenKind::Literal`] strings, the placeholder
+    /// `"…"`).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Lexeme class.
+    pub kind: TokenKind,
+}
+
+/// A parsed `// quill-lint: allow(rule, reason = "...")` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: String,
+    /// The stated reason (empty when missing — malformed).
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+    /// `Some(problem)` when the annotation does not follow the grammar.
+    pub malformed: Option<String>,
+}
+
+/// Output of [`lex`]: the token stream plus any allow-annotations found in
+/// comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Tokens outside comments and in source order.
+    pub tokens: Vec<Token>,
+    /// Allow-annotations found in comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Marker that introduces an allow-annotation inside a comment.
+const ANNOTATION: &str = "quill-lint:";
+
+/// Parse the annotation body following `quill-lint:` in a comment.
+fn parse_annotation(body: &str, line: usize) -> Allow {
+    let malformed = |why: &str| Allow {
+        rule: String::new(),
+        reason: String::new(),
+        line,
+        malformed: Some(why.to_string()),
+    };
+    let body = body.trim();
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return malformed("expected `allow(<rule>, reason = \"...\")`");
+    };
+    let Some(end) = rest.rfind(')') else {
+        return malformed("unclosed `allow(`");
+    };
+    let inner = &rest[..end];
+    let (rule, reason_part) = match inner.split_once(',') {
+        Some((r, rest)) => (r.trim(), Some(rest.trim())),
+        None => (inner.trim(), None),
+    };
+    if rule.is_empty() {
+        return malformed("missing rule name in `allow(...)`");
+    }
+    let Some(reason_part) = reason_part else {
+        return Allow {
+            rule: rule.to_string(),
+            reason: String::new(),
+            line,
+            malformed: Some("missing `reason = \"...\"`".to_string()),
+        };
+    };
+    let Some(rhs) = reason_part
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim_start())
+    else {
+        return malformed("expected `reason = \"...\"` after the rule name");
+    };
+    let reason = rhs
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .unwrap_or("")
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Allow {
+            rule: rule.to_string(),
+            reason,
+            line,
+            malformed: Some("empty reason".to_string()),
+        };
+    }
+    Allow {
+        rule: rule.to_string(),
+        reason,
+        line,
+        malformed: None,
+    }
+}
+
+/// Scan a comment's text for an allow-annotation.
+fn scan_comment(text: &str, line: usize, allows: &mut Vec<Allow>) {
+    if let Some(at) = text.find(ANNOTATION) {
+        let body = &text[at + ANNOTATION.len()..];
+        // Strip a block-comment terminator if the annotation sits in one.
+        let body = body.split("*/").next().unwrap_or(body);
+        allows.push(parse_annotation(body, line));
+    }
+}
+
+/// Tokenize `source`, returning tokens outside comments/strings plus any
+/// `quill-lint:` annotations found in comments.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Lexed::default();
+
+    // Count newlines in chars[from..to] and advance `line`.
+    fn advance_lines(chars: &[char], from: usize, to: usize, line: &mut usize) {
+        *line += chars[from..to].iter().filter(|&&c| c == '\n').count();
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line and doc comments. Annotations live in plain `//` comments
+        // only: doc comments (`///`, `//!`) describe the grammar without
+        // enacting it.
+        if c == '/' && next == Some('/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if !text.starts_with("///") && !text.starts_with("//!") {
+                scan_comment(&text, line, &mut out.allows);
+            }
+            continue;
+        }
+        // Block comments (nested).
+        if c == '/' && next == Some('*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i.min(chars.len())].iter().collect();
+            if !text.starts_with("/**") && !text.starts_with("/*!") {
+                scan_comment(&text, start_line, &mut out.allows);
+            }
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Identifiers / keywords — possibly a raw/byte string prefix.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+            if is_str_prefix && matches!(chars.get(i), Some('"') | Some('#')) {
+                // Raw / byte / C string: r"..."  r#"..."#  b"..."  br#"..."#
+                let lit_line = line;
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'"') {
+                    i += 1;
+                    // Scan for closing quote followed by `hashes` hashes.
+                    let from = i;
+                    'scan: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut ok = true;
+                            for h in 0..hashes {
+                                if chars.get(i + 1 + h) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                advance_lines(&chars, from, i, &mut line);
+                                i += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: "\"…\"".into(),
+                        line: lit_line,
+                        kind: TokenKind::Literal,
+                    });
+                } else {
+                    // `r#ident` raw identifier: emit the identifier.
+                    let id_start = i;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: chars[id_start..i].iter().collect(),
+                        line,
+                        kind: TokenKind::Ident,
+                    });
+                }
+            } else {
+                out.tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokenKind::Ident,
+                });
+            }
+            continue;
+        }
+        // Ordinary string literals.
+        if c == '"' {
+            let lit_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                text: "\"…\"".into(),
+                line: lit_line,
+                kind: TokenKind::Literal,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            let is_lifetime = match next {
+                Some(n) if n.is_alphabetic() || n == '_' => {
+                    // 'a' is a char literal; 'a  (no closing quote) a lifetime.
+                    let mut j = i + 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    chars.get(j) != Some(&'\'')
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line,
+                    kind: TokenKind::Lifetime,
+                });
+            } else {
+                // Char literal, possibly escaped.
+                let lit_line = line;
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    text: "'…'".into(),
+                    line: lit_line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            continue;
+        }
+        // Numbers (loose: digits then any alphanumeric/underscore/dot run,
+        // without swallowing `..` or a method call like `1.max(2)`).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() {
+                let d = chars[i];
+                let digit_dot_digit = d == '.'
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    && chars
+                        .get(i.wrapping_sub(1))
+                        .is_some_and(|p| p.is_ascii_digit());
+                if d.is_alphanumeric() || d == '_' || digit_dot_digit {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                text: chars[start..i].iter().collect(),
+                line,
+                kind: TokenKind::Literal,
+            });
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        out.tokens.push(Token {
+            text: c.to_string(),
+            line,
+            kind: TokenKind::Punct,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r#"
+            // unwrap() in a comment
+            /* panic! in a /* nested */ block */
+            let s = "unwrap() in a string";
+            let c = '"';
+            x.unwrap();
+        "#;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|t| t.as_str() == "unwrap").count(),
+            1,
+            "{ids:?}"
+        );
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_are_literals() {
+        let src = r##"let s = r#"unwrap() " inside raw"#; y.expect("x");"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';";
+        let toks = lex(src);
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'…'"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nb.unwrap();";
+        let toks = lex(src);
+        let unwrap = toks.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 3);
+    }
+
+    #[test]
+    fn annotation_parses_rule_and_reason() {
+        let src = "// quill-lint: allow(no-panic, reason = \"heap checked above\")\nx.unwrap();";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "no-panic");
+        assert_eq!(a.reason, "heap checked above");
+        assert_eq!(a.line, 1);
+        assert!(a.malformed.is_none());
+    }
+
+    #[test]
+    fn annotation_without_reason_is_malformed() {
+        let lexed = lex("// quill-lint: allow(no-panic)\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].malformed.is_some());
+        let lexed = lex("// quill-lint: allow(no-panic, reason = \"\")\n");
+        assert!(lexed.allows[0].malformed.is_some());
+        let lexed = lex("// quill-lint: disallow(no-panic)\n");
+        assert!(lexed.allows[0].malformed.is_some());
+    }
+
+    #[test]
+    fn annotation_in_block_comment_is_found() {
+        let lexed = lex("/* quill-lint: allow(no-wall-clock, reason = \"bench only\") */\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "no-wall-clock");
+        assert!(lexed.allows[0].malformed.is_none());
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let ids = idents("let x = 1.max(2); let y = 1.5e3; let r = 0..10;");
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

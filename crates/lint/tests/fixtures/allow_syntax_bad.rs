@@ -1,0 +1,12 @@
+//! Fixture: malformed and unknown-rule allow annotations (linted as
+//! `crates/core/src/strategy.rs`).
+
+#![forbid(unsafe_code)]
+
+fn f(v: Vec<u64>) -> u64 {
+    // quill-lint: allow(no-panic)
+    let a = v.first().unwrap();
+    // quill-lint: allow(not-a-rule, reason = "unknown rule id")
+    let b = v.last().unwrap();
+    a + b
+}

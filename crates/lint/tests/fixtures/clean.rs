@@ -1,0 +1,10 @@
+//! Fixture: in-scope hot-path code with nothing to report (linted as
+//! `crates/core/src/runner.rs`).
+
+#![forbid(unsafe_code)]
+
+fn release(buffered: &[u64]) -> Option<u64> {
+    let first = buffered.first()?;
+    let last = buffered.last()?;
+    Some(first + last)
+}

@@ -1,0 +1,4 @@
+// Fixture: a crate root with no crate docs, no unsafe-code forbid and no
+// missing-docs lint (linted as `crates/example/src/lib.rs`).
+
+pub fn undocumented() {}

@@ -1,0 +1,13 @@
+//! Fixture: hot-path panics suppressed by well-formed allow annotations.
+
+#![forbid(unsafe_code)]
+
+fn release(buffered: Vec<u64>) -> u64 {
+    // quill-lint: allow(no-panic, reason = "buffer is checked non-empty by the caller")
+    let first = buffered.first().unwrap();
+    let last = buffered
+        .last()
+        // quill-lint: allow(no-panic, reason = "same invariant as above")
+        .expect("non-empty");
+    first + last
+}

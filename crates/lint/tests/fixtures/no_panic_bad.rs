@@ -1,0 +1,25 @@
+//! Fixture: hot-path code that panics (linted as `crates/core/src/buffer.rs`).
+
+#![forbid(unsafe_code)]
+
+fn release(buffered: Vec<u64>) -> u64 {
+    let first = buffered.first().unwrap();
+    let last = buffered.last().expect("non-empty");
+    if first > last {
+        panic!("inverted buffer");
+    }
+    match first {
+        0 => unreachable!("zero timestamps are filtered upstream"),
+        _ => todo!("windowing"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics inside #[cfg(test)] are exempt: assertions are the point.
+    #[test]
+    fn test_path_may_unwrap() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

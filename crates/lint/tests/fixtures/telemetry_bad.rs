@@ -1,0 +1,17 @@
+//! Fixture: direct telemetry construction outside the telemetry crate
+//! (linted as `crates/engine/src/operator/window_op.rs`).
+
+#![forbid(unsafe_code)]
+
+fn emit(at: u64) {
+    let _ev = TraceEvent {
+        seq: 0,
+        at,
+        shard: 0,
+        kind: TraceKind::BufferEmit {
+            released: 1,
+            watermark: at,
+        },
+    };
+    let _counter = Counter(Some(Default::default()));
+}

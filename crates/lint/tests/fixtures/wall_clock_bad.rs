@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads in a deterministic module (linted as
+//! `crates/core/src/estimator.rs`).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Instant, SystemTime};
+
+fn estimate() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_micros()
+}

@@ -1,0 +1,147 @@
+//! Golden fixture tests: one known-bad snippet per lint rule proving the
+//! rule fires, the allow-annotation suppression paths, and a regression
+//! test that the live workspace is lint-clean.
+
+#![forbid(unsafe_code)]
+
+use quill_lint::rules::{
+    lint_source, lint_workspace, RULE_ALLOW_SYNTAX, RULE_CRATE_HYGIENE, RULE_GUARDED_TELEMETRY,
+    RULE_NO_PANIC, RULE_NO_WALL_CLOCK,
+};
+use quill_lint::{Diagnostic, Severity};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+#[test]
+fn l1_no_panic_fires_on_hot_path_panics() {
+    let diags = lint_source("crates/core/src/buffer.rs", &fixture("no_panic_bad.rs"));
+    let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == RULE_NO_PANIC).collect();
+    // unwrap, expect, panic!, unreachable!, todo! — the cfg(test) unwrap is exempt.
+    assert_eq!(hits.len(), 5, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Deny));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert!(lines.iter().all(|&l| l < 17), "test-module hit: {diags:?}");
+}
+
+#[test]
+fn l1_no_panic_is_scope_limited() {
+    // The same panicking source outside the hot-path scope is not linted.
+    let diags = lint_source("crates/metrics/src/summary.rs", &fixture("no_panic_bad.rs"));
+    assert!(!rules(&diags).contains(&RULE_NO_PANIC), "{diags:?}");
+}
+
+#[test]
+fn l1_allow_annotation_suppresses() {
+    let diags = lint_source("crates/core/src/buffer.rs", &fixture("no_panic_allowed.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l2_no_wall_clock_fires_in_deterministic_modules() {
+    let diags = lint_source(
+        "crates/core/src/estimator.rs",
+        &fixture("wall_clock_bad.rs"),
+    );
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_NO_WALL_CLOCK)
+        .collect();
+    assert_eq!(hits.len(), 2, "{diags:?}"); // Instant::now + SystemTime::now
+    assert!(hits.iter().all(|d| d.severity == Severity::Deny));
+    // runner.rs measures wall time on purpose and is outside L2 scope.
+    let diags = lint_source("crates/core/src/runner.rs", &fixture("wall_clock_bad.rs"));
+    assert!(!rules(&diags).contains(&RULE_NO_WALL_CLOCK), "{diags:?}");
+}
+
+#[test]
+fn l3_guarded_telemetry_fires_outside_telemetry_crate() {
+    let diags = lint_source(
+        "crates/engine/src/operator/window_op.rs",
+        &fixture("telemetry_bad.rs"),
+    );
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_GUARDED_TELEMETRY)
+        .collect();
+    assert_eq!(hits.len(), 2, "{diags:?}"); // TraceEvent literal + Counter(Some
+                                            // The same constructions inside the telemetry crate are the one legal site.
+    let diags = lint_source(
+        "crates/telemetry/src/trace.rs",
+        &fixture("telemetry_bad.rs"),
+    );
+    assert!(
+        !rules(&diags).contains(&RULE_GUARDED_TELEMETRY),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l4_crate_hygiene_fires_on_bare_crate_root() {
+    let diags = lint_source("crates/example/src/lib.rs", &fixture("hygiene_bad.rs"));
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_CRATE_HYGIENE)
+        .collect();
+    // forbid(unsafe_code), crate docs, missing_docs lint — all absent.
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    // A non-root file in the same crate carries no hygiene obligations.
+    let diags = lint_source("crates/example/src/util.rs", &fixture("hygiene_bad.rs"));
+    assert!(!rules(&diags).contains(&RULE_CRATE_HYGIENE), "{diags:?}");
+}
+
+#[test]
+fn allow_syntax_rejects_malformed_and_unknown_annotations() {
+    let diags = lint_source(
+        "crates/core/src/strategy.rs",
+        &fixture("allow_syntax_bad.rs"),
+    );
+    let syntax_hits = diags.iter().filter(|d| d.rule == RULE_ALLOW_SYNTAX).count();
+    assert_eq!(syntax_hits, 2, "{diags:?}"); // missing reason + unknown rule
+                                             // Broken annotations suppress nothing: the unwraps still fire.
+    let panic_hits = diags.iter().filter(|d| d.rule == RULE_NO_PANIC).count();
+    assert_eq!(panic_hits, 2, "{diags:?}");
+}
+
+#[test]
+fn clean_fixture_yields_no_findings() {
+    let diags = lint_source("crates/core/src/runner.rs", &fixture("clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn jsonl_rendering_round_trips_fixture_findings() {
+    let diags = lint_source("crates/core/src/buffer.rs", &fixture("no_panic_bad.rs"));
+    let jsonl = quill_lint::to_jsonl(&diags);
+    assert_eq!(jsonl.lines().count(), diags.len());
+    for (line, d) in jsonl.lines().zip(&diags) {
+        assert!(line.contains(&format!("\"rule\":\"{}\"", d.rule)), "{line}");
+        assert!(line.contains(&format!("\"line\":{}", d.line)), "{line}");
+    }
+}
+
+/// Regression: the live workspace must stay lint-clean. This is the same
+/// check `scripts/check.sh` enforces via the CLI.
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    assert!(root.join("Cargo.toml").exists(), "bad root {root:?}");
+    let diags = lint_workspace(root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        quill_lint::render_text(&diags)
+    );
+}

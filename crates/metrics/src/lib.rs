@@ -14,7 +14,7 @@
 //! * [`report`] — markdown/CSV table rendering used by the experiment
 //!   harness.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod latency;

@@ -31,7 +31,7 @@
 //!   `quill.run.*` (whole-run accounting). Exporters sanitise names for
 //!   their target format.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod export;

@@ -1,6 +1,8 @@
 //! Shared helpers for the runnable examples: compact printing of run
 //! outputs and a tiny text sparkline for time series.
 
+#![forbid(unsafe_code)]
+
 use quill_core::prelude::RunOutput;
 use quill_metrics::TimeSeries;
 

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> quill-lint --workspace (report: results/lint_report.jsonl)"
+cargo run -q -p quill-lint -- --workspace --out results/lint_report.jsonl
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

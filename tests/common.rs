@@ -1,5 +1,7 @@
 //! Shared helpers for quill integration tests.
 
+#![forbid(unsafe_code)]
+
 use quill_core::prelude::*;
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::prelude::{Event, Row, Value, WindowSpec};

@@ -1,0 +1,149 @@
+//! Static plan analysis acceptance: infeasible plans are rejected *before*
+//! any event is processed, feasible plans carry their non-fatal findings on
+//! the run output, and the diagnostics render through `quill-inspect`.
+
+#![forbid(unsafe_code)]
+
+use quill_bench::inspect::render_report;
+use quill_core::prelude::*;
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_integration::{mean_query, uniform_disordered};
+
+/// A completeness-1.0 demand under a declared unbounded delay tail is
+/// refused up front: the error names the rule, and the strategy's buffer
+/// never sees a single event.
+#[test]
+fn infeasible_completeness_is_rejected_before_any_event() {
+    let events = uniform_disordered(5_000, 10, 200, 7);
+    let query = mean_query(100);
+    let mut strategy = FixedKSlack::new(1_000_000u64);
+    let opts = ExecOptions::sequential()
+        .with_delay_profile(DelayProfile::Unbounded)
+        .with_required_completeness(1.0);
+
+    let err = execute(&events, &mut strategy, &query, &opts).unwrap_err();
+    match &err {
+        EngineError::PlanRejected(msg) => {
+            assert!(msg.contains("plan.quality.infeasible"), "{msg}");
+            assert!(msg.contains("help:"), "{msg}");
+        }
+        other => panic!("expected PlanRejected, got {other:?}"),
+    }
+    let stats = strategy.buffer_stats();
+    assert_eq!(stats.inserted, 0, "events reached the buffer: {stats:?}");
+}
+
+/// A fixed K below a declared bounded delay cannot deliver completeness 1.0;
+/// raising K to the bound makes the same plan acceptable.
+#[test]
+fn fixed_k_below_delay_bound_is_rejected_and_sufficient_k_accepted() {
+    let events = uniform_disordered(2_000, 10, 200, 11);
+    let query = mean_query(100);
+    let opts = ExecOptions::sequential()
+        .with_delay_profile(DelayProfile::Bounded { max_delay: 200 })
+        .with_required_completeness(1.0);
+
+    let mut low = FixedKSlack::new(50u64);
+    let err = execute(&events, &mut low, &query, &opts).unwrap_err();
+    assert!(matches!(err, EngineError::PlanRejected(_)), "{err:?}");
+    assert_eq!(low.buffer_stats().inserted, 0);
+
+    let mut enough = FixedKSlack::new(200u64);
+    let out = execute(&events, &mut enough, &query, &opts).unwrap();
+    assert_eq!(out.events, 2_000);
+    // K ≥ the delay bound really does deliver the demanded completeness.
+    assert!(
+        out.quality.mean_completeness >= 1.0 - 1e-9,
+        "completeness {}",
+        out.quality.mean_completeness
+    );
+    // The accepted plan still reports its non-fatal findings (completeness
+    // target configured without a flight recorder).
+    assert!(out
+        .plan
+        .iter()
+        .any(|d| d.rule == "plan.options.completeness-without-trace"));
+    assert!(out.plan.iter().all(|d| d.severity < PlanSeverity::Deny));
+}
+
+/// The AQ strategy's own quality target participates in feasibility: an
+/// exact-completeness target with a K cap below the delay bound is refused
+/// with no options-level target set at all.
+#[test]
+fn aq_k_max_below_bound_with_exact_target_is_rejected() {
+    let events = uniform_disordered(1_000, 10, 300, 3);
+    let query = mean_query(100);
+    let mut cfg = AqConfig::with_target(QualityTarget::Completeness { q: 1.0 });
+    cfg.k_max = TimeDelta(100);
+    let mut strategy = AqKSlack::new(cfg);
+    let opts =
+        ExecOptions::sequential().with_delay_profile(DelayProfile::Bounded { max_delay: 300 });
+
+    let err = execute(&events, &mut strategy, &query, &opts).unwrap_err();
+    assert!(matches!(err, EngineError::PlanRejected(_)), "{err:?}");
+    assert_eq!(strategy.buffer_stats().inserted, 0);
+}
+
+/// Without a declared delay profile the analyzer assumes nothing about
+/// delays: the same aggressive target runs (the provenance layer will flag
+/// violations instead). This keeps feasibility checking strictly opt-in.
+#[test]
+fn feasibility_checks_are_opt_in() {
+    let events = uniform_disordered(1_000, 10, 100, 5);
+    let query = mean_query(100);
+    let mut strategy = DropAll::new();
+    let opts = ExecOptions::sequential().with_required_completeness(1.0);
+    let out = execute(&events, &mut strategy, &query, &opts).unwrap();
+    assert_eq!(out.events, 1_000);
+}
+
+/// Shared multi-query runs vet every subscriber: one infeasible query
+/// refuses the whole shared run before the shared buffer sees an event.
+#[test]
+fn shared_run_rejects_when_any_query_is_infeasible() {
+    let events = uniform_disordered(1_000, 10, 100, 9);
+    let queries = vec![mean_query(100), mean_query(500)];
+    let mut strategy = DropAll::new();
+    let opts = ExecOptions::sequential()
+        .with_delay_profile(DelayProfile::Unbounded)
+        .with_required_completeness(1.0);
+    let err = execute_shared(&events, &mut strategy, &queries, &opts).unwrap_err();
+    assert!(matches!(err, EngineError::PlanRejected(_)), "{err:?}");
+    assert_eq!(strategy.buffer_stats().inserted, 0);
+
+    // The same shared run without the exact-completeness demand is accepted
+    // and carries deduplicated non-fatal findings.
+    let opts =
+        ExecOptions::parallel(ParallelConfig::new(4)).with_delay_profile(DelayProfile::Unbounded);
+    let out = execute_shared(&events, &mut strategy, &queries, &opts).unwrap();
+    let unkeyed = out
+        .plan
+        .iter()
+        .filter(|d| d.rule == "plan.parallel.unkeyed")
+        .count();
+    assert_eq!(
+        unkeyed, 1,
+        "shared findings not deduplicated: {:?}",
+        out.plan
+    );
+}
+
+/// Plan diagnostics flow end-to-end into the `quill-inspect` renderer.
+#[test]
+fn plan_diagnostics_render_through_inspect() {
+    let query = QuerySpec::new(
+        WindowSpec::sliding(100u64, 30u64),
+        vec![AggregateSpec::new(AggregateKind::Median, 0, "median")],
+        None,
+    );
+    let opts = ExecOptions::parallel(ParallelConfig::new(8))
+        .with_expected_keys(2)
+        .with_snapshot_every(64);
+    let diags = analyze_plan(&query, &StrategyKind::FixedK(50), &opts);
+    assert!(diags.len() >= 3, "{diags:?}");
+    let jsonl: String = diags.iter().map(|d| d.to_jsonl_line() + "\n").collect();
+    let report = render_report(&jsonl, 5).expect("renders");
+    assert!(report.contains("Plan diagnostics"), "{report}");
+    assert!(report.contains("plan.window.pane-alignment"), "{report}");
+    assert!(report.contains("help:"), "{report}");
+}
