@@ -72,7 +72,9 @@ pub mod prelude {
     pub use crate::quality::{QualityTarget, SensitivityModel};
     #[allow(deprecated)]
     pub use crate::runner::run_query;
-    pub use crate::runner::{execute, ExecOptions, QuerySpec, QuerySpecBuilder, RunOutput};
+    pub use crate::runner::{
+        execute, stage_strategy, ExecOptions, QuerySpec, QuerySpecBuilder, RunOutput, StagedStream,
+    };
     #[allow(deprecated)]
     pub use crate::shared::run_shared;
     pub use crate::shared::{

@@ -332,8 +332,11 @@ impl RunOutput {
 }
 
 /// Strategy output staged for windowing, plus everything measured while
-/// draining the strategy.
-pub(crate) struct StagedStream {
+/// draining the strategy. Public as a test surface: the `quill-sim`
+/// differential harness stages strategies directly to check watermark
+/// monotonicity, conservation and release ordering independently of the
+/// windowing layer.
+pub struct StagedStream {
     /// Released events and watermarks, in release order.
     pub elements: Vec<StreamElement>,
     /// `(watermark, clock at release)` pairs, in release order.
@@ -364,8 +367,9 @@ impl StagedStream {
 /// and [`crate::shared::execute_shared`]: the strategy is inherently
 /// sequential (it decides watermarks from arrival order), so its output is
 /// staged once and the windowing work — sequential, parallel, or multi-query
-/// — runs over the staged stream.
-pub(crate) fn stage_strategy(
+/// — runs over the staged stream. Public as a test surface for the
+/// `quill-sim` differential harness (see [`StagedStream`]).
+pub fn stage_strategy(
     events: &[Event],
     strategy: &mut dyn DisorderControl,
     opts: &ExecOptions,

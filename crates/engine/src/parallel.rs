@@ -54,6 +54,14 @@ pub struct ParallelConfig {
     /// roughly `shards × channel_capacity × batch_size` in-flight events.
     /// Must be > 0.
     pub channel_capacity: usize,
+    /// Run the shards inline on the caller thread, in shard order, instead
+    /// of spawning worker threads. Routing, batching and the output merge
+    /// are byte-for-byte the code the threaded path runs, so the output is
+    /// identical — this is the deterministic shard-scheduler seam the
+    /// `quill-sim` differential harness sweeps to prove the merged output is
+    /// independent of worker scheduling (and to run thousands of small cases
+    /// without thread-spawn overhead).
+    pub deterministic: bool,
 }
 
 impl ParallelConfig {
@@ -74,6 +82,14 @@ impl ParallelConfig {
     /// Set the per-shard channel capacity (in batches).
     pub fn with_channel_capacity(mut self, capacity: usize) -> ParallelConfig {
         self.channel_capacity = capacity;
+        self
+    }
+
+    /// Toggle deterministic inline execution (no worker threads; shards run
+    /// on the caller thread in shard order). Output is identical to the
+    /// threaded path by construction.
+    pub fn with_deterministic(mut self, deterministic: bool) -> ParallelConfig {
+        self.deterministic = deterministic;
         self
     }
 
@@ -101,6 +117,7 @@ impl Default for ParallelConfig {
             shards: 4,
             batch_size: 256,
             channel_capacity: 64,
+            deterministic: false,
         }
     }
 }
@@ -249,6 +266,9 @@ where
     O: Operator + 'static,
 {
     config.validate()?;
+    if config.deterministic {
+        return run_keyed_parallel_inline(elements, key_field, config, telemetry, trace, make_op);
+    }
     let shards = config.shards;
     let observe = telemetry.is_enabled() || trace.is_enabled();
     let mut metrics: Vec<ShardMetrics> = (0..shards)
@@ -337,6 +357,85 @@ where
     }
     agg_depth.set_u64(0);
     Ok((merge_shard_outputs(shard_outs, telemetry, trace), ops))
+}
+
+/// Deterministic inline variant of [`run_keyed_parallel_observed`]: the same
+/// routing (key hash, batch accumulation, punctuation broadcast as batch
+/// delimiter) and the same output merge, but every shard's operator runs on
+/// the caller thread — a flushed batch is processed immediately, shards in
+/// shard order. Each operator therefore consumes exactly the batch sequence
+/// the threaded path would deliver it, which makes the merged output equal
+/// by construction and the whole run independent of thread scheduling.
+///
+/// Telemetry: per-shard `.events` / `.batches` counters and the merge
+/// instruments record as in the threaded path; `quill.executor.send_stalls`
+/// and the queue-depth gauges stay at zero (there are no channels).
+fn run_keyed_parallel_inline<O>(
+    elements: Vec<StreamElement>,
+    key_field: usize,
+    config: ParallelConfig,
+    telemetry: &Registry,
+    trace: &FlightRecorder,
+    make_op: impl Fn(usize) -> O,
+) -> Result<(Vec<StreamElement>, Vec<O>)>
+where
+    O: Operator + 'static,
+{
+    let shards = config.shards;
+    let metrics: Vec<ShardMetrics> = (0..shards)
+        .map(|s| ShardMetrics::new(telemetry, s, false))
+        .collect();
+    let mut ops: Vec<O> = (0..shards).map(&make_op).collect();
+    let mut outs: Vec<Vec<StreamElement>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut bufs: Vec<Vec<StreamElement>> = (0..shards)
+        .map(|_| Vec::with_capacity(config.batch_size))
+        .collect();
+    let drain = |shard: usize,
+                 buf: &mut Vec<StreamElement>,
+                 ops: &mut Vec<O>,
+                 outs: &mut Vec<Vec<StreamElement>>| {
+        if buf.is_empty() {
+            return;
+        }
+        metrics[shard].batches.inc();
+        let out = &mut outs[shard];
+        for el in buf.drain(..) {
+            ops[shard].process(el, &mut |o| {
+                // Same rule as the worker threads: punctuation is re-derived
+                // after the merge; keep only data.
+                if matches!(o, StreamElement::Event(_)) {
+                    out.push(o);
+                }
+            });
+        }
+    };
+    for el in elements {
+        match &el {
+            StreamElement::Event(e) => {
+                let shard = shard_of(e.row.get(key_field), shards);
+                metrics[shard].events.inc();
+                bufs[shard].push(el);
+                if bufs[shard].len() >= config.batch_size {
+                    let mut buf = std::mem::take(&mut bufs[shard]);
+                    drain(shard, &mut buf, &mut ops, &mut outs);
+                    bufs[shard] = buf;
+                }
+            }
+            _ => {
+                for (shard, slot) in bufs.iter_mut().enumerate() {
+                    slot.push(el.clone());
+                    let mut buf = std::mem::take(slot);
+                    drain(shard, &mut buf, &mut ops, &mut outs);
+                    *slot = buf;
+                }
+            }
+        }
+    }
+    for (shard, slot) in bufs.iter_mut().enumerate() {
+        let mut buf = std::mem::take(slot);
+        drain(shard, &mut buf, &mut ops, &mut outs);
+    }
+    Ok((merge_shard_outputs(outs, telemetry, trace), ops))
 }
 
 /// Run a keyed operator data-parallel over `shards` threads with default
@@ -590,6 +689,40 @@ mod tests {
             .0;
             assert_eq!(out, reference, "batch_size={batch}");
         }
+    }
+
+    #[test]
+    fn deterministic_inline_matches_threaded() {
+        let elements = input(2_000, 13);
+        for shards in [1usize, 3, 4, 8] {
+            let cfg = ParallelConfig::new(shards).with_batch_size(32);
+            let threaded = run_keyed_parallel_with(elements.clone(), 0, cfg, window_op)
+                .expect("threaded run")
+                .0;
+            let inline = run_keyed_parallel_with(
+                elements.clone(),
+                0,
+                cfg.with_deterministic(true),
+                window_op,
+            )
+            .expect("inline run")
+            .0;
+            assert_eq!(inline, threaded, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn inline_mode_counts_shard_events() {
+        let reg = Registry::new();
+        let n = 1_000u64;
+        let cfg = ParallelConfig::new(4).with_deterministic(true);
+        let (out, ops) =
+            run_keyed_parallel_instrumented(input(n, 8), 0, cfg, &reg, window_op).expect("run");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_family_sum("quill.shard.", ".events"), n);
+        assert_eq!(snap.counter("quill.merge.elements"), out.len() as u64);
+        let accepted: u64 = ops.iter().map(|op| op.stats().accepted).sum();
+        assert_eq!(accepted, n);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`workload`] — the simulated soccer / stock / netmon workloads plus
 //!   controlled synthetic sweeps (substitutions for unavailable real data,
 //!   see DESIGN.md §3);
+//! * [`mutate`] — seeded adversarial mutators (duplication, stragglers,
+//!   clock surges, dropout, bursts, key skew, timestamp ties) layered over
+//!   the generated streams for the `quill-sim` differential harness;
 //! * [`trace`] — text-format capture and bit-exact replay of generated
 //!   streams.
 //!
@@ -22,6 +25,7 @@
 
 pub mod arrival;
 pub mod delay;
+pub mod mutate;
 pub mod payload;
 pub mod source;
 pub mod trace;
@@ -32,5 +36,6 @@ pub use delay::{
     Bimodal, Constant, DelayModel, Drift, DriftShape, Empirical, Exponential, LogNormal,
     MarkovBurst, NormalDelay, Pareto, UniformDelay,
 };
+pub use mutate::{apply_all, reseq, Mutator};
 pub use payload::{Choice, Gaussian, RandomWalk, ValueGen, Zipf};
 pub use source::{build_stream, delay_and_shuffle, merge_sources, GeneratedStream};

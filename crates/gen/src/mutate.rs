@@ -1,0 +1,364 @@
+//! Adversarial stream mutators: seeded perturbations applied *after* the
+//! delay/arrival pipeline ([`crate::delay`] / [`crate::arrival`]) produced an
+//! arrival-ordered stream.
+//!
+//! The delay models bend streams within a declared statistical regime; the
+//! mutators here deliberately step outside it — duplicated deliveries,
+//! stragglers reordered past any plausible delay bound, clock surges that
+//! tempt watermark regressions, source dropout, bursty local reversals,
+//! heavy-hitter key skew and equal-timestamp tie clusters. They exist for the
+//! `quill-sim` differential harness: both the system under test and the
+//! reference oracle see the *same* mutated vector, so any disagreement is an
+//! engine bug, not a modeling artifact.
+//!
+//! All mutators draw randomness exclusively from the caller's seeded
+//! [`RngCore`], keeping every perturbed stream bit-reproducible. After a
+//! mutator pipeline runs, [`reseq`] reassigns sequence numbers to the new
+//! arrival order (seq = arrival index), restoring the invariant every
+//! generated stream upholds.
+
+use quill_engine::prelude::{Event, Row, Timestamp, Value};
+use rand::{Rng, RngCore};
+
+/// One composable adversarial perturbation of an arrival-ordered stream.
+///
+/// Implementations mutate `events` in place; arrival order is the vector
+/// order. Callers are expected to [`reseq`] after the full pipeline (or use
+/// [`apply_all`], which does both).
+pub trait Mutator {
+    /// Human-readable name (for reproducers and logs).
+    fn name(&self) -> String;
+    /// Perturb the stream, drawing randomness only from `rng`.
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore);
+}
+
+/// Reassign sequence numbers to the current arrival order (seq = index).
+pub fn reseq(events: &mut [Event]) {
+    for (i, e) in events.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+}
+
+/// Apply a mutator pipeline in order, then [`reseq`].
+pub fn apply_all(events: &mut Vec<Event>, mutators: &[Box<dyn Mutator>], rng: &mut dyn RngCore) {
+    for m in mutators {
+        m.apply(events, rng);
+    }
+    reseq(events);
+}
+
+/// Re-deliver a fraction of events a second time, later in arrival order —
+/// duplicate transmissions from an at-least-once transport.
+#[derive(Debug, Clone, Copy)]
+pub struct Duplicate {
+    /// Fraction of events to duplicate (clamped to `[0, 1]`).
+    pub fraction: f64,
+}
+
+impl Mutator for Duplicate {
+    fn name(&self) -> String {
+        format!("duplicate({})", self.fraction)
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let n = events.len();
+        if n == 0 {
+            return;
+        }
+        let dups = ((n as f64 * self.fraction.clamp(0.0, 1.0)).round() as usize).min(n);
+        for _ in 0..dups {
+            let i = rng.gen_range(0..events.len());
+            let copy = events[i].clone();
+            let at = rng.gen_range(i + 1..=events.len());
+            events.insert(at, copy);
+        }
+    }
+}
+
+/// Move a fraction of events to the tail of the arrival order without
+/// touching their timestamps: stragglers reordered far past any delay bound
+/// the generating model declared.
+#[derive(Debug, Clone, Copy)]
+pub struct Straggler {
+    /// Fraction of events to delay (clamped to `[0, 1]`).
+    pub fraction: f64,
+}
+
+impl Mutator for Straggler {
+    fn name(&self) -> String {
+        format!("straggler({})", self.fraction)
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let n = events.len();
+        if n < 2 {
+            return;
+        }
+        let moves = ((n as f64 * self.fraction.clamp(0.0, 1.0)).round() as usize).min(n / 2);
+        for _ in 0..moves {
+            let i = rng.gen_range(0..events.len() / 2);
+            let e = events.remove(i);
+            let at = rng.gen_range(events.len() * 3 / 4..=events.len());
+            events.insert(at, e);
+        }
+    }
+}
+
+/// Teleport the maximum-timestamp event to an early arrival position. The
+/// stream clock surges immediately, so almost everything that follows looks
+/// late — the input shape that tempts a buggy strategy into emitting a
+/// regressing watermark.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockSurge;
+
+impl Mutator for ClockSurge {
+    fn name(&self) -> String {
+        "clock_surge".to_string()
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let n = events.len();
+        if n < 2 {
+            return;
+        }
+        let (imax, _) = events
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.ts.raw(), e.seq))
+            .unwrap_or((0, &events[0]));
+        let e = events.remove(imax);
+        let at = rng.gen_range(0..=(n / 4).min(events.len()));
+        events.insert(at, e);
+    }
+}
+
+/// Delete one contiguous arrival slice: a source going silent (or a transport
+/// dropping a burst wholesale).
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    /// Fraction of the stream to drop (clamped to `[0, 0.9]`).
+    pub fraction: f64,
+}
+
+impl Mutator for Dropout {
+    fn name(&self) -> String {
+        format!("dropout({})", self.fraction)
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let n = events.len();
+        if n < 2 {
+            return;
+        }
+        let span = ((n as f64 * self.fraction.clamp(0.0, 0.9)) as usize).max(1);
+        let start = rng.gen_range(0..n - span.min(n - 1));
+        events.drain(start..(start + span).min(n));
+    }
+}
+
+/// Reverse short arrival slices: bursty local disorder where a batch of
+/// events arrives newest-first.
+#[derive(Debug, Clone, Copy)]
+pub struct Burst {
+    /// Number of reversed bursts to inject.
+    pub bursts: usize,
+    /// Maximum burst length (events), at least 2.
+    pub max_len: usize,
+}
+
+impl Mutator for Burst {
+    fn name(&self) -> String {
+        format!("burst(n={}, len<={})", self.bursts, self.max_len)
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let n = events.len();
+        if n < 3 {
+            return;
+        }
+        for _ in 0..self.bursts {
+            let len = rng.gen_range(2..=self.max_len.max(2)).min(n - 1);
+            let start = rng.gen_range(0..n - len);
+            events[start..start + len].reverse();
+        }
+    }
+}
+
+/// Remap a fraction of key-column values to one hot key: heavy-hitter skew
+/// that concentrates load on a single shard of the parallel executor.
+#[derive(Debug, Clone, Copy)]
+pub struct KeySkew {
+    /// Row index of the key column.
+    pub field: usize,
+    /// The heavy hitter every remapped event is assigned.
+    pub hot_key: i64,
+    /// Fraction of events remapped (clamped to `[0, 1]`).
+    pub fraction: f64,
+}
+
+impl Mutator for KeySkew {
+    fn name(&self) -> String {
+        format!("key_skew(field={}, hot={})", self.field, self.hot_key)
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let p = self.fraction.clamp(0.0, 1.0);
+        for e in events.iter_mut() {
+            if self.field < e.row.len() && rng.gen_bool(p) {
+                let values: Vec<Value> = e
+                    .row
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        if i == self.field {
+                            Value::Int(self.hot_key)
+                        } else {
+                            v.clone()
+                        }
+                    })
+                    .collect();
+                e.row = Row::new(values);
+            }
+        }
+    }
+}
+
+/// Quantize timestamps to a grid, forcing equal-timestamp ties — the
+/// tie-breaking stress case for buffers, window folds and the parallel merge.
+#[derive(Debug, Clone, Copy)]
+pub struct TieCluster {
+    /// Grid size in event-time units (values < 1 are treated as 1).
+    pub quantum: u64,
+}
+
+impl Mutator for TieCluster {
+    fn name(&self) -> String {
+        format!("tie_cluster({})", self.quantum)
+    }
+    fn apply(&self, events: &mut Vec<Event>, _rng: &mut dyn RngCore) {
+        let q = self.quantum.max(1);
+        for e in events.iter_mut() {
+            e.ts = Timestamp((e.ts.raw() / q) * q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    i * 10,
+                    i,
+                    Row::new([Value::Int((i % 4) as i64), Value::Float(i as f64)]),
+                )
+            })
+            .collect()
+    }
+
+    fn pipeline() -> Vec<Box<dyn Mutator>> {
+        vec![
+            Box::new(Duplicate { fraction: 0.1 }),
+            Box::new(Straggler { fraction: 0.05 }),
+            Box::new(ClockSurge),
+            Box::new(Dropout { fraction: 0.05 }),
+            Box::new(Burst {
+                bursts: 3,
+                max_len: 8,
+            }),
+            Box::new(KeySkew {
+                field: 0,
+                hot_key: 0,
+                fraction: 0.5,
+            }),
+            Box::new(TieCluster { quantum: 25 }),
+        ]
+    }
+
+    #[test]
+    fn mutations_are_seed_deterministic() {
+        let muts = pipeline();
+        let mut a = stream(200);
+        let mut b = stream(200);
+        apply_all(&mut a, &muts, &mut StdRng::seed_from_u64(7));
+        apply_all(&mut b, &muts, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let mut c = stream(200);
+        apply_all(&mut c, &muts, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c, "different seeds must perturb differently");
+    }
+
+    #[test]
+    fn seq_is_dense_after_mutation() {
+        let mut ev = stream(300);
+        apply_all(&mut ev, &pipeline(), &mut StdRng::seed_from_u64(3));
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn duplicate_grows_and_dropout_shrinks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ev = stream(100);
+        Duplicate { fraction: 0.2 }.apply(&mut ev, &mut rng);
+        assert_eq!(ev.len(), 120);
+        let before = ev.len();
+        Dropout { fraction: 0.25 }.apply(&mut ev, &mut rng);
+        assert!(ev.len() < before);
+    }
+
+    #[test]
+    fn straggler_moves_events_past_any_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ev = stream(400);
+        Straggler { fraction: 0.1 }.apply(&mut ev, &mut rng);
+        reseq(&mut ev);
+        // Disorder (running-max ts minus own ts) must now exceed the
+        // generating model's bound of 0 by a wide margin.
+        let mut clock = 0u64;
+        let mut max_disorder = 0u64;
+        for e in &ev {
+            max_disorder = max_disorder.max(clock.saturating_sub(e.ts.raw()));
+            clock = clock.max(e.ts.raw());
+        }
+        assert!(max_disorder > 1_000, "disorder {max_disorder}");
+    }
+
+    #[test]
+    fn clock_surge_front_loads_the_max_timestamp() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ev = stream(100);
+        ClockSurge.apply(&mut ev, &mut rng);
+        let max_ts = ev.iter().map(|e| e.ts.raw()).max().unwrap();
+        let pos = ev.iter().position(|e| e.ts.raw() == max_ts).unwrap();
+        assert!(pos <= 25, "max-ts event at {pos}");
+    }
+
+    #[test]
+    fn tie_cluster_creates_equal_timestamps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ev = stream(100);
+        TieCluster { quantum: 50 }.apply(&mut ev, &mut rng);
+        let distinct: std::collections::BTreeSet<u64> = ev.iter().map(|e| e.ts.raw()).collect();
+        assert!(distinct.len() < ev.len(), "no ties created");
+        assert!(ev.iter().all(|e| e.ts.raw() % 50 == 0));
+    }
+
+    #[test]
+    fn key_skew_concentrates_keys() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ev = stream(500);
+        KeySkew {
+            field: 0,
+            hot_key: 9,
+            fraction: 0.8,
+        }
+        .apply(&mut ev, &mut rng);
+        let hot = ev
+            .iter()
+            .filter(|e| matches!(e.row.get(0), Value::Int(9)))
+            .count();
+        assert!(hot > 300, "only {hot} events remapped");
+    }
+}

@@ -6,10 +6,12 @@
 //! [`lint_workspace`] walks the live workspace and lints every `.rs` file of
 //! every member crate.
 //!
-//! `#[cfg(test)]` items are exempt from every token rule — tests exercise
-//! panics and wall-clocks deliberately — and deliberate production
-//! exceptions carry `// quill-lint: allow(<rule>, reason = "...")`
-//! annotations (grammar in DESIGN.md §11).
+//! `#[cfg(test)]` items are exempt from every token rule except L5
+//! (`no-nondeterminism`) — tests exercise panics and wall-clocks
+//! deliberately, but the simulation crate's tests must stay replayable from
+//! their seeds just like its library code. Deliberate production exceptions
+//! carry `// quill-lint: allow(<rule>, reason = "...")` annotations (grammar
+//! in DESIGN.md §11).
 
 use crate::tokenizer::{lex, Allow, Token, TokenKind};
 use crate::{Diagnostic, Severity};
@@ -25,6 +27,8 @@ pub const RULE_NO_WALL_CLOCK: &str = "no-wall-clock";
 pub const RULE_GUARDED_TELEMETRY: &str = "guarded-telemetry";
 /// Rule id for L4.
 pub const RULE_CRATE_HYGIENE: &str = "crate-hygiene";
+/// Rule id for L5.
+pub const RULE_NO_NONDETERMINISM: &str = "no-nondeterminism";
 /// Rule id for malformed allow-annotations.
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
 
@@ -34,6 +38,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_NO_WALL_CLOCK,
     RULE_GUARDED_TELEMETRY,
     RULE_CRATE_HYGIENE,
+    RULE_NO_NONDETERMINISM,
 ];
 
 /// Hot-path modules where a panic aborts live query execution (L1 scope).
@@ -70,6 +75,12 @@ fn is_hot_path(rel: &str) -> bool {
 
 fn is_deterministic(rel: &str) -> bool {
     rel.starts_with("crates/engine/src/operator/") || DETERMINISTIC_FILES.contains(&rel)
+}
+
+/// The simulation crate (L5 scope): every file, tests included — the whole
+/// crate's contract is byte-identical replay from a case seed.
+fn is_simulation(rel: &str) -> bool {
+    rel.starts_with("crates/sim/")
 }
 
 /// Whether `rel` is a workspace member crate root subject to L4.
@@ -273,6 +284,35 @@ impl<'a> FileLinter<'a> {
         }
     }
 
+    /// L5: no ambient-entropy RNG construction anywhere in the simulation
+    /// crate. Every random choice must derive from the case seed so a
+    /// reproducer replays byte-identically; `thread_rng`, `from_entropy` and
+    /// `OsRng` all pull entropy from outside the seed. Unlike L1/L2 this rule
+    /// does **not** exempt `#[cfg(test)]` items — sim tests are the product.
+    fn rule_no_nondeterminism(&mut self) {
+        for i in 0..self.tokens.len() {
+            if self.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = self.tokens[i].text.as_str();
+            if matches!(name, "thread_rng" | "from_entropy" | "OsRng") {
+                let line = self.tokens[i].line;
+                self.push(
+                    RULE_NO_NONDETERMINISM,
+                    line,
+                    format!(
+                        "`{name}` draws ambient entropy; simulation runs must replay \
+                         byte-identically from their case seed"
+                    ),
+                    "construct RNGs from the case seed (`TestRng::new(seed)` or \
+                     `StdRng::seed_from_u64(seed)`), deriving sub-seeds by mixing in a \
+                     fixed constant"
+                        .into(),
+                );
+            }
+        }
+    }
+
     /// L3: trace events and enabled instruments are only constructed inside
     /// the telemetry crate; everything else goes through guarded handles.
     fn rule_guarded_telemetry(&mut self) {
@@ -405,6 +445,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     }
     if is_deterministic(rel_path) {
         linter.rule_no_wall_clock();
+    }
+    if is_simulation(rel_path) {
+        linter.rule_no_nondeterminism();
     }
     linter.rule_guarded_telemetry();
     linter.rule_crate_hygiene(source);
@@ -557,5 +600,26 @@ mod tests {
     fn out_of_scope_files_do_not_fire_l1_l2() {
         let src = "fn f() { None::<u32>.unwrap(); let t = Instant::now(); }";
         assert!(lint_source("crates/gen/src/delay.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_fires_even_inside_cfg_test() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _r = rand::thread_rng(); }\n}\n";
+        let diags = lint_source("crates/sim/src/spec.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_NO_NONDETERMINISM);
+    }
+
+    #[test]
+    fn nondeterminism_allow_annotation_suppresses() {
+        let src = "fn f() {\n    // quill-lint: allow(no-nondeterminism, reason = \"doc \
+                   example\")\n    let _r = rand::thread_rng();\n}\n";
+        assert!(lint_source("crates/sim/src/spec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_construction_is_clean_in_sim() {
+        let src = "fn f(seed: u64) { let _r = StdRng::seed_from_u64(seed); }";
+        assert!(lint_source("crates/sim/src/harness.rs", src).is_empty());
     }
 }

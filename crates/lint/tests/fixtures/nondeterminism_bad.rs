@@ -1,0 +1,24 @@
+//! Fixture: ambient-entropy RNG construction in the simulation crate
+//! (linted as `crates/sim/src/spec.rs`). Every construction here defeats
+//! seed-replay: the same case seed would produce a different stream.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::OsRng;
+use rand::SeedableRng;
+
+fn sample_without_a_seed() -> u64 {
+    let mut ambient = rand::thread_rng();
+    let mut entropy = rand::rngs::StdRng::from_entropy();
+    ambient.next_u64() ^ entropy.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Even test-only ambient RNGs break replay: a failing sim test must
+    /// reproduce from its printed seed alone.
+    #[test]
+    fn flaky_by_construction() {
+        let _r = rand::thread_rng();
+    }
+}

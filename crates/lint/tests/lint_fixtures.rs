@@ -6,7 +6,7 @@
 
 use quill_lint::rules::{
     lint_source, lint_workspace, RULE_ALLOW_SYNTAX, RULE_CRATE_HYGIENE, RULE_GUARDED_TELEMETRY,
-    RULE_NO_PANIC, RULE_NO_WALL_CLOCK,
+    RULE_NO_NONDETERMINISM, RULE_NO_PANIC, RULE_NO_WALL_CLOCK,
 };
 use quill_lint::{Diagnostic, Severity};
 use std::path::Path;
@@ -97,6 +97,40 @@ fn l4_crate_hygiene_fires_on_bare_crate_root() {
     // A non-root file in the same crate carries no hygiene obligations.
     let diags = lint_source("crates/example/src/util.rs", &fixture("hygiene_bad.rs"));
     assert!(!rules(&diags).contains(&RULE_CRATE_HYGIENE), "{diags:?}");
+}
+
+#[test]
+fn l5_no_nondeterminism_fires_throughout_the_sim_crate() {
+    let diags = lint_source("crates/sim/src/spec.rs", &fixture("nondeterminism_bad.rs"));
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_NO_NONDETERMINISM)
+        .collect();
+    // OsRng import, thread_rng, from_entropy, and the cfg(test) thread_rng:
+    // unlike L1/L2, test items are NOT exempt in the sim crate.
+    assert_eq!(hits.len(), 4, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        hits.iter().any(|d| d.line > 15),
+        "cfg(test) construction not caught: {diags:?}"
+    );
+    // Sim test files are in scope too, not just src/.
+    let diags = lint_source(
+        "crates/sim/tests/differential.rs",
+        &fixture("nondeterminism_bad.rs"),
+    );
+    assert!(rules(&diags).contains(&RULE_NO_NONDETERMINISM), "{diags:?}");
+}
+
+#[test]
+fn l5_no_nondeterminism_is_scope_limited_to_sim() {
+    // The generator crate owns delay models and legitimately constructs RNGs
+    // from caller-provided state; the rule must stay silent there.
+    let diags = lint_source("crates/gen/src/delay.rs", &fixture("nondeterminism_bad.rs"));
+    assert!(
+        !rules(&diags).contains(&RULE_NO_NONDETERMINISM),
+        "{diags:?}"
+    );
 }
 
 #[test]

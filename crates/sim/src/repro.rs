@@ -1,0 +1,403 @@
+//! Self-contained failure reproducers.
+//!
+//! When the harness finds a mismatch it writes the (shrunk) case to a text
+//! file under `results/failures/`, replayable by the `quill-repro` binary in
+//! `quill-bench`. The format is line-oriented and hand-rolled, following the
+//! same conventions as `quill_gen::trace` (no serialization-format crate is
+//! in the approved dependency set):
+//!
+//! ```text
+//! quill-repro v1
+//! seed: 42
+//! check: oracle-values
+//! exec: sequential
+//! detail: window (0, 100) aggregate 0 ...
+//! window: sliding 100 30
+//! aggregates: sum@1,q:0.9@1
+//! key_field: 0
+//! strategy: fixedk:50
+//! events:
+//! <seq>\t<ts>\t<value>\t<value>...
+//! ```
+//!
+//! Values are type-tagged (`i:`, `f:`, `s:`, `b:`, or the bare `\N` null
+//! token) so an event line is self-describing; strings escape tabs,
+//! newlines and backslashes exactly like the trace format. Floats print via
+//! `{:?}` for round-trip precision.
+
+use std::path::{Path, PathBuf};
+
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::{Event, Row, Value, WindowSpec};
+
+use crate::harness::Mismatch;
+use crate::spec::{SimCase, StrategySpec};
+
+const MAGIC: &str = "quill-repro v1";
+const NULL_TOKEN: &str = "\\N";
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => NULL_TOKEN.to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => format!("f:{f:?}"),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Str(s) => format!("s:{}", escape(s)),
+    }
+}
+
+fn decode_value(tok: &str) -> Result<Value, String> {
+    if tok == NULL_TOKEN {
+        return Ok(Value::Null);
+    }
+    let (tag, body) = tok
+        .split_once(':')
+        .ok_or_else(|| format!("untagged value `{tok}`"))?;
+    Ok(match tag {
+        "i" => Value::Int(body.parse().map_err(|e| format!("bad int `{body}`: {e}"))?),
+        "f" => Value::Float(
+            body.parse()
+                .map_err(|e| format!("bad float `{body}`: {e}"))?,
+        ),
+        "b" => Value::Bool(
+            body.parse()
+                .map_err(|e| format!("bad bool `{body}`: {e}"))?,
+        ),
+        "s" => Value::str(unescape(body)),
+        other => return Err(format!("unknown value tag `{other}`")),
+    })
+}
+
+fn encode_kind(kind: &AggregateKind) -> String {
+    match kind {
+        AggregateKind::Count => "count".into(),
+        AggregateKind::Sum => "sum".into(),
+        AggregateKind::Mean => "mean".into(),
+        AggregateKind::Min => "min".into(),
+        AggregateKind::Max => "max".into(),
+        AggregateKind::StdDev => "stddev".into(),
+        AggregateKind::Variance => "variance".into(),
+        AggregateKind::Median => "median".into(),
+        AggregateKind::Quantile(p) => format!("q:{p:?}"),
+        AggregateKind::DistinctCount => "distinct".into(),
+        AggregateKind::First => "first".into(),
+        AggregateKind::Last => "last".into(),
+        AggregateKind::ArgMin(by) => format!("argmin:{by}"),
+        AggregateKind::ArgMax(by) => format!("argmax:{by}"),
+    }
+}
+
+fn decode_kind(s: &str) -> Result<AggregateKind, String> {
+    let (head, body) = match s.split_once(':') {
+        Some((h, b)) => (h, Some(b)),
+        None => (s, None),
+    };
+    let need = |what: &str| body.ok_or_else(|| format!("aggregate {head}: missing {what}"));
+    Ok(match head {
+        "count" => AggregateKind::Count,
+        "sum" => AggregateKind::Sum,
+        "mean" => AggregateKind::Mean,
+        "min" => AggregateKind::Min,
+        "max" => AggregateKind::Max,
+        "stddev" => AggregateKind::StdDev,
+        "variance" => AggregateKind::Variance,
+        "median" => AggregateKind::Median,
+        "q" => AggregateKind::Quantile(
+            need("quantile")?
+                .parse()
+                .map_err(|e| format!("bad quantile: {e}"))?,
+        ),
+        "distinct" => AggregateKind::DistinctCount,
+        "first" => AggregateKind::First,
+        "last" => AggregateKind::Last,
+        "argmin" => AggregateKind::ArgMin(
+            need("by-field")?
+                .parse()
+                .map_err(|e| format!("bad argmin field: {e}"))?,
+        ),
+        "argmax" => AggregateKind::ArgMax(
+            need("by-field")?
+                .parse()
+                .map_err(|e| format!("bad argmax field: {e}"))?,
+        ),
+        other => return Err(format!("unknown aggregate kind `{other}`")),
+    })
+}
+
+/// Serialize a case (and the mismatch that condemned it) to the v1 text
+/// reproducer format.
+pub fn encode_case(case: &SimCase, mismatch: &Mismatch) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("seed: {}\n", case.seed));
+    out.push_str(&format!("check: {}\n", mismatch.check));
+    out.push_str(&format!("exec: {}\n", mismatch.exec));
+    out.push_str(&format!("detail: {}\n", escape(&mismatch.detail)));
+    match case.window {
+        WindowSpec::Tumbling { length } => {
+            out.push_str(&format!("window: tumbling {}\n", length.raw()));
+        }
+        WindowSpec::Sliding { length, slide } => {
+            out.push_str(&format!(
+                "window: sliding {} {}\n",
+                length.raw(),
+                slide.raw()
+            ));
+        }
+    }
+    let aggs: Vec<String> = case
+        .aggregates
+        .iter()
+        .map(|a| format!("{}@{}", encode_kind(&a.kind), a.field))
+        .collect();
+    out.push_str(&format!("aggregates: {}\n", aggs.join(",")));
+    match case.key_field {
+        Some(f) => out.push_str(&format!("key_field: {f}\n")),
+        None => out.push_str("key_field: none\n"),
+    }
+    out.push_str(&format!("strategy: {}\n", case.strategy.encode()));
+    out.push_str("events:\n");
+    for e in &case.events {
+        out.push_str(&e.seq.to_string());
+        out.push('\t');
+        out.push_str(&e.ts.raw().to_string());
+        for v in e.row.values() {
+            out.push('\t');
+            out.push_str(&encode_value(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the reproducer format back into a replayable case.
+///
+/// # Errors
+/// Returns a description of the first malformed line.
+pub fn decode_case(text: &str) -> Result<SimCase, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l == MAGIC => {}
+        other => return Err(format!("bad magic: {other:?}")),
+    }
+    let mut header = |name: &str| -> Result<String, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("missing `{name}:` line"))?;
+        line.strip_prefix(&format!("{name}: "))
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected `{name}: `, got `{line}`"))
+    };
+    let seed: u64 = header("seed")?
+        .parse()
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let _check = header("check")?;
+    let _exec = header("exec")?;
+    let _detail = header("detail")?;
+    let window_line = header("window")?;
+    let window = {
+        let parts: Vec<&str> = window_line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["tumbling", len] => WindowSpec::tumbling(
+                len.parse::<u64>()
+                    .map_err(|e| format!("bad window length: {e}"))?,
+            ),
+            ["sliding", len, slide] => WindowSpec::sliding(
+                len.parse::<u64>()
+                    .map_err(|e| format!("bad window length: {e}"))?,
+                slide
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad window slide: {e}"))?,
+            ),
+            other => return Err(format!("bad window spec {other:?}")),
+        }
+    };
+    let aggregates: Vec<AggregateSpec> = header("aggregates")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .enumerate()
+        .map(|(i, part)| {
+            let (kind, field) = part
+                .rsplit_once('@')
+                .ok_or_else(|| format!("aggregate `{part}`: missing @field"))?;
+            Ok(AggregateSpec::new(
+                decode_kind(kind)?,
+                field
+                    .parse()
+                    .map_err(|e| format!("bad aggregate field: {e}"))?,
+                format!("a{i}"),
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    if aggregates.is_empty() {
+        return Err("no aggregates".into());
+    }
+    let key_field = match header("key_field")?.as_str() {
+        "none" => None,
+        f => Some(f.parse().map_err(|e| format!("bad key_field: {e}"))?),
+    };
+    let strategy = StrategySpec::parse(&header("strategy")?)?;
+    match lines.next() {
+        Some("events:") => {}
+        other => return Err(format!("expected `events:`, got {other:?}")),
+    }
+    let mut events = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split('\t');
+        let bad = |what: String| format!("event line {}: {what}", lineno + 1);
+        let seq: u64 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad seq".into()))?;
+        let ts: u64 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("bad ts".into()))?;
+        let vals: Vec<Value> = toks
+            .map(|t| decode_value(t).map_err(&bad))
+            .collect::<Result<_, String>>()?;
+        events.push(Event::new(ts, seq, Row::new(vals)));
+    }
+    if events.is_empty() {
+        return Err("no events".into());
+    }
+    Ok(SimCase {
+        seed,
+        window,
+        aggregates,
+        key_field,
+        strategy,
+        events,
+    })
+}
+
+/// Write a reproducer under `dir`, creating it as needed. Returns the path.
+///
+/// File writes here back a failing test; an unwritable failures directory is
+/// itself a configuration failure worth stopping for, hence the panics.
+pub fn write_reproducer(dir: &Path, case: &SimCase, mismatch: &Mismatch) -> PathBuf {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create failures dir {}: {e}", dir.display()));
+    let head = case.strategy.encode();
+    let head = head.split(':').next().unwrap_or("unknown");
+    let path = dir.join(format!("case-{}-{head}.repro", case.seed));
+    std::fs::write(&path, encode_case(case, mismatch))
+        .unwrap_or_else(|e| panic!("cannot write reproducer {}: {e}", path.display()));
+    path
+}
+
+/// Load a reproducer file.
+///
+/// # Errors
+/// Returns a description of the I/O or format problem.
+pub fn load_case(path: &Path) -> Result<SimCase, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    decode_case(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::sample_suite;
+
+    fn dummy_mismatch() -> Mismatch {
+        Mismatch {
+            check: "oracle-values".into(),
+            exec: "sequential".into(),
+            detail: "window (0, 100) key 3:\tengine 1.0 != oracle 2.0".into(),
+        }
+    }
+
+    #[test]
+    fn cases_round_trip_through_the_text_format() {
+        for case in sample_suite(11) {
+            let text = encode_case(&case, &dummy_mismatch());
+            let back = decode_case(&text).expect("decode");
+            assert_eq!(back.seed, case.seed);
+            assert_eq!(back.window, case.window);
+            assert_eq!(back.key_field, case.key_field);
+            assert_eq!(back.strategy, case.strategy);
+            assert_eq!(back.events.len(), case.events.len());
+            for (a, b) in case.events.iter().zip(&back.events) {
+                assert_eq!((a.ts, a.seq), (b.ts, b.seq));
+                assert_eq!(a.row.values(), b.row.values());
+            }
+            for (a, b) in case.aggregates.iter().zip(&back.aggregates) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.field, b.field);
+            }
+        }
+    }
+
+    #[test]
+    fn special_floats_and_strings_round_trip() {
+        let vals = vec![
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(-0.0),
+            Value::str("tab\tnewline\nback\\slash"),
+            Value::Null,
+            Value::Bool(true),
+        ];
+        for v in vals {
+            let got = decode_value(&encode_value(&v)).expect("decode");
+            match (&v, &got) {
+                (Value::Float(a), Value::Float(b)) => {
+                    assert!(a.to_bits() == b.to_bits(), "{a:?} vs {b:?}");
+                }
+                _ => assert_eq!(v, got),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_with_context() {
+        assert!(decode_case("quill-repro v1\nseed: 1\n").is_err());
+        assert!(decode_case("not a repro").is_err());
+    }
+
+    #[test]
+    fn write_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("quill-sim-repro-test");
+        let case = sample_suite(5).remove(0);
+        let path = write_reproducer(&dir, &case, &dummy_mismatch());
+        let back = load_case(&path).expect("load");
+        assert_eq!(back.events.len(), case.events.len());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,426 @@
+//! Seeded random simulation-case generation.
+//!
+//! A [`SimCase`] bundles everything one differential check needs: the query
+//! shape (window, aggregates, keying), the disorder-control strategy, and the
+//! exact event vector — already perturbed by the adversarial mutators from
+//! `quill_gen::mutate`. Cases are sampled through the vendored `proptest`
+//! strategies from a single [`proptest::TestRng`], so a seed fully determines
+//! the case and a failing seed replays bit-for-bit.
+
+use proptest::{prop_oneof, BoxedStrategy, Just, Strategy, TestRng};
+use quill_core::prelude::{
+    AqConfig, AqKSlack, DisorderControl, DropAll, FixedKSlack, MpKSlack, OracleBuffer,
+    PunctuatedBuffer, QuerySpec,
+};
+use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+use quill_engine::prelude::{Event, FieldType, Row, Schema, Timestamp, Value, WindowSpec};
+use quill_gen::arrival::ConstantRate;
+use quill_gen::delay::{Constant, DelayModel, Exponential, Pareto, UniformDelay};
+use quill_gen::mutate::{self, Mutator};
+use quill_gen::source;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which disorder-control strategy a case runs, with its parameters — a
+/// plain-data mirror of the `quill-core` strategy constructors so cases can
+/// be encoded into reproducer files and rebuilt from them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategySpec {
+    /// `DropAll`: K = 0, maximal loss, minimal latency.
+    DropAll,
+    /// `FixedKSlack` with the given K.
+    FixedK(u64),
+    /// `MpKSlack`, unbounded.
+    Mp,
+    /// `MpKSlack::bounded` with the given cap.
+    MpBounded(u64),
+    /// `AqKSlack::for_completeness` with the given target (always < 1.0).
+    AqCompleteness(f64),
+    /// `AqKSlack` with a max-relative-error target on aggregate 0.
+    AqError(f64),
+    /// `OracleBuffer`: full buffering, zero loss.
+    Oracle,
+    /// `PunctuatedBuffer` over per-source progress punctuation.
+    Punctuated {
+        /// Row field carrying the source id.
+        source_field: usize,
+        /// Number of distinct sources expected.
+        expected_sources: usize,
+        /// Per-source slack added below the joint watermark.
+        slack: u64,
+    },
+}
+
+impl StrategySpec {
+    /// Construct the live strategy this spec describes.
+    pub fn build(&self) -> Box<dyn DisorderControl> {
+        match *self {
+            StrategySpec::DropAll => Box::new(DropAll::new()),
+            StrategySpec::FixedK(k) => Box::new(FixedKSlack::new(k)),
+            StrategySpec::Mp => Box::new(MpKSlack::new()),
+            StrategySpec::MpBounded(cap) => Box::new(MpKSlack::bounded(cap)),
+            StrategySpec::AqCompleteness(q) => Box::new(AqKSlack::for_completeness(q)),
+            StrategySpec::AqError(eps) => Box::new(AqKSlack::new(AqConfig::max_rel_error(eps, 0))),
+            StrategySpec::Oracle => Box::new(OracleBuffer::new()),
+            StrategySpec::Punctuated {
+                source_field,
+                expected_sources,
+                slack,
+            } => Box::new(
+                PunctuatedBuffer::new(source_field, expected_sources).with_source_slack(slack),
+            ),
+        }
+    }
+
+    /// Compact reversible text form, used in reproducer files.
+    pub fn encode(&self) -> String {
+        match self {
+            StrategySpec::DropAll => "dropall".into(),
+            StrategySpec::FixedK(k) => format!("fixedk:{k}"),
+            StrategySpec::Mp => "mp".into(),
+            StrategySpec::MpBounded(cap) => format!("mpcap:{cap}"),
+            StrategySpec::AqCompleteness(q) => format!("aqc:{q:?}"),
+            StrategySpec::AqError(eps) => format!("aqe:{eps:?}"),
+            StrategySpec::Oracle => "oracle".into(),
+            StrategySpec::Punctuated {
+                source_field,
+                expected_sources,
+                slack,
+            } => format!("punct:{source_field}:{expected_sources}:{slack}"),
+        }
+    }
+
+    /// Parse the [`StrategySpec::encode`] form back.
+    ///
+    /// # Errors
+    /// Returns a description of the malformed field.
+    pub fn parse(s: &str) -> Result<StrategySpec, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let mut num = |what: &str| -> Result<String, String> {
+            parts
+                .next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("strategy {head}: missing {what}"))
+        };
+        let parsed = match head {
+            "dropall" => StrategySpec::DropAll,
+            "fixedk" => {
+                StrategySpec::FixedK(num("k")?.parse().map_err(|e| format!("fixedk k: {e}"))?)
+            }
+            "mp" => StrategySpec::Mp,
+            "mpcap" => {
+                StrategySpec::MpBounded(num("cap")?.parse().map_err(|e| format!("mpcap cap: {e}"))?)
+            }
+            "aqc" => {
+                StrategySpec::AqCompleteness(num("q")?.parse().map_err(|e| format!("aqc q: {e}"))?)
+            }
+            "aqe" => {
+                StrategySpec::AqError(num("eps")?.parse().map_err(|e| format!("aqe eps: {e}"))?)
+            }
+            "oracle" => StrategySpec::Oracle,
+            "punct" => StrategySpec::Punctuated {
+                source_field: num("source_field")?
+                    .parse()
+                    .map_err(|e| format!("punct source_field: {e}"))?,
+                expected_sources: num("expected_sources")?
+                    .parse()
+                    .map_err(|e| format!("punct expected_sources: {e}"))?,
+                slack: num("slack")?
+                    .parse()
+                    .map_err(|e| format!("punct slack: {e}"))?,
+            },
+            other => return Err(format!("unknown strategy {other:?}")),
+        };
+        Ok(parsed)
+    }
+}
+
+/// One self-contained differential test case.
+#[derive(Debug, Clone)]
+pub struct SimCase {
+    /// Seed of the suite this case came from (0 for hand-built cases).
+    pub seed: u64,
+    /// Window shape.
+    pub window: WindowSpec,
+    /// Aggregates, all over field 1 (`ArgMin`/`ArgMax` rank by field 2).
+    pub aggregates: Vec<AggregateSpec>,
+    /// Grouping field, if keyed.
+    pub key_field: Option<usize>,
+    /// Disorder-control strategy under test.
+    pub strategy: StrategySpec,
+    /// The exact (already mutated) event vector.
+    pub events: Vec<Event>,
+}
+
+impl SimCase {
+    /// The query this case executes.
+    pub fn query(&self) -> QuerySpec {
+        QuerySpec::new(self.window, self.aggregates.clone(), self.key_field)
+    }
+}
+
+/// Strategy over all 14 aggregate kinds (quantiles and arg-extremes
+/// parameterized).
+pub fn arb_aggregate() -> BoxedStrategy<AggregateKind> {
+    prop_oneof![
+        Just(AggregateKind::Count),
+        Just(AggregateKind::Sum),
+        Just(AggregateKind::Mean),
+        Just(AggregateKind::Min),
+        Just(AggregateKind::Max),
+        Just(AggregateKind::StdDev),
+        Just(AggregateKind::Variance),
+        Just(AggregateKind::Median),
+        (1u32..100u32).prop_map(|p| AggregateKind::Quantile(f64::from(p) / 100.0)),
+        Just(AggregateKind::DistinctCount),
+        Just(AggregateKind::First),
+        Just(AggregateKind::Last),
+        Just(AggregateKind::ArgMin(2)),
+        Just(AggregateKind::ArgMax(2)),
+    ]
+    .boxed()
+}
+
+/// Strategy over window shapes: tumbling, aligned sliding, and sliding with
+/// a slide that does not divide the length (pane-misaligned).
+pub fn arb_window() -> BoxedStrategy<WindowSpec> {
+    prop_oneof![
+        (2u64..=40u64).prop_map(|w| WindowSpec::tumbling(w * 10)),
+        (1u64..=8u64, 2u64..=6u64).prop_map(|(s, m)| WindowSpec::sliding(s * 10 * m, s * 10)),
+        (7u64..=40u64, 1u64..=3u64, 1u64..=6u64)
+            .prop_map(|(slide, m, off)| WindowSpec::sliding(slide * m + off.min(slide - 1), slide)),
+    ]
+    .boxed()
+}
+
+/// How the generated stream's transport delay behaves before mutation.
+#[derive(Debug, Clone, Copy)]
+enum DelayChoice {
+    InOrder,
+    Uniform(u64),
+    Exponential(u64),
+    Pareto(u64),
+}
+
+impl DelayChoice {
+    fn model(self) -> Box<dyn DelayModel> {
+        match self {
+            DelayChoice::InOrder => Box::new(Constant(0)),
+            DelayChoice::Uniform(hi) => Box::new(UniformDelay { lo: 0, hi }),
+            DelayChoice::Exponential(mean) => Box::new(Exponential { mean: mean as f64 }),
+            DelayChoice::Pareto(scale) => Box::new(Pareto {
+                scale: scale as f64,
+                shape: 1.5,
+            }),
+        }
+    }
+}
+
+const MUTATOR_COUNT: u32 = 7;
+
+/// The adversarial mutators selected by `mask` (one bit each), with fixed
+/// moderate parameters; `keys` bounds the hot key for `KeySkew`.
+fn mutators_for(mask: u8, keys: i64) -> Vec<Box<dyn Mutator>> {
+    let mut out: Vec<Box<dyn Mutator>> = Vec::new();
+    if mask & 1 != 0 {
+        out.push(Box::new(mutate::Duplicate { fraction: 0.05 }));
+    }
+    if mask & 2 != 0 {
+        out.push(Box::new(mutate::Straggler { fraction: 0.03 }));
+    }
+    if mask & 4 != 0 {
+        out.push(Box::new(mutate::ClockSurge));
+    }
+    if mask & 8 != 0 {
+        out.push(Box::new(mutate::Dropout { fraction: 0.05 }));
+    }
+    if mask & 16 != 0 {
+        out.push(Box::new(mutate::Burst {
+            bursts: 3,
+            max_len: 12,
+        }));
+    }
+    if mask & 32 != 0 {
+        out.push(Box::new(mutate::KeySkew {
+            field: 0,
+            hot_key: keys - 1,
+            fraction: 0.4,
+        }));
+    }
+    if mask & 64 != 0 {
+        out.push(Box::new(mutate::TieCluster { quantum: 10 }));
+    }
+    out
+}
+
+/// Build the shared event vector for a suite: a seeded generated stream with
+/// `[Int(source/key), Float(v), Float(w)]` rows, then the selected mutators.
+fn build_events(
+    n: usize,
+    period: u64,
+    keys: i64,
+    delay: DelayChoice,
+    mutator_mask: u8,
+    stream_seed: u64,
+) -> Vec<Event> {
+    let schema = Schema::new([
+        ("source", FieldType::Int),
+        ("v", FieldType::Float),
+        ("w", FieldType::Float),
+    ])
+    .expect("static schema");
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+    let mut arrival = ConstantRate { period };
+    let mut delay_model = delay.model();
+    let mut stream = source::build_stream(
+        schema,
+        n,
+        Timestamp(0),
+        &mut arrival,
+        delay_model.as_mut(),
+        &mut rng,
+        |r, _ts, _i| {
+            use rand::Rng;
+            Row::new([
+                Value::Int(r.gen_range(0..keys.max(1))),
+                Value::Float(r.gen_range(0.0..100.0)),
+                Value::Float(r.gen_range(-50.0..50.0)),
+            ])
+        },
+    );
+    let muts = mutators_for(mutator_mask, keys.max(1));
+    mutate::apply_all(&mut stream.events, &muts, &mut rng);
+    stream.events
+}
+
+/// Sample one suite for `seed`: a shared query shape and mutated stream,
+/// expanded into one [`SimCase`] per strategy family so every seed exercises
+/// every strategy kind over identical input.
+pub fn sample_suite(seed: u64) -> Vec<SimCase> {
+    let mut rng = TestRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    let keys = (1i64..=6i64).sample(&mut rng);
+    let key_field = if (0u8..=2u8).sample(&mut rng) > 0 {
+        Some(0)
+    } else {
+        None
+    };
+    let window = arb_window().sample(&mut rng);
+    let agg = arb_aggregate();
+    let n_aggs = (1usize..=4usize).sample(&mut rng);
+    let aggregates: Vec<AggregateSpec> = (0..n_aggs)
+        .map(|i| AggregateSpec::new(agg.sample(&mut rng), 1, format!("a{i}")))
+        .collect();
+
+    let n = (120usize..=360usize).sample(&mut rng);
+    let period = *[1u64, 5, 10]
+        .get((0usize..=2usize).sample(&mut rng))
+        .expect("period index in range");
+    let delay = match (0u8..=3u8).sample(&mut rng) {
+        0 => DelayChoice::InOrder,
+        1 => DelayChoice::Uniform((1u64..=40u64).sample(&mut rng) * period.max(1)),
+        2 => DelayChoice::Exponential((1u64..=15u64).sample(&mut rng) * period.max(1)),
+        _ => DelayChoice::Pareto((1u64..=8u64).sample(&mut rng) * period.max(1)),
+    };
+    let mutator_mask = (0u8..(1u8 << MUTATOR_COUNT)).sample(&mut rng);
+    let stream_seed = rng.next_u64();
+    let events = build_events(n, period, keys, delay, mutator_mask, stream_seed);
+
+    let strategies = vec![
+        StrategySpec::DropAll,
+        StrategySpec::FixedK((0u64..=600u64).sample(&mut rng)),
+        StrategySpec::Mp,
+        StrategySpec::MpBounded((10u64..=400u64).sample(&mut rng)),
+        StrategySpec::AqCompleteness((80u32..=99u32).sample(&mut rng) as f64 / 100.0),
+        StrategySpec::AqError((1u32..=10u32).sample(&mut rng) as f64 / 100.0),
+        StrategySpec::Oracle,
+        StrategySpec::Punctuated {
+            source_field: 0,
+            expected_sources: keys.max(1) as usize,
+            slack: (0u64..=200u64).sample(&mut rng),
+        },
+    ];
+
+    strategies
+        .into_iter()
+        .map(|strategy| SimCase {
+            seed,
+            window,
+            aggregates: aggregates.clone(),
+            key_field,
+            strategy,
+            events: events.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_seed_deterministic() {
+        let a = sample_suite(42);
+        let b = sample_suite(42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.strategy, y.strategy);
+            assert_eq!(x.events.len(), y.events.len());
+            assert_eq!(x.window, y.window);
+            for (e, f) in x.events.iter().zip(&y.events) {
+                assert_eq!((e.ts, e.seq), (f.ts, f.seq));
+                assert_eq!(e.row.values(), f.row.values());
+            }
+        }
+    }
+
+    #[test]
+    fn every_strategy_family_appears_once_per_suite() {
+        let suite = sample_suite(7);
+        assert_eq!(suite.len(), 8);
+        let heads: Vec<String> = suite
+            .iter()
+            .map(|c| c.strategy.encode().split(':').next().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            heads,
+            ["dropall", "fixedk", "mp", "mpcap", "aqc", "aqe", "oracle", "punct"]
+        );
+    }
+
+    #[test]
+    fn strategy_specs_round_trip_through_encode() {
+        let specs = vec![
+            StrategySpec::DropAll,
+            StrategySpec::FixedK(123),
+            StrategySpec::Mp,
+            StrategySpec::MpBounded(456),
+            StrategySpec::AqCompleteness(0.93),
+            StrategySpec::AqError(0.07),
+            StrategySpec::Oracle,
+            StrategySpec::Punctuated {
+                source_field: 0,
+                expected_sources: 4,
+                slack: 50,
+            },
+        ];
+        for s in specs {
+            assert_eq!(StrategySpec::parse(&s.encode()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = sample_suite(1);
+        let b = sample_suite(2);
+        let differs = a[0].events.len() != b[0].events.len()
+            || a[0].window != b[0].window
+            || a[0]
+                .events
+                .iter()
+                .zip(&b[0].events)
+                .any(|(x, y)| x.ts != y.ts);
+        assert!(differs);
+    }
+}

@@ -1,0 +1,49 @@
+//! Differential soak: every strategy/executor pair vs. the naive oracle.
+//!
+//! Runs `QUILL_SIM_CASES` seeds (default 8; CI runs 64) through the full
+//! [`quill_sim::harness::check_case`] battery. Each seed expands into one
+//! case per strategy family over a shared adversarially-mutated stream. On
+//! the first mismatch the case is shrunk, written to `results/failures/`,
+//! and the test fails with the reproducer path — replay it with
+//! `cargo run -p quill-bench --bin quill-repro -- <path>`.
+
+use std::path::PathBuf;
+
+use quill_sim::harness::{run_seed, CaseStats};
+
+fn failures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join("failures")
+}
+
+#[test]
+fn every_strategy_executor_pair_matches_the_oracle() {
+    let seeds: u64 = std::env::var("QUILL_SIM_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let dir = failures_dir();
+    let mut total = CaseStats::default();
+    for seed in 0..seeds {
+        match run_seed(seed, &dir) {
+            Ok(stats) => total.absorb(stats),
+            Err((path, mismatch)) => panic!(
+                "seed {seed} diverged from the oracle: {mismatch}\n\
+                 reproducer written to {}\n\
+                 replay: cargo run -p quill-bench --bin quill-repro -- {}",
+                path.display(),
+                path.display()
+            ),
+        }
+    }
+    assert!(
+        total.windows_checked > 0,
+        "soak ran {seeds} seeds but compared no windows"
+    );
+    eprintln!(
+        "quill-sim: {seeds} seeds, {} executions, {} windows checked, zero mismatches",
+        total.executions, total.windows_checked
+    );
+}

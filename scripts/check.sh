@@ -22,4 +22,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Differential simulation soak: QUILL_SIM_CASES seeds through the full
+# strategy × executor sweep against the naive oracle. Scale the seed count
+# up for a longer soak, e.g. QUILL_SIM_CASES=256 ./scripts/check.sh.
+echo "==> quill-sim differential soak (QUILL_SIM_CASES=${QUILL_SIM_CASES:-16})"
+QUILL_SIM_CASES="${QUILL_SIM_CASES:-16}" \
+    cargo test --release -q -p quill-sim --test differential
+
 echo "All checks passed."

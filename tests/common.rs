@@ -1,53 +1,12 @@
 //! Shared helpers for quill integration tests.
+//!
+//! The actual bodies live in [`quill_sim::support`] so the simulation
+//! harness and the integration tests exercise exactly the same streams,
+//! queries, and strategy roster; this module only re-exports them under the
+//! historical `quill_integration` paths.
 
 #![forbid(unsafe_code)]
 
-use quill_core::prelude::*;
-use quill_engine::aggregate::{AggregateKind, AggregateSpec};
-use quill_engine::prelude::{Event, Row, Value, WindowSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A controlled disordered stream: events every `period`, uniform delays in
-/// `[0, max_delay]`, payload = f64(ts).
-pub fn uniform_disordered(n: u64, period: u64, max_delay: u64, seed: u64) -> Vec<Event> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut arrivals: Vec<(u64, u64)> = (0..n)
-        .map(|i| {
-            let ts = i * period;
-            (ts + rng.gen_range(0..=max_delay), ts)
-        })
-        .collect();
-    arrivals.sort();
-    arrivals
-        .into_iter()
-        .enumerate()
-        .map(|(seq, (_, ts))| Event::new(ts, seq as u64, Row::new([Value::Float(ts as f64)])))
-        .collect()
-}
-
-/// The standard test query: global mean over tumbling windows.
-pub fn mean_query(window: u64) -> QuerySpec {
-    QuerySpec::new(
-        WindowSpec::tumbling(window),
-        vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
-        None,
-    )
-}
-
-/// Multi-aggregate query exercising constant-space and order-statistic
-/// aggregates together.
-pub fn rich_query(window: u64) -> QuerySpec {
-    QuerySpec::new(
-        WindowSpec::sliding(window, window / 2),
-        vec![
-            AggregateSpec::new(AggregateKind::Count, 0, "n"),
-            AggregateSpec::new(AggregateKind::Sum, 0, "sum"),
-            AggregateSpec::new(AggregateKind::Median, 0, "median"),
-            AggregateSpec::new(AggregateKind::Quantile(0.9), 0, "p90"),
-            AggregateSpec::new(AggregateKind::Min, 0, "min"),
-            AggregateSpec::new(AggregateKind::Max, 0, "max"),
-        ],
-        None,
-    )
-}
+pub use quill_sim::support::{
+    all_strategies, drive, mean_query, rich_query, tuple_completeness, uniform_disordered,
+};

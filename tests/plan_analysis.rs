@@ -128,6 +128,145 @@ fn shared_run_rejects_when_any_query_is_infeasible() {
     );
 }
 
+/// Every non-fatal analyzer finding: one case per warn/advice rule, each
+/// asserting both the finding code on the run output and that execution
+/// proceeded (the full stream was processed despite the finding).
+mod warn_and_advice_paths {
+    use super::*;
+
+    fn run_with(
+        query: &QuerySpec,
+        strategy: &mut dyn DisorderControl,
+        opts: &ExecOptions,
+    ) -> RunOutput {
+        let events = uniform_disordered(500, 10, 100, 21);
+        let out = execute(&events, strategy, query, opts).expect("plan must not be denied");
+        assert_eq!(out.events, 500, "execution did not process the full stream");
+        out
+    }
+
+    fn assert_finding(out: &RunOutput, rule: &str, severity: PlanSeverity) {
+        let found = out.plan.iter().find(|d| d.rule == rule);
+        let Some(d) = found else {
+            panic!("expected finding {rule}, got {:?}", out.plan);
+        };
+        assert_eq!(d.severity, severity, "{d:?}");
+        assert!(!d.help.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pane_misaligned_sliding_window_warns() {
+        let query = QuerySpec::new(
+            WindowSpec::sliding(100u64, 30u64),
+            vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
+            None,
+        );
+        let out = run_with(&query, &mut OracleBuffer::new(), &ExecOptions::sequential());
+        assert_finding(&out, "plan.window.pane-alignment", PlanSeverity::Warn);
+    }
+
+    #[test]
+    fn high_fanout_sliding_window_advises() {
+        let query = QuerySpec::new(
+            WindowSpec::sliding(6_400u64, 100u64),
+            vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
+            None,
+        );
+        let out = run_with(
+            &query,
+            &mut MpKSlack::bounded(500u64),
+            &ExecOptions::sequential(),
+        );
+        assert_finding(&out, "plan.window.fanout", PlanSeverity::Advice);
+    }
+
+    #[test]
+    fn non_combinable_aggregate_on_sliding_window_warns() {
+        let query = QuerySpec::new(
+            WindowSpec::sliding(100u64, 50u64),
+            vec![AggregateSpec::new(AggregateKind::Median, 0, "median")],
+            None,
+        );
+        let out = run_with(
+            &query,
+            &mut MpKSlack::bounded(500u64),
+            &ExecOptions::sequential(),
+        );
+        assert_finding(&out, "plan.aggregate.fold-path", PlanSeverity::Warn);
+    }
+
+    #[test]
+    fn zero_slack_with_sub_one_target_warns_at_risk() {
+        let opts = ExecOptions::sequential()
+            .with_delay_profile(DelayProfile::Bounded { max_delay: 100 })
+            .with_required_completeness(0.9)
+            .with_trace(&FlightRecorder::new(64));
+        let out = run_with(&mean_query(100), &mut DropAll::new(), &opts);
+        assert_finding(&out, "plan.quality.at-risk", PlanSeverity::Warn);
+    }
+
+    #[test]
+    fn uncapped_mp_under_unbounded_delays_warns() {
+        let opts = ExecOptions::sequential().with_delay_profile(DelayProfile::Unbounded);
+        let out = run_with(&mean_query(100), &mut MpKSlack::new(), &opts);
+        assert_finding(&out, "plan.strategy.unbounded-k", PlanSeverity::Warn);
+    }
+
+    #[test]
+    fn oracle_buffer_advises_offline_only() {
+        let out = run_with(
+            &mean_query(100),
+            &mut OracleBuffer::new(),
+            &ExecOptions::sequential(),
+        );
+        assert_finding(&out, "plan.strategy.oracle-offline", PlanSeverity::Advice);
+    }
+
+    #[test]
+    fn unkeyed_parallel_run_warns() {
+        let out = run_with(
+            &mean_query(100),
+            &mut MpKSlack::bounded(500u64),
+            &ExecOptions::parallel(ParallelConfig::new(4)),
+        );
+        assert_finding(&out, "plan.parallel.unkeyed", PlanSeverity::Warn);
+    }
+
+    #[test]
+    fn more_shards_than_keys_warns() {
+        let query = QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
+            Some(0),
+        );
+        let opts = ExecOptions::parallel(ParallelConfig::new(8)).with_expected_keys(2);
+        let out = run_with(&query, &mut MpKSlack::bounded(500u64), &opts);
+        assert_finding(&out, "plan.parallel.shards-vs-keys", PlanSeverity::Warn);
+    }
+
+    #[test]
+    fn completeness_target_without_trace_warns() {
+        let opts = ExecOptions::sequential().with_required_completeness(0.9);
+        let out = run_with(&mean_query(100), &mut MpKSlack::bounded(500u64), &opts);
+        assert_finding(
+            &out,
+            "plan.options.completeness-without-trace",
+            PlanSeverity::Warn,
+        );
+    }
+
+    #[test]
+    fn snapshots_without_telemetry_warn() {
+        let opts = ExecOptions::sequential().with_snapshot_every(64);
+        let out = run_with(&mean_query(100), &mut MpKSlack::bounded(500u64), &opts);
+        assert_finding(
+            &out,
+            "plan.options.snapshot-without-telemetry",
+            PlanSeverity::Warn,
+        );
+    }
+}
+
 /// Plan diagnostics flow end-to-end into the `quill-inspect` renderer.
 #[test]
 fn plan_diagnostics_render_through_inspect() {

@@ -4,22 +4,12 @@
 //! load-bearing claims of the reconstruction (DESIGN.md §4 invariants).
 
 use quill_core::prelude::*;
-use quill_engine::aggregate::{AggregateKind, AggregateSpec};
-use quill_engine::prelude::WindowSpec;
 use quill_gen::source::GeneratedStream;
 use quill_gen::workload::synthetic;
+use quill_integration::{mean_query, tuple_completeness};
 
 fn query() -> QuerySpec {
-    QuerySpec::new(
-        WindowSpec::tumbling(1_000u64),
-        vec![AggregateSpec::new(AggregateKind::Mean, 0, "mean")],
-        None,
-    )
-}
-
-fn tuple_completeness(out: &RunOutput) -> f64 {
-    let total = out.buffer.released + out.buffer.late_passed;
-    1.0 - out.buffer.late_passed as f64 / total.max(1) as f64
+    mean_query(1_000)
 }
 
 fn check_target(stream: &GeneratedStream, q: f64, tolerance: f64, label: &str) {

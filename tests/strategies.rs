@@ -4,30 +4,7 @@
 
 use quill_core::prelude::*;
 use quill_gen::workload::standard_suite;
-use quill_integration::{mean_query, uniform_disordered};
-
-fn all_strategies() -> Vec<Box<dyn DisorderControl>> {
-    vec![
-        Box::new(DropAll::new()),
-        Box::new(FixedKSlack::new(50u64)),
-        Box::new(FixedKSlack::new(2_000u64)),
-        Box::new(MpKSlack::new()),
-        Box::new(MpKSlack::bounded(500u64)),
-        Box::new(AqKSlack::for_completeness(0.9)),
-        Box::new(AqKSlack::new(AqConfig::max_rel_error(0.05, 0))),
-        Box::new(OracleBuffer::new()),
-    ]
-}
-
-/// Drive a strategy over events, collecting its raw element output.
-fn drive(s: &mut dyn DisorderControl, events: &[Event]) -> Vec<StreamElement> {
-    let mut out = Vec::new();
-    for e in events {
-        s.on_event(e.clone(), &mut out);
-    }
-    s.finish(&mut out);
-    out
-}
+use quill_integration::{all_strategies, drive, mean_query, uniform_disordered};
 
 #[test]
 fn every_strategy_preserves_every_event_exactly_once() {
