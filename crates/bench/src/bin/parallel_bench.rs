@@ -14,13 +14,28 @@
 //!   time through an unbounded channel, and a global `sort_by` that
 //!   re-parses the row and allocates a `String` key on *every comparison*;
 //! * an in-process sequential reference (one operator, one `process` call
-//!   per element) for context; and
+//!   per element) for context;
 //! * the batched parallel executor across shards {1, 2, 4, 8} × batch sizes
-//!   {1, 256, 1024}.
+//!   {1, 256, 1024} — `shards=1` exercises the single-shard bypass (no
+//!   channels or threads), including the former `shards=1, batch=1`
+//!   pathology; and
+//! * an end-to-end `execute()` pair on a disordered stream: shard-local
+//!   window finalization (the default) against legacy global staging.
+//!
+//! Every timed section reports **min / median / max events/sec across
+//! `--repeat` runs** (input cloning happens outside the timed region), and
+//! the JSON records `host.cpus_online` so scaling numbers are interpreted
+//! against the parallelism actually available: on a single-core host all
+//! shard counts compete for one CPU and wall-clock speedup from sharding is
+//! not expected.
 //!
 //! Writes `results/BENCH_parallel.json` so the perf trajectory is
 //! machine-readable PR-over-PR, and prints a human summary.
 
+use quill_core::prelude::{
+    execute, AggregateKind as CoreAggregateKind, Event as CoreEvent, ExecOptions, FixedKSlack,
+    QuerySpec, Row as CoreRow, Value as CoreValue, WindowSpec as CoreWindowSpec,
+};
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
 use quill_engine::parallel::{
@@ -58,6 +73,32 @@ fn keyed_stream(n: u64, keys: i64) -> Vec<StreamElement> {
         .collect();
     v.push(StreamElement::Flush);
     v
+}
+
+/// Disordered keyed events for the end-to-end `execute()` comparison:
+/// deterministic arrival jitter over a `ts = 5i` spine, sorted by arrival.
+fn disordered_events(n: u64, keys: i64) -> Vec<CoreEvent> {
+    let mut arrivals: Vec<(u64, u64, i64)> = (0..n)
+        .map(|i| {
+            (
+                i * 5 + (i.wrapping_mul(7919)) % 150,
+                i * 5,
+                (i as i64) % keys,
+            )
+        })
+        .collect();
+    arrivals.sort_unstable();
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (_, ts, k))| {
+            CoreEvent::new(
+                ts,
+                seq as u64,
+                CoreRow::new([CoreValue::Int(k), CoreValue::Float((ts % 97) as f64)]),
+            )
+        })
+        .collect()
 }
 
 /// The seed's keyed-parallel executor, reproduced verbatim as the
@@ -133,17 +174,51 @@ fn seed_single_event_parallel(
     out.into_iter().map(|(_, el)| el).collect()
 }
 
-/// Best-of-`repeat` wall seconds for one run of `f`.
-fn time_best(repeat: usize, mut f: impl FnMut() -> usize) -> f64 {
-    let mut best = f64::INFINITY;
+/// Wall seconds across `repeat` runs. `prep` runs *outside* the timed
+/// region (input clones and other setup must not pollute the measurement);
+/// `run` consumes its output and is what gets timed.
+struct TimeStats {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+fn time_stats<T>(
+    repeat: usize,
+    mut prep: impl FnMut() -> T,
+    mut run: impl FnMut(T) -> usize,
+) -> TimeStats {
+    let mut secs = Vec::with_capacity(repeat.max(1));
     let mut sink = 0usize;
     for _ in 0..repeat.max(1) {
+        let prepared = prep();
         let t = Instant::now();
-        sink = sink.wrapping_add(f());
-        best = best.min(t.elapsed().as_secs_f64());
+        sink = sink.wrapping_add(run(prepared));
+        secs.push(t.elapsed().as_secs_f64());
     }
     assert!(sink != usize::MAX, "keep the result observable");
-    best
+    secs.sort_by(f64::total_cmp);
+    TimeStats {
+        min: secs[0],
+        median: secs[secs.len() / 2],
+        max: secs[secs.len() - 1],
+    }
+}
+
+/// Events/sec summary of a [`TimeStats`]: fastest run gives the max rate.
+struct EpsStats {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+fn eps_stats(events: u64, t: &TimeStats) -> EpsStats {
+    let n = events as f64;
+    EpsStats {
+        min: n / t.max,
+        median: n / t.median,
+        max: n / t.min,
+    }
 }
 
 struct Args {
@@ -204,91 +279,173 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::FAILURE;
         }
     };
+    let cpus_online = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host: {cpus_online} cpu(s) online{}",
+        if cpus_online == 1 {
+            " — shard counts compete for one core; no wall-clock scaling expected"
+        } else {
+            ""
+        }
+    );
     let input = keyed_stream(args.events, args.keys);
-    let eps = |secs: f64| args.events as f64 / secs;
+    let eps = |t: &TimeStats| eps_stats(args.events, t);
 
     // Acceptance baseline: the seed's single-event keyed-parallel executor
     // at 4 shards.
-    let seed_secs = time_best(args.repeat, || {
-        seed_single_event_parallel(input.clone(), 0, 4, make_op).len()
-    });
-    let seed_eps = eps(seed_secs);
-    println!("seed single-event path (4 shards): {seed_eps:>12.0} events/s");
+    let seed = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| seed_single_event_parallel(inp, 0, 4, make_op).len(),
+    ));
+    println!(
+        "seed single-event path (4 shards): {:>12.0} events/s (min {:.0}, max {:.0})",
+        seed.median, seed.min, seed.max
+    );
 
     // In-process sequential reference, for context.
-    let seq_secs = time_best(args.repeat, || {
-        let mut op = make_op();
-        let mut c = 0usize;
-        for el in &input {
-            op.process(el.clone(), &mut |_| c += 1);
-        }
-        c
-    });
-    let seq_eps = eps(seq_secs);
-    println!("sequential in-process reference:   {seq_eps:>12.0} events/s");
+    let seq = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| {
+            let mut op = make_op();
+            let mut c = 0usize;
+            for el in inp {
+                op.process(el, &mut |_| c += 1);
+            }
+            c
+        },
+    ));
+    println!(
+        "sequential in-process reference:   {:>12.0} events/s (min {:.0}, max {:.0})",
+        seq.median, seq.min, seq.max
+    );
 
     let mut rows = Vec::new();
     let mut best_4shard = 0.0f64;
+    let mut best_1shard = 0.0f64;
+    let mut best_8shard = 0.0f64;
     for shards in [1usize, 2, 4, 8] {
         for batch in [1usize, 256, 1024] {
-            let secs = time_best(args.repeat, || {
-                run_keyed_parallel_with(
-                    input.clone(),
-                    0,
-                    ParallelConfig::new(shards).with_batch_size(batch),
-                    make_op,
-                )
-                .expect("parallel run")
-                .0
-                .len()
-            });
-            let e = eps(secs);
-            if shards == 4 {
-                best_4shard = best_4shard.max(e);
+            let e = eps(&time_stats(
+                args.repeat,
+                || input.clone(),
+                |inp| {
+                    run_keyed_parallel_with(
+                        inp,
+                        0,
+                        ParallelConfig::new(shards).with_batch_size(batch),
+                        make_op,
+                    )
+                    .expect("parallel run")
+                    .0
+                    .len()
+                },
+            ));
+            match shards {
+                1 => best_1shard = best_1shard.max(e.median),
+                4 => best_4shard = best_4shard.max(e.median),
+                8 => best_8shard = best_8shard.max(e.median),
+                _ => {}
             }
             println!(
-                "shards={shards} batch={batch:>4}: {e:>12.0} events/s ({:>5.2}x vs seed)",
-                e / seed_eps
+                "shards={shards} batch={batch:>4}: {:>12.0} events/s (min {:.0}, max {:.0}, {:>5.2}x vs seed)",
+                e.median,
+                e.min,
+                e.max,
+                e.median / seed.median
             );
             rows.push(format!(
-                "    {{\"shards\": {shards}, \"batch_size\": {batch}, \"events_per_sec\": {e:.1}, \"speedup_vs_seed\": {:.3}}}",
-                e / seed_eps
+                "    {{\"shards\": {shards}, \"batch_size\": {batch}, \"events_per_sec\": {:.1}, \"events_per_sec_min\": {:.1}, \"events_per_sec_max\": {:.1}, \"speedup_vs_seed\": {:.3}}}",
+                e.median,
+                e.min,
+                e.max,
+                e.median / seed.median
             ));
         }
     }
-    let speedup_4 = best_4shard / seed_eps;
+    let speedup_4 = best_4shard / seed.median;
+    let speedup_8v1 = best_8shard / best_1shard;
     println!("best 4-shard speedup over seed single-event path: {speedup_4:.2}x");
+    println!("best 8-shard over best 1-shard: {speedup_8v1:.2}x (on {cpus_online} cpu(s))");
+
+    // End-to-end execute() on a disordered stream: shard-local window
+    // finalization (default — control-only strategy + per-shard staging)
+    // against legacy global staging (one SlackBuffer re-orders everything
+    // before routing). Same strategy, query and event set.
+    let disordered = disordered_events(args.events, args.keys);
+    let staged_query = QuerySpec::builder()
+        .window(CoreWindowSpec::sliding(200u64, 40u64))
+        .aggregate(CoreAggregateKind::Median, 1, "med")
+        .aggregate(CoreAggregateKind::Quantile(0.9), 1, "q90")
+        .key_field(0)
+        .build()
+        .expect("valid query spec");
+    let staging_cfg = ParallelConfig::new(8).with_batch_size(256);
+    let run_staged = |global: bool| {
+        eps(&time_stats(
+            args.repeat,
+            || (),
+            |()| {
+                let mut strategy = FixedKSlack::new(160u64);
+                execute(
+                    &disordered,
+                    &mut strategy,
+                    &staged_query,
+                    &ExecOptions::parallel(staging_cfg).with_global_staging(global),
+                )
+                .expect("valid query")
+                .results
+                .len()
+            },
+        ))
+    };
+    let shard_local = run_staged(false);
+    let global_staging = run_staged(true);
+    let staging_speedup = shard_local.median / global_staging.median;
+    println!(
+        "execute() shard-local staging (8x256): {:>12.0} events/s (min {:.0}, max {:.0})",
+        shard_local.median, shard_local.min, shard_local.max
+    );
+    println!(
+        "execute() global staging      (8x256): {:>12.0} events/s ({staging_speedup:.2}x from shard-local)",
+        global_staging.median
+    );
 
     // Telemetry overhead: the same 4-shard batched run through the
     // instrumented entry point, once with the disabled (no-op) registry and
     // once with a live one. Disabled must stay within noise of the plain
     // path; enabled quantifies the cost of live counters.
     let telemetry_cfg = ParallelConfig::new(4).with_batch_size(1024);
-    let disabled_secs = time_best(args.repeat, || {
-        run_keyed_parallel_instrumented(
-            input.clone(),
-            0,
-            telemetry_cfg,
-            &Registry::disabled(),
-            make_op,
-        )
-        .expect("parallel run")
-        .0
-        .len()
-    });
-    let enabled_secs = time_best(args.repeat, || {
-        let registry = Registry::new();
-        run_keyed_parallel_instrumented(input.clone(), 0, telemetry_cfg, &registry, make_op)
-            .expect("parallel run")
-            .0
-            .len()
-    });
-    let disabled_eps = eps(disabled_secs);
-    let enabled_eps = eps(enabled_secs);
-    let enabled_overhead_pct = (disabled_eps / enabled_eps - 1.0) * 100.0;
-    println!("telemetry disabled (4 shards, batch 1024): {disabled_eps:>12.0} events/s");
+    let disabled = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| {
+            run_keyed_parallel_instrumented(inp, 0, telemetry_cfg, &Registry::disabled(), make_op)
+                .expect("parallel run")
+                .0
+                .len()
+        },
+    ));
+    let enabled = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| {
+            let registry = Registry::new();
+            run_keyed_parallel_instrumented(inp, 0, telemetry_cfg, &registry, make_op)
+                .expect("parallel run")
+                .0
+                .len()
+        },
+    ));
+    let enabled_overhead_pct = (disabled.median / enabled.median - 1.0) * 100.0;
     println!(
-        "telemetry enabled  (4 shards, batch 1024): {enabled_eps:>12.0} events/s ({enabled_overhead_pct:+.1}% overhead)"
+        "telemetry disabled (4 shards, batch 1024): {:>12.0} events/s",
+        disabled.median
+    );
+    println!(
+        "telemetry enabled  (4 shards, batch 1024): {:>12.0} events/s ({enabled_overhead_pct:+.1}% overhead)",
+        enabled.median
     );
 
     // Flight-recorder overhead: the observed entry point with a disabled
@@ -296,51 +453,59 @@ fn main() -> std::process::ExitCode {
     // event) and with a live bounded ring. Disabled must stay within noise
     // of the instrumented path above; enabled quantifies the cost of
     // recording window finalizations, drops and merge progress.
-    let trace_disabled_secs = time_best(args.repeat, || {
-        let trace = FlightRecorder::disabled();
-        run_keyed_parallel_observed(
-            input.clone(),
-            0,
-            telemetry_cfg,
-            &Registry::disabled(),
-            &trace,
-            |shard| {
-                let mut op = make_op();
-                op.attach_trace(&trace, shard as u32);
-                op
-            },
-        )
-        .expect("parallel run")
-        .0
-        .len()
-    });
-    let trace_enabled_secs = time_best(args.repeat, || {
-        let trace = FlightRecorder::with_default_capacity();
-        run_keyed_parallel_observed(
-            input.clone(),
-            0,
-            telemetry_cfg,
-            &Registry::disabled(),
-            &trace,
-            |shard| {
-                let mut op = make_op();
-                op.attach_trace(&trace, shard as u32);
-                op
-            },
-        )
-        .expect("parallel run")
-        .0
-        .len()
-    });
-    let trace_disabled_eps = eps(trace_disabled_secs);
-    let trace_enabled_eps = eps(trace_enabled_secs);
-    let trace_disabled_overhead_pct = (disabled_eps / trace_disabled_eps - 1.0) * 100.0;
-    let trace_enabled_overhead_pct = (trace_disabled_eps / trace_enabled_eps - 1.0) * 100.0;
+    let trace_disabled = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| {
+            let trace = FlightRecorder::disabled();
+            run_keyed_parallel_observed(
+                inp,
+                0,
+                telemetry_cfg,
+                &Registry::disabled(),
+                &trace,
+                |shard| {
+                    let mut op = make_op();
+                    op.attach_trace(&trace, shard as u32);
+                    op
+                },
+            )
+            .expect("parallel run")
+            .0
+            .len()
+        },
+    ));
+    let trace_enabled = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| {
+            let trace = FlightRecorder::with_default_capacity();
+            run_keyed_parallel_observed(
+                inp,
+                0,
+                telemetry_cfg,
+                &Registry::disabled(),
+                &trace,
+                |shard| {
+                    let mut op = make_op();
+                    op.attach_trace(&trace, shard as u32);
+                    op
+                },
+            )
+            .expect("parallel run")
+            .0
+            .len()
+        },
+    ));
+    let trace_disabled_overhead_pct = (disabled.median / trace_disabled.median - 1.0) * 100.0;
+    let trace_enabled_overhead_pct = (trace_disabled.median / trace_enabled.median - 1.0) * 100.0;
     println!(
-        "recorder disabled  (4 shards, batch 1024): {trace_disabled_eps:>12.0} events/s ({trace_disabled_overhead_pct:+.1}% vs instrumented)"
+        "recorder disabled  (4 shards, batch 1024): {:>12.0} events/s ({trace_disabled_overhead_pct:+.1}% vs instrumented)",
+        trace_disabled.median
     );
     println!(
-        "recorder enabled   (4 shards, batch 1024): {trace_enabled_eps:>12.0} events/s ({trace_enabled_overhead_pct:+.1}% overhead)"
+        "recorder enabled   (4 shards, batch 1024): {:>12.0} events/s ({trace_enabled_overhead_pct:+.1}% overhead)",
+        trace_enabled.median
     );
 
     // Record one instrumented run's final snapshot next to the numbers so
@@ -359,11 +524,21 @@ fn main() -> std::process::ExitCode {
     println!("wrote {}", snapshot_path.display());
 
     let json = format!(
-        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {seed_eps:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {seq_eps:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"telemetry\": {{\"disabled_events_per_sec\": {disabled_eps:.1}, \"enabled_events_per_sec\": {enabled_eps:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}},\n  \"flight_recorder\": {{\"disabled_events_per_sec\": {trace_disabled_eps:.1}, \"enabled_events_per_sec\": {trace_enabled_eps:.1}, \"disabled_overhead_pct\": {trace_disabled_overhead_pct:.2}, \"enabled_overhead_pct\": {trace_enabled_overhead_pct:.2}}}\n}}\n",
+        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"host\": {{\"cpus_online\": {cpus_online}}},\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {:.1}, \"events_per_sec_min\": {:.1}, \"events_per_sec_max\": {:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"speedup_8shard_vs_1shard\": {speedup_8v1:.3},\n  \"staging\": {{\"shard_local_events_per_sec\": {:.1}, \"global_events_per_sec\": {:.1}, \"shard_local_speedup\": {staging_speedup:.3}}},\n  \"telemetry\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}},\n  \"flight_recorder\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"disabled_overhead_pct\": {trace_disabled_overhead_pct:.2}, \"enabled_overhead_pct\": {trace_enabled_overhead_pct:.2}}}\n}}\n",
         args.events,
         args.keys,
         args.repeat,
+        seed.median,
+        seq.median,
+        seq.min,
+        seq.max,
         rows.join(",\n"),
+        shard_local.median,
+        global_staging.median,
+        disabled.median,
+        enabled.median,
+        trace_disabled.median,
+        trace_enabled.median,
     );
     if let Some(dir) = args.out.parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {

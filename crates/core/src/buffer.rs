@@ -71,6 +71,13 @@ pub struct SlackBuffer {
     /// Exclusive upper bound of everything released so far: next release
     /// must have `ts >= watermark`.
     watermark: Timestamp,
+    /// Control-only staging: events are forwarded immediately in arrival
+    /// order (unordered) while the clock / watermark / K machinery, stats,
+    /// telemetry, and trace behave exactly as in full mode. `pending` then
+    /// tracks only per-timestamp counts of what a full buffer would hold.
+    control_only: bool,
+    pending: BTreeMap<Timestamp, u64>,
+    pending_len: usize,
     stats: BufferStats,
     telemetry: BufferTelemetry,
     trace: FlightRecorder,
@@ -85,6 +92,9 @@ impl SlackBuffer {
             clock: Timestamp::MIN,
             saw_event: false,
             watermark: Timestamp::MIN,
+            control_only: false,
+            pending: BTreeMap::new(),
+            pending_len: 0,
             stats: BufferStats::default(),
             telemetry: BufferTelemetry::default(),
             trace: FlightRecorder::disabled(),
@@ -114,6 +124,27 @@ impl SlackBuffer {
         self.trace = trace.clone();
     }
 
+    /// Switch to *control-only* staging: from now on every inserted event is
+    /// forwarded immediately in arrival order (no reordering) and the buffer
+    /// keeps only per-timestamp counts. The stream clock, watermark sequence,
+    /// late-arrival classification, K handling, [`BufferStats`],
+    /// `quill.buffer.*` telemetry, and trace records are all identical to
+    /// full mode — only the payloads stop being held and sorted. A
+    /// downstream per-shard stage (holding just its own keys) re-applies the
+    /// ordering using the emitted watermarks. Call before the first insert.
+    pub fn set_control_only(&mut self) {
+        debug_assert!(
+            !self.saw_event,
+            "control-only mode must be enabled before any event"
+        );
+        self.control_only = true;
+    }
+
+    /// Whether the buffer is in control-only (pass-through) staging mode.
+    pub fn is_control_only(&self) -> bool {
+        self.control_only
+    }
+
     /// Current slack bound.
     pub fn k(&self) -> TimeDelta {
         self.k
@@ -129,14 +160,19 @@ impl SlackBuffer {
         self.watermark
     }
 
-    /// Number of events currently held.
+    /// Number of events currently held (in control-only mode: the number a
+    /// full buffer would hold).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        if self.control_only {
+            self.pending_len
+        } else {
+            self.buf.len()
+        }
     }
 
     /// Whether the buffer holds no events.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Lifetime counters.
@@ -183,11 +219,20 @@ impl SlackBuffer {
         }
         self.stats.inserted += 1;
         self.telemetry.inserted.inc();
-        self.buf.insert((e.ts, e.seq), e);
-        self.stats.max_buffered = self.stats.max_buffered.max(self.buf.len());
-        self.stats.size_integral += self.buf.len() as u128;
+        if self.control_only {
+            // Forward the payload right away (arrival order), but account
+            // for it as buffered until the watermark passes its timestamp —
+            // the event must precede any watermark this arrival triggers.
+            *self.pending.entry(e.ts).or_insert(0) += 1;
+            self.pending_len += 1;
+            out.push(StreamElement::Event(e));
+        } else {
+            self.buf.insert((e.ts, e.seq), e);
+        }
+        self.stats.max_buffered = self.stats.max_buffered.max(self.len());
+        self.stats.size_integral += self.len() as u128;
         self.drain_ready(out);
-        self.telemetry.depth.set_u64(self.buf.len() as u64);
+        self.telemetry.depth.set_u64(self.len() as u64);
     }
 
     /// Release every buffered event that the current clock and slack allow,
@@ -205,15 +250,27 @@ impl SlackBuffer {
         // Release events with ts <= safe (inclusive: a future event with the
         // same timestamp has a larger seq and still sorts after, so emitting
         // the boundary timestamp preserves order). Keep keys with ts > safe.
-        let keep = self
-            .buf
-            .split_off(&(Timestamp(safe.raw().saturating_add(1)), 0));
         let mut released = 0u64;
-        for (_, e) in std::mem::replace(&mut self.buf, keep) {
-            self.stats.released += 1;
-            self.telemetry.released.inc();
-            released += 1;
-            out.push(StreamElement::Event(e));
+        if self.control_only {
+            let keep = self
+                .pending
+                .split_off(&Timestamp(safe.raw().saturating_add(1)));
+            for (_, n) in std::mem::replace(&mut self.pending, keep) {
+                released += n;
+            }
+            self.pending_len -= released as usize;
+            self.stats.released += released;
+            self.telemetry.released.add(released);
+        } else {
+            let keep = self
+                .buf
+                .split_off(&(Timestamp(safe.raw().saturating_add(1)), 0));
+            for (_, e) in std::mem::replace(&mut self.buf, keep) {
+                self.stats.released += 1;
+                self.telemetry.released.inc();
+                released += 1;
+                out.push(StreamElement::Event(e));
+            }
         }
         if self.trace.is_enabled() {
             self.trace.record(
@@ -235,11 +292,19 @@ impl SlackBuffer {
     /// End of stream: release everything in order and emit `Flush`.
     pub fn finish(&mut self, out: &mut Vec<StreamElement>) {
         let mut released = 0u64;
-        for (_, e) in std::mem::take(&mut self.buf) {
-            self.stats.released += 1;
-            self.telemetry.released.inc();
-            released += 1;
-            out.push(StreamElement::Event(e));
+        if self.control_only {
+            released = self.pending_len as u64;
+            self.pending.clear();
+            self.pending_len = 0;
+            self.stats.released += released;
+            self.telemetry.released.add(released);
+        } else {
+            for (_, e) in std::mem::take(&mut self.buf) {
+                self.stats.released += 1;
+                self.telemetry.released.inc();
+                released += 1;
+                out.push(StreamElement::Event(e));
+            }
         }
         if self.trace.is_enabled() {
             self.trace.record(
@@ -461,6 +526,85 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    /// Arrival pattern with reordering, a boundary duplicate, and a late
+    /// pass — used to compare full vs control-only accounting.
+    fn disorderly_arrivals() -> Vec<Event> {
+        vec![
+            ev(10, 0),
+            ev(5, 1),
+            ev(20, 2),
+            ev(12, 3),
+            ev(8, 4), // behind watermark once K=5 and clock=20
+            ev(20, 5),
+            ev(35, 6),
+        ]
+    }
+
+    #[test]
+    fn control_only_forwards_in_arrival_order_with_identical_watermarks() {
+        let mut full = SlackBuffer::new(5u64);
+        let mut hollow = SlackBuffer::new(5u64);
+        hollow.set_control_only();
+        let full_out = feed(&mut full, disorderly_arrivals());
+        let hollow_out = feed(&mut hollow, disorderly_arrivals());
+        // Hollow mode forwards every event exactly once, in arrival order.
+        let seqs: Vec<u64> = hollow_out
+            .iter()
+            .filter_map(|e| e.as_event())
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5, 6]);
+        // The control stream (watermarks + flush) is element-identical.
+        let wm = |out: &[StreamElement]| -> Vec<StreamElement> {
+            out.iter()
+                .filter(|e| !matches!(e, StreamElement::Event(_)))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(wm(&hollow_out), wm(&full_out));
+        // Stats, clock, and watermark agree exactly with full mode.
+        assert_eq!(hollow.stats(), full.stats());
+        assert_eq!(hollow.clock(), full.clock());
+        assert_eq!(hollow.watermark(), full.watermark());
+        assert!(
+            hollow.stats().late_passed > 0,
+            "fixture must exercise late passes"
+        );
+    }
+
+    #[test]
+    fn control_only_emits_event_before_the_watermark_it_triggers() {
+        let mut b = SlackBuffer::new(0u64);
+        b.set_control_only();
+        let mut out = Vec::new();
+        b.insert(ev(10, 0), &mut out);
+        // With K=0 the arrival instantly advances the watermark to its own
+        // timestamp; the payload must still precede that watermark so a
+        // downstream stage can classify it as on time.
+        assert_eq!(out[0].as_event().unwrap().seq, 0);
+        assert_eq!(out[1], StreamElement::Watermark(Timestamp(10)));
+    }
+
+    #[test]
+    fn control_only_mirrors_instrumented_counters() {
+        let reg = Registry::new();
+        let mut b = SlackBuffer::new(5u64);
+        b.set_control_only();
+        b.instrument(&reg);
+        let mut out = Vec::new();
+        for e in disorderly_arrivals() {
+            b.insert(e, &mut out);
+        }
+        b.finish(&mut out);
+        let snap = reg.snapshot();
+        let s = b.stats();
+        assert_eq!(snap.counter("quill.buffer.inserted"), s.inserted);
+        assert_eq!(snap.counter("quill.buffer.released"), s.released);
+        assert_eq!(snap.counter("quill.buffer.late_passed"), s.late_passed);
+        assert_eq!(snap.gauge("quill.buffer.depth"), Some(0.0));
+        assert_eq!(s.released + s.late_passed, 7);
     }
 
     #[test]

@@ -118,6 +118,13 @@ impl DisorderControl for PunctuatedBuffer {
     fn buffer_stats(&self) -> BufferStats {
         self.buf.stats()
     }
+
+    fn split_for_shard_staging(&mut self) -> bool {
+        // Per-source progress and the combined watermark are derived from
+        // event fields alone; the slack buffer is only the release gate.
+        self.buf.set_control_only();
+        true
+    }
 }
 
 #[cfg(test)]

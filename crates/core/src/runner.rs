@@ -16,7 +16,7 @@ use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::error::{EngineError, Result};
 use quill_engine::event::{ClockTracker, Event, StreamElement};
 use quill_engine::operator::{
-    LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
+    LatePolicy, Operator, ShardStage, WindowAggregateOp, WindowOpStats, WindowResult,
 };
 use quill_engine::parallel::{run_keyed_parallel_observed, ParallelConfig};
 use quill_engine::time::{TimeDelta, Timestamp};
@@ -216,6 +216,16 @@ pub struct ExecOptions {
     /// Approximate number of distinct keys expected on the stream; lets the
     /// plan analyzer flag shard counts that can never be saturated.
     pub expected_key_cardinality: Option<u64>,
+    /// Force the legacy *global* staging dataflow for parallel runs: the
+    /// disorder-control buffer orders the whole stream before fan-out. The
+    /// default (`false`) uses **shard-local window finalization** whenever
+    /// the strategy supports [`DisorderControl::split_for_shard_staging`]:
+    /// the strategy runs control-only (clock / watermark / K decisions and
+    /// accounting unchanged), events reach their shard unordered, and each
+    /// shard re-orders and finalizes its own keys' windows behind a
+    /// [`ShardStage`] — element-identical output with no global reorder on
+    /// the hot path. Sequential runs ignore this flag.
+    pub global_staging: bool,
 }
 
 impl ExecOptions {
@@ -270,6 +280,14 @@ impl ExecOptions {
     /// analyzer only; execution is unaffected).
     pub fn with_expected_keys(mut self, keys: u64) -> ExecOptions {
         self.expected_key_cardinality = Some(keys);
+        self
+    }
+
+    /// Force the legacy global-staging dataflow for parallel runs (see
+    /// [`ExecOptions::global_staging`]). Output is element-identical either
+    /// way; this exists for comparison benchmarks and differential tests.
+    pub fn with_global_staging(mut self, global: bool) -> ExecOptions {
+        self.global_staging = global;
         self
     }
 }
@@ -497,6 +515,16 @@ pub fn execute(
     let latency_hist = opts.telemetry.histogram("quill.run.latency");
 
     let start = std::time::Instant::now();
+    // Shard-local window finalization: for parallel runs (unless the caller
+    // pinned global staging) ask the strategy to switch into control-only
+    // staging *before* it sees any event. When it agrees, staging below
+    // emits events unordered with the identical watermark sequence, and the
+    // per-shard operators are wrapped in a `ShardStage` that re-orders each
+    // shard's own keys.
+    let shard_local = match opts.parallel {
+        Some(_) if !opts.global_staging => strategy.split_for_shard_staging(),
+        _ => false,
+    };
     let mut staged = stage_strategy(events, strategy, opts);
     let elements = std::mem::take(&mut staged.elements);
 
@@ -525,25 +553,40 @@ pub fn execute(
             // Unkeyed queries route on the (out-of-range ⇒ Null) key so
             // every event lands on one shard.
             let key_field = query.key_field.unwrap_or(usize::MAX);
-            let (out, ops) = run_keyed_parallel_observed(
-                elements,
-                key_field,
-                config,
-                &opts.telemetry,
-                &opts.trace,
-                |shard| {
-                    let mut op = WindowAggregateOp::new(
-                        query.window,
-                        query.aggregates.clone(),
-                        query.key_field,
-                        LatePolicy::Drop,
-                    )
-                    // quill-lint: allow(no-panic, reason = "the identical WindowAggregateOp::new call was validated at the top of execute()")
-                    .expect("query validated above");
-                    op.attach_trace(&opts.trace, shard as u32);
-                    op
-                },
-            )?;
+            let make_window_op = |shard: usize| {
+                let mut op = WindowAggregateOp::new(
+                    query.window,
+                    query.aggregates.clone(),
+                    query.key_field,
+                    LatePolicy::Drop,
+                )
+                // quill-lint: allow(no-panic, reason = "the identical WindowAggregateOp::new call was validated at the top of execute()")
+                .expect("query validated above");
+                op.attach_trace(&opts.trace, shard as u32);
+                op
+            };
+            let (out, ops) = if shard_local {
+                let (out, staged_ops) = run_keyed_parallel_observed(
+                    elements,
+                    key_field,
+                    config,
+                    &opts.telemetry,
+                    &opts.trace,
+                    |shard| ShardStage::new(make_window_op(shard)),
+                )?;
+                let ops: Vec<WindowAggregateOp> =
+                    staged_ops.into_iter().map(ShardStage::into_inner).collect();
+                (out, ops)
+            } else {
+                run_keyed_parallel_observed(
+                    elements,
+                    key_field,
+                    config,
+                    &opts.telemetry,
+                    &opts.trace,
+                    make_window_op,
+                )?
+            };
             let results: Vec<WindowResult> = out
                 .iter()
                 .filter_map(|el| el.as_event())

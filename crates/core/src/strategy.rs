@@ -56,6 +56,20 @@ pub trait DisorderControl: Send {
     fn kind(&self) -> StrategyKind {
         StrategyKind::Custom
     }
+
+    /// Switch the strategy into *control-only* staging for shard-local
+    /// window finalization: [`DisorderControl::on_event`] then forwards
+    /// events unordered (arrival order) interleaved with the exact same
+    /// watermark sequence full staging would emit, and per-shard stages
+    /// downstream re-apply the ordering for their own keys. Returns `true`
+    /// if the strategy supports the split; `false` (the default) keeps full
+    /// staging. Must be called before the first event. Supportable whenever
+    /// the strategy's K / watermark decisions depend only on arrival order
+    /// and event fields — never on held buffer contents; every built-in
+    /// strategy qualifies.
+    fn split_for_shard_staging(&mut self) -> bool {
+        false
+    }
 }
 
 /// Record the strategy's starting K so a trace always names the slack in
@@ -121,6 +135,10 @@ impl DisorderControl for DropAll {
     fn kind(&self) -> StrategyKind {
         StrategyKind::DropAll
     }
+    fn split_for_shard_staging(&mut self) -> bool {
+        self.buf.set_control_only();
+        true
+    }
 }
 
 /// Classic fixed K-slack (Babcock et al.): a constant, user-chosen slack.
@@ -165,6 +183,10 @@ impl DisorderControl for FixedKSlack {
     }
     fn kind(&self) -> StrategyKind {
         StrategyKind::FixedK(self.k.raw())
+    }
+    fn split_for_shard_staging(&mut self) -> bool {
+        self.buf.set_control_only();
+        true
     }
 }
 
@@ -259,6 +281,12 @@ impl DisorderControl for MpKSlack {
             cap: (self.cap != TimeDelta::MAX).then(|| self.cap.raw()),
         }
     }
+    fn split_for_shard_staging(&mut self) -> bool {
+        // The ratchet reads only the clock and the arriving timestamp, so
+        // control-only staging leaves every K decision unchanged.
+        self.buf.set_control_only();
+        true
+    }
 }
 
 /// Infinite buffer: holds everything until end of stream, then releases the
@@ -307,6 +335,10 @@ impl DisorderControl for OracleBuffer {
     }
     fn kind(&self) -> StrategyKind {
         StrategyKind::Oracle
+    }
+    fn split_for_shard_staging(&mut self) -> bool {
+        self.buf.set_control_only();
+        true
     }
 }
 

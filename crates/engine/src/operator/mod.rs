@@ -8,6 +8,7 @@
 pub mod count_op;
 pub mod join;
 pub mod session;
+pub mod shard_stage;
 pub mod union;
 pub mod window_op;
 
@@ -16,6 +17,7 @@ use crate::event::StreamElement;
 pub use count_op::CountWindowOp;
 pub use join::IntervalJoin;
 pub use session::{SessionOpStats, SessionWindowOp};
+pub use shard_stage::ShardStage;
 pub use union::merge_by_arrival;
 pub use window_op::{LatePolicy, WindowAggregateOp, WindowOpStats, WindowResult};
 

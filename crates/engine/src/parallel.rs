@@ -12,19 +12,39 @@
 //!
 //! * **Batched routing** — events travel to shards as `Vec<StreamElement>`
 //!   chunks over bounded channels ([`ParallelConfig::batch_size`] per chunk)
-//!   instead of one channel send per event. Watermarks and flush are batch
-//!   delimiters: they are appended to *every* shard's pending batch and all
-//!   batches are flushed immediately, so punctuation never lags data.
+//!   instead of one channel send per event. Watermarks are appended to
+//!   *every* shard's pending batch, and a watermark that neither follows a
+//!   shard event nor releases one the shard still holds staged *coalesces*
+//!   (the trailing watermark is replaced in place) — see the internal
+//!   `ShardRouter` for why the release guard is load-bearing. `Flush`
+//!   still forces every pending batch out.
 //! * **Shard routing** — [`shard_of`] hashes the key `Value` in place with a
 //!   seeded [`FxHasher`]: no `Key` clone, no per-event `DefaultHasher`
 //!   construction, stable across runs/threads/platforms.
+//! * **Result channel** — workers ship finished result-run segments back
+//!   over one shared unbounded channel as they are produced instead of
+//!   holding their whole output until join; segments concatenate per shard
+//!   in FIFO order, so each shard's run is preserved exactly.
+//! * **Single-shard bypass** — `shards == 1` skips channels, threads and
+//!   routing buffers entirely and runs the operator inline; the output
+//!   still goes through the same merge so ordering (and merge telemetry)
+//!   semantics are unchanged.
 //! * **Ordered merge** — each shard's [`WindowAggregateOp`] already emits in
 //!   `(window.end, window.start, key)` order, so the global order is
-//!   recovered by a k-way merge of the per-shard runs (binary heap over
-//!   shard heads, ties broken by shard index). If a shard's run is not
-//!   sorted — e.g. a revising operator interleaves revision rows — the
-//!   merge falls back to one stable sort over order keys that are computed
-//!   *once per element* (no per-comparison `String` allocation).
+//!   recovered by a batch-at-a-time galloping merge of the per-shard runs:
+//!   pick the run whose head is smallest (ties broken by shard index),
+//!   binary-search how far it may run before the next run's head, and copy
+//!   that whole prefix at once — O(total) moves with O(log) comparisons per
+//!   *chunk* rather than a heap operation per *element*. If a shard's run
+//!   is not sorted — e.g. a revising operator interleaves revision rows —
+//!   the merge falls back to one stable sort over order keys that are
+//!   computed *once per element* (no per-comparison `String` allocation).
+//!
+//! Shard-local window finalization (staging inside each shard via
+//! [`ShardStage`](crate::operator::ShardStage), merging finalized window
+//! results instead of re-ordering events) is built on these primitives by
+//! `quill-core`'s runner: the disorder-control strategy runs in
+//! control-only mode and each shard re-orders only its own keys.
 //!
 //! [`WindowAggregateOp`]: crate::operator::WindowAggregateOp
 
@@ -32,6 +52,7 @@ use crate::error::{EngineError, Result};
 use crate::event::StreamElement;
 use crate::hash::FxHasher;
 use crate::operator::{Operator, WindowResult};
+use crate::time::Timestamp;
 use crate::value::{hash_value, Key, Value};
 use crossbeam::channel;
 use quill_telemetry::trace::{FlightRecorder, TraceKind, MERGE_SHARD};
@@ -171,6 +192,9 @@ struct ShardMetrics {
     shard: u32,
     events: Counter,
     batches: Counter,
+    /// Window results this shard finalized (`quill.shard.<i>.finalized_windows`);
+    /// cloned into the worker thread, bumped once per output event.
+    finalized: Counter,
     queue_depth: Gauge,
     /// Batches the worker thread has fully processed (shared with it).
     done: Option<Arc<AtomicU64>>,
@@ -186,6 +210,7 @@ impl ShardMetrics {
             shard: shard as u32,
             events: telemetry.counter(&format!("quill.shard.{shard}.events")),
             batches: telemetry.counter(&format!("quill.shard.{shard}.batches")),
+            finalized: telemetry.counter(&format!("quill.shard.{shard}.finalized_windows")),
             queue_depth: telemetry.gauge(&format!("quill.shard.{shard}.queue_depth")),
             done: observe.then(|| Arc::new(AtomicU64::new(0))),
             sent: 0,
@@ -204,6 +229,100 @@ impl ShardMetrics {
 /// aggregate behind `quill.executor.queue_depth`).
 fn depth_sum(metrics: &[ShardMetrics]) -> u64 {
     metrics.iter().map(ShardMetrics::depth).sum()
+}
+
+/// Per-shard pending batches with watermark coalescing — the one routing
+/// policy both the threaded and the deterministic inline executors use, so
+/// each shard consumes the identical batch sequence under either scheduler.
+///
+/// Events go to their key's shard; watermarks are broadcast but do *not*
+/// force a flush, and a watermark `W2` landing directly behind another
+/// watermark `W1` in a shard's pending batch replaces it in place —
+/// *provided `W2` releases nothing the shard still holds staged*. Under
+/// shard-local finalization a [`ShardStage`](crate::operator::ShardStage)
+/// may be holding an event with `W1 < ts <= W2` that arrived before `W1`;
+/// eliding `W1` would then fold that event *before* the windows ending in
+/// `(.., W1]` are finalized instead of after, and floating-point aggregates
+/// are sensitive to that interleaving (the two-stacks pane combine nests
+/// differently). The router therefore mirrors just the staged *timestamps*
+/// per shard — an event is staged iff `ts >= ` the latest broadcast
+/// watermark, exactly the stage's own rule — and only coalesces a watermark
+/// run when the replacement drains nothing from that mirror. An event
+/// routed between two watermarks pins the earlier one anyway (it is no
+/// longer trailing), so every shard event is still preceded by exactly the
+/// watermarks that preceded it globally. With the guard, the elided and
+/// unelided streams produce bit-identical operator state: between `W1` and
+/// its replacement the inner operator would have performed zero folds, and
+/// watermark handling without interleaved folds is idempotent and monotone.
+/// `Flush` is broadcast and flushes every pending batch immediately, ending
+/// the stream.
+struct ShardRouter {
+    bufs: Vec<Vec<StreamElement>>,
+    /// Min-heap per shard of routed event timestamps a downstream stage
+    /// would still be holding (not yet passed by a broadcast watermark).
+    staged_ts: Vec<BinaryHeap<Reverse<Timestamp>>>,
+    /// Latest broadcast watermark — the stage's lateness threshold.
+    wm_hi: Timestamp,
+    batch_size: usize,
+}
+
+impl ShardRouter {
+    fn new(shards: usize, batch_size: usize) -> ShardRouter {
+        ShardRouter {
+            bufs: (0..shards)
+                .map(|_| Vec::with_capacity(batch_size))
+                .collect(),
+            staged_ts: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            wm_hi: Timestamp::MIN,
+            batch_size,
+        }
+    }
+
+    /// Append an event to its shard's pending batch; `true` means the batch
+    /// reached `batch_size` and must be flushed now.
+    fn push_event(&mut self, shard: usize, el: StreamElement) -> bool {
+        if let StreamElement::Event(e) = &el {
+            // Late events (ts < wm_hi) are forwarded straight through the
+            // stage, never held — only staged timestamps guard coalescing.
+            if e.ts >= self.wm_hi {
+                self.staged_ts[shard].push(Reverse(e.ts));
+            }
+        }
+        let buf = &mut self.bufs[shard];
+        buf.push(el);
+        buf.len() >= self.batch_size
+    }
+
+    /// Broadcast punctuation to every shard's pending batch, coalescing
+    /// adjacent watermarks where sound; `true` means every batch must be
+    /// flushed now (`Flush` — the stream is over).
+    fn push_punctuation(&mut self, el: &StreamElement) -> bool {
+        if let StreamElement::Watermark(w) = el {
+            for (buf, staged) in self.bufs.iter_mut().zip(&mut self.staged_ts) {
+                // Timestamps this watermark drains from the shard's stage.
+                let mut releases = false;
+                while staged.peek().is_some_and(|Reverse(t)| *t <= *w) {
+                    staged.pop();
+                    releases = true;
+                }
+                if !releases {
+                    if let Some(last) = buf.last_mut() {
+                        if matches!(&*last, StreamElement::Watermark(prev) if *prev <= *w) {
+                            *last = el.clone();
+                            continue;
+                        }
+                    }
+                }
+                buf.push(el.clone());
+            }
+            self.wm_hi = self.wm_hi.max(*w);
+            return false;
+        }
+        for buf in &mut self.bufs {
+            buf.push(el.clone());
+        }
+        true
+    }
 }
 
 /// Like [`run_keyed_parallel_with`], but recording executor telemetry into
@@ -266,6 +385,9 @@ where
     O: Operator + 'static,
 {
     config.validate()?;
+    if config.shards == 1 {
+        return run_keyed_single(elements, config, telemetry, trace, make_op);
+    }
     if config.deterministic {
         return run_keyed_parallel_inline(elements, key_field, config, telemetry, trace, make_op);
     }
@@ -276,12 +398,26 @@ where
         .collect();
     let send_stalls = telemetry.counter("quill.executor.send_stalls");
     let agg_depth = telemetry.gauge("quill.executor.queue_depth");
+    let result_depth = telemetry.gauge("quill.executor.result_queue_depth");
+    // Workers ship finished result-run segments back as they are produced.
+    // Unbounded on purpose: a bounded result channel could deadlock against
+    // the bounded input channels (router blocked sending input, worker
+    // blocked sending results). Memory stays bounded by the output size,
+    // which the caller materialises anyway.
+    let (result_tx, result_rx) = channel::unbounded::<(usize, Vec<StreamElement>)>();
+    let result_pending = observe.then(|| Arc::new(AtomicU64::new(0)));
+    // Ship segments at a floor of 256 results so tiny input batch sizes
+    // (stress configs) don't degenerate into per-result channel traffic.
+    let result_batch = config.batch_size.max(256);
     let mut txs = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
     for (s, m) in metrics.iter().enumerate() {
         let (tx, rx) = channel::bounded::<Vec<StreamElement>>(config.channel_capacity);
         let mut op = make_op(s);
         let done = m.done.clone();
+        let finalized = m.finalized.clone();
+        let result_tx = result_tx.clone();
+        let pending = result_pending.clone();
         handles.push(std::thread::spawn(move || {
             let mut outs: Vec<StreamElement> = Vec::new();
             for batch in rx {
@@ -290,6 +426,7 @@ where
                         // Punctuation is re-derived after the merge; keep
                         // only data.
                         if matches!(o, StreamElement::Event(_)) {
+                            finalized.inc();
                             outs.push(o);
                         }
                     });
@@ -297,28 +434,38 @@ where
                 if let Some(d) = &done {
                     d.fetch_add(1, Ordering::Relaxed);
                 }
+                if outs.len() >= result_batch {
+                    if let Some(p) = &pending {
+                        p.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = result_tx.send((s, std::mem::take(&mut outs)));
+                }
             }
-            (outs, op)
+            if !outs.is_empty() {
+                if let Some(p) = &pending {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = result_tx.send((s, outs));
+            }
+            op
         }));
         txs.push(tx);
     }
+    drop(result_tx);
 
     // Route. Events accumulate in per-shard buffers flushed at batch_size;
-    // punctuation goes to every shard and forces all buffers out so the
-    // watermark is a true batch delimiter.
-    let mut bufs: Vec<Vec<StreamElement>> = (0..shards)
-        .map(|_| Vec::with_capacity(config.batch_size))
-        .collect();
+    // watermarks are broadcast (and coalesced) without forcing a flush;
+    // Flush forces every pending batch out.
+    let mut router = ShardRouter::new(shards, config.batch_size);
     for el in elements {
         match &el {
             StreamElement::Event(e) => {
                 let shard = shard_of(e.row.get(key_field), shards);
                 metrics[shard].events.inc();
-                bufs[shard].push(el);
-                if bufs[shard].len() >= config.batch_size {
+                if router.push_event(shard, el) {
                     flush_batch(
                         &txs[shard],
-                        &mut bufs[shard],
+                        &mut router.bufs[shard],
                         &config,
                         &mut metrics[shard],
                         &send_stalls,
@@ -330,33 +477,84 @@ where
                 }
             }
             _ => {
-                for ((tx, buf), m) in txs.iter().zip(&mut bufs).zip(&mut metrics) {
-                    buf.push(el.clone());
-                    flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
-                }
-                if telemetry.is_enabled() {
-                    agg_depth.set_u64(depth_sum(&metrics));
+                if router.push_punctuation(&el) {
+                    for ((tx, buf), m) in txs.iter().zip(&mut router.bufs).zip(&mut metrics) {
+                        flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
+                    }
+                    if telemetry.is_enabled() {
+                        agg_depth.set_u64(depth_sum(&metrics));
+                    }
                 }
             }
         }
     }
-    for ((tx, buf), m) in txs.iter().zip(&mut bufs).zip(&mut metrics) {
+    for ((tx, buf), m) in txs.iter().zip(&mut router.bufs).zip(&mut metrics) {
         flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
     }
     drop(txs);
 
-    let mut shard_outs = Vec::with_capacity(shards);
+    // Drain result segments until every worker hangs up, concatenating each
+    // shard's segments in FIFO order (crossbeam preserves per-sender order,
+    // so this reconstructs each shard's run exactly).
+    let mut shard_outs: Vec<Vec<StreamElement>> = (0..shards).map(|_| Vec::new()).collect();
+    for (s, mut segment) in result_rx {
+        if let Some(p) = &result_pending {
+            let left = p.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+            if telemetry.is_enabled() {
+                result_depth.set_u64(left);
+            }
+        }
+        shard_outs[s].append(&mut segment);
+    }
     let mut ops = Vec::with_capacity(shards);
     for (h, m) in handles.into_iter().zip(&metrics) {
-        let (outs, op) = h
+        let op = h
             .join()
             .map_err(|_| EngineError::ExecutorFailure("shard thread panicked".into()))?;
         m.queue_depth.set_u64(0);
-        shard_outs.push(outs);
         ops.push(op);
     }
     agg_depth.set_u64(0);
+    result_depth.set_u64(0);
     Ok((merge_shard_outputs(shard_outs, telemetry, trace), ops))
+}
+
+/// Single-shard bypass: no channels, no threads, no routing buffers — the
+/// operator runs inline on the caller thread over the element stream, and
+/// its output goes through [`merge_shard_outputs`] as a one-run merge so
+/// ordering semantics (including the unsorted-run fallback) and merge
+/// telemetry are identical to the multi-shard paths.
+fn run_keyed_single<O>(
+    elements: Vec<StreamElement>,
+    config: ParallelConfig,
+    telemetry: &Registry,
+    trace: &FlightRecorder,
+    make_op: impl Fn(usize) -> O,
+) -> Result<(Vec<StreamElement>, Vec<O>)>
+where
+    O: Operator + 'static,
+{
+    debug_assert_eq!(config.shards, 1);
+    let m = ShardMetrics::new(telemetry, 0, false);
+    let mut op = make_op(0);
+    let mut outs: Vec<StreamElement> = Vec::new();
+    let routed = !elements.is_empty();
+    for el in elements {
+        if matches!(el, StreamElement::Event(_)) {
+            m.events.inc();
+        }
+        op.process(el, &mut |o| {
+            if matches!(o, StreamElement::Event(_)) {
+                m.finalized.inc();
+                outs.push(o);
+            }
+        });
+    }
+    if routed {
+        // The whole stream is one logical batch.
+        m.batches.inc();
+    }
+    Ok((merge_shard_outputs(vec![outs], telemetry, trace), vec![op]))
 }
 
 /// Deterministic inline variant of [`run_keyed_parallel_observed`]: the same
@@ -387,9 +585,7 @@ where
         .collect();
     let mut ops: Vec<O> = (0..shards).map(&make_op).collect();
     let mut outs: Vec<Vec<StreamElement>> = (0..shards).map(|_| Vec::new()).collect();
-    let mut bufs: Vec<Vec<StreamElement>> = (0..shards)
-        .map(|_| Vec::with_capacity(config.batch_size))
-        .collect();
+    let mut router = ShardRouter::new(shards, config.batch_size);
     let drain = |shard: usize,
                  buf: &mut Vec<StreamElement>,
                  ops: &mut Vec<O>,
@@ -404,6 +600,7 @@ where
                 // Same rule as the worker threads: punctuation is re-derived
                 // after the merge; keep only data.
                 if matches!(o, StreamElement::Event(_)) {
+                    metrics[shard].finalized.inc();
                     out.push(o);
                 }
             });
@@ -414,24 +611,24 @@ where
             StreamElement::Event(e) => {
                 let shard = shard_of(e.row.get(key_field), shards);
                 metrics[shard].events.inc();
-                bufs[shard].push(el);
-                if bufs[shard].len() >= config.batch_size {
-                    let mut buf = std::mem::take(&mut bufs[shard]);
+                if router.push_event(shard, el) {
+                    let mut buf = std::mem::take(&mut router.bufs[shard]);
                     drain(shard, &mut buf, &mut ops, &mut outs);
-                    bufs[shard] = buf;
+                    router.bufs[shard] = buf;
                 }
             }
             _ => {
-                for (shard, slot) in bufs.iter_mut().enumerate() {
-                    slot.push(el.clone());
-                    let mut buf = std::mem::take(slot);
-                    drain(shard, &mut buf, &mut ops, &mut outs);
-                    *slot = buf;
+                if router.push_punctuation(&el) {
+                    for (shard, slot) in router.bufs.iter_mut().enumerate() {
+                        let mut buf = std::mem::take(slot);
+                        drain(shard, &mut buf, &mut ops, &mut outs);
+                        *slot = buf;
+                    }
                 }
             }
         }
     }
-    for (shard, slot) in bufs.iter_mut().enumerate() {
+    for (shard, slot) in router.bufs.iter_mut().enumerate() {
         let mut buf = std::mem::take(slot);
         drain(shard, &mut buf, &mut ops, &mut outs);
     }
@@ -528,9 +725,21 @@ fn merge_key(el: &StreamElement) -> MergeKey {
 /// Merge per-shard output runs into one deterministically ordered stream.
 ///
 /// Fast path: every run is already sorted by [`MergeKey`] (non-strictly —
-/// revisions of the same window compare equal), so a k-way heap merge
-/// recovers the global order in O(n log shards). Fallback: one stable sort
-/// over the cached keys, preserving within-shard emission order.
+/// revisions of the same window compare equal), so the global order is
+/// recovered by a batch-at-a-time *galloping* merge: repeatedly pick the run
+/// whose head is smallest under `(key, shard)`, binary-search how far that
+/// run may gallop before the smallest other head would sort first, and move
+/// the whole prefix into the output at once. Ties reproduce the classic
+/// heap merge exactly — equal keys emit in shard-index order — but a run
+/// with no contention (the common case when shards own disjoint keys and
+/// windows cluster) is copied in O(1) comparisons per chunk instead of one
+/// heap rebalance per element. Fallback: one stable sort over the cached
+/// keys, preserving within-shard emission order.
+///
+/// Telemetry: `quill.merge.elements` counts merged elements,
+/// `quill.merge.windows` counts distinct merge keys among them (window
+/// revisions collapse onto their window), `quill.merge.fallback_sorts`
+/// counts sort-path activations.
 fn merge_shard_outputs(
     shard_outs: Vec<Vec<StreamElement>>,
     telemetry: &Registry,
@@ -553,32 +762,71 @@ fn merge_shard_outputs(
             fallback: !sorted,
         },
     );
+    let count_windows = telemetry.is_enabled();
+    let mut windows = 0u64;
+    let mut prev_key: Option<MergeKey> = None;
     let mut out = Vec::with_capacity(total);
     if sorted {
-        let mut iters: Vec<_> = keyed.into_iter().map(|run| run.into_iter()).collect();
-        let mut heads: Vec<Option<StreamElement>> = Vec::with_capacity(iters.len());
-        let mut heap: BinaryHeap<Reverse<(MergeKey, usize)>> = BinaryHeap::new();
-        for (shard, it) in iters.iter_mut().enumerate() {
-            match it.next() {
-                Some((k, el)) => {
-                    heap.push(Reverse((k, shard)));
-                    heads.push(Some(el));
-                }
-                None => heads.push(None),
-            }
+        // Split keys (kept addressable for binary search) from payloads
+        // (consumed front to back without cloning).
+        let mut key_runs: Vec<Vec<MergeKey>> = Vec::with_capacity(keyed.len());
+        let mut el_runs: Vec<std::vec::IntoIter<StreamElement>> = Vec::with_capacity(keyed.len());
+        for run in keyed {
+            let (keys, els): (Vec<MergeKey>, Vec<StreamElement>) = run.into_iter().unzip();
+            key_runs.push(keys);
+            el_runs.push(els.into_iter());
         }
-        // Peak heap occupancy = shards that produced output (the heap only
-        // shrinks from here).
-        telemetry
-            .gauge("quill.merge.heap_peak")
-            .set_u64(heap.len() as u64);
-        while let Some(Reverse((_, shard))) = heap.pop() {
-            // quill-lint: allow(no-panic, reason = "a shard enters the heap only with its head populated; both sites below set heads[shard] before pushing")
-            out.push(heads[shard].take().expect("queued shard has a head"));
-            if let Some((k, el)) = iters[shard].next() {
-                heads[shard] = Some(el);
-                heap.push(Reverse((k, shard)));
+        let mut idxs = vec![0usize; key_runs.len()];
+        loop {
+            // The run whose head sorts first under (key, shard) — the same
+            // total order the heap merge used.
+            let mut best: Option<(usize, &MergeKey)> = None;
+            let mut bound: Option<(usize, &MergeKey)> = None;
+            for (s, keys) in key_runs.iter().enumerate() {
+                if idxs[s] < keys.len() {
+                    let k = &keys[idxs[s]];
+                    match best {
+                        None => best = Some((s, k)),
+                        Some((bs, bk)) if (k, s) < (bk, bs) => {
+                            bound = best;
+                            best = Some((s, k));
+                        }
+                        _ => match bound {
+                            None => bound = Some((s, k)),
+                            Some((os, ok)) if (k, s) < (ok, os) => bound = Some((s, k)),
+                            _ => {}
+                        },
+                    }
+                }
             }
+            let Some((s, _)) = best else { break };
+            let start = idxs[s];
+            let keys = &key_runs[s];
+            let take = match bound {
+                // Sole remaining run: gallop to its end.
+                None => keys.len() - start,
+                Some((bs, bk)) => {
+                    // Emit while (key, s) < (bk, bs): for s < bs that is
+                    // key <= bk (equal keys break toward the lower shard),
+                    // otherwise strictly key < bk.
+                    if s < bs {
+                        keys[start..].partition_point(|k| k <= bk)
+                    } else {
+                        keys[start..].partition_point(|k| k < bk)
+                    }
+                }
+            };
+            debug_assert!(take >= 1, "the minimal head must always be emittable");
+            if count_windows {
+                for k in &keys[start..start + take] {
+                    if prev_key.as_ref() != Some(k) {
+                        windows += 1;
+                        prev_key = Some(k.clone());
+                    }
+                }
+            }
+            out.extend(el_runs[s].by_ref().take(take));
+            idxs[s] = start + take;
         }
     } else {
         telemetry.counter("quill.merge.fallback_sorts").inc();
@@ -588,7 +836,18 @@ fn merge_shard_outputs(
             .flat_map(|(shard, run)| run.into_iter().map(move |(k, el)| (k, shard, el)))
             .collect();
         flat.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        if count_windows {
+            for (k, _, _) in &flat {
+                if prev_key.as_ref() != Some(k) {
+                    windows += 1;
+                    prev_key = Some(k.clone());
+                }
+            }
+        }
         out.extend(flat.into_iter().map(|(_, _, el)| el));
+    }
+    if count_windows {
+        telemetry.counter("quill.merge.windows").add(windows);
     }
     out
 }
@@ -814,6 +1073,62 @@ mod tests {
         // (drained) per-shard gauges.
         assert_eq!(snap.gauge("quill.executor.queue_depth"), Some(0.0));
         assert_eq!(snap.gauge_family_sum("quill.shard.", ".queue_depth"), 0.0);
+        // Result-channel segments were all drained before the merge.
+        assert_eq!(snap.gauge("quill.executor.result_queue_depth"), Some(0.0));
+        // Every merged element was finalized by exactly one shard, and the
+        // window counter matches the distinct merge keys in the output.
+        assert_eq!(
+            snap.counter_family_sum("quill.shard.", ".finalized_windows"),
+            out.len() as u64
+        );
+        let mut keys: Vec<MergeKey> = out.iter().map(merge_key).collect();
+        keys.dedup();
+        assert_eq!(snap.counter("quill.merge.windows"), keys.len() as u64);
+    }
+
+    #[test]
+    fn single_shard_bypass_matches_multi_shard_output() {
+        // Regression for the shards=1, batch_size=1 pathology: the bypass
+        // must skip channels/threads entirely yet emit the exact element
+        // sequence the multi-shard merge produces, with the same merge
+        // telemetry so dashboards don't go dark at shards=1.
+        let elements = input(2_000, 13);
+        let multi = run_keyed_parallel_with(
+            elements.clone(),
+            0,
+            ParallelConfig::new(4).with_batch_size(64),
+            window_op,
+        )
+        .expect("4-shard run")
+        .0;
+
+        let reg = Registry::new();
+        let cfg = ParallelConfig::new(1).with_batch_size(1);
+        let (out, ops) =
+            run_keyed_parallel_instrumented(elements, 0, cfg, &reg, window_op).expect("bypass run");
+        // Result `seq` numbers are per-operator, so compare the parsed window
+        // results in merged order: same windows, same aggregates, same order.
+        assert_eq!(
+            results_of(&out),
+            results_of(&multi),
+            "bypass results must match the multi-shard merge, in order"
+        );
+        assert_eq!(ops.len(), 1);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("quill.shard.0.events"), 2_000);
+        // The whole stream is one logical batch in the bypass.
+        assert_eq!(snap.counter("quill.shard.0.batches"), 1);
+        assert_eq!(
+            snap.counter("quill.shard.0.finalized_windows"),
+            out.len() as u64
+        );
+        // The one-run merge still records its instruments.
+        assert_eq!(snap.counter("quill.merge.elements"), out.len() as u64);
+        assert_eq!(snap.counter("quill.merge.fallback_sorts"), 0);
+        assert!(snap.counter("quill.merge.windows") > 0);
+        // No channels exist on this path, so nothing can stall.
+        assert_eq!(snap.counter("quill.executor.send_stalls"), 0);
     }
 
     #[test]
@@ -913,5 +1228,43 @@ mod tests {
             .map(|e| e.ts.raw())
             .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "fallback sorts output");
+    }
+
+    #[test]
+    fn watermark_coalescing_is_blocked_by_staged_releases() {
+        // Regression (differential seed 53): an event with W1 < ts <= W2
+        // routed *before* W1 sits staged in the shard; replacing W1 with W2
+        // would fold it before the windows ending in (.., W1] finalize
+        // instead of after, perturbing float combine nesting. Both
+        // watermarks must survive in the batch.
+        let ev = |ts: u64, seq: u64| {
+            StreamElement::Event(Event::new(ts, seq, Row::new([Value::Int(0)])))
+        };
+        let mut router = ShardRouter::new(1, 1024);
+        assert!(!router.push_event(0, ev(50, 0)));
+        router.push_punctuation(&StreamElement::Watermark(Timestamp(40)));
+        // ts 50 is still staged and 40 < 50 <= 60: W1=40 must stay pinned.
+        router.push_punctuation(&StreamElement::Watermark(Timestamp(60)));
+        // Nothing staged in (60, 70]: this one coalesces in place.
+        router.push_punctuation(&StreamElement::Watermark(Timestamp(70)));
+        assert_eq!(
+            router.bufs[0],
+            vec![
+                ev(50, 0),
+                StreamElement::Watermark(Timestamp(40)),
+                StreamElement::Watermark(Timestamp(70)),
+            ]
+        );
+        // An event arriving behind the broadcast watermark is a late pass —
+        // it never stages, so it must not pin later watermarks either.
+        assert!(!router.push_event(0, ev(10, 1)));
+        router.push_punctuation(&StreamElement::Watermark(Timestamp(80)));
+        router.push_punctuation(&StreamElement::Watermark(Timestamp(90)));
+        assert_eq!(router.bufs[0].len(), 5, "late event appended exactly once");
+        assert_eq!(
+            router.bufs[0].last(),
+            Some(&StreamElement::Watermark(Timestamp(90))),
+            "watermarks after a late pass still coalesce"
+        );
     }
 }

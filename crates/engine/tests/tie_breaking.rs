@@ -8,10 +8,14 @@
 //! merge order (and therefore downstream consumers) depends on scheduling.
 
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
-use quill_engine::operator::{LatePolicy, WindowAggregateOp, WindowResult};
-use quill_engine::parallel::{run_keyed_parallel_with, ParallelConfig};
+use quill_engine::operator::{LatePolicy, Operator, ShardStage, WindowAggregateOp, WindowResult};
+use quill_engine::parallel::{
+    run_keyed_parallel_observed, run_keyed_parallel_with, ParallelConfig,
+};
 use quill_engine::prelude::*;
 use quill_engine::value::Key;
+use quill_telemetry::trace::FlightRecorder;
+use quill_telemetry::Registry;
 
 /// Tie-heavy keyed stream: every timestamp is a multiple of 10, each `(ts,
 /// key)` pair occurs several times with distinct values, and periodic
@@ -112,6 +116,75 @@ fn deterministic_inline_scheduler_reproduces_threaded_merge() {
                 .with_deterministic(true),
         );
         assert_eq!(inline, threaded, "schedulers diverged at shards={shards}");
+    }
+}
+
+/// Result sequence from the shard-local finalization path: each shard's
+/// window operator is wrapped in a [`ShardStage`] and fed the *unordered*
+/// stream exactly as a control-only disorder strategy would forward it —
+/// events in arrival order with the watermark sequence interleaved.
+fn staged_results_of(cfg: ParallelConfig) -> Vec<WindowResult> {
+    let (out, _) = run_keyed_parallel_observed(
+        tie_stream(),
+        0,
+        cfg,
+        &Registry::disabled(),
+        &FlightRecorder::disabled(),
+        |_| ShardStage::new(make_op()),
+    )
+    .expect("staged parallel run");
+    out.iter()
+        .filter_map(|e| e.as_event())
+        .filter_map(|e| WindowResult::from_row(&e.row))
+        .collect()
+}
+
+#[test]
+fn shard_local_staging_reproduces_global_staging_ties() {
+    // Global-staging reference: one ShardStage re-orders the whole stream
+    // (exactly what a global SlackBuffer delivers), then one operator
+    // finalizes every key. Tie-heavy late events exercise the late-pass
+    // forwarding inside the stage.
+    let mut stage = ShardStage::new(make_op());
+    let mut reference = Vec::new();
+    for el in tie_stream() {
+        stage.process(el, &mut |o| {
+            if let Some(e) = o.as_event() {
+                if let Some(r) = WindowResult::from_row(&e.row) {
+                    reference.push(r);
+                }
+            }
+        });
+    }
+    reference.sort_by_key(|r| (r.window.end, r.window.start, Key(r.key.clone())));
+    assert!(!reference.is_empty(), "staged stream produced no windows");
+
+    let mut merged_order: Option<Vec<WindowResult>> = None;
+    for shards in [1usize, 2, 4, 8] {
+        for deterministic in [false, true] {
+            let got = staged_results_of(
+                ParallelConfig::new(shards)
+                    .with_batch_size(16)
+                    .with_deterministic(deterministic),
+            );
+            let mut sorted = got.clone();
+            sorted.sort_by_key(|r| (r.window.end, r.window.start, Key(r.key.clone())));
+            assert_eq!(
+                sorted, reference,
+                "shard-local finalization diverged from global staging at \
+                 shards={shards} deterministic={deterministic}"
+            );
+            // The merged sequence itself must also be identical across shard
+            // counts and schedulers, not just as a sorted set.
+            match &merged_order {
+                None => merged_order = Some(got),
+                Some(first) => assert_eq!(
+                    &got, first,
+                    "merged sequence depends on shards={shards} \
+                     deterministic={deterministic}"
+                ),
+            }
+        }
     }
 }
 

@@ -382,19 +382,25 @@ fn check_parallel_equivalence(
     shards: usize,
     batch: usize,
     deterministic: bool,
+    global_staging: bool,
 ) -> Result<RunOutput, Mismatch> {
     let exec = format!(
-        "parallel-{shards}x{batch}{}",
+        "parallel-{shards}x{batch}{}{}",
         if deterministic {
             "-inline"
         } else {
             "-threaded"
-        }
+        },
+        if global_staging { "-global" } else { "" }
     );
     let cfg = ParallelConfig::new(shards)
         .with_batch_size(batch)
         .with_deterministic(deterministic);
-    let par = run(case, &ExecOptions::parallel(cfg), &exec)?;
+    let par = run(
+        case,
+        &ExecOptions::parallel(cfg).with_global_staging(global_staging),
+        &exec,
+    )?;
     if sorted_results(&par.results) != seq_sorted {
         return Err(Mismatch::new(
             "parallel-results",
@@ -455,6 +461,15 @@ fn check_telemetry(case: &SimCase) -> Result<(), Mismatch> {
     let snap = reg.snapshot();
     let n = case.events.len() as u64;
     let staged = out.buffer.released + out.buffer.late_passed;
+    // Distinct (end, start, key) triples among the results — what the merge
+    // counts as `quill.merge.windows`.
+    let mut wins: Vec<(u64, u64, String)> = out
+        .results
+        .iter()
+        .map(|r| (r.window.end.raw(), r.window.start.raw(), r.key.to_string()))
+        .collect();
+    wins.sort();
+    wins.dedup();
     let checks = [
         ("quill.run.events", snap.counter("quill.run.events"), n),
         (
@@ -471,6 +486,16 @@ fn check_telemetry(case: &SimCase) -> Result<(), Mismatch> {
             "quill.merge.elements",
             snap.counter("quill.merge.elements"),
             out.results.len() as u64,
+        ),
+        (
+            "sum(quill.shard.*.finalized_windows)",
+            snap.counter_family_sum("quill.shard.", ".finalized_windows"),
+            out.results.len() as u64,
+        ),
+        (
+            "quill.merge.windows",
+            snap.counter("quill.merge.windows"),
+            wins.len() as u64,
         ),
         (
             "quill.run.late_dropped",
@@ -595,11 +620,18 @@ pub fn check_case(case: &SimCase) -> Result<CaseStats, Mismatch> {
     check_quality_agreement(&seq, &naive, "sequential")?;
 
     let seq_sorted = sorted_results(&seq.results);
+    // Default parallel path: shard-local window finalization (the strategy
+    // runs control-only; each shard stages and finalizes its own keys).
     for (shards, batch) in [(1usize, 1usize), (2, 7), (4, 64), (8, 256)] {
-        check_parallel_equivalence(case, &seq, &seq_sorted, shards, batch, true)?;
+        check_parallel_equivalence(case, &seq, &seq_sorted, shards, batch, true, false)?;
         stats.executions += 1;
     }
-    let threaded = check_parallel_equivalence(case, &seq, &seq_sorted, 4, 32, false)?;
+    // Legacy global staging must stay equivalent too.
+    for (shards, batch) in [(2usize, 7usize), (8, 256)] {
+        check_parallel_equivalence(case, &seq, &seq_sorted, shards, batch, true, true)?;
+        stats.executions += 1;
+    }
+    let threaded = check_parallel_equivalence(case, &seq, &seq_sorted, 4, 32, false, false)?;
     stats.executions += 1;
 
     // Scheduler independence: the deterministic inline path and the threaded
@@ -618,6 +650,18 @@ pub fn check_case(case: &SimCase) -> Result<CaseStats, Mismatch> {
             "scheduler-dependence",
             "parallel-4x32",
             "inline and threaded executors emitted different result sequences".to_string(),
+        ));
+    }
+
+    // Staging independence: shard-local finalization and global staging
+    // must emit the identical result sequence, not just the multiset.
+    let global_threaded = check_parallel_equivalence(case, &seq, &seq_sorted, 4, 32, false, true)?;
+    stats.executions += 1;
+    if global_threaded.results != threaded.results {
+        return Err(Mismatch::new(
+            "staging-dependence",
+            "parallel-4x32",
+            "shard-local and global staging emitted different result sequences".to_string(),
         ));
     }
 

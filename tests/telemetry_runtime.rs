@@ -95,6 +95,34 @@ fn shard_counters_reconcile_with_run_accounting() {
         assert_eq!(snap.counter("quill.run.results"), out.results.len() as u64);
         // The merge saw every shard output element.
         assert!(snap.counter("quill.merge.elements") > 0);
+        // Shard-local finalization: every emitted result was finalized by
+        // exactly one shard, and the merge combined exactly those results.
+        assert_eq!(
+            snap.counter_family_sum("quill.shard.", ".finalized_windows"),
+            out.results.len() as u64,
+            "per-shard finalized_windows must sum to the result count at {shards} shards"
+        );
+        assert_eq!(
+            snap.counter("quill.merge.elements"),
+            out.results.len() as u64
+        );
+        // The merge's window counter matches the distinct (end, start, key)
+        // triples among the results.
+        let mut wins: Vec<(u64, u64, String)> = out
+            .results
+            .iter()
+            .map(|r| (r.window.end.raw(), r.window.start.raw(), r.key.to_string()))
+            .collect();
+        wins.sort();
+        wins.dedup();
+        assert_eq!(snap.counter("quill.merge.windows"), wins.len() as u64);
+        // Queue-depth gauges end drained: nothing left in the input channels
+        // or the result channel once the run returns. (The shards=1 bypass
+        // has no channels and therefore never registers the gauges.)
+        if shards > 1 {
+            assert_eq!(snap.gauge("quill.executor.queue_depth"), Some(0.0));
+            assert_eq!(snap.gauge("quill.executor.result_queue_depth"), Some(0.0));
+        }
     }
 }
 
