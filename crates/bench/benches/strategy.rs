@@ -1,4 +1,4 @@
-//! Micro-benchmarks of end-to-end strategy overhead: full run_query cost
+//! Micro-benchmarks of end-to-end strategy overhead: full `execute` cost
 //! per strategy on an identical disordered stream (wall-clock counterpart
 //! of R-F7).
 

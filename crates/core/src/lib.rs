@@ -52,6 +52,7 @@ pub mod plan;
 pub mod punctuated;
 pub mod quality;
 pub mod runner;
+pub mod session;
 pub mod shared;
 pub mod strategy;
 
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::buffer::{BufferStats, SlackBuffer};
     pub use crate::controller::PiController;
     pub use crate::estimator::{DelayEstimator, DistEstimator, EstimatorKind, HistogramEstimator};
+    #[allow(deprecated)]
     pub use crate::online::OnlineQuery;
     pub use crate::plan::{
         analyze_plan, parse_plan_jsonl, DelayProfile, Diagnostic as PlanDiagnostic,
@@ -70,13 +72,12 @@ pub mod prelude {
     };
     pub use crate::punctuated::PunctuatedBuffer;
     pub use crate::quality::{QualityTarget, SensitivityModel};
-    #[allow(deprecated)]
-    pub use crate::runner::run_query;
     pub use crate::runner::{
         execute, stage_strategy, ExecOptions, QuerySpec, QuerySpecBuilder, RunOutput, StagedStream,
     };
-    #[allow(deprecated)]
-    pub use crate::shared::run_shared;
+    pub use crate::session::{
+        QueryConfig, QueryHandle, QueryId, QueryInfo, QueryStats, Session, SessionStats,
+    };
     pub use crate::shared::{
         execute_shared, strictest_completeness, SharedQueryOutput, SharedRunOutput,
     };

@@ -1,54 +1,45 @@
-//! Online (push-based) quality-driven query execution.
+//! Online (push-based) quality-driven query execution — **deprecated** in
+//! favor of [`crate::session::Session`].
 //!
-//! [`execute`](crate::runner::execute) is batch-style: it consumes a
-//! finished event vector and scores against the oracle afterwards.
-//! [`OnlineQuery`] is the production-facing interface: construct it once,
-//! [`push`](OnlineQuery::push) events as they arrive, and collect
-//! [`WindowResult`]s as they are emitted — with live introspection of the
-//! current slack, buffer occupancy and result latency. No oracle is
-//! involved (ground truth does not exist online); quality is whatever the
-//! strategy's target promises.
+//! [`OnlineQuery`] was the original single-query push surface. It survives
+//! as a thin wrapper over a one-query [`Session`] so existing callers keep
+//! byte-identical behaviour, but new code should use the session API, which
+//! adds runtime registration/deregistration, multi-query fan-out over one
+//! shared buffer, per-source heartbeats and bounded result subscriptions.
 //!
-//! ```
-//! use quill_core::online::OnlineQuery;
-//! use quill_core::prelude::*;
-//! use quill_engine::prelude::*;
+//! # Migration
 //!
-//! let query = QuerySpec::new(
-//!     WindowSpec::tumbling(10u64),
-//!     vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
-//!     None,
-//! );
-//! let mut q = OnlineQuery::new(Box::new(AqKSlack::for_completeness(0.9)), &query).unwrap();
-//! for (seq, ts) in [(0u64, 5u64), (1, 3), (2, 25), (3, 17), (4, 40)] {
-//!     let results = q.push(Event::new(ts, seq, Row::new([Value::Float(1.0)])));
-//!     for r in results {
-//!         println!("window {} -> {}", r.window, r.aggregates[0]);
-//!     }
-//! }
-//! let tail = q.finish();
-//! assert!(!tail.is_empty());
-//! ```
+//! | `OnlineQuery` | `Session` equivalent |
+//! |---|---|
+//! | `OnlineQuery::new(strategy, &query)?` | `let mut s = Session::new(strategy); let h = s.register(&query)?;` |
+//! | `q.push(event)` (returns results) | `s.push(event); h.poll()` |
+//! | `q.finish()` (returns results) | `s.finish(); h.poll()` |
+//! | `q.current_k()` / `q.buffered()` / `q.clock()` | `s.stats().current_k` / `.buffered` / `.clock` |
+//! | `q.results_emitted()` / `q.mean_latency()` | `h.stats().emitted` / `.mean_latency` |
+//! | `q.latency_quantile(p)` | `h.latency_quantile(p)` |
+//! | `q.window_stats()` | `h.stats().window` |
+//! | `q.strategy_name()` | `s.strategy_name()` |
+
+#![allow(deprecated)]
 
 use crate::runner::QuerySpec;
+use crate::session::{QueryHandle, Session};
 use crate::strategy::DisorderControl;
 use quill_engine::error::Result;
-use quill_engine::event::{ClockTracker, Event, StreamElement};
-use quill_engine::operator::{
-    LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
-};
+use quill_engine::event::Event;
+use quill_engine::operator::{WindowOpStats, WindowResult};
 use quill_engine::time::{TimeDelta, Timestamp};
-use quill_metrics::LatencyRecorder;
 
 /// A continuously running windowed query with pluggable disorder control.
+///
+/// Deprecated: this is now a fixed single-query view over
+/// [`Session`] — see the [module docs](self) for the migration
+/// table. Results are byte-identical to a session with one registered query
+/// (and to the batch [`crate::runner::execute`] path on the same events).
+#[deprecated(note = "use `Session` + `QueryHandle` (see quill_core::session)")]
 pub struct OnlineQuery {
-    strategy: Box<dyn DisorderControl>,
-    op: WindowAggregateOp,
-    clock: ClockTracker,
-    latency: LatencyRecorder,
-    staged: Vec<StreamElement>,
-    results_emitted: u64,
-    finished: bool,
+    session: Session,
+    handle: QueryHandle,
 }
 
 impl OnlineQuery {
@@ -57,20 +48,9 @@ impl OnlineQuery {
     /// # Errors
     /// Propagates invalid window/aggregate specifications.
     pub fn new(strategy: Box<dyn DisorderControl>, query: &QuerySpec) -> Result<OnlineQuery> {
-        Ok(OnlineQuery {
-            strategy,
-            op: WindowAggregateOp::new(
-                query.window,
-                query.aggregates.clone(),
-                query.key_field,
-                LatePolicy::Drop,
-            )?,
-            clock: ClockTracker::new(),
-            latency: LatencyRecorder::new(),
-            staged: Vec::new(),
-            results_emitted: 0,
-            finished: false,
-        })
+        let mut session = Session::new(strategy);
+        let handle = session.register(query)?;
+        Ok(OnlineQuery { session, handle })
     }
 
     /// Push one arriving event; returns any window results it unlocked.
@@ -78,85 +58,60 @@ impl OnlineQuery {
     /// Pushing after [`finish`](OnlineQuery::finish) is a no-op returning no
     /// results.
     pub fn push(&mut self, e: Event) -> Vec<WindowResult> {
-        if self.finished {
+        if self.session.finished() {
             return Vec::new();
         }
-        self.clock.observe(e.ts);
-        self.staged.clear();
-        self.strategy.on_event(e, &mut self.staged);
-        self.route_staged()
+        self.session.push(e);
+        self.handle.poll()
     }
 
     /// End of stream: flush everything still buffered.
     pub fn finish(&mut self) -> Vec<WindowResult> {
-        if self.finished {
+        if self.session.finished() {
             return Vec::new();
         }
-        self.finished = true;
-        self.staged.clear();
-        self.strategy.finish(&mut self.staged);
-        self.route_staged()
-    }
-
-    fn route_staged(&mut self) -> Vec<WindowResult> {
-        let now = self.clock.clock().unwrap_or(Timestamp::MIN);
-        let mut results = Vec::new();
-        let op = &mut self.op;
-        let latency = &mut self.latency;
-        let emitted = &mut self.results_emitted;
-        for el in self.staged.drain(..) {
-            op.process(el, &mut |o| {
-                if let StreamElement::Event(out_ev) = o {
-                    if let Some(r) = WindowResult::from_row(&out_ev.row) {
-                        latency.record(now.delta_since(r.window.end));
-                        *emitted += 1;
-                        results.push(r);
-                    }
-                }
-            });
-        }
-        results
+        self.session.finish();
+        self.handle.poll()
     }
 
     /// The slack currently in force.
     pub fn current_k(&self) -> TimeDelta {
-        self.strategy.current_k()
+        self.session.current_k()
     }
 
     /// Events currently held in the ordering buffer.
     pub fn buffered(&self) -> u64 {
-        let s = self.strategy.buffer_stats();
-        s.inserted - s.released
+        self.session.stats().buffered
     }
 
     /// The stream clock (max event timestamp observed).
     pub fn clock(&self) -> Option<Timestamp> {
-        self.clock.clock()
+        self.session.stats().clock
     }
 
     /// Results emitted so far.
     pub fn results_emitted(&self) -> u64 {
-        self.results_emitted
+        self.handle.stats().emitted
     }
 
     /// Mean result latency so far (event-time units).
     pub fn mean_latency(&self) -> f64 {
-        self.latency.mean()
+        self.handle.stats().mean_latency
     }
 
     /// Approximate latency quantile so far.
     pub fn latency_quantile(&self, q: f64) -> Option<u64> {
-        self.latency.quantile(q)
+        self.handle.latency_quantile(q)
     }
 
     /// Window-operator counters (accepted / late-dropped / emitted).
     pub fn window_stats(&self) -> WindowOpStats {
-        self.op.stats()
+        self.handle.stats().window
     }
 
     /// Strategy name.
     pub fn strategy_name(&self) -> String {
-        self.strategy.name()
+        self.session.strategy_name()
     }
 }
 

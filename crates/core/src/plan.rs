@@ -323,6 +323,21 @@ fn check_quality_feasibility(
         return;
     };
     let req = required_completeness(strategy, opts);
+    // An uncapped MP ratchet under unbounded delays still consumes the
+    // profile (see `check_strategy`), so the hint is not dead there.
+    let feeds_strategy_check =
+        matches!(strategy, StrategyKind::Mp { cap: None }) && profile == DelayProfile::Unbounded;
+    if req.is_none() && !matches!(strategy, StrategyKind::Aq { .. }) && !feeds_strategy_check {
+        diags.push(Diagnostic::new(
+            "plan.options.delay-profile-unused",
+            Severity::Advice,
+            "a delay profile is declared but no quality target exists anywhere (neither \
+             ExecOptions::with_required_completeness nor a quality-driven strategy): the \
+             feasibility checks have nothing to check",
+            "set a completeness target, use AqKSlack, or drop with_delay_profile",
+        ));
+        return;
+    }
     let wants_exact = req.is_some_and(|q| q >= 1.0);
 
     if wants_exact && profile == DelayProfile::Unbounded && *strategy != StrategyKind::Oracle {
@@ -487,6 +502,24 @@ fn check_options(opts: &ExecOptions, diags: &mut Vec<Diagnostic>) {
             "expected key cardinality of 0 (a keyed stream has at least one key)",
             "pass the approximate number of distinct keys, or omit the hint",
         ));
+    } else if opts.expected_key_cardinality.is_some() && opts.parallel.is_none() {
+        diags.push(Diagnostic::new(
+            "plan.options.expected-keys-without-parallel",
+            Severity::Warn,
+            "expected key cardinality is hinted but execution is sequential: the hint only \
+             feeds the shard-saturation check, which needs a parallel configuration",
+            "use ExecOptions::parallel(config) or drop with_expected_keys",
+        ));
+    }
+    if opts.global_staging && opts.parallel.is_none() {
+        diags.push(Diagnostic::new(
+            "plan.options.global-staging-sequential",
+            Severity::Warn,
+            "global staging is pinned but execution is sequential: sequential runs always \
+             stage globally, so the flag changes nothing",
+            "use ExecOptions::parallel(config) to compare staging dataflows, or drop \
+             with_global_staging",
+        ));
     }
 }
 
@@ -610,6 +643,49 @@ mod tests {
         let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
         assert_eq!(diags[0].rule, "plan.options.completeness-range");
         assert_eq!(diags[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn dead_delay_profile_advises() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts =
+            ExecOptions::sequential().with_delay_profile(DelayProfile::Bounded { max_delay: 100 });
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(500), &opts);
+        assert!(rules(&diags).contains(&"plan.options.delay-profile-unused"));
+        // A quality-driven strategy consumes the profile: no advice.
+        let aq = StrategyKind::Aq {
+            target: QualityTarget::Completeness { q: 0.9 },
+            k_max: None,
+        };
+        let diags = analyze_plan(&q, &aq, &opts);
+        assert!(!rules(&diags).contains(&"plan.options.delay-profile-unused"));
+        // So does the uncapped-MP unbounded-delay check.
+        let opts = ExecOptions::sequential().with_delay_profile(DelayProfile::Unbounded);
+        let diags = analyze_plan(&q, &StrategyKind::Mp { cap: None }, &opts);
+        assert!(!rules(&diags).contains(&"plan.options.delay-profile-unused"));
+        assert!(rules(&diags).contains(&"plan.strategy.unbounded-k"));
+    }
+
+    #[test]
+    fn expected_keys_without_parallel_warns() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, Some(0));
+        let opts = ExecOptions::sequential().with_expected_keys(4);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(rules(&diags).contains(&"plan.options.expected-keys-without-parallel"));
+        let opts = ExecOptions::parallel(ParallelConfig::new(2)).with_expected_keys(4);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(!rules(&diags).contains(&"plan.options.expected-keys-without-parallel"));
+    }
+
+    #[test]
+    fn global_staging_without_parallel_warns() {
+        let q = query(WindowSpec::tumbling(100u64), AggregateKind::Sum, None);
+        let opts = ExecOptions::sequential().with_global_staging(true);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(rules(&diags).contains(&"plan.options.global-staging-sequential"));
+        let opts = ExecOptions::parallel(ParallelConfig::new(2)).with_global_staging(true);
+        let diags = analyze_plan(&q, &StrategyKind::FixedK(50), &opts);
+        assert!(!rules(&diags).contains(&"plan.options.global-staging-sequential"));
     }
 
     #[test]

@@ -107,6 +107,20 @@ impl DisorderControl for PunctuatedBuffer {
         self.buf.insert(e, out);
     }
 
+    fn on_heartbeat(&mut self, source: &Key, ts: Timestamp, out: &mut Vec<StreamElement>) {
+        let entry = self.per_source.entry(source.clone()).or_insert(ts);
+        *entry = (*entry).max(ts);
+        // The clock (max *event* timestamp) does not advance: a heartbeat
+        // carries progress, not data. The combined watermark may advance,
+        // which shrinks K and can release buffered events. When a heartbeat
+        // runs ahead of the clock, `delta_since` saturates at zero and the
+        // buffer conservatively releases up to the clock only.
+        let wm = self.combined_watermark();
+        let k = self.clock.delta_since(wm);
+        self.buf.set_k(k);
+        self.buf.drain_ready(out);
+    }
+
     fn finish(&mut self, out: &mut Vec<StreamElement>) {
         self.buf.finish(out);
     }
@@ -201,6 +215,24 @@ mod tests {
         s.on_event(ev(100, 0, 1), &mut out); // wm jumps to 100
         s.on_event(ev(50, 1, 1), &mut out); // behind own source's watermark
         assert_eq!(s.buffer_stats().late_passed, 1);
+    }
+
+    #[test]
+    fn heartbeats_release_without_data() {
+        let mut s = PunctuatedBuffer::new(0, 2);
+        let mut out = Vec::new();
+        s.on_event(ev(100, 0, 1), &mut out);
+        s.on_event(ev(200, 1, 1), &mut out);
+        assert!(released_ts(&out).is_empty(), "source 2 unseen");
+        // A heartbeat from source 2 vouches for its progress: wm = min(200,
+        // 150) = 150 without any event from it, releasing ts <= 150.
+        s.on_heartbeat(&Key(Value::Int(2)), Timestamp(150), &mut out);
+        assert_eq!(released_ts(&out), vec![100]);
+        assert_eq!(s.sources_seen(), 2);
+        // A heartbeat ahead of the clock saturates at the clock.
+        s.on_heartbeat(&Key(Value::Int(2)), Timestamp(10_000), &mut out);
+        s.on_heartbeat(&Key(Value::Int(1)), Timestamp(10_000), &mut out);
+        assert_eq!(released_ts(&out), vec![100, 200]);
     }
 
     #[test]

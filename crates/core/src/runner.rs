@@ -7,8 +7,8 @@
 //! series, wall-clock processing time, and (when an enabled
 //! [`quill_telemetry::Registry`] is supplied via [`ExecOptions`]) periodic
 //! telemetry snapshots. [`ExecOptions`] selects sequential execution or the
-//! batched keyed-parallel executor; the legacy [`run_query`] /
-//! [`run_query_parallel`] entry points are deprecated shims over it.
+//! batched keyed-parallel executor. For resident, push-mode execution with
+//! runtime query registration, see [`crate::session::Session`].
 
 use crate::plan::{analyze_plan, DelayProfile, Diagnostic, Severity};
 use crate::strategy::DisorderControl;
@@ -186,6 +186,25 @@ impl QuerySpecBuilder {
 
 /// How the runner executes a query and what it observes while doing so.
 /// `Default` is sequential, telemetry disabled.
+///
+/// # Toggle reference
+///
+/// Options compose; none of them silently overrides another. Combinations
+/// that interact are checked by the static plan analyzer
+/// ([`crate::plan::analyze_plan`]) before execution — conflicting or
+/// ineffective pairings surface as `plan.options.*` diagnostics instead of
+/// being resolved by builder-call ordering.
+///
+/// | toggle | effect | inert without | plan rule when misused |
+/// |---|---|---|---|
+/// | [`with_telemetry`](ExecOptions::with_telemetry) | instruments record into the registry | — | — |
+/// | [`with_snapshot_every`](ExecOptions::with_snapshot_every) | periodic registry snapshots | enabled telemetry | `plan.options.snapshot-without-telemetry` (warn) |
+/// | [`with_trace`](ExecOptions::with_trace) | structured trace ring, provenance records | — | — |
+/// | [`with_required_completeness`](ExecOptions::with_required_completeness) | flags windows below the target; builds post-mortems | enabled trace (for post-mortems) | `plan.options.completeness-without-trace` (warn); `plan.options.completeness-range` (deny) outside (0, 1] |
+/// | [`with_delay_profile`](ExecOptions::with_delay_profile) | enables quality-feasibility checks | a quality target somewhere (options or strategy) | `plan.options.delay-profile-unused` (advice) |
+/// | [`with_expected_keys`](ExecOptions::with_expected_keys) | shard-saturation check | parallel execution | `plan.options.expected-keys-without-parallel` (warn); `plan.options.expected-keys-zero` (deny) for 0 |
+/// | [`with_global_staging`](ExecOptions::with_global_staging) | pins the legacy global-staging dataflow | parallel execution | `plan.options.global-staging-sequential` (warn) |
+/// | [`parallel`](ExecOptions::parallel) | keyed-parallel executor | — | `plan.parallel.*` rules |
 #[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     /// `Some(config)` fans the windowing work out on the batched
@@ -680,33 +699,6 @@ pub(crate) fn vet_plan(
     Ok(diags)
 }
 
-/// Sequential execution with telemetry disabled.
-///
-/// # Errors
-/// Propagates invalid window/aggregate specifications.
-#[deprecated(note = "use `execute` with `ExecOptions::sequential()`")]
-pub fn run_query(
-    events: &[Event],
-    strategy: &mut dyn DisorderControl,
-    query: &QuerySpec,
-) -> Result<RunOutput> {
-    execute(events, strategy, query, &ExecOptions::sequential())
-}
-
-/// Keyed-parallel execution with telemetry disabled.
-///
-/// # Errors
-/// Propagates invalid window/aggregate specifications and executor failures.
-#[deprecated(note = "use `execute` with `ExecOptions::parallel(config)`")]
-pub fn run_query_parallel(
-    events: &[Event],
-    strategy: &mut dyn DisorderControl,
-    query: &QuerySpec,
-    config: ParallelConfig,
-) -> Result<RunOutput> {
-    execute(events, strategy, query, &ExecOptions::parallel(config))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,18 +1100,5 @@ mod tests {
         // their total matches the operator counters.
         let dropped: u64 = out.provenance.iter().map(|r| r.dropped).sum();
         assert!(dropped > 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run() {
-        let events = disordered_events(800, 100, 13);
-        let query = sum_query();
-        let mut s1 = FixedKSlack::new(150u64);
-        let mut s2 = FixedKSlack::new(150u64);
-        let seq = run_query(&events, &mut s1, &query).unwrap();
-        let par = run_query_parallel(&events, &mut s2, &query, ParallelConfig::new(2)).unwrap();
-        assert_eq!(seq.events, 800);
-        assert_eq!(seq.quality.mean_completeness, par.quality.mean_completeness);
     }
 }

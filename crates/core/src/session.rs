@@ -1,0 +1,850 @@
+//! Runtime-registrable multi-query sessions: the push-mode execution
+//! surface.
+//!
+//! [`crate::runner::execute`] and [`crate::shared::execute_shared`] are
+//! batch-style: they consume a finished event vector. A [`Session`] is the
+//! resident counterpart — one shared [`DisorderControl`] core (one buffer,
+//! one watermark sequence) with queries registered and deregistered **at
+//! runtime**, each observing the staged stream through its own window
+//! operator and a bounded result subscription ([`QueryHandle`]).
+//!
+//! The session is the execution heart of the `quill-serve` daemon: the
+//! server is a network shell that feeds [`Session::push`] /
+//! [`Session::heartbeat`] and drains [`QueryHandle::poll`]. The same
+//! internal fan-out core (`MultiQueryCore`) drives `execute_shared`'s
+//! sequential path, so batch and resident execution share one code path and
+//! produce element-identical results for the same staged stream.
+//!
+//! ```
+//! use quill_core::prelude::*;
+//!
+//! let mut session = Session::new(Box::new(FixedKSlack::new(20u64)));
+//! let query = QuerySpec::builder()
+//!     .window(WindowSpec::tumbling(10u64))
+//!     .aggregate(AggregateKind::Sum, 0, "sum")
+//!     .build()
+//!     .unwrap();
+//! let handle = session.register(&query).unwrap();
+//! for (seq, ts) in [(0u64, 5u64), (1, 3), (2, 25), (3, 17), (4, 40)] {
+//!     session.push(Event::new(ts, seq, Row::new([Value::Float(1.0)])));
+//! }
+//! session.finish();
+//! assert!(!handle.poll().is_empty());
+//! ```
+
+use crate::plan::{analyze_plan, DelayProfile, Diagnostic, Severity};
+use crate::runner::{ExecOptions, QuerySpec};
+use crate::strategy::DisorderControl;
+use parking_lot::Mutex;
+use quill_engine::error::{EngineError, Result};
+use quill_engine::event::{ClockTracker, Event, StreamElement};
+use quill_engine::operator::{
+    LatePolicy, Operator, WindowAggregateOp, WindowOpStats, WindowResult,
+};
+use quill_engine::time::{TimeDelta, Timestamp};
+use quill_engine::value::Key;
+use quill_metrics::{LatencyRecorder, Summary};
+use quill_telemetry::{Counter, Gauge, Registry};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default bound on a query's pending-result queue; see
+/// [`QueryConfig::result_capacity`].
+pub const DEFAULT_RESULT_CAPACITY: usize = 16_384;
+
+/// Plan-analyzer rules that do not apply in session context (the session
+/// tracks per-query targets itself, without the batch provenance layer).
+const SESSION_IRRELEVANT_RULES: &[&str] = &["plan.options.completeness-without-trace"];
+
+/// Identifier of a query registered in a [`Session`], unique within it for
+/// the session's lifetime (never reused after deregistration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// The raw numeric id (stable across [`QueryId::from_raw`]).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an id from its raw number (e.g. parsed out of a URL path).
+    pub fn from_raw(id: u64) -> QueryId {
+        QueryId(id)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-query registration options.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Completeness target this subscriber requires, consulted by the plan
+    /// analyzer at registration (a target the strategy provably cannot meet
+    /// is refused) and reported via [`Session::query_info`]. The session's
+    /// shared buffer must be sized for the *strictest* subscriber — see
+    /// [`crate::shared::strictest_completeness`].
+    pub required_completeness: Option<f64>,
+    /// Bound on the pending-result queue between the session and
+    /// [`QueryHandle::poll`]. When full, the **oldest** pending result is
+    /// dropped and counted in [`QueryStats::overflow_dropped`] — a slow
+    /// consumer loses history, never blocks the stream.
+    pub result_capacity: usize,
+}
+
+impl Default for QueryConfig {
+    fn default() -> QueryConfig {
+        QueryConfig {
+            required_completeness: None,
+            result_capacity: DEFAULT_RESULT_CAPACITY,
+        }
+    }
+}
+
+impl QueryConfig {
+    /// Require the given completeness of this query's windows.
+    pub fn with_required_completeness(mut self, q: f64) -> QueryConfig {
+        self.required_completeness = Some(q);
+        self
+    }
+
+    /// Override the pending-result queue bound (`usize::MAX` = unbounded).
+    pub fn with_result_capacity(mut self, capacity: usize) -> QueryConfig {
+        self.result_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// Snapshot of one query's counters, readable at any time from any thread
+/// via [`QueryHandle::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Window results emitted to this subscription so far.
+    pub emitted: u64,
+    /// Results evicted from a full subscription queue (slow consumer).
+    pub overflow_dropped: u64,
+    /// Results currently queued, awaiting [`QueryHandle::poll`].
+    pub pending: usize,
+    /// Window-operator counters (accepted / late-dropped / emitted).
+    pub window: WindowOpStats,
+    /// Mean result latency so far (event-time units).
+    pub mean_latency: f64,
+    /// Whether the query was deregistered or the session finished.
+    pub closed: bool,
+}
+
+/// Shared per-subscription state between the session (producer side) and
+/// its [`QueryHandle`]s (consumer side).
+pub(crate) struct SubState {
+    queue: VecDeque<WindowResult>,
+    capacity: usize,
+    overflow_dropped: u64,
+    emitted: u64,
+    window: WindowOpStats,
+    latency: LatencyRecorder,
+    closed: bool,
+}
+
+impl SubState {
+    fn push(&mut self, r: WindowResult) {
+        self.emitted += 1;
+        if self.queue.len() >= self.capacity {
+            self.queue.pop_front();
+            self.overflow_dropped += 1;
+        }
+        self.queue.push_back(r);
+    }
+
+    fn stats(&self) -> QueryStats {
+        QueryStats {
+            emitted: self.emitted,
+            overflow_dropped: self.overflow_dropped,
+            pending: self.queue.len(),
+            window: self.window,
+            mean_latency: self.latency.mean(),
+            closed: self.closed,
+        }
+    }
+}
+
+/// Consumer-side handle to one registered query: poll results, read stats.
+/// Clones share the subscription; the handle stays valid (and pollable for
+/// residual results) after deregistration or session finish.
+#[derive(Clone)]
+pub struct QueryHandle {
+    id: QueryId,
+    state: Arc<Mutex<SubState>>,
+    plan: Arc<Vec<Diagnostic>>,
+}
+
+impl QueryHandle {
+    /// The id this query was registered under.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Drain every pending result, in emission order.
+    pub fn poll(&self) -> Vec<WindowResult> {
+        self.state.lock().queue.drain(..).collect()
+    }
+
+    /// Current counters (exact: the session refreshes them whenever the
+    /// query's operator processes staged elements).
+    pub fn stats(&self) -> QueryStats {
+        self.state.lock().stats()
+    }
+
+    /// Approximate result-latency quantile so far.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        self.state.lock().latency.quantile(q)
+    }
+
+    /// Non-fatal plan diagnostics recorded at registration.
+    pub fn plan(&self) -> &[Diagnostic] {
+        &self.plan
+    }
+
+    /// `true` once the query was deregistered or the session finished.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+impl fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryHandle").field("id", &self.id).finish()
+    }
+}
+
+/// Static description of one registered query, for listings (`/queries`).
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    /// Registration id.
+    pub id: QueryId,
+    /// The query.
+    pub spec: QuerySpec,
+    /// The subscriber's completeness target, if any.
+    pub required_completeness: Option<f64>,
+    /// Current counters.
+    pub stats: QueryStats,
+}
+
+/// One registered query inside the fan-out core.
+struct Slot {
+    id: QueryId,
+    spec: QuerySpec,
+    required_completeness: Option<f64>,
+    op: WindowAggregateOp,
+    state: Arc<Mutex<SubState>>,
+}
+
+/// The multi-query fan-out core: N window operators observing one staged
+/// stream. [`Session`] wraps it for resident use;
+/// [`crate::shared::execute_shared`]'s sequential path replays a
+/// [`crate::runner::StagedStream`] through it, so batch and resident
+/// execution share the per-element fan-out code.
+pub(crate) struct MultiQueryCore {
+    slots: Vec<Slot>,
+    next_id: u64,
+    results_count: Counter,
+    /// First-emission windows across all queries — the session-level analogue
+    /// of the parallel executor's distinct-merge-key counter, exported under
+    /// the same `quill.merge.windows` name.
+    windows_count: Counter,
+    results_total: u64,
+}
+
+impl MultiQueryCore {
+    pub(crate) fn new(telemetry: &Registry) -> MultiQueryCore {
+        MultiQueryCore {
+            slots: Vec::new(),
+            next_id: 0,
+            results_count: telemetry.counter("quill.run.results"),
+            windows_count: telemetry.counter("quill.merge.windows"),
+            results_total: 0,
+        }
+    }
+
+    /// Re-bind counters to a different registry (builder-time only).
+    fn instrument(&mut self, telemetry: &Registry) {
+        self.results_count = telemetry.counter("quill.run.results");
+        self.windows_count = telemetry.counter("quill.merge.windows");
+    }
+
+    /// Add one query; validation errors propagate before any state changes.
+    pub(crate) fn register(
+        &mut self,
+        spec: &QuerySpec,
+        required_completeness: Option<f64>,
+        result_capacity: usize,
+        latency: LatencyRecorder,
+    ) -> Result<(QueryId, Arc<Mutex<SubState>>)> {
+        let op = WindowAggregateOp::new(
+            spec.window,
+            spec.aggregates.clone(),
+            spec.key_field,
+            LatePolicy::Drop,
+        )?;
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let state = Arc::new(Mutex::new(SubState {
+            queue: VecDeque::new(),
+            capacity: result_capacity.max(1),
+            overflow_dropped: 0,
+            emitted: 0,
+            window: WindowOpStats::default(),
+            latency,
+            closed: false,
+        }));
+        self.slots.push(Slot {
+            id,
+            spec: spec.clone(),
+            required_completeness,
+            op,
+            state: Arc::clone(&state),
+        });
+        Ok((id, state))
+    }
+
+    fn remove(&mut self, id: QueryId) -> Option<Slot> {
+        let at = self.slots.iter().position(|s| s.id == id)?;
+        Some(self.slots.remove(at))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fan one staged element out to every registered operator. `now` is the
+    /// clock results emitted by this element are stamped with (the latency
+    /// of a result is `now - window.end`).
+    pub(crate) fn process_element(&mut self, el: &StreamElement, now: Timestamp) {
+        let MultiQueryCore {
+            slots,
+            results_count,
+            windows_count,
+            results_total,
+            ..
+        } = self;
+        for slot in slots.iter_mut() {
+            let Slot { op, state, .. } = slot;
+            let mut sub = None;
+            op.process(el.clone(), &mut |o| {
+                if let StreamElement::Event(out_ev) = o {
+                    if let Some(r) = WindowResult::from_row(&out_ev.row) {
+                        results_count.inc();
+                        *results_total += 1;
+                        if r.revision == 0 {
+                            windows_count.inc();
+                        }
+                        let q = sub.get_or_insert_with(|| state.lock());
+                        q.latency.record(now.delta_since(r.window.end));
+                        q.push(r);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Refresh every subscription's operator-counter mirror.
+    pub(crate) fn sync_stats(&mut self) {
+        for slot in &self.slots {
+            slot.state.lock().window = slot.op.stats();
+        }
+    }
+
+    fn close_all(&mut self) {
+        self.sync_stats();
+        for slot in &self.slots {
+            slot.state.lock().closed = true;
+        }
+    }
+
+    /// Consume the core, yielding each query's drained results and latency
+    /// summary in registration order (batch-path extraction).
+    pub(crate) fn into_outputs(self) -> Vec<(Vec<WindowResult>, Summary)> {
+        self.slots
+            .into_iter()
+            .map(|slot| {
+                let mut sub = slot.state.lock();
+                let results: Vec<WindowResult> = sub.queue.drain(..).collect();
+                let latency = sub.latency.summary();
+                (results, latency)
+            })
+            .collect()
+    }
+}
+
+/// Counters for the whole session, snapshot-able at any time.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Events pushed.
+    pub events: u64,
+    /// Heartbeats applied.
+    pub heartbeats: u64,
+    /// Queries currently registered.
+    pub queries: usize,
+    /// Results emitted across all queries over the session's lifetime
+    /// (deregistered queries included).
+    pub results: u64,
+    /// The slack currently in force.
+    pub current_k: TimeDelta,
+    /// Events currently held in the ordering buffer.
+    pub buffered: u64,
+    /// The stream clock (max event timestamp observed).
+    pub clock: Option<Timestamp>,
+    /// Whether [`Session::finish`] ran.
+    pub finished: bool,
+}
+
+/// A resident multi-query execution session over one shared disorder-control
+/// strategy. See the [module docs](self) for the model and an example.
+///
+/// Mid-stream registration is first-class: a query registered after events
+/// flowed only observes elements staged from then on — its first windows may
+/// be partial, exactly as a newly subscribed consumer expects. Results,
+/// ordering and latency stamping for queries registered before the first
+/// event are element-identical to the batch paths (proved in the
+/// `session_api` integration tests).
+pub struct Session {
+    strategy: Box<dyn DisorderControl>,
+    core: MultiQueryCore,
+    clock: ClockTracker,
+    staged: Vec<StreamElement>,
+    telemetry: Registry,
+    run_events: Counter,
+    queries_gauge: Gauge,
+    delay_profile: Option<DelayProfile>,
+    events: u64,
+    heartbeats: u64,
+    finished: bool,
+}
+
+impl Session {
+    /// Build a session around a disorder-control strategy (telemetry
+    /// disabled).
+    pub fn new(strategy: Box<dyn DisorderControl>) -> Session {
+        let telemetry = Registry::disabled();
+        Session {
+            core: MultiQueryCore::new(&telemetry),
+            run_events: telemetry.counter("quill.run.events"),
+            queries_gauge: telemetry.gauge("quill.session.queries"),
+            telemetry,
+            strategy,
+            clock: ClockTracker::new(),
+            staged: Vec::new(),
+            delay_profile: None,
+            events: 0,
+            heartbeats: 0,
+            finished: false,
+        }
+    }
+
+    /// Record telemetry into `registry`: the strategy's `quill.buffer.*`
+    /// instruments, `quill.run.events` / `quill.run.results` /
+    /// `quill.merge.windows` counters and a `quill.session.queries` gauge.
+    /// Builder-style; attach before the first event.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Session {
+        self.telemetry = registry.clone();
+        self.strategy.instrument(registry);
+        self.core.instrument(registry);
+        self.run_events = registry.counter("quill.run.events");
+        self.queries_gauge = registry.gauge("quill.session.queries");
+        self
+    }
+
+    /// Declare the expected transport-delay regime, enabling the plan
+    /// analyzer's quality-feasibility checks at registration time.
+    pub fn with_delay_profile(mut self, profile: DelayProfile) -> Session {
+        self.delay_profile = Some(profile);
+        self
+    }
+
+    /// Register a query with default [`QueryConfig`].
+    ///
+    /// # Errors
+    /// Propagates invalid window/aggregate specifications; plans the
+    /// analyzer denies are refused with
+    /// [`EngineError::PlanRejected`].
+    pub fn register(&mut self, spec: &QuerySpec) -> Result<QueryHandle> {
+        self.register_with(spec, QueryConfig::default())
+    }
+
+    /// Register a query with explicit per-query options. The registration
+    /// runs the static plan analyzer ([`analyze_plan`]) against this
+    /// session's strategy and delay profile: deny-level findings refuse the
+    /// registration, the rest ride along on [`QueryHandle::plan`].
+    ///
+    /// # Errors
+    /// Propagates invalid window/aggregate specifications, refuses denied
+    /// plans, and refuses registration on a finished session.
+    pub fn register_with(&mut self, spec: &QuerySpec, cfg: QueryConfig) -> Result<QueryHandle> {
+        if self.finished {
+            return Err(EngineError::InvalidPipeline(
+                "cannot register on a finished session".into(),
+            ));
+        }
+        let mut opts = ExecOptions::sequential().with_telemetry(&self.telemetry);
+        opts.required_completeness = cfg.required_completeness;
+        opts.delay_profile = self.delay_profile;
+        let mut plan = analyze_plan(spec, &self.strategy.kind(), &opts);
+        plan.retain(|d| !SESSION_IRRELEVANT_RULES.contains(&d.rule.as_str()));
+        if let Some(deny) = plan.iter().find(|d| d.severity == Severity::Deny) {
+            return Err(EngineError::PlanRejected(format!(
+                "[{}] {} (help: {})",
+                deny.rule, deny.message, deny.help
+            )));
+        }
+        let (id, state) = self.core.register(
+            spec,
+            cfg.required_completeness,
+            cfg.result_capacity,
+            LatencyRecorder::new(),
+        )?;
+        self.queries_gauge.set_u64(self.core.len() as u64);
+        Ok(QueryHandle {
+            id,
+            state,
+            plan: Arc::new(plan),
+        })
+    }
+
+    /// Remove a query. Its handles stay pollable for already-emitted
+    /// results; the returned stats are final.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidPipeline`] for an unknown id.
+    pub fn deregister(&mut self, id: QueryId) -> Result<QueryStats> {
+        let slot = self.core.remove(id).ok_or_else(|| {
+            EngineError::InvalidPipeline(format!("unknown query id {id} in session"))
+        })?;
+        self.queries_gauge.set_u64(self.core.len() as u64);
+        let mut sub = slot.state.lock();
+        sub.window = slot.op.stats();
+        sub.closed = true;
+        Ok(sub.stats())
+    }
+
+    /// Push one arriving event; any unlocked results land on the
+    /// subscriptions of registered queries. No-op after
+    /// [`Session::finish`].
+    pub fn push(&mut self, e: Event) {
+        if self.finished {
+            return;
+        }
+        self.clock.observe(e.ts);
+        self.run_events.inc();
+        self.events += 1;
+        self.staged.clear();
+        self.strategy.on_event(e, &mut self.staged);
+        self.route();
+    }
+
+    /// Apply a per-source heartbeat (a promise that no future event from
+    /// `source` has a timestamp below `ts`): progress-driven strategies like
+    /// [`crate::punctuated::PunctuatedBuffer`] advance their watermark and
+    /// release buffered events; delay-driven strategies ignore it. No-op
+    /// after [`Session::finish`].
+    pub fn heartbeat(&mut self, source: &Key, ts: Timestamp) {
+        if self.finished {
+            return;
+        }
+        self.heartbeats += 1;
+        self.staged.clear();
+        self.strategy.on_heartbeat(source, ts, &mut self.staged);
+        self.route();
+    }
+
+    /// End of stream: release everything buffered, finalize every open
+    /// window (the strategy's `Flush` acts as the final watermark), and
+    /// close all subscriptions. Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.staged.clear();
+        self.strategy.finish(&mut self.staged);
+        self.route();
+        self.core.close_all();
+    }
+
+    fn route(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let now = self.clock.clock().unwrap_or(Timestamp::MIN);
+        for el in self.staged.drain(..) {
+            self.core.process_element(&el, now);
+        }
+        self.core.sync_stats();
+    }
+
+    /// Whether [`Session::finish`] ran.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Session-wide counters.
+    pub fn stats(&self) -> SessionStats {
+        let b = self.strategy.buffer_stats();
+        SessionStats {
+            events: self.events,
+            heartbeats: self.heartbeats,
+            queries: self.core.len(),
+            results: self.core.results_total,
+            current_k: self.strategy.current_k(),
+            buffered: b.inserted.saturating_sub(b.released),
+            clock: self.clock.clock(),
+            finished: self.finished,
+        }
+    }
+
+    /// The slack currently in force.
+    pub fn current_k(&self) -> TimeDelta {
+        self.strategy.current_k()
+    }
+
+    /// Strategy name.
+    pub fn strategy_name(&self) -> String {
+        self.strategy.name()
+    }
+
+    /// Ids of all currently registered queries, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.core.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// Describe one registered query (spec, target, live counters).
+    pub fn query_info(&self, id: QueryId) -> Option<QueryInfo> {
+        let slot = self.core.slots.iter().find(|s| s.id == id)?;
+        let mut stats = slot.state.lock().stats();
+        stats.window = slot.op.stats();
+        Some(QueryInfo {
+            id: slot.id,
+            spec: slot.spec.clone(),
+            required_completeness: slot.required_completeness,
+            stats,
+        })
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("strategy", &self.strategy.name())
+            .field("queries", &self.core.len())
+            .field("events", &self.events)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use crate::strategy::FixedKSlack;
+    use quill_engine::aggregate::{AggregateKind, AggregateSpec};
+    use quill_engine::prelude::{Row, Value, WindowSpec};
+
+    fn query() -> QuerySpec {
+        QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 0, "sum")],
+            None,
+        )
+    }
+
+    fn events(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                let ts = if i % 5 == 3 {
+                    (i * 10).saturating_sub(35)
+                } else {
+                    i * 10
+                };
+                Event::new(ts, i, Row::new([Value::Float(1.0)]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_matches_batch_runner_results() {
+        let evs = events(500);
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64)));
+        let handle = session.register(&query()).unwrap();
+        for e in &evs {
+            session.push(e.clone());
+        }
+        session.finish();
+        let live = handle.poll();
+
+        let mut batch_strategy = FixedKSlack::new(50u64);
+        let batch = execute(
+            &evs,
+            &mut batch_strategy,
+            &query(),
+            &ExecOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(live, batch.results);
+        assert_eq!(handle.stats().emitted as usize, batch.results.len());
+    }
+
+    #[test]
+    fn register_and_deregister_at_runtime() {
+        let evs = events(400);
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64)));
+        let first = session.register(&query()).unwrap();
+        for e in &evs[..200] {
+            session.push(e.clone());
+        }
+        // Register mid-stream: observes only the tail of the stream.
+        let second = session.register(&query()).unwrap();
+        assert_ne!(first.id(), second.id());
+        for e in &evs[200..] {
+            session.push(e.clone());
+        }
+        let final_stats = session.deregister(first.id()).unwrap();
+        assert!(final_stats.closed);
+        assert!(first.is_closed());
+        assert!(session.deregister(first.id()).is_err(), "double deregister");
+        session.finish();
+        assert!(second.stats().emitted < final_stats.emitted + second.stats().emitted);
+        assert!(!first.poll().is_empty(), "residual results stay pollable");
+        assert!(!second.poll().is_empty());
+        assert!(
+            second.stats().window.accepted < final_stats.window.accepted,
+            "the late subscriber saw fewer events"
+        );
+    }
+
+    #[test]
+    fn finished_session_refuses_work() {
+        let mut session = Session::new(Box::new(FixedKSlack::new(10u64)));
+        let handle = session.register(&query()).unwrap();
+        session.push(Event::new(5u64, 0, Row::new([Value::Float(1.0)])));
+        session.finish();
+        assert!(session.finished());
+        assert!(handle.is_closed());
+        session.finish(); // idempotent
+        session.push(Event::new(999u64, 1, Row::new([Value::Float(1.0)])));
+        assert_eq!(session.stats().events, 1);
+        assert!(session.register(&query()).is_err());
+    }
+
+    #[test]
+    fn invalid_query_and_denied_plan_are_refused() {
+        let mut session = Session::new(Box::new(FixedKSlack::new(10u64)));
+        let bad = QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None);
+        assert!(session.register(&bad).is_err());
+        // Completeness outside (0, 1] is a deny-level plan finding.
+        let cfg = QueryConfig::default().with_required_completeness(1.5);
+        assert!(matches!(
+            session.register_with(&query(), cfg),
+            Err(EngineError::PlanRejected(_))
+        ));
+        // The session still works after refusals.
+        assert!(session.register(&query()).is_ok());
+    }
+
+    #[test]
+    fn bounded_subscription_drops_oldest_on_overflow() {
+        let mut session = Session::new(Box::new(FixedKSlack::new(0u64)));
+        let cfg = QueryConfig::default().with_result_capacity(2);
+        let handle = session.register_with(&query(), cfg).unwrap();
+        for i in 0..10u64 {
+            session.push(Event::new(i * 100, i, Row::new([Value::Float(1.0)])));
+        }
+        session.finish();
+        let stats = handle.stats();
+        assert!(stats.overflow_dropped > 0);
+        let kept = handle.poll();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(stats.emitted, kept.len() as u64 + stats.overflow_dropped);
+        // The *newest* results survive.
+        assert_eq!(kept.last().unwrap().window.end, Timestamp(1000));
+    }
+
+    #[test]
+    fn heartbeats_advance_punctuated_watermarks() {
+        use crate::punctuated::PunctuatedBuffer;
+        let mut session = Session::new(Box::new(PunctuatedBuffer::new(0, 2)));
+        let handle = session.register(&query()).unwrap();
+        // Two sources; source 2 is silent, so nothing can be released...
+        session.push(Event::new(
+            150u64,
+            0,
+            Row::new([Value::Int(1), Value::Float(1.0)]),
+        ));
+        session.push(Event::new(
+            250u64,
+            1,
+            Row::new([Value::Int(1), Value::Float(1.0)]),
+        ));
+        assert!(handle.poll().is_empty());
+        // ...until its heartbeat vouches for its progress.
+        session.heartbeat(&Key(Value::Int(2)), Timestamp(240));
+        let results = handle.poll();
+        assert_eq!(results.len(), 1, "window [100,200) released by heartbeat");
+        assert_eq!(session.stats().heartbeats, 1);
+    }
+
+    #[test]
+    fn telemetry_reflects_session_progress() {
+        let registry = Registry::new();
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64))).with_telemetry(&registry);
+        let handle = session.register(&query()).unwrap();
+        for e in events(300) {
+            session.push(e);
+        }
+        session.finish();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("quill.run.events"), 300);
+        assert_eq!(snap.counter("quill.run.results"), handle.stats().emitted);
+        assert!(snap.counter("quill.merge.windows") > 0);
+        assert_eq!(snap.gauge("quill.session.queries"), Some(1.0));
+        assert_eq!(
+            snap.counter("quill.buffer.inserted") + snap.counter("quill.buffer.late_passed"),
+            300
+        );
+    }
+
+    #[test]
+    fn many_queries_share_one_buffer() {
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64)));
+        let handles: Vec<QueryHandle> = (0..32)
+            .map(|_| session.register(&query()).unwrap())
+            .collect();
+        for e in events(200) {
+            session.push(e);
+        }
+        session.finish();
+        let first = handles[0].poll();
+        assert!(!first.is_empty());
+        for h in &handles[1..] {
+            assert_eq!(h.poll(), first, "identical queries see identical results");
+        }
+        // The buffer was paid once: 200 events inserted, not 200 × 32.
+        let s = session.stats();
+        assert_eq!(s.events, 200);
+        assert_eq!(s.results, 32 * first.len() as u64);
+    }
+
+    #[test]
+    fn query_info_lists_registered_queries() {
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64)));
+        let cfg = QueryConfig::default().with_required_completeness(0.9);
+        let h = session.register_with(&query(), cfg).unwrap();
+        assert_eq!(session.query_ids(), vec![h.id()]);
+        let info = session.query_info(h.id()).unwrap();
+        assert_eq!(info.required_completeness, Some(0.9));
+        assert_eq!(info.spec.aggregates.len(), 1);
+        assert!(session.query_info(QueryId::from_raw(999)).is_none());
+    }
+}

@@ -9,11 +9,13 @@
 
 use crate::plan::Diagnostic;
 use crate::runner::{stage_strategy, vet_plan, ExecOptions, QuerySpec};
+use crate::session::MultiQueryCore;
 use crate::strategy::DisorderControl;
 use quill_engine::error::Result;
 use quill_engine::event::{Event, StreamElement};
-use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
+use quill_engine::operator::{LatePolicy, WindowAggregateOp, WindowResult};
 use quill_engine::parallel::run_keyed_parallel_instrumented;
+use quill_engine::time::Timestamp;
 use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
 use quill_metrics::{LatencyRecorder, Summary};
 use quill_telemetry::Snapshot;
@@ -101,29 +103,43 @@ pub fn execute_shared(
     let start = std::time::Instant::now();
     let mut staged = stage_strategy(events, strategy, opts);
 
-    let mut all_results: Vec<Vec<WindowResult>> = Vec::with_capacity(queries.len());
-    for q in queries {
-        let results: Vec<WindowResult> = match opts.parallel {
-            None => {
-                let mut op = WindowAggregateOp::new(
-                    q.window,
-                    q.aggregates.clone(),
-                    q.key_field,
-                    LatePolicy::Drop,
+    // Per-query (results, latency summary), in query order.
+    let all_results: Vec<(Vec<WindowResult>, Summary)> = match opts.parallel {
+        None => {
+            // The sequential path replays the staged stream through the same
+            // multi-query fan-out core a resident `crate::session::Session`
+            // runs on: the `now` supplied per element is the recorded clock
+            // at that watermark's release, so latency stamping is identical
+            // to interleaved execution.
+            let mut core = MultiQueryCore::new(&opts.telemetry);
+            for q in queries {
+                core.register(
+                    q,
+                    opts.required_completeness,
+                    usize::MAX,
+                    LatencyRecorder::with_samples(),
                 )?;
-                let mut res = Vec::new();
-                for el in &staged.elements {
-                    op.process(el.clone(), &mut |o| {
-                        if let StreamElement::Event(out_ev) = o {
-                            if let Some(r) = WindowResult::from_row(&out_ev.row) {
-                                res.push(r);
-                            }
-                        }
-                    });
-                }
-                res
             }
-            Some(config) => {
+            let mut wm_at = 0usize;
+            for el in &staged.elements {
+                let now = match el {
+                    StreamElement::Watermark(_) => {
+                        let (_, clock) = staged.wm_clock[wm_at];
+                        wm_at += 1;
+                        clock
+                    }
+                    StreamElement::Flush => staged.final_clock,
+                    // Events never emit results under `LatePolicy::Drop`, so
+                    // their `now` is irrelevant.
+                    StreamElement::Event(_) => Timestamp::MIN,
+                };
+                core.process_element(el, now);
+            }
+            core.into_outputs()
+        }
+        Some(config) => {
+            let mut outs = Vec::with_capacity(queries.len());
+            for q in queries {
                 let key_field = q.key_field.unwrap_or(usize::MAX);
                 let (out, _ops) = run_keyed_parallel_instrumented(
                     staged.elements.clone(),
@@ -137,37 +153,40 @@ pub fn execute_shared(
                             q.key_field,
                             LatePolicy::Drop,
                         )
+                        // quill-lint: allow(no-panic, reason = "the identical WindowAggregateOp::new call was validated at the top of execute_shared()")
                         .expect("query validated above")
                     },
                 )?;
-                out.iter()
+                let results: Vec<WindowResult> = out
+                    .iter()
                     .filter_map(|el| el.as_event())
                     .filter_map(|e| WindowResult::from_row(&e.row))
-                    .collect()
+                    .collect();
+                results_count.add(results.len() as u64);
+                let mut latency = LatencyRecorder::with_samples();
+                for r in &results {
+                    latency.record(
+                        staged
+                            .emission_clock(r.window.end)
+                            .delta_since(r.window.end),
+                    );
+                }
+                outs.push((results, latency.summary()));
             }
-        };
-        results_count.add(results.len() as u64);
-        all_results.push(results);
-    }
+            outs
+        }
+    };
     let wall_micros = start.elapsed().as_micros();
 
     let per_query = queries
         .iter()
+        .zip(all_results)
         .enumerate()
-        .map(|(i, q)| {
-            let results = std::mem::take(&mut all_results[i]);
-            let mut latency = LatencyRecorder::with_samples();
-            for r in &results {
-                latency.record(
-                    staged
-                        .emission_clock(r.window.end)
-                        .delta_since(r.window.end),
-                );
-            }
+        .map(|(i, (q, (results, latency)))| {
             let oracle = oracle_results(events, q.window, &q.aggregates, q.key_field);
             SharedQueryOutput {
                 query_index: i,
-                latency: latency.summary(),
+                latency,
                 quality: score(&results, &oracle),
                 results,
             }
@@ -187,19 +206,6 @@ pub fn execute_shared(
         snapshots,
         plan,
     })
-}
-
-/// Shared sequential execution with telemetry disabled.
-///
-/// # Errors
-/// Propagates invalid query specifications.
-#[deprecated(note = "use `execute_shared` with `ExecOptions::sequential()`")]
-pub fn run_shared(
-    events: &[Event],
-    strategy: &mut dyn DisorderControl,
-    queries: &[QuerySpec],
-) -> Result<SharedRunOutput> {
-    execute_shared(events, strategy, queries, &ExecOptions::sequential())
 }
 
 #[cfg(test)]
@@ -354,14 +360,5 @@ mod tests {
         let mut s = FixedKSlack::new(10u64);
         let bad = vec![QuerySpec::new(WindowSpec::tumbling(0u64), vec![], None)];
         assert!(execute_shared(&evs, &mut s, &bad, &ExecOptions::sequential()).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shared_shim_still_runs() {
-        let evs = events(500, 7);
-        let mut s = FixedKSlack::new(100u64);
-        let shared = run_shared(&evs, &mut s, &queries()).unwrap();
-        assert_eq!(shared.per_query.len(), 2);
     }
 }

@@ -41,6 +41,21 @@ pub trait DisorderControl: Send {
     /// to `out`.
     fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>);
 
+    /// Apply an out-of-band per-source heartbeat: a promise that no future
+    /// event from `source` carries a timestamp below `ts` (Srivastava &
+    /// Widom-style punctuation). Progress-driven strategies
+    /// ([`crate::punctuated::PunctuatedBuffer`]) advance their combined
+    /// watermark and append any unlocked releases to `out`; delay-driven
+    /// strategies ignore heartbeats (the default no-op), because their K is
+    /// a function of observed arrival delays, not source progress.
+    fn on_heartbeat(
+        &mut self,
+        _source: &quill_engine::value::Key,
+        _ts: quill_engine::time::Timestamp,
+        _out: &mut Vec<StreamElement>,
+    ) {
+    }
+
     /// End of stream: release everything and emit `Flush`.
     fn finish(&mut self, out: &mut Vec<StreamElement>);
 

@@ -47,6 +47,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/buffer.rs",
     "crates/core/src/strategy.rs",
     "crates/core/src/runner.rs",
+    "crates/core/src/session.rs",
 ];
 
 /// Modules whose behaviour must be a pure function of the event sequence so
@@ -60,6 +61,7 @@ const DETERMINISTIC_FILES: &[&str] = &[
     "crates/core/src/punctuated.rs",
     "crates/core/src/online.rs",
     "crates/core/src/quality.rs",
+    "crates/core/src/session.rs",
 ];
 
 /// Files allowed to construct trace events / enabled instruments directly
@@ -74,7 +76,13 @@ fn is_hot_path(rel: &str) -> bool {
 }
 
 fn is_deterministic(rel: &str) -> bool {
-    rel.starts_with("crates/engine/src/operator/") || DETERMINISTIC_FILES.contains(&rel)
+    // The whole daemon crate is in scope: stream-time decisions (eviction,
+    // drain, watermarks) must derive from ticks and event time, never the
+    // wall clock. Deliberate operator-facing exceptions (e.g. /healthz
+    // uptime) carry scoped allow annotations rather than a path exclusion.
+    rel.starts_with("crates/engine/src/operator/")
+        || rel.starts_with("crates/serve/src/")
+        || DETERMINISTIC_FILES.contains(&rel)
 }
 
 /// The simulation crate (L5 scope): every file, tests included — the whole
@@ -540,8 +548,31 @@ mod tests {
         assert!(is_hot_path("crates/engine/src/operator/window_op.rs"));
         assert!(is_hot_path("crates/engine/src/parallel.rs"));
         assert!(is_hot_path("crates/core/src/runner.rs"));
+        assert!(is_hot_path("crates/core/src/session.rs"));
         assert!(!is_hot_path("crates/engine/src/value.rs"));
         assert!(!is_hot_path("crates/gen/src/delay.rs"));
+    }
+
+    #[test]
+    fn deterministic_scope_covers_the_session_and_daemon() {
+        assert!(is_deterministic("crates/core/src/session.rs"));
+        assert!(is_deterministic("crates/serve/src/server.rs"));
+        assert!(is_deterministic("crates/serve/src/http.rs"));
+        assert!(is_deterministic("crates/serve/src/bin/quill_serve.rs"));
+        assert!(!is_deterministic("crates/bench/src/bin/serve_soak.rs"));
+    }
+
+    #[test]
+    fn wall_clock_in_serve_needs_a_scoped_allow() {
+        let bare = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+        let diags = lint_source("crates/serve/src/http.rs", bare);
+        assert!(
+            diags.iter().any(|d| d.rule == RULE_NO_WALL_CLOCK),
+            "{diags:?}"
+        );
+        let allowed = "// quill-lint: allow(no-wall-clock, reason = \"uptime display\")\n\
+                       fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+        assert!(lint_source("crates/serve/src/http.rs", allowed).is_empty());
     }
 
     #[test]

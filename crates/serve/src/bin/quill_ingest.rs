@@ -1,0 +1,93 @@
+//! Deterministic fixture sender for smoke tests and soaks.
+//!
+//! ```text
+//! quill-ingest --addr HOST:PORT [--events N] [--seed N] [--max-delay N]
+//!              [--hb-every N] [--binary] [--reconnect-at N]
+//! ```
+//!
+//! Streams the seeded disordered fixture from
+//! [`quill_serve::client::fixture`]; `--reconnect-at N` drops and
+//! re-establishes the connection after the Nth frame to exercise
+//! mid-stream reconnects.
+
+use quill_serve::client::{fixture, IngestClient};
+use quill_serve::config::RetryPolicy;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: quill-ingest --addr HOST:PORT [--events N] [--seed N] \
+         [--max-delay N] [--hb-every N] [--binary] [--reconnect-at N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut events: u64 = 10_000;
+    let mut seed: u64 = 42;
+    let mut max_delay: u64 = 500;
+    let mut hb_every: u64 = 0;
+    let mut binary = false;
+    let mut reconnect_at: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--events" => events = value("--events").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-delay" => max_delay = value("--max-delay").parse().unwrap_or_else(|_| usage()),
+            "--hb-every" => hb_every = value("--hb-every").parse().unwrap_or_else(|_| usage()),
+            "--binary" => binary = true,
+            "--reconnect-at" => {
+                reconnect_at = Some(value("--reconnect-at").parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let frames = fixture(events, seed, max_delay, hb_every);
+    let mut client = match IngestClient::connect_with(&addr, binary, RetryPolicy::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("quill-ingest: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (i, frame) in frames.iter().enumerate() {
+        if reconnect_at == Some(i as u64) {
+            if let Err(e) = client.reconnect() {
+                eprintln!("quill-ingest: reconnect: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = client.send(frame) {
+            // One transport-level retry after reconnecting — nothing is
+            // lost because the frame is resent on the new connection.
+            if client
+                .reconnect()
+                .and_then(|()| client.send(frame))
+                .is_err()
+            {
+                eprintln!("quill-ingest: send: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let sent = client.sent();
+    if let Err(e) = client.finish() {
+        eprintln!("quill-ingest: {e}");
+        std::process::exit(1);
+    }
+    println!("sent={sent}");
+}

@@ -1,0 +1,208 @@
+//! Client-side ingest: connect (with retries), stream frames in either
+//! wire mode, reconnect mid-stream without losing elements.
+//!
+//! [`IngestClient`] is what the `quill-ingest` bin and the integration
+//! tests use; it is deliberately dumb — framing and retry policy only, no
+//! buffering beyond the OS socket.
+
+use crate::config::RetryPolicy;
+use crate::error::{ServeError, ServeResult};
+use crate::wire::{self, Frame};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected ingest source.
+pub struct IngestClient {
+    addr: String,
+    stream: TcpStream,
+    binary: bool,
+    retry: RetryPolicy,
+    sent: u64,
+}
+
+impl IngestClient {
+    /// Connect in text mode.
+    ///
+    /// # Errors
+    /// Connection failure after exhausting the retry policy.
+    pub fn connect(addr: impl Into<String>) -> ServeResult<IngestClient> {
+        IngestClient::connect_with(addr, false, RetryPolicy::default())
+    }
+
+    /// Connect, choosing the wire mode and retry policy. Binary mode sends
+    /// the `QBIN` preamble immediately.
+    ///
+    /// # Errors
+    /// Connection failure after exhausting the retry policy.
+    pub fn connect_with(
+        addr: impl Into<String>,
+        binary: bool,
+        retry: RetryPolicy,
+    ) -> ServeResult<IngestClient> {
+        let addr = addr.into();
+        let stream = connect_retry(&addr, retry)?;
+        let mut client = IngestClient {
+            addr,
+            stream,
+            binary,
+            retry,
+            sent: 0,
+        };
+        client.preamble()?;
+        Ok(client)
+    }
+
+    fn preamble(&mut self) -> ServeResult<()> {
+        if self.binary {
+            self.stream.write_all(wire::BINARY_MAGIC)?;
+        }
+        Ok(())
+    }
+
+    /// Frames sent over the lifetime of this client (across reconnects).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Send one frame.
+    ///
+    /// # Errors
+    /// Transport failure (callers may [`IngestClient::reconnect`] and
+    /// resend).
+    pub fn send(&mut self, frame: &Frame) -> ServeResult<()> {
+        if self.binary {
+            self.stream.write_all(&wire::encode_frame(frame))?;
+        } else {
+            let mut line = wire::to_line(frame);
+            line.push('\n');
+            self.stream.write_all(line.as_bytes())?;
+        }
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Drop the current connection and establish a fresh one (same mode,
+    /// same retry policy). Used by tests to exercise mid-stream reconnects
+    /// and by sources recovering from transport errors.
+    ///
+    /// # Errors
+    /// Connection failure after exhausting the retry policy.
+    pub fn reconnect(&mut self) -> ServeResult<()> {
+        self.stream = connect_retry(&self.addr, self.retry)?;
+        self.preamble()
+    }
+
+    /// Flush and close, signalling EOF to the server.
+    ///
+    /// # Errors
+    /// Transport failure while flushing.
+    pub fn finish(mut self) -> ServeResult<()> {
+        self.stream.flush()?;
+        Ok(())
+    }
+}
+
+/// Connect with linear-backoff retries.
+fn connect_retry(addr: &str, retry: RetryPolicy) -> ServeResult<TcpStream> {
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..=retry.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(retry.backoff * attempt);
+        }
+        match addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable address")
+            })
+            .and_then(TcpStream::connect)
+        {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => ServeError::Io(e),
+        None => ServeError::Config(format!("cannot connect to `{addr}`")),
+    })
+}
+
+/// A deterministic disordered fixture: `events` data frames with timestamps
+/// scrambled by a seeded LCG (bounded displacement `max_delay`), plus a
+/// heartbeat from `source 0` every `hb_every` events when nonzero. Row
+/// layout: `[value: int, source: int]`.
+pub fn fixture(events: u64, seed: u64, max_delay: u64, hb_every: u64) -> Vec<Frame> {
+    let mut rng = seed.wrapping_mul(2).wrapping_add(1);
+    let mut out = Vec::with_capacity(events as usize);
+    let mut max_ts = 0u64;
+    for i in 0..events {
+        // Park–Miller-ish LCG: deterministic, dependency-free.
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let delay = if max_delay == 0 {
+            0
+        } else {
+            (rng >> 33) % (max_delay + 1)
+        };
+        let base = i * 10;
+        let ts = base.saturating_sub(delay);
+        max_ts = max_ts.max(ts);
+        let source = (i % 2) as i64;
+        out.push(Frame::Data {
+            ts: quill_engine::prelude::Timestamp(ts),
+            values: vec![
+                quill_engine::prelude::Value::Int((i % 100) as i64),
+                quill_engine::prelude::Value::Int(source),
+            ],
+        });
+        if hb_every != 0 && i > 0 && i % hb_every == 0 {
+            // A conservative promise: nothing older than the slowest
+            // possible in-flight element.
+            let promise = base.saturating_sub(max_delay);
+            for s in 0..2i64 {
+                out.push(Frame::Heartbeat {
+                    ts: quill_engine::prelude::Timestamp(promise),
+                    source: quill_engine::prelude::Value::Int(s),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic_and_disordered() {
+        let a = fixture(500, 42, 300, 0);
+        let b = fixture(500, 42, 300, 0);
+        assert_eq!(a, b);
+        let c = fixture(500, 43, 300, 0);
+        assert_ne!(a, c, "seed changes the fixture");
+        let ts: Vec<u64> = a
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data { ts, .. } => Some(ts.raw()),
+                _ => None,
+            })
+            .collect();
+        assert!(ts.windows(2).any(|w| w[1] < w[0]), "fixture is disordered");
+    }
+
+    #[test]
+    fn fixture_emits_heartbeats_for_both_sources() {
+        let frames = fixture(100, 7, 50, 25);
+        let hbs = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Heartbeat { .. }))
+            .count();
+        assert!(hbs >= 6, "expected heartbeats, got {hbs}");
+    }
+}

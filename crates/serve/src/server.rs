@@ -1,0 +1,542 @@
+//! The daemon: TCP ingest sources feeding one shared session, an HTTP
+//! control/metrics surface, bounded queues with backpressure and graceful
+//! drain.
+//!
+//! # Architecture
+//!
+//! ```text
+//! TCP conn ─┐ reader threads        core thread            HTTP thread
+//! TCP conn ─┼─ parse frames ──► bounded queue ──► Session   /metrics
+//! TCP conn ─┘ (seq stamping)    (backpressure)    │         /queries
+//!                                                 ▼         /stats ...
+//!                                           QueryHandles ◄──┘
+//! ```
+//!
+//! * Each ingest connection gets a reader thread that parses wire frames
+//!   (text or binary, auto-detected) and stamps a **global arrival
+//!   sequence**. Readers block when the ingest queue is full, which stalls
+//!   the TCP receive window: memory stays bounded, sources slow down.
+//! * One core thread owns the [`Session`] and is the only event pusher;
+//!   HTTP registration locks the session only between messages.
+//! * Graceful drain: a finish request stops the acceptor, lets readers
+//!   wind down, drains the queue to the last staged element, then calls
+//!   [`Session::finish`] — every open window is flushed as if a final
+//!   watermark had arrived. Results stay pollable afterwards.
+
+use crate::config::{parse_query, query_to_dsl, ServeConfig};
+use crate::error::{ServeError, ServeResult};
+use crate::http;
+use crate::wire::{self, Frame};
+use parking_lot::Mutex;
+use quill_core::prelude::{QueryConfig, QueryHandle, QueryId, QuerySpec, Session, SessionStats};
+use quill_engine::event::Event;
+use quill_engine::operator::WindowResult;
+use quill_engine::time::Timestamp;
+use quill_engine::value::Key;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One unit of ingest work.
+enum Msg {
+    Data(Event),
+    Heartbeat(Key, Timestamp),
+}
+
+/// State shared between every thread of one server.
+pub(crate) struct Shared {
+    pub(crate) registry: quill_telemetry::Registry,
+    pub(crate) session: Mutex<Session>,
+    pub(crate) handles: Mutex<HashMap<u64, QueryHandle>>,
+    pub(crate) config: ServeConfig,
+    /// Arrival sequence stamped onto events at parse time (global across
+    /// connections, strictly increasing).
+    seq: AtomicU64,
+    /// Current ingest queue depth (mirrored into the
+    /// `quill.executor.queue_depth` gauge).
+    queue_depth: AtomicU64,
+    depth_gauge: quill_telemetry::Gauge,
+    conns_gauge: quill_telemetry::Gauge,
+    conns_total: quill_telemetry::Counter,
+    pub(crate) ingested: quill_telemetry::Counter,
+    heartbeats: quill_telemetry::Counter,
+    protocol_errors: quill_telemetry::Counter,
+    evicted: quill_telemetry::Counter,
+    active_readers: AtomicU64,
+    /// Stop accepting + ask readers to wind down; core drains then
+    /// finishes the session.
+    finish_requested: AtomicBool,
+    /// Stop the HTTP loop and the whole server.
+    exit_requested: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn finish_requested(&self) -> bool {
+        self.finish_requested.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn request_finish(&self) {
+        self.finish_requested.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn exit_requested(&self) -> bool {
+        self.exit_requested.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn request_exit(&self) {
+        self.request_finish();
+        self.exit_requested.store(true, Ordering::SeqCst);
+    }
+
+    fn depth_inc(&self) {
+        let d = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.depth_gauge.set_u64(d);
+    }
+
+    fn depth_dec(&self) {
+        let d = self.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.depth_gauge.set_u64(d);
+    }
+
+    /// Register a query from its DSL form; the handle is retained for HTTP
+    /// result polling.
+    pub(crate) fn register_dsl(&self, dsl: &str) -> ServeResult<QueryId> {
+        let (spec, cfg) = parse_query(dsl)?;
+        self.register_spec(&spec, cfg)
+    }
+
+    /// Register an already-parsed query.
+    pub(crate) fn register_spec(&self, spec: &QuerySpec, cfg: QueryConfig) -> ServeResult<QueryId> {
+        let handle = self.session.lock().register_with(spec, cfg)?;
+        let id = handle.id();
+        self.handles.lock().insert(id.raw(), handle);
+        Ok(id)
+    }
+
+    /// Deregister; returns the final stats JSON-ready struct.
+    pub(crate) fn deregister(&self, id: QueryId) -> ServeResult<quill_core::prelude::QueryStats> {
+        let stats = self.session.lock().deregister(id)?;
+        self.handles.lock().remove(&id.raw());
+        Ok(stats)
+    }
+
+    /// Drain pending results for one query.
+    pub(crate) fn poll(&self, id: QueryId) -> ServeResult<Vec<WindowResult>> {
+        let handles = self.handles.lock();
+        let handle = handles
+            .get(&id.raw())
+            .ok_or_else(|| ServeError::Config(format!("unknown query id {id}")))?;
+        Ok(handle.poll())
+    }
+
+    /// Session-wide counters.
+    pub(crate) fn stats(&self) -> SessionStats {
+        self.session.lock().stats()
+    }
+
+    /// Describe every registered query as `(info, dsl)` pairs.
+    pub(crate) fn list_queries(&self) -> Vec<(quill_core::prelude::QueryInfo, String)> {
+        let session = self.session.lock();
+        session
+            .query_ids()
+            .into_iter()
+            .filter_map(|id| session.query_info(id))
+            .map(|info| {
+                let dsl = query_to_dsl(&info.spec, info.required_completeness);
+                (info, dsl)
+            })
+            .collect()
+    }
+}
+
+/// A running server: join handles plus the shared state. Obtained from
+/// [`Server::start`]; drives everything needed by the bins and tests
+/// (in-process registration, polling, drain, shutdown).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    ingest_addr: SocketAddr,
+    http_addr: SocketAddr,
+    core: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Namespace for starting servers.
+pub struct Server;
+
+impl Server {
+    /// Bind both listeners, start every thread, and return the handle.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(config: ServeConfig) -> ServeResult<ServerHandle> {
+        let registry = quill_telemetry::Registry::new();
+        let session = Session::new(config.strategy.build()).with_telemetry(&registry);
+        let shared = Arc::new(Shared {
+            session: Mutex::new(session),
+            handles: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            depth_gauge: registry.gauge("quill.executor.queue_depth"),
+            conns_gauge: registry.gauge("quill.serve.connections"),
+            conns_total: registry.counter("quill.serve.connections_total"),
+            ingested: registry.counter("quill.serve.ingested"),
+            heartbeats: registry.counter("quill.serve.heartbeats"),
+            protocol_errors: registry.counter("quill.serve.protocol_errors"),
+            evicted: registry.counter("quill.serve.evicted"),
+            active_readers: AtomicU64::new(0),
+            finish_requested: AtomicBool::new(false),
+            exit_requested: AtomicBool::new(false),
+            registry,
+            config: config.clone(),
+        });
+
+        let ingest_listener = TcpListener::bind(&config.ingest_addr)?;
+        let http_listener = TcpListener::bind(&config.http_addr)?;
+        let ingest_addr = ingest_listener.local_addr()?;
+        let http_addr = http_listener.local_addr()?;
+        ingest_listener.set_nonblocking(true)?;
+        http_listener.set_nonblocking(true)?;
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(config.queue_capacity.max(1));
+        let readers = Arc::new(Mutex::new(Vec::new()));
+
+        let core = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || core_loop(&shared, &rx))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || accept_loop(&shared, &ingest_listener, tx, &readers))
+        };
+        let http = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || http::serve(&shared, &http_listener))
+        };
+
+        Ok(ServerHandle {
+            shared,
+            ingest_addr,
+            http_addr,
+            core: Some(core),
+            acceptor: Some(acceptor),
+            http: Some(http),
+            readers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound ingest address (resolved port for `:0` binds).
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound HTTP address.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// The server's telemetry registry (scraped by `/metrics`).
+    pub fn registry(&self) -> &quill_telemetry::Registry {
+        &self.shared.registry
+    }
+
+    /// Register a query from DSL text (same grammar as `POST /queries`).
+    ///
+    /// # Errors
+    /// Malformed DSL, invalid specs and denied plans are refused.
+    pub fn register(&self, dsl: &str) -> ServeResult<QueryId> {
+        self.shared.register_dsl(dsl)
+    }
+
+    /// Register an already-built query spec.
+    ///
+    /// # Errors
+    /// Invalid specs and denied plans are refused.
+    pub fn register_spec(&self, spec: &QuerySpec, cfg: QueryConfig) -> ServeResult<QueryId> {
+        self.shared.register_spec(spec, cfg)
+    }
+
+    /// Deregister a query, returning its final counters.
+    ///
+    /// # Errors
+    /// Unknown ids are refused.
+    pub fn deregister(&self, id: QueryId) -> ServeResult<quill_core::prelude::QueryStats> {
+        self.shared.deregister(id)
+    }
+
+    /// Drain a query's pending results.
+    ///
+    /// # Errors
+    /// Unknown ids are refused.
+    pub fn poll(&self, id: QueryId) -> ServeResult<Vec<WindowResult>> {
+        self.shared.poll(id)
+    }
+
+    /// Session-wide counters.
+    pub fn stats(&self) -> SessionStats {
+        self.shared.stats()
+    }
+
+    /// Request a graceful drain (stop ingest, flush, finish the session)
+    /// without stopping the HTTP surface. Equivalent to `POST /finish`.
+    pub fn request_finish(&self) {
+        self.shared.request_finish();
+    }
+
+    /// `false` once a full shutdown (`POST /shutdown`) has been requested.
+    pub fn running(&self) -> bool {
+        !self.shared.exit_requested()
+    }
+
+    /// Drain and wait until the session has finished (the core thread
+    /// exits once the last staged element is routed).
+    pub fn finish(&mut self) {
+        self.shared.request_finish();
+        if let Some(core) = self.core.take() {
+            let _ = core.join();
+        }
+    }
+
+    /// Full shutdown: drain, stop every thread, return final session stats.
+    pub fn shutdown(mut self) -> SessionStats {
+        self.finish();
+        self.shared.request_exit();
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        let readers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.readers.lock());
+        for r in readers {
+            let _ = r.join();
+        }
+        if let Some(t) = self.http.take() {
+            let _ = t.join();
+        }
+        self.shared.stats()
+    }
+}
+
+/// Accept ingest connections until a finish is requested.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    tx: SyncSender<Msg>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.finish_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let tx = tx.clone();
+                shared.active_readers.fetch_add(1, Ordering::SeqCst);
+                shared.conns_total.inc();
+                shared
+                    .conns_gauge
+                    .set_u64(shared.active_readers.load(Ordering::SeqCst));
+                let t = std::thread::spawn(move || {
+                    read_connection(&shared, stream, &tx);
+                    let left = shared.active_readers.fetch_sub(1, Ordering::SeqCst) - 1;
+                    shared.conns_gauge.set_u64(left);
+                });
+                readers.lock().push(t);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Dropping `tx` here lets the core observe disconnection once every
+    // reader clone is gone too.
+}
+
+/// Read one ingest connection until EOF, error, idle eviction or drain.
+fn read_connection(shared: &Arc<Shared>, mut stream: TcpStream, tx: &SyncSender<Msg>) {
+    let conn = &shared.config.conn;
+    let _ = stream.set_read_timeout(Some(conn.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 4 * 1024];
+    let mut binary: Option<bool> = None;
+    let mut idle_ticks: u64 = 0;
+    let max_idle = conn.idle_ticks();
+
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF: clean close.
+            Ok(n) => {
+                idle_ticks = 0;
+                buf.extend_from_slice(&chunk[..n]);
+                if binary.is_none() && buf.len() >= wire::BINARY_MAGIC.len() {
+                    if &buf[..4] == wire::BINARY_MAGIC {
+                        buf.drain(..4);
+                        binary = Some(true);
+                    } else {
+                        binary = Some(false);
+                    }
+                }
+                let ok = match binary {
+                    Some(true) => drain_binary(shared, &mut buf, tx, conn.max_frame_len),
+                    Some(false) => drain_text(shared, &mut buf, tx),
+                    None => true,
+                };
+                if !ok {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.finish_requested() {
+                    break;
+                }
+                idle_ticks += 1;
+                if idle_ticks >= max_idle {
+                    shared.evicted.inc();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        if shared.finish_requested() && buf.is_empty() {
+            break;
+        }
+    }
+    // Flush a trailing unterminated text line.
+    if binary == Some(false) && !buf.is_empty() {
+        buf.push(b'\n');
+        let _ = drain_text(shared, &mut buf, tx);
+    }
+}
+
+/// Enqueue one frame; blocking on a full queue is the backpressure path
+/// (the gauge tracks depth through both paths). Returns `false` when the
+/// core is gone.
+fn enqueue(shared: &Shared, tx: &SyncSender<Msg>, frame: Frame) -> bool {
+    let msg = match frame {
+        Frame::Data { ts, values } => {
+            let seq = shared.seq.fetch_add(1, Ordering::SeqCst);
+            shared.ingested.inc();
+            Msg::Data(Event::new(ts, seq, wire::row_from_values(values)))
+        }
+        Frame::Heartbeat { ts, source } => {
+            shared.heartbeats.inc();
+            Msg::Heartbeat(Key(source), ts)
+        }
+    };
+    // Count the element in before sending: the core may receive (and
+    // decrement) the instant the send lands, so incrementing afterwards
+    // would race the gauge below zero.
+    shared.depth_inc();
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        // Fast path full: fall back to a blocking send (backpressure).
+        Err(TrySendError::Full(msg)) => {
+            if tx.send(msg).is_err() {
+                shared.depth_dec();
+                return false;
+            }
+            true
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.depth_dec();
+            false
+        }
+    }
+}
+
+/// Parse and enqueue complete text lines from `buf`. Returns `false` to
+/// drop the connection (protocol error or core gone).
+fn drain_text(shared: &Shared, buf: &mut Vec<u8>, tx: &SyncSender<Msg>) -> bool {
+    while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = buf.drain(..=nl).collect();
+        let Ok(text) = std::str::from_utf8(&line) else {
+            shared.protocol_errors.inc();
+            return false;
+        };
+        match wire::parse_line(text) {
+            Ok(None) => {}
+            Ok(Some(frame)) => {
+                if !enqueue(shared, tx, frame) {
+                    return false;
+                }
+            }
+            Err(_) => {
+                shared.protocol_errors.inc();
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Parse and enqueue complete binary frames from `buf`.
+fn drain_binary(
+    shared: &Shared,
+    buf: &mut Vec<u8>,
+    tx: &SyncSender<Msg>,
+    max_frame: usize,
+) -> bool {
+    loop {
+        if buf.len() < 4 {
+            return true;
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > max_frame {
+            shared.protocol_errors.inc();
+            return false;
+        }
+        if buf.len() < 4 + len {
+            return true;
+        }
+        let payload: Vec<u8> = buf.drain(..4 + len).skip(4).collect();
+        match wire::decode_payload(&payload) {
+            Ok(frame) => {
+                if !enqueue(shared, tx, frame) {
+                    return false;
+                }
+            }
+            Err(_) => {
+                shared.protocol_errors.inc();
+                return false;
+            }
+        }
+    }
+}
+
+/// The session core: the only thread that pushes into the session. Exits
+/// after finishing the session once a drain was requested and the queue
+/// has emptied (or every sender disconnected).
+fn core_loop(shared: &Arc<Shared>, rx: &Receiver<Msg>) {
+    let tick = shared.config.conn.read_timeout;
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(msg) => {
+                shared.depth_dec();
+                let mut session = shared.session.lock();
+                match msg {
+                    Msg::Data(e) => session.push(e),
+                    Msg::Heartbeat(key, ts) => session.heartbeat(&key, ts),
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                let drained = shared.queue_depth.load(Ordering::SeqCst) == 0
+                    && shared.active_readers.load(Ordering::SeqCst) == 0;
+                if shared.finish_requested() && drained {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shared.session.lock().finish();
+}

@@ -1,0 +1,386 @@
+//! The ingest wire protocol: newline-delimited text and length-prefixed
+//! binary framing over one TCP port.
+//!
+//! A connection that opens with the 4-byte magic `QBIN` speaks the binary
+//! protocol; anything else is parsed as text lines. Both carry the same two
+//! frame kinds:
+//!
+//! * **Data**: an event-time timestamp plus a row of values.
+//! * **Heartbeat**: a per-source progress promise (`no future event from
+//!   this source is older than ts`), feeding progress-driven strategies
+//!   like `PunctuatedBuffer`.
+//!
+//! # Text frames
+//!
+//! ```text
+//! <ts> <v1> <v2> ...     # data: integers, floats, true/false, or strings
+//! hb <ts> <source>       # heartbeat
+//! ```
+//!
+//! # Binary frames
+//!
+//! Every frame is `u32 big-endian payload length` + payload. Payloads:
+//!
+//! ```text
+//! 0x01 u64(ts) u16(n) value*n       # data
+//! 0x02 u64(ts) value                # heartbeat (value = source key)
+//! value = 0x00                      # null
+//!       | 0x01 i64                  # int
+//!       | 0x02 f64-bits             # float
+//!       | 0x03 u16(len) utf8        # str
+//!       | 0x04 u8                   # bool
+//! ```
+//!
+//! All integers are big-endian. Arrival sequence numbers are assigned by
+//! the server at enqueue time (a global arrival order across connections),
+//! so the wire never carries them.
+
+use crate::error::{ServeError, ServeResult};
+use quill_engine::prelude::{Row, Timestamp, Value};
+
+/// The 4-byte preamble selecting the binary protocol for a connection.
+pub const BINARY_MAGIC: &[u8; 4] = b"QBIN";
+
+/// One parsed ingest frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A data event: timestamp plus payload values (sequence numbers are
+    /// assigned server-side in arrival order).
+    Data {
+        /// Event-time timestamp.
+        ts: Timestamp,
+        /// Payload values in field order.
+        values: Vec<Value>,
+    },
+    /// A per-source heartbeat.
+    Heartbeat {
+        /// Event-time low bound promised by the source.
+        ts: Timestamp,
+        /// The source's key value.
+        source: Value,
+    },
+}
+
+/// Parse one scalar token of the text protocol.
+fn parse_value(tok: &str) -> Value {
+    if let Ok(i) = tok.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match tok {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        "null" => Value::Null,
+        s => Value::str(s),
+    }
+}
+
+/// Parse one text line into a frame. Empty lines and `#` comments yield
+/// `None`.
+///
+/// # Errors
+/// [`ServeError::Protocol`] naming the malformed token.
+pub fn parse_line(line: &str) -> ServeResult<Option<Frame>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut toks = line.split_ascii_whitespace();
+    let head = toks.next().unwrap_or_default();
+    if head == "hb" {
+        let ts = toks
+            .next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .ok_or_else(|| {
+                ServeError::Protocol(format!("heartbeat needs `hb <ts> <source>`: `{line}`"))
+            })?;
+        let source = toks
+            .next()
+            .map(parse_value)
+            .ok_or_else(|| ServeError::Protocol(format!("heartbeat needs a source: `{line}`")))?;
+        return Ok(Some(Frame::Heartbeat {
+            ts: Timestamp(ts),
+            source,
+        }));
+    }
+    let ts: u64 = head
+        .parse()
+        .map_err(|_| ServeError::Protocol(format!("bad timestamp `{head}` in `{line}`")))?;
+    let values: Vec<Value> = toks.map(parse_value).collect();
+    if values.is_empty() {
+        return Err(ServeError::Protocol(format!(
+            "data line has no values: `{line}`"
+        )));
+    }
+    Ok(Some(Frame::Data {
+        ts: Timestamp(ts),
+        values,
+    }))
+}
+
+/// Render a frame as one text line (round-trips through [`parse_line`] for
+/// values the text protocol can spell).
+pub fn to_line(frame: &Frame) -> String {
+    fn fmt_value(v: &Value) -> String {
+        match v {
+            Value::Null => "null".into(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                let s = f.to_string();
+                // Keep floats distinguishable from ints on the wire.
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Value::Str(s) => s.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+    match frame {
+        Frame::Data { ts, values } => {
+            let vals: Vec<String> = values.iter().map(fmt_value).collect();
+            format!("{} {}", ts.raw(), vals.join(" "))
+        }
+        Frame::Heartbeat { ts, source } => {
+            format!("hb {} {}", ts.raw(), fmt_value(source))
+        }
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Int(i) => {
+            out.push(0x01);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(0x02);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x03);
+            let bytes = s.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize) as u16;
+            out.extend_from_slice(&len.to_be_bytes());
+            out.extend_from_slice(&bytes[..len as usize]);
+        }
+        Value::Bool(b) => {
+            out.push(0x04);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> ServeResult<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(ServeError::Protocol("truncated binary frame".into()));
+        };
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> ServeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> ServeResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u64(&mut self) -> ServeResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn value(&mut self) -> ServeResult<Value> {
+        Ok(match self.u8()? {
+            0x00 => Value::Null,
+            0x01 => Value::Int(self.u64()? as i64),
+            0x02 => Value::Float(f64::from_bits(self.u64()?)),
+            0x03 => {
+                let len = self.u16()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| ServeError::Protocol("non-utf8 string value".into()))?;
+                Value::str(s)
+            }
+            0x04 => Value::Bool(self.u8()? != 0),
+            tag => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown value tag 0x{tag:02x}"
+                )));
+            }
+        })
+    }
+}
+
+/// Encode a frame's binary payload (without the length prefix).
+pub fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match frame {
+        Frame::Data { ts, values } => {
+            out.push(0x01);
+            out.extend_from_slice(&ts.raw().to_be_bytes());
+            let n = values.len().min(u16::MAX as usize) as u16;
+            out.extend_from_slice(&n.to_be_bytes());
+            for v in values.iter().take(n as usize) {
+                put_value(&mut out, v);
+            }
+        }
+        Frame::Heartbeat { ts, source } => {
+            out.push(0x02);
+            out.extend_from_slice(&ts.raw().to_be_bytes());
+            put_value(&mut out, source);
+        }
+    }
+    out
+}
+
+/// Encode a full binary frame: `u32` big-endian length + payload.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one binary payload (the bytes after the length prefix).
+///
+/// # Errors
+/// [`ServeError::Protocol`] on truncation, unknown tags or trailing bytes.
+pub fn decode_payload(payload: &[u8]) -> ServeResult<Frame> {
+    let mut r = Reader {
+        buf: payload,
+        at: 0,
+    };
+    let frame = match r.u8()? {
+        0x01 => {
+            let ts = Timestamp(r.u64()?);
+            let n = r.u16()? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.value()?);
+            }
+            Frame::Data { ts, values }
+        }
+        0x02 => Frame::Heartbeat {
+            ts: Timestamp(r.u64()?),
+            source: r.value()?,
+        },
+        tag => {
+            return Err(ServeError::Protocol(format!(
+                "unknown frame tag 0x{tag:02x}"
+            )));
+        }
+    };
+    if r.at != payload.len() {
+        return Err(ServeError::Protocol(format!(
+            "{} trailing bytes after frame",
+            payload.len() - r.at
+        )));
+    }
+    Ok(frame)
+}
+
+/// Build an engine row from frame values.
+pub fn row_from_values(values: Vec<Value>) -> Row {
+    Row::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Data {
+                ts: Timestamp(1234),
+                values: vec![Value::Int(-5), Value::Float(2.5), Value::str("host-a")],
+            },
+            Frame::Data {
+                ts: Timestamp(0),
+                values: vec![Value::Null, Value::Bool(true)],
+            },
+            Frame::Heartbeat {
+                ts: Timestamp(999),
+                source: Value::Int(7),
+            },
+            Frame::Heartbeat {
+                ts: Timestamp(1),
+                source: Value::str("edge-3"),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_lines_round_trip() {
+        for f in frames() {
+            let line = to_line(&f);
+            let parsed = parse_line(&line).unwrap().unwrap();
+            assert_eq!(parsed, f, "line `{line}`");
+        }
+    }
+
+    #[test]
+    fn binary_frames_round_trip() {
+        for f in frames() {
+            let bytes = encode_frame(&f);
+            let len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, bytes.len() - 4);
+            assert_eq!(decode_payload(&bytes[4..]).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_text_is_refused() {
+        assert!(parse_line("abc 1 2").is_err(), "bad timestamp");
+        assert!(parse_line("100").is_err(), "no values");
+        assert!(parse_line("hb").is_err());
+        assert!(parse_line("hb 100").is_err(), "no source");
+    }
+
+    #[test]
+    fn malformed_binary_is_refused() {
+        assert!(decode_payload(&[]).is_err(), "empty");
+        assert!(decode_payload(&[0x09]).is_err(), "unknown tag");
+        let mut ok = encode_payload(&frames()[0]);
+        ok.push(0xff);
+        assert!(decode_payload(&ok).is_err(), "trailing bytes");
+        let short = &encode_payload(&frames()[0])[..5];
+        assert!(decode_payload(short).is_err(), "truncated");
+    }
+
+    #[test]
+    fn floats_stay_floats_on_the_text_wire() {
+        let f = Frame::Data {
+            ts: Timestamp(10),
+            values: vec![Value::Float(3.0)],
+        };
+        let line = to_line(&f);
+        assert_eq!(parse_line(&line).unwrap().unwrap(), f, "line `{line}`");
+    }
+}

@@ -10,7 +10,6 @@
 //! Run with: `cargo run --example shared_queries`
 
 use oos_examples::section;
-use quill_core::online::OnlineQuery;
 use quill_core::prelude::*;
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_gen::workload::netmon::{self, NetmonConfig};
@@ -85,27 +84,30 @@ fn main() {
         shared.wall_micros as f64 / 1000.0
     );
 
-    section("the same billing query, online (push) API");
-    let mut online = OnlineQuery::new(Box::new(AqKSlack::for_completeness(0.999)), &billing)
-        .expect("valid query");
+    section("the same billing query, session (push) API");
+    let mut session = Session::new(Box::new(AqKSlack::for_completeness(0.999)));
+    let handle = session.register(&billing).expect("valid query");
     let mut emitted = 0usize;
     for (i, e) in stream.events.iter().enumerate() {
-        emitted += online.push(e.clone()).len();
+        session.push(e.clone());
+        emitted += handle.poll().len();
         if i == stream.events.len() / 2 {
+            let stats = session.stats();
             println!(
                 "  midway: clock {}, K {}, buffered {}, {} results so far",
-                online.clock().map(|t| t.raw()).unwrap_or(0),
-                online.current_k(),
-                online.buffered(),
+                stats.clock.map(|t| t.raw()).unwrap_or(0),
+                stats.current_k,
+                stats.buffered,
                 emitted
             );
         }
     }
-    emitted += online.finish().len();
+    session.finish();
+    emitted += handle.poll().len();
     println!(
         "  finished: {} results, mean latency {:.1}",
         emitted,
-        online.mean_latency()
+        handle.stats().mean_latency
     );
 
     section("keyed data-parallel execution (4 shards)");

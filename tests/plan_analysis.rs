@@ -265,6 +265,40 @@ mod warn_and_advice_paths {
             PlanSeverity::Warn,
         );
     }
+
+    #[test]
+    fn delay_profile_without_any_quality_target_advises() {
+        let opts =
+            ExecOptions::sequential().with_delay_profile(DelayProfile::Bounded { max_delay: 100 });
+        let out = run_with(&mean_query(100), &mut FixedKSlack::new(500u64), &opts);
+        assert_finding(
+            &out,
+            "plan.options.delay-profile-unused",
+            PlanSeverity::Advice,
+        );
+    }
+
+    #[test]
+    fn expected_keys_on_sequential_run_warns() {
+        let opts = ExecOptions::sequential().with_expected_keys(4);
+        let out = run_with(&mean_query(100), &mut MpKSlack::bounded(500u64), &opts);
+        assert_finding(
+            &out,
+            "plan.options.expected-keys-without-parallel",
+            PlanSeverity::Warn,
+        );
+    }
+
+    #[test]
+    fn global_staging_on_sequential_run_warns() {
+        let opts = ExecOptions::sequential().with_global_staging(true);
+        let out = run_with(&mean_query(100), &mut MpKSlack::bounded(500u64), &opts);
+        assert_finding(
+            &out,
+            "plan.options.global-staging-sequential",
+            PlanSeverity::Warn,
+        );
+    }
 }
 
 /// Plan diagnostics flow end-to-end into the `quill-inspect` renderer.

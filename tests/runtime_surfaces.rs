@@ -145,21 +145,21 @@ fn latency_recorder_exact_and_histogram_paths_agree() {
 }
 
 #[test]
-fn online_query_latency_quantiles_are_queryable_midstream() {
+fn session_latency_quantiles_are_queryable_midstream() {
     let stream = quill_gen::workload::synthetic::exponential(5_000, 10, 60.0, 8);
     let query = QuerySpec::new(
         WindowSpec::tumbling(500u64),
         vec![AggregateSpec::new(AggregateKind::Count, 0, "n")],
         None,
     );
-    let mut online =
-        OnlineQuery::new(Box::new(AqKSlack::for_completeness(0.9)), &query).expect("valid");
+    let mut session = Session::new(Box::new(AqKSlack::for_completeness(0.9)));
+    let handle = session.register(&query).expect("valid");
     for e in &stream.events {
-        online.push(e.clone());
+        session.push(e.clone());
     }
-    let p50 = online.latency_quantile(0.5);
-    let p99 = online.latency_quantile(0.99);
+    let p50 = handle.latency_quantile(0.5);
+    let p99 = handle.latency_quantile(0.99);
     assert!(p50.is_some() && p99.is_some());
     assert!(p99.unwrap() >= p50.unwrap());
-    online.finish();
+    session.finish();
 }

@@ -1,0 +1,328 @@
+//! End-to-end daemon tests: boot `quill-serve` in-process on ephemeral
+//! ports, stream a disordered fixture over real TCP (including a
+//! mid-stream reconnect), and prove the served results are
+//! element-identical to the batch `execute` path.
+
+use quill_core::prelude::{execute, ExecOptions, FixedKSlack};
+use quill_engine::prelude::{Event, Row};
+use quill_serve::client::{fixture, IngestClient};
+use quill_serve::config::{parse_query, RetryPolicy};
+use quill_serve::wire::Frame;
+use quill_serve::{ServeConfig, Server, ServerHandle, StrategySpec};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const Q_SUM: &str = "tumbling:1000;sum:0:total;key=1;completeness=0.9";
+const Q_COUNT: &str = "tumbling:250;count:0:n,max:0:peak;completeness=0.99";
+
+/// Convert fixture data frames to the batch-side event vector: the daemon
+/// assigns arrival sequence numbers in frame order, so a single ordered
+/// connection reproduces `seq = index`.
+fn frames_to_events(frames: &[Frame]) -> Vec<Event> {
+    frames
+        .iter()
+        .enumerate()
+        .map(|(i, f)| match f {
+            Frame::Data { ts, values } => Event::new(*ts, i as u64, Row::new(values.clone())),
+            Frame::Heartbeat { .. } => unreachable!("fixture built without heartbeats"),
+        })
+        .collect()
+}
+
+/// Wait until the session has pushed `n` events (bounded spin).
+fn wait_events(handle: &ServerHandle, n: u64) {
+    for _ in 0..2000 {
+        if handle.stats().events >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "server never observed {n} events (got {})",
+        handle.stats().events
+    );
+}
+
+fn start_server() -> ServerHandle {
+    let config = ServeConfig {
+        strategy: StrategySpec::Fixed(500),
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    };
+    Server::start(config).expect("server boots on ephemeral ports")
+}
+
+#[test]
+fn tcp_ingest_with_reconnect_matches_batch_execute() {
+    let frames = fixture(2_000, 42, 300, 0);
+    let events = frames_to_events(&frames);
+
+    let mut handle = start_server();
+    let sum_id = handle.register(Q_SUM).expect("sum query registers");
+    let count_id = handle.register(Q_COUNT).expect("count query registers");
+
+    // Stream over real TCP with a mid-stream reconnect. Waiting for the
+    // first half to be fully pushed before reconnecting keeps the global
+    // arrival order identical to the frame order.
+    let half = frames.len() / 2;
+    let mut client = IngestClient::connect(handle.ingest_addr().to_string()).expect("connects");
+    for f in &frames[..half] {
+        client.send(f).expect("send");
+    }
+    wait_events(&handle, half as u64);
+    client.reconnect().expect("mid-stream reconnect");
+    for f in &frames[half..] {
+        client.send(f).expect("send after reconnect");
+    }
+    client.finish().expect("clean close");
+
+    wait_events(&handle, frames.len() as u64);
+    handle.finish(); // graceful drain: flush every open window.
+
+    let stats = handle.stats();
+    assert_eq!(
+        stats.events,
+        frames.len() as u64,
+        "no reconnect-induced loss"
+    );
+    assert!(stats.finished, "drain finished the session");
+
+    // Batch reference runs, one per query, same strategy parameters.
+    for (id, dsl) in [(sum_id, Q_SUM), (count_id, Q_COUNT)] {
+        let (spec, _) = parse_query(dsl).unwrap();
+        let batch = execute(
+            &events,
+            &mut FixedKSlack::new(500u64),
+            &spec,
+            &ExecOptions::default(),
+        )
+        .expect("batch run");
+        let served = handle.poll(id).expect("poll served results");
+        assert_eq!(
+            served.len(),
+            batch.results.len(),
+            "result cardinality for `{dsl}`"
+        );
+        for (s, b) in served.iter().zip(batch.results.iter()) {
+            assert_eq!(s, b, "served result diverges from batch for `{dsl}`");
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn binary_and_text_wire_modes_are_equivalent() {
+    let frames = fixture(600, 7, 200, 0);
+    let mut outcomes = Vec::new();
+    for binary in [false, true] {
+        let mut handle = start_server();
+        let id = handle.register(Q_COUNT).expect("register");
+        let mut client = IngestClient::connect_with(
+            handle.ingest_addr().to_string(),
+            binary,
+            RetryPolicy::default(),
+        )
+        .expect("connect");
+        for f in &frames {
+            client.send(f).expect("send");
+        }
+        client.finish().expect("close");
+        wait_events(&handle, frames.len() as u64);
+        handle.finish();
+        outcomes.push(handle.poll(id).expect("poll"));
+        handle.shutdown();
+    }
+    assert_eq!(outcomes[0], outcomes[1], "text and binary modes diverge");
+    assert!(!outcomes[0].is_empty(), "fixture produced results");
+}
+
+#[test]
+fn heartbeats_drive_punctuated_sessions_over_tcp() {
+    // Two sources, punctuation-driven watermarks: results only advance when
+    // heartbeats arrive, exercising `on_heartbeat` over the wire.
+    let config = ServeConfig {
+        strategy: StrategySpec::Punctuated {
+            source_field: 1,
+            expected_sources: 2,
+            slack: 0,
+        },
+        ..ServeConfig::default()
+    };
+    let mut handle = Server::start(config).expect("boot");
+    let id = handle.register("tumbling:100;count:0:n").expect("register");
+
+    let frames = fixture(400, 13, 50, 40); // heartbeats every 40 events
+    let total = frames.len() as u64;
+    let data = frames
+        .iter()
+        .filter(|f| matches!(f, Frame::Data { .. }))
+        .count() as u64;
+    let mut client = IngestClient::connect(handle.ingest_addr().to_string()).expect("connect");
+    for f in &frames {
+        client.send(f).expect("send");
+    }
+    client.finish().expect("close");
+
+    for _ in 0..2000 {
+        let s = handle.stats();
+        if s.events + s.heartbeats >= total {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mid = handle.stats();
+    assert_eq!(mid.events, data, "every data frame reached the session");
+    assert_eq!(mid.heartbeats, total - data, "every heartbeat applied");
+
+    handle.finish();
+    let results = handle.poll(id).expect("poll");
+    assert!(!results.is_empty(), "punctuated session emitted windows");
+    handle.shutdown();
+}
+
+/// Minimal HTTP client for the control surface.
+fn http_request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("http connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: quill\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    (head.to_string(), payload.to_string())
+}
+
+#[test]
+fn http_surface_registers_queries_and_exposes_metrics() {
+    let handle = start_server();
+    let http = handle.http_addr();
+
+    let (head, body) = http_request(http, "POST", "/queries", Q_SUM);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.starts_with("{\"id\":"), "{body}");
+    let id: u64 = body
+        .trim_start_matches("{\"id\":")
+        .trim_end_matches('}')
+        .parse()
+        .expect("id parses");
+
+    let (_, list) = http_request(http, "GET", "/queries", "");
+    assert!(list.contains("tumbling:1000"), "{list}");
+    assert!(list.contains("\"required_completeness\":0.9"), "{list}");
+
+    // Ingest a burst, then drain via the HTTP finish endpoint.
+    let frames = fixture(500, 5, 100, 0);
+    let mut client = IngestClient::connect(handle.ingest_addr().to_string()).expect("connect");
+    for f in &frames {
+        client.send(f).expect("send");
+    }
+    client.finish().expect("close");
+    wait_events(&handle, frames.len() as u64);
+    let (head, _) = http_request(http, "POST", "/finish", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    for _ in 0..2000 {
+        if handle.stats().finished {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        handle.stats().finished,
+        "finish endpoint drained the session"
+    );
+
+    let (_, results) = http_request(http, "GET", &format!("/queries/{id}/results"), "");
+    assert!(results.starts_with('['), "{results}");
+    assert!(results.contains("\"aggregates\""), "{results}");
+
+    let (_, metrics) = http_request(http, "GET", "/metrics", "");
+    let merged = metrics
+        .lines()
+        .find(|l| l.starts_with("quill_merge_windows "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("quill_merge_windows exported");
+    assert!(merged > 0.0, "windows were merged: {merged}");
+    assert!(
+        metrics.contains("quill_executor_queue_depth"),
+        "ingest queue depth gauge exported"
+    );
+
+    let (_, stats) = http_request(http, "GET", "/stats", "");
+    assert!(stats.contains("\"finished\":true"), "{stats}");
+
+    let (head, _) = http_request(http, "DELETE", &format!("/queries/{id}"), "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let (head, _) = http_request(http, "DELETE", &format!("/queries/{id}"), "");
+    assert!(
+        head.starts_with("HTTP/1.1 400"),
+        "double delete refused: {head}"
+    );
+
+    let (head, _) = http_request(http, "GET", "/nope", "");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    let (head, _) = http_request(http, "POST", "/shutdown", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_queries_and_frames_are_refused_cleanly() {
+    let handle = start_server();
+    let (head, body) = http_request(
+        handle.http_addr(),
+        "POST",
+        "/queries",
+        "tumbling:abc;sum:0:s",
+    );
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    assert!(body.contains("error"), "{body}");
+
+    // A garbage ingest line closes that connection but leaves the server up.
+    let mut bad = TcpStream::connect(handle.ingest_addr()).expect("connect");
+    bad.write_all(b"not-a-timestamp 1 2\n")
+        .expect("send garbage");
+    drop(bad);
+    std::thread::sleep(Duration::from_millis(100));
+    let (head, _) = http_request(handle.http_addr(), "GET", "/healthz", "");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "server survives bad input"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn fast_source_is_backpressured_not_dropped() {
+    // A tiny queue with a deliberately slow drain would lose events if the
+    // reader shed load; blocking sends mean everything arrives.
+    let config = ServeConfig {
+        strategy: StrategySpec::Fixed(100),
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    };
+    let mut handle = Server::start(config).expect("boot");
+    let id = handle.register("tumbling:100;count:0:n").expect("register");
+    let frames = fixture(3_000, 99, 200, 0);
+    let mut client = IngestClient::connect(handle.ingest_addr().to_string()).expect("connect");
+    for f in &frames {
+        client.send(f).expect("send");
+    }
+    client.finish().expect("close");
+    wait_events(&handle, frames.len() as u64);
+    handle.finish();
+    assert_eq!(handle.stats().events, frames.len() as u64, "nothing shed");
+    assert!(!handle.poll(id).expect("poll").is_empty());
+    handle.shutdown();
+}

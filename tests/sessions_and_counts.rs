@@ -166,9 +166,10 @@ fn count_windows_under_weak_ordering_still_conserve_events() {
 }
 
 #[test]
-fn online_query_and_session_op_compose() {
-    // OnlineQuery handles time windows; sessions are driven manually off the
-    // same strategy output — verify both see consistent totals.
+fn push_session_and_count_session_op_compose() {
+    // The push Session handles time windows; count-based session ops are
+    // driven manually off the same strategy output — verify both see
+    // consistent totals.
     let clean = bursty_events(6, 30, 800);
     let disordered = scramble(&clean, 100);
     let query = QuerySpec::new(
@@ -176,13 +177,14 @@ fn online_query_and_session_op_compose() {
         vec![AggregateSpec::new(AggregateKind::Count, 0, "n")],
         None,
     );
-    let mut online =
-        OnlineQuery::new(Box::new(FixedKSlack::new(200u64)), &query).expect("valid query");
-    let mut all = Vec::new();
+    let mut session = Session::new(Box::new(FixedKSlack::new(200u64)));
+    let handle = session.register(&query).expect("valid query");
     for e in &disordered {
-        all.extend(online.push(e.clone()));
+        session.push(e.clone());
     }
-    all.extend(online.finish());
+    session.finish();
+    let all = handle.poll();
     let total: u64 = all.iter().map(|r| r.count).sum();
     assert_eq!(total, 180);
+    assert_eq!(handle.stats().emitted as usize, all.len());
 }
