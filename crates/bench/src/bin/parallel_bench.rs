@@ -39,12 +39,12 @@ use quill_core::prelude::{
 use quill_engine::aggregate::{AggregateKind, AggregateSpec};
 use quill_engine::operator::{LatePolicy, Operator, WindowAggregateOp, WindowResult};
 use quill_engine::parallel::{
-    run_keyed_parallel_instrumented, run_keyed_parallel_observed, run_keyed_parallel_with,
-    ParallelConfig,
+    run_keyed_parallel_instrumented, run_keyed_parallel_observed, run_keyed_parallel_traced,
+    run_keyed_parallel_with, ParallelConfig,
 };
 use quill_engine::prelude::{Event, Row, StreamElement, Value, WindowSpec};
 use quill_telemetry::trace::FlightRecorder;
-use quill_telemetry::Registry;
+use quill_telemetry::{span, Registry, SpanRecorder};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -508,6 +508,64 @@ fn main() -> std::process::ExitCode {
         trace_enabled.median
     );
 
+    // Span-recorder overhead: the traced entry point with a disabled
+    // recorder (one branch per batch/drain/finalize hook) and with a live
+    // ring recording Route / WindowFinalize / Merge spans. Disabled must
+    // stay within noise of the observed path above.
+    let run_traced = |inp: Vec<StreamElement>, spans: &SpanRecorder| {
+        run_keyed_parallel_traced(
+            inp,
+            0,
+            telemetry_cfg,
+            &Registry::disabled(),
+            &FlightRecorder::disabled(),
+            spans,
+            |shard| {
+                let mut op = make_op();
+                op.attach_spans(spans, shard as u32);
+                op
+            },
+        )
+        .expect("parallel run")
+        .0
+        .len()
+    };
+    let spans_disabled = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| run_traced(inp, &SpanRecorder::disabled()),
+    ));
+    let spans_enabled = eps(&time_stats(
+        args.repeat,
+        || input.clone(),
+        |inp| run_traced(inp, &SpanRecorder::with_default_capacity()),
+    ));
+    let spans_disabled_overhead_pct = (trace_disabled.median / spans_disabled.median - 1.0) * 100.0;
+    let spans_enabled_overhead_pct = (spans_disabled.median / spans_enabled.median - 1.0) * 100.0;
+    println!(
+        "spans disabled     (4 shards, batch 1024): {:>12.0} events/s ({spans_disabled_overhead_pct:+.1}% vs observed)",
+        spans_disabled.median
+    );
+    println!(
+        "spans enabled      (4 shards, batch 1024): {:>12.0} events/s ({spans_enabled_overhead_pct:+.1}% overhead)",
+        spans_enabled.median
+    );
+
+    // Export one enabled run's spans as a Chrome-trace sample next to the
+    // numbers (loadable in Perfetto; CI uploads it as an artifact).
+    let sample_spans = SpanRecorder::with_default_capacity();
+    run_traced(input.clone(), &sample_spans);
+    let trace_path = args.out.with_file_name("BENCH_parallel_trace.json");
+    if let Some(dir) = trace_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let chrome = span::to_chrome_trace(&sample_spans.take(), sample_spans.domain());
+    if let Err(e) = std::fs::write(&trace_path, chrome) {
+        eprintln!("error writing {}: {e}", trace_path.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("wrote {}", trace_path.display());
+
     // Record one instrumented run's final snapshot next to the numbers so
     // the executor counters are inspectable PR-over-PR.
     let registry = Registry::new();
@@ -524,7 +582,7 @@ fn main() -> std::process::ExitCode {
     println!("wrote {}", snapshot_path.display());
 
     let json = format!(
-        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"host\": {{\"cpus_online\": {cpus_online}}},\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {:.1}, \"events_per_sec_min\": {:.1}, \"events_per_sec_max\": {:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"speedup_8shard_vs_1shard\": {speedup_8v1:.3},\n  \"staging\": {{\"shard_local_events_per_sec\": {:.1}, \"global_events_per_sec\": {:.1}, \"shard_local_speedup\": {staging_speedup:.3}}},\n  \"telemetry\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}},\n  \"flight_recorder\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"disabled_overhead_pct\": {trace_disabled_overhead_pct:.2}, \"enabled_overhead_pct\": {trace_enabled_overhead_pct:.2}}}\n}}\n",
+        "{{\n  \"bench\": \"keyed_parallel_batched\",\n  \"host\": {{\"cpus_online\": {cpus_online}}},\n  \"workload\": {{\"events\": {}, \"keys\": {}, \"window\": \"sliding(200,40)\", \"aggregates\": [\"median\", \"q0.9\"], \"repeat\": {}}},\n  \"seed_single_event_4shard\": {{\"events_per_sec\": {:.1}}},\n  \"sequential_inprocess\": {{\"events_per_sec\": {:.1}, \"events_per_sec_min\": {:.1}, \"events_per_sec_max\": {:.1}}},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_4shard_vs_seed\": {speedup_4:.3},\n  \"speedup_8shard_vs_1shard\": {speedup_8v1:.3},\n  \"staging\": {{\"shard_local_events_per_sec\": {:.1}, \"global_events_per_sec\": {:.1}, \"shard_local_speedup\": {staging_speedup:.3}}},\n  \"telemetry\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}},\n  \"flight_recorder\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"disabled_overhead_pct\": {trace_disabled_overhead_pct:.2}, \"enabled_overhead_pct\": {trace_enabled_overhead_pct:.2}}},\n  \"spans\": {{\"disabled_events_per_sec\": {:.1}, \"enabled_events_per_sec\": {:.1}, \"disabled_overhead_pct\": {spans_disabled_overhead_pct:.2}, \"enabled_overhead_pct\": {spans_enabled_overhead_pct:.2}}}\n}}\n",
         args.events,
         args.keys,
         args.repeat,
@@ -539,6 +597,8 @@ fn main() -> std::process::ExitCode {
         enabled.median,
         trace_disabled.median,
         trace_enabled.median,
+        spans_disabled.median,
+        spans_enabled.median,
     );
     if let Some(dir) = args.out.parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {

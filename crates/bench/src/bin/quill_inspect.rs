@@ -1,20 +1,56 @@
-//! `quill-inspect` — render a flight-recorder trace or violation
-//! post-mortem JSONL file as a human-readable report.
+//! `quill-inspect` — render a flight-recorder trace, violation
+//! post-mortem, plan-diagnostics or pipeline-span JSONL file as a
+//! human-readable report.
 //!
 //! ```text
 //! quill-inspect <trace.jsonl> [--top N]
+//! quill-inspect timeline <spans.jsonl | trace.json> [--check]
 //! ```
 //!
-//! The input is either a flat trace (`write_trace_jsonl`, e.g.
-//! `results/f4_trace.jsonl`) or a post-mortem file
-//! (`write_post_mortems_jsonl`, e.g. `results/f5_postmortems.jsonl`).
-//! `--top` bounds the "latest tuples" leaderboard (default 10).
+//! The default mode sniffs flat traces (`write_trace_jsonl`), post-mortem
+//! files (`write_post_mortems_jsonl`) and plan diagnostics. The `timeline`
+//! mode renders pipeline spans — either span JSON-lines
+//! (`write_spans_jsonl`) or a Chrome-trace JSON export (`GET /trace`) —
+//! and with `--check` only validates the Chrome-trace structure (the smoke
+//! tests gate on it).
+//!
+//! Malformed input is reported with the file, the offending line number
+//! and the record itself, and exits with status 2 (status 1 is reserved
+//! for usage/IO errors).
 
-use quill_bench::inspect::render_report;
+use quill_bench::inspect::{check_chrome_trace, locate_error, render_report, render_timeline};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: quill-inspect <trace.jsonl> [--top N]\n\
+                     \x20      quill-inspect timeline <spans.jsonl | trace.json> [--check]";
+
+/// Exit status for malformed (but readable) input.
+const MALFORMED: u8 = 2;
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Report a parse failure with file, line and the offending record.
+fn report_malformed(path: &str, text: &str, err: &str) -> ExitCode {
+    match locate_error(text, err) {
+        Some((line, record)) => {
+            eprintln!("{path}:{line}: {err}");
+            eprintln!("  offending record: {record}");
+        }
+        None => eprintln!("{path}: {err}"),
+    }
+    ExitCode::from(MALFORMED)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("timeline") {
+        return timeline_main(&args[1..]);
+    }
     let mut path: Option<String> = None;
     let mut top_k: usize = 10;
     let mut i = 0;
@@ -29,7 +65,7 @@ fn main() -> ExitCode {
                 i += 2;
             }
             "-h" | "--help" => {
-                println!("usage: quill-inspect <trace.jsonl> [--top N]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if path.is_none() && !other.starts_with('-') => {
@@ -37,32 +73,63 @@ fn main() -> ExitCode {
                 i += 1;
             }
             other => {
-                eprintln!(
-                    "unexpected argument `{other}`\nusage: quill-inspect <trace.jsonl> [--top N]"
-                );
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: quill-inspect <trace.jsonl> [--top N]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let text = match std::fs::read_to_string(&path) {
+    let text = match read(&path) {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read `{path}`: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     match render_report(&text, top_k) {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("malformed trace `{path}`: {e}");
-            ExitCode::FAILURE
+        Err(e) => report_malformed(&path, &text, &e),
+    }
+}
+
+fn timeline_main(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut check = false;
+    for arg in args {
+        match arg.as_str() {
+            "--check" => check = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match read(&path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let rendered = if check {
+        check_chrome_trace(&text)
+    } else {
+        render_timeline(&text)
+    };
+    match rendered {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => report_malformed(&path, &text, &e),
     }
 }

@@ -18,10 +18,12 @@
 //! window.
 
 use quill_core::plan::{parse_plan_jsonl, Diagnostic as PlanDiagnostic, Severity};
+use quill_telemetry::span::{self, attribute, Span, NO_QUERY};
 use quill_telemetry::trace::{
     parse_post_mortems, parse_trace_line, PostMortem, ProvenanceRecord, TraceEvent, TraceKind,
     TraceLine, MERGE_SHARD,
 };
+use quill_telemetry::Stage;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -39,7 +41,8 @@ pub fn render_report(text: &str, top_k: usize) -> Result<String, String> {
         let diags = parse_plan_jsonl(text)?;
         return Ok(render_plan_diagnostics(&diags));
     }
-    match parse_trace_line(first)? {
+    let first_no = 1 + text.lines().position(|l| !l.trim().is_empty()).unwrap_or(0);
+    match parse_trace_line(first).map_err(|e| format!("line {first_no}: {e}"))? {
         TraceLine::Provenance(_) => {
             let pms = parse_post_mortems(text)?;
             Ok(render_post_mortems(&pms, top_k))
@@ -129,6 +132,171 @@ pub fn render_plan_diagnostics(diags: &[PlanDiagnostic]) -> String {
         }
     }
     out
+}
+
+/// Render a span timeline report from either shape the span layer
+/// exports: span JSON-lines (`write_spans_jsonl`) or a Chrome-trace JSON
+/// object (`GET /trace`, `to_chrome_trace`). The shape is sniffed from the
+/// first non-empty line.
+///
+/// # Errors
+/// Returns a message naming the first malformed line.
+pub fn render_timeline(text: &str) -> Result<String, String> {
+    let Some(first) = text.lines().find(|l| !l.trim().is_empty()) else {
+        return Ok("(no spans)\n".into());
+    };
+    if first.contains("\"traceEvents\"") || text.trim_start().starts_with("{\"displayTimeUnit\"") {
+        return render_chrome_timeline(text);
+    }
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        spans.push(Span::parse_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(render_span_timeline(&spans))
+}
+
+/// Validate a Chrome-trace JSON document structurally (the `--check` mode
+/// behind the serve smoke test): it must parse, and every complete event
+/// must carry the timeline fields Perfetto needs.
+///
+/// # Errors
+/// A message locating the structural problem.
+pub fn check_chrome_trace(text: &str) -> Result<String, String> {
+    let trace = span::parse_chrome_trace(text)?;
+    let mut pids = std::collections::BTreeSet::new();
+    let mut complete = 0usize;
+    for (i, ev) in trace.events.iter().enumerate() {
+        if ev.ph != "X" {
+            continue;
+        }
+        complete += 1;
+        for (field, present) in [("ts", ev.ts.is_some()), ("dur", ev.dur.is_some())] {
+            if !present {
+                return Err(format!("traceEvents[{i}] ({}) lacks `{field}`", ev.name));
+            }
+        }
+        pids.insert(ev.pid.unwrap_or(0));
+    }
+    Ok(format!(
+        "trace ok: {} events ({complete} spans) across {} process lane(s)\n",
+        trace.events.len(),
+        pids.len()
+    ))
+}
+
+/// Attribution report over raw spans: per-stage totals, per-query delivery
+/// latency, and the longest individual spans.
+fn render_span_timeline(spans: &[Span]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Pipeline span timeline ==");
+    if spans.is_empty() {
+        let _ = writeln!(out, "(no spans)");
+        return out;
+    }
+    let lo = spans.iter().map(|s| s.begin).min().unwrap_or(0);
+    let hi = spans.iter().map(|s| s.end).max().unwrap_or(0);
+    let _ = writeln!(out, "spans: {}  clock extent: [{lo}, {hi}]", spans.len());
+
+    let _ = writeln!(out, "\n-- Stage attribution --");
+    for a in attribute(spans) {
+        let mean = a.total as f64 / a.count as f64;
+        let _ = writeln!(
+            out,
+            "{:<16} count={:<8} total={:<12} mean={mean:<10.1} max={}",
+            a.stage.as_str(),
+            a.count,
+            a.total,
+            a.max
+        );
+    }
+
+    let mut per_query: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for s in spans {
+        if s.stage == Stage::Deliver && s.query != NO_QUERY {
+            let e = per_query.entry(s.query).or_default();
+            e.0 += 1;
+            e.1 += s.duration();
+        }
+    }
+    if !per_query.is_empty() {
+        let _ = writeln!(out, "\n-- Delivery latency by query --");
+        for (q, (n, total)) in &per_query {
+            let _ = writeln!(
+                out,
+                "query {q}: {n} results, mean latency {:.1}",
+                *total as f64 / *n as f64
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n-- Longest spans --");
+    let mut longest: Vec<&Span> = spans.iter().collect();
+    longest.sort_by_key(|s| (std::cmp::Reverse(s.duration()), s.seq));
+    for s in longest.into_iter().take(5) {
+        let _ = writeln!(
+            out,
+            "{:<16} [{}, {}] dur={} shard={} seq={}",
+            s.stage.as_str(),
+            s.begin,
+            s.end,
+            s.duration(),
+            shard_name(s.shard),
+            s.seq
+        );
+    }
+    out
+}
+
+/// Attribution report over an exported Chrome trace: per-process,
+/// per-stage lane totals.
+fn render_chrome_timeline(text: &str) -> Result<String, String> {
+    let trace = span::parse_chrome_trace(text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Chrome-trace timeline ==");
+    let complete: Vec<_> = trace.complete_events().collect();
+    let _ = writeln!(
+        out,
+        "events: {} ({} spans)",
+        trace.events.len(),
+        complete.len()
+    );
+    // (pid, stage) -> (count, total dur, max dur)
+    let mut lanes: BTreeMap<(u64, &str), (u64, u64, u64)> = BTreeMap::new();
+    for ev in &complete {
+        let slot = lanes
+            .entry((ev.pid.unwrap_or(0), ev.name.as_str()))
+            .or_default();
+        slot.0 += 1;
+        let dur = ev.dur.unwrap_or(0);
+        slot.1 += dur;
+        slot.2 = slot.2.max(dur);
+    }
+    let mut last_pid = None;
+    for ((pid, stage), (n, total, max)) in &lanes {
+        if last_pid != Some(*pid) {
+            let _ = writeln!(out, "\n-- process {pid} --");
+            last_pid = Some(*pid);
+        }
+        let _ = writeln!(
+            out,
+            "{stage:<16} count={n:<8} total={total:<12} mean={:<10.1} max={max}",
+            *total as f64 / (*n).max(1) as f64
+        );
+    }
+    Ok(out)
+}
+
+/// Resolve the `line N` reference in a parse-error message to the
+/// offending record, so CLI callers can echo it (file, line *and* record).
+pub fn locate_error<'a>(text: &'a str, err: &str) -> Option<(usize, &'a str)> {
+    let at = err.find("line ")?;
+    let rest = &err[at + "line ".len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let n: usize = digits.parse().ok()?;
+    Some((n, text.lines().nth(n.checked_sub(1)?)?))
 }
 
 fn render_summary(out: &mut String, events: &[TraceEvent]) {
@@ -459,6 +627,46 @@ mod tests {
         assert!(report.contains("-- warn --"));
         assert!(report.contains("help:"));
         assert!(render_plan_diagnostics(&[]).contains("plan is clean"));
+    }
+
+    #[test]
+    fn timeline_renders_span_jsonl_and_chrome_traces() {
+        use quill_telemetry::{ClockDomain, SpanRecorder};
+        let rec = SpanRecorder::new(64);
+        rec.record(Stage::Route, 0, 100, 0);
+        rec.record(Stage::ShardStage, 10, 90, 1);
+        rec.record_for_query(Stage::Deliver, 100, 150, 0, 7);
+        let spans = rec.spans();
+        let jsonl: String = spans.iter().map(|s| s.to_json_line() + "\n").collect();
+        let report = render_timeline(&jsonl).expect("renders span jsonl");
+        assert!(report.contains("Pipeline span timeline"), "{report}");
+        assert!(report.contains("route"), "{report}");
+        assert!(report.contains("query 7: 1 results"), "{report}");
+        assert!(report.contains("Longest spans"), "{report}");
+
+        let chrome = span::to_chrome_trace(&spans, ClockDomain::Logical);
+        let report = render_timeline(&chrome).expect("renders chrome trace");
+        assert!(report.contains("Chrome-trace timeline"), "{report}");
+        assert!(report.contains("deliver"), "{report}");
+        let summary = check_chrome_trace(&chrome).expect("valid");
+        assert!(summary.contains("3 spans"), "{summary}");
+
+        assert_eq!(render_timeline("\n\n").unwrap(), "(no spans)\n");
+    }
+
+    #[test]
+    fn timeline_errors_name_the_offending_line() {
+        let rec = quill_telemetry::SpanRecorder::new(8);
+        rec.record(Stage::Route, 0, 10, 0);
+        let mut text = rec.spans()[0].to_json_line();
+        text.push_str("\n{\"not\":\"a span\"}\n");
+        let err = render_timeline(&text).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let (line, record) = locate_error(&text, &err).expect("locates");
+        assert_eq!(line, 2);
+        assert!(record.contains("not"), "{record}");
+        assert!(check_chrome_trace("[1,2").is_err());
+        assert!(locate_error("one line", "no location info").is_none());
     }
 
     #[test]

@@ -336,6 +336,10 @@ impl DisorderControl for AqKSlack {
         crate::strategy::record_initial_k(trace, self.buf.k().raw());
     }
 
+    fn attach_spans(&mut self, spans: &quill_telemetry::SpanRecorder) {
+        self.buf.attach_spans(spans);
+    }
+
     fn name(&self) -> String {
         match self.cfg.target {
             QualityTarget::Completeness { q } => format!("aq(q={q})"),

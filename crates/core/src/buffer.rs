@@ -20,7 +20,7 @@
 
 use quill_engine::prelude::{Event, StreamElement, TimeDelta, Timestamp};
 use quill_telemetry::trace::{FlightRecorder, TraceKind};
-use quill_telemetry::{Counter, Gauge, Registry};
+use quill_telemetry::{Counter, Gauge, Registry, SpanRecorder, Stage};
 use std::collections::BTreeMap;
 
 /// Counters describing a buffer's lifetime behaviour.
@@ -81,6 +81,7 @@ pub struct SlackBuffer {
     stats: BufferStats,
     telemetry: BufferTelemetry,
     trace: FlightRecorder,
+    spans: SpanRecorder,
 }
 
 impl SlackBuffer {
@@ -98,6 +99,7 @@ impl SlackBuffer {
             stats: BufferStats::default(),
             telemetry: BufferTelemetry::default(),
             trace: FlightRecorder::disabled(),
+            spans: SpanRecorder::disabled(),
         }
     }
 
@@ -122,6 +124,17 @@ impl SlackBuffer {
     /// advance. A disabled recorder costs one branch per hook.
     pub fn attach_trace(&mut self, trace: &FlightRecorder) {
         self.trace = trace.clone();
+    }
+
+    /// Attach a span recorder (cloned; clones share the ring). Every event
+    /// release records a [`Stage::BufferResidency`] span from the event's
+    /// timestamp to the watermark releasing it — the event-time latency the
+    /// disorder-control buffer imposed on that event. Late passes record
+    /// nothing (they were never held), and a flush release ends at the
+    /// stream clock (the flush carries no event time of its own). A disabled
+    /// recorder costs one branch per release batch.
+    pub fn attach_spans(&mut self, spans: &SpanRecorder) {
+        self.spans = spans.clone();
     }
 
     /// Switch to *control-only* staging: from now on every inserted event is
@@ -251,12 +264,22 @@ impl SlackBuffer {
         // same timestamp has a larger seq and still sorts after, so emitting
         // the boundary timestamp preserves order). Keep keys with ts > safe.
         let mut released = 0u64;
+        let record_spans = self.spans.is_enabled();
         if self.control_only {
             let keep = self
                 .pending
                 .split_off(&Timestamp(safe.raw().saturating_add(1)));
-            for (_, n) in std::mem::replace(&mut self.pending, keep) {
+            for (ts, n) in std::mem::replace(&mut self.pending, keep) {
                 released += n;
+                if record_spans {
+                    // One residency span per pending event, same as full
+                    // mode — the payloads were forwarded early but a full
+                    // buffer would have held each until this watermark.
+                    for _ in 0..n {
+                        self.spans
+                            .record(Stage::BufferResidency, ts.raw(), safe.raw(), 0);
+                    }
+                }
             }
             self.pending_len -= released as usize;
             self.stats.released += released;
@@ -269,6 +292,10 @@ impl SlackBuffer {
                 self.stats.released += 1;
                 self.telemetry.released.inc();
                 released += 1;
+                if record_spans {
+                    self.spans
+                        .record(Stage::BufferResidency, e.ts.raw(), safe.raw(), 0);
+                }
                 out.push(StreamElement::Event(e));
             }
         }
@@ -292,9 +319,19 @@ impl SlackBuffer {
     /// End of stream: release everything in order and emit `Flush`.
     pub fn finish(&mut self, out: &mut Vec<StreamElement>) {
         let mut released = 0u64;
+        let record_spans = self.spans.is_enabled();
         if self.control_only {
             released = self.pending_len as u64;
-            self.pending.clear();
+            if record_spans {
+                for (ts, n) in std::mem::take(&mut self.pending) {
+                    for _ in 0..n {
+                        self.spans
+                            .record(Stage::BufferResidency, ts.raw(), self.clock.raw(), 0);
+                    }
+                }
+            } else {
+                self.pending.clear();
+            }
             self.pending_len = 0;
             self.stats.released += released;
             self.telemetry.released.add(released);
@@ -303,6 +340,12 @@ impl SlackBuffer {
                 self.stats.released += 1;
                 self.telemetry.released.inc();
                 released += 1;
+                if record_spans {
+                    // Flush carries no event time: residency ends at the
+                    // stream clock (the latest timestamp the buffer saw).
+                    self.spans
+                        .record(Stage::BufferResidency, e.ts.raw(), self.clock.raw(), 0);
+                }
                 out.push(StreamElement::Event(e));
             }
         }
@@ -605,6 +648,40 @@ mod tests {
         assert_eq!(snap.counter("quill.buffer.late_passed"), s.late_passed);
         assert_eq!(snap.gauge("quill.buffer.depth"), Some(0.0));
         assert_eq!(s.released + s.late_passed, 7);
+    }
+
+    #[test]
+    fn spans_attribute_buffer_residency_per_release() {
+        let spans = SpanRecorder::new(64);
+        let mut b = SlackBuffer::new(5u64);
+        b.attach_spans(&spans);
+        let mut out = Vec::new();
+        b.insert(ev(10, 0), &mut out);
+        b.insert(ev(20, 1), &mut out); // watermark 15 releases ts=10
+        b.insert(ev(8, 2), &mut out); // late pass: no residency span
+        b.finish(&mut out); // flush releases ts=20 at clock 20
+        let rec = spans.spans();
+        assert!(rec.iter().all(|s| s.stage == Stage::BufferResidency));
+        let pairs: Vec<(u64, u64)> = rec.iter().map(|s| (s.begin, s.end)).collect();
+        assert_eq!(pairs, vec![(10, 15), (20, 20)]);
+
+        // Control-only mode attributes the identical residency per event,
+        // even though payloads were forwarded at arrival.
+        let hollow_spans = SpanRecorder::new(64);
+        let mut hollow = SlackBuffer::new(5u64);
+        hollow.set_control_only();
+        hollow.attach_spans(&hollow_spans);
+        let mut out = Vec::new();
+        hollow.insert(ev(10, 0), &mut out);
+        hollow.insert(ev(20, 1), &mut out);
+        hollow.insert(ev(8, 2), &mut out);
+        hollow.finish(&mut out);
+        let hollow_pairs: Vec<(u64, u64)> = hollow_spans
+            .spans()
+            .iter()
+            .map(|s| (s.begin, s.end))
+            .collect();
+        assert_eq!(hollow_pairs, pairs);
     }
 
     #[test]

@@ -80,6 +80,10 @@ impl DisorderControl for PunctuatedBuffer {
         crate::strategy::record_initial_k(trace, self.buf.k().raw());
     }
 
+    fn attach_spans(&mut self, spans: &quill_telemetry::SpanRecorder) {
+        self.buf.attach_spans(spans);
+    }
+
     fn name(&self) -> String {
         if self.source_slack == TimeDelta::ZERO {
             "punct".into()

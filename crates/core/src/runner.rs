@@ -18,13 +18,13 @@ use quill_engine::event::{ClockTracker, Event, StreamElement};
 use quill_engine::operator::{
     LatePolicy, Operator, ShardStage, WindowAggregateOp, WindowOpStats, WindowResult,
 };
-use quill_engine::parallel::{run_keyed_parallel_observed, ParallelConfig};
+use quill_engine::parallel::{run_keyed_parallel_traced, ParallelConfig};
 use quill_engine::time::{TimeDelta, Timestamp};
 use quill_engine::window::WindowSpec;
 use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
 use quill_metrics::{LatencyRecorder, Summary, TimeSeries};
 use quill_telemetry::trace::{FlightRecorder, PostMortem, ProvenanceBuilder, ProvenanceRecord};
-use quill_telemetry::{Registry, ReporterConfig, Snapshot, TelemetryReporter};
+use quill_telemetry::{Registry, ReporterConfig, Snapshot, SpanRecorder, Stage, TelemetryReporter};
 
 /// The continuous query to execute.
 #[derive(Debug, Clone)]
@@ -200,6 +200,7 @@ impl QuerySpecBuilder {
 /// | [`with_telemetry`](ExecOptions::with_telemetry) | instruments record into the registry | — | — |
 /// | [`with_snapshot_every`](ExecOptions::with_snapshot_every) | periodic registry snapshots | enabled telemetry | `plan.options.snapshot-without-telemetry` (warn) |
 /// | [`with_trace`](ExecOptions::with_trace) | structured trace ring, provenance records | — | — |
+/// | [`with_spans`](ExecOptions::with_spans) | pipeline stage spans (logical clock), per-stage latency attribution | — | — |
 /// | [`with_required_completeness`](ExecOptions::with_required_completeness) | flags windows below the target; builds post-mortems | enabled trace (for post-mortems) | `plan.options.completeness-without-trace` (warn); `plan.options.completeness-range` (deny) outside (0, 1] |
 /// | [`with_delay_profile`](ExecOptions::with_delay_profile) | enables quality-feasibility checks | a quality target somewhere (options or strategy) | `plan.options.delay-profile-unused` (advice) |
 /// | [`with_expected_keys`](ExecOptions::with_expected_keys) | shard-saturation check | parallel execution | `plan.options.expected-keys-without-parallel` (warn); `plan.options.expected-keys-zero` (deny) for 0 |
@@ -224,6 +225,14 @@ pub struct ExecOptions {
     /// trace slice of every window that violated
     /// [`ExecOptions::required_completeness`].
     pub trace: FlightRecorder,
+    /// Pipeline span recorder every stage records begin/end spans into, on
+    /// the logical (event-time) clock: buffer residency, routing, shard
+    /// staging, window finalization, merge, and result delivery.
+    /// [`SpanRecorder::disabled`] (the default) makes every hook a branch.
+    /// Drain with [`SpanRecorder::take`] for timeline export, or call
+    /// [`SpanRecorder::instrument`] first so per-stage duration histograms
+    /// (`quill.span.<stage>`) land in `telemetry`.
+    pub spans: SpanRecorder,
     /// Per-window completeness target used to flag violations in the
     /// provenance layer. `None` (the default) means no window is considered
     /// violated. Only consulted when `trace` is enabled.
@@ -276,6 +285,13 @@ impl ExecOptions {
     /// Record trace events into `trace` (cloned; clones share the ring).
     pub fn with_trace(mut self, trace: &FlightRecorder) -> ExecOptions {
         self.trace = trace.clone();
+        self
+    }
+
+    /// Record pipeline stage spans into `spans` (cloned; clones share the
+    /// ring). See [`ExecOptions::spans`].
+    pub fn with_spans(mut self, spans: &SpanRecorder) -> ExecOptions {
+        self.spans = spans.clone();
         self
     }
 
@@ -413,6 +429,7 @@ pub fn stage_strategy(
 ) -> StagedStream {
     strategy.instrument(&opts.telemetry);
     strategy.attach_trace(&opts.trace);
+    strategy.attach_spans(&opts.spans);
     let run_events = opts.telemetry.counter("quill.run.events");
     let mut reporter = TelemetryReporter::new(
         &opts.telemetry,
@@ -556,6 +573,7 @@ pub fn execute(
                 LatePolicy::Drop,
             )?;
             op.attach_trace(&opts.trace, 0);
+            op.attach_spans(&opts.spans, 0);
             let mut results: Vec<WindowResult> = Vec::new();
             for el in elements {
                 op.process(el, &mut |o| {
@@ -582,27 +600,34 @@ pub fn execute(
                 // quill-lint: allow(no-panic, reason = "the identical WindowAggregateOp::new call was validated at the top of execute()")
                 .expect("query validated above");
                 op.attach_trace(&opts.trace, shard as u32);
+                op.attach_spans(&opts.spans, shard as u32);
                 op
             };
             let (out, ops) = if shard_local {
-                let (out, staged_ops) = run_keyed_parallel_observed(
+                let (out, staged_ops) = run_keyed_parallel_traced(
                     elements,
                     key_field,
                     config,
                     &opts.telemetry,
                     &opts.trace,
-                    |shard| ShardStage::new(make_window_op(shard)),
+                    &opts.spans,
+                    |shard| {
+                        let mut stage = ShardStage::new(make_window_op(shard));
+                        stage.attach_spans(&opts.spans, shard as u32);
+                        stage
+                    },
                 )?;
                 let ops: Vec<WindowAggregateOp> =
                     staged_ops.into_iter().map(ShardStage::into_inner).collect();
                 (out, ops)
             } else {
-                run_keyed_parallel_observed(
+                run_keyed_parallel_traced(
                     elements,
                     key_field,
                     config,
                     &opts.telemetry,
                     &opts.trace,
+                    &opts.spans,
                     make_window_op,
                 )?
             };
@@ -617,12 +642,20 @@ pub fn execute(
     let wall_micros = start.elapsed().as_micros();
 
     let mut latency = LatencyRecorder::with_samples();
+    let record_deliver = opts.spans.is_enabled();
     for r in &results {
-        let lat = staged
-            .emission_clock(r.window.end)
-            .delta_since(r.window.end);
+        let emitted_at = staged.emission_clock(r.window.end);
+        let lat = emitted_at.delta_since(r.window.end);
         latency_hist.record(lat.raw());
         latency.record(lat);
+        if record_deliver {
+            // Delivery: the window became complete at its end; the result
+            // reached the caller at the clock of the watermark that closed
+            // it. This is the end-to-end latency the paper trades against
+            // quality, as a per-result span.
+            opts.spans
+                .record(Stage::Deliver, r.window.end.raw(), emitted_at.raw(), 0);
+        }
     }
     results_count.add(results.len() as u64);
     opts.telemetry
@@ -1100,5 +1133,89 @@ mod tests {
         // their total matches the operator counters.
         let dropped: u64 = out.provenance.iter().map(|r| r.dropped).sum();
         assert!(dropped > 0);
+    }
+
+    #[test]
+    fn spanned_run_covers_pipeline_stages_and_reconciles_latency() {
+        let events = keyed_events(3000, 16);
+        let query = QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 1, "sum")],
+            Some(0),
+        );
+        let spans = SpanRecorder::with_default_capacity();
+        let telemetry = Registry::new();
+        spans.instrument(&telemetry);
+        let mut s = FixedKSlack::new(160u64);
+        let out = execute(
+            &events,
+            &mut s,
+            &query,
+            &ExecOptions::parallel(ParallelConfig::new(4).with_deterministic(true))
+                .with_telemetry(&telemetry)
+                .with_spans(&spans),
+        )
+        .unwrap();
+        let recorded = spans.spans();
+        // Shard-local finalization exercises the full in-process pipeline:
+        // buffer residency (control-only), routing, shard staging, window
+        // finalization, merge, delivery.
+        for stage in [
+            Stage::BufferResidency,
+            Stage::Route,
+            Stage::ShardStage,
+            Stage::WindowFinalize,
+            Stage::Merge,
+            Stage::Deliver,
+        ] {
+            assert!(
+                recorded.iter().any(|sp| sp.stage == stage),
+                "missing {stage} spans"
+            );
+        }
+        // One Deliver span per result, and their durations are exactly the
+        // per-result latencies the summary was built from.
+        let deliver: Vec<u64> = recorded
+            .iter()
+            .filter(|sp| sp.stage == Stage::Deliver)
+            .map(|sp| sp.duration())
+            .collect();
+        assert_eq!(deliver.len(), out.results.len());
+        let mean = deliver.iter().sum::<u64>() as f64 / deliver.len() as f64;
+        assert!(
+            (mean - out.latency.mean).abs() < 1e-9,
+            "span-derived mean {mean} vs summary {}",
+            out.latency.mean
+        );
+        // Attribution histograms landed in the registry.
+        let snap = telemetry.snapshot();
+        let h = snap
+            .histograms
+            .get("quill.span.deliver")
+            .expect("deliver histogram");
+        assert_eq!(h.count, out.results.len() as u64);
+        assert!((h.mean - out.latency.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_spans_leave_run_output_unchanged() {
+        let events = keyed_events(1500, 17);
+        let query = QuerySpec::new(
+            WindowSpec::tumbling(100u64),
+            vec![AggregateSpec::new(AggregateKind::Sum, 1, "sum")],
+            Some(0),
+        );
+        let mut s1 = FixedKSlack::new(160u64);
+        let mut s2 = FixedKSlack::new(160u64);
+        let opts = ExecOptions::parallel(ParallelConfig::new(2).with_deterministic(true));
+        let plain = execute(&events, &mut s1, &query, &opts).unwrap();
+        let spans = SpanRecorder::with_default_capacity();
+        let spanned = execute(&events, &mut s2, &query, &opts.with_spans(&spans)).unwrap();
+        assert_eq!(plain.results, spanned.results);
+        assert_eq!(
+            plain.quality.mean_completeness,
+            spanned.quality.mean_completeness
+        );
+        assert!(!spans.is_empty());
     }
 }

@@ -44,7 +44,7 @@ use quill_engine::operator::{
 use quill_engine::time::{TimeDelta, Timestamp};
 use quill_engine::value::Key;
 use quill_metrics::{LatencyRecorder, Summary};
-use quill_telemetry::{Counter, Gauge, Registry};
+use quill_telemetry::{Counter, Gauge, Registry, SpanRecorder, Stage};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -94,6 +94,11 @@ pub struct QueryConfig {
     /// dropped and counted in [`QueryStats::overflow_dropped`] — a slow
     /// consumer loses history, never blocks the stream.
     pub result_capacity: usize,
+    /// Result-latency objective in event-time units: a result whose
+    /// end-to-end latency (emission clock minus window end) exceeds this
+    /// bound counts one [`QueryStats::slo_breaches`]. `None` disables the
+    /// accounting.
+    pub latency_slo: Option<u64>,
 }
 
 impl Default for QueryConfig {
@@ -101,6 +106,7 @@ impl Default for QueryConfig {
         QueryConfig {
             required_completeness: None,
             result_capacity: DEFAULT_RESULT_CAPACITY,
+            latency_slo: None,
         }
     }
 }
@@ -115,6 +121,12 @@ impl QueryConfig {
     /// Override the pending-result queue bound (`usize::MAX` = unbounded).
     pub fn with_result_capacity(mut self, capacity: usize) -> QueryConfig {
         self.result_capacity = capacity.max(1);
+        self
+    }
+
+    /// Count results later than `slo` (event-time units) as SLO breaches.
+    pub fn with_latency_slo(mut self, slo: u64) -> QueryConfig {
+        self.latency_slo = Some(slo);
         self
     }
 }
@@ -133,6 +145,9 @@ pub struct QueryStats {
     pub window: WindowOpStats,
     /// Mean result latency so far (event-time units).
     pub mean_latency: f64,
+    /// Results whose latency exceeded [`QueryConfig::latency_slo`] (always
+    /// zero when no objective was set).
+    pub slo_breaches: u64,
     /// Whether the query was deregistered or the session finished.
     pub closed: bool,
 }
@@ -146,6 +161,8 @@ pub(crate) struct SubState {
     emitted: u64,
     window: WindowOpStats,
     latency: LatencyRecorder,
+    latency_slo: Option<u64>,
+    slo_breaches: u64,
     closed: bool,
 }
 
@@ -166,6 +183,7 @@ impl SubState {
             pending: self.queue.len(),
             window: self.window,
             mean_latency: self.latency.mean(),
+            slo_breaches: self.slo_breaches,
             closed: self.closed,
         }
     }
@@ -256,6 +274,7 @@ pub(crate) struct MultiQueryCore {
     /// the same `quill.merge.windows` name.
     windows_count: Counter,
     results_total: u64,
+    spans: SpanRecorder,
 }
 
 impl MultiQueryCore {
@@ -266,6 +285,7 @@ impl MultiQueryCore {
             results_count: telemetry.counter("quill.run.results"),
             windows_count: telemetry.counter("quill.merge.windows"),
             results_total: 0,
+            spans: SpanRecorder::disabled(),
         }
     }
 
@@ -275,12 +295,19 @@ impl MultiQueryCore {
         self.windows_count = telemetry.counter("quill.merge.windows");
     }
 
+    /// Record query-tagged [`Stage::Deliver`] spans into `spans`
+    /// (builder-time only).
+    pub(crate) fn attach_spans(&mut self, spans: &SpanRecorder) {
+        self.spans = spans.clone();
+    }
+
     /// Add one query; validation errors propagate before any state changes.
     pub(crate) fn register(
         &mut self,
         spec: &QuerySpec,
         required_completeness: Option<f64>,
         result_capacity: usize,
+        latency_slo: Option<u64>,
         latency: LatencyRecorder,
     ) -> Result<(QueryId, Arc<Mutex<SubState>>)> {
         let op = WindowAggregateOp::new(
@@ -298,6 +325,8 @@ impl MultiQueryCore {
             emitted: 0,
             window: WindowOpStats::default(),
             latency,
+            latency_slo,
+            slo_breaches: 0,
             closed: false,
         }));
         self.slots.push(Slot {
@@ -328,10 +357,11 @@ impl MultiQueryCore {
             results_count,
             windows_count,
             results_total,
+            spans,
             ..
         } = self;
         for slot in slots.iter_mut() {
-            let Slot { op, state, .. } = slot;
+            let Slot { id, op, state, .. } = slot;
             let mut sub = None;
             op.process(el.clone(), &mut |o| {
                 if let StreamElement::Event(out_ev) = o {
@@ -341,8 +371,22 @@ impl MultiQueryCore {
                         if r.revision == 0 {
                             windows_count.inc();
                         }
+                        let lat = now.delta_since(r.window.end);
+                        if spans.is_enabled() {
+                            let end = now.raw().max(r.window.end.raw());
+                            spans.record_for_query(
+                                Stage::Deliver,
+                                r.window.end.raw(),
+                                end,
+                                0,
+                                id.0,
+                            );
+                        }
                         let q = sub.get_or_insert_with(|| state.lock());
-                        q.latency.record(now.delta_since(r.window.end));
+                        q.latency.record(lat);
+                        if q.latency_slo.is_some_and(|slo| lat.raw() > slo) {
+                            q.slo_breaches += 1;
+                        }
                         q.push(r);
                     }
                 }
@@ -457,6 +501,17 @@ impl Session {
         self
     }
 
+    /// Record pipeline spans into `spans`: [`Stage::BufferResidency`] per
+    /// released event from the strategy's slack buffer and a query-tagged
+    /// [`Stage::Deliver`] span per emitted result (window end → emission
+    /// clock, both on the logical event-time clock). Builder-style; attach
+    /// before the first event.
+    pub fn with_spans(mut self, spans: &SpanRecorder) -> Session {
+        self.strategy.attach_spans(spans);
+        self.core.attach_spans(spans);
+        self
+    }
+
     /// Declare the expected transport-delay regime, enabling the plan
     /// analyzer's quality-feasibility checks at registration time.
     pub fn with_delay_profile(mut self, profile: DelayProfile) -> Session {
@@ -503,6 +558,7 @@ impl Session {
             spec,
             cfg.required_completeness,
             cfg.result_capacity,
+            cfg.latency_slo,
             LatencyRecorder::new(),
         )?;
         self.queries_gauge.set_u64(self.core.len() as u64);
@@ -834,6 +890,69 @@ mod tests {
         let s = session.stats();
         assert_eq!(s.events, 200);
         assert_eq!(s.results, 32 * first.len() as u64);
+    }
+
+    #[test]
+    fn latency_slo_breaches_are_counted_per_query() {
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64)));
+        // K = 50 means a window closes ~50 event-time units after its end:
+        // every watermark-closed window breaches an SLO of 10 and none
+        // breach an SLO of 10_000.
+        let tight = session
+            .register_with(&query(), QueryConfig::default().with_latency_slo(10))
+            .unwrap();
+        let loose = session
+            .register_with(&query(), QueryConfig::default().with_latency_slo(10_000))
+            .unwrap();
+        for i in 0..50u64 {
+            session.push(Event::new(i * 10, i, Row::new([Value::Float(1.0)])));
+        }
+        session.finish();
+        let t = tight.stats();
+        assert!(t.slo_breaches > 0, "tight SLO must burn");
+        assert!(t.slo_breaches <= t.emitted);
+        assert_eq!(loose.stats().slo_breaches, 0, "loose SLO never burns");
+        // No SLO configured → the counter stays untouched.
+        let mut plain = Session::new(Box::new(FixedKSlack::new(50u64)));
+        let h = plain.register(&query()).unwrap();
+        for i in 0..50u64 {
+            plain.push(Event::new(i * 10, i, Row::new([Value::Float(1.0)])));
+        }
+        plain.finish();
+        assert_eq!(h.stats().slo_breaches, 0);
+    }
+
+    #[test]
+    fn session_spans_reconcile_with_latency_accounting() {
+        let spans = SpanRecorder::with_default_capacity();
+        let mut session = Session::new(Box::new(FixedKSlack::new(50u64))).with_spans(&spans);
+        let handle = session.register(&query()).unwrap();
+        for e in events(300) {
+            session.push(e);
+        }
+        session.finish();
+        let stats = handle.stats();
+        let all = spans.spans();
+        assert!(
+            all.iter().any(|s| s.stage == Stage::BufferResidency),
+            "buffer residency is traced through the strategy"
+        );
+        let deliver: Vec<_> = all.iter().filter(|s| s.stage == Stage::Deliver).collect();
+        assert_eq!(deliver.len() as u64, stats.emitted);
+        assert!(
+            deliver.iter().all(|s| s.query == handle.id().raw()),
+            "deliver spans are tagged with the registered query id"
+        );
+        // Span-derived end-to-end latency reconciles exactly with the
+        // session's own accounting: both measure emission clock − window
+        // end, saturating at zero.
+        let sum: u64 = deliver.iter().map(|s| s.duration()).sum();
+        let mean = sum as f64 / deliver.len() as f64;
+        assert!(
+            (mean - stats.mean_latency).abs() < 1e-9,
+            "span mean {mean} != recorded mean {}",
+            stats.mean_latency
+        );
     }
 
     #[test]

@@ -14,11 +14,12 @@ use crate::strategy::DisorderControl;
 use quill_engine::error::Result;
 use quill_engine::event::{Event, StreamElement};
 use quill_engine::operator::{LatePolicy, WindowAggregateOp, WindowResult};
-use quill_engine::parallel::run_keyed_parallel_instrumented;
+use quill_engine::parallel::run_keyed_parallel_traced;
 use quill_engine::time::Timestamp;
 use quill_metrics::quality_eval::{oracle_results, score, QualityReport};
 use quill_metrics::{LatencyRecorder, Summary};
-use quill_telemetry::Snapshot;
+use quill_telemetry::trace::FlightRecorder;
+use quill_telemetry::{Snapshot, Stage};
 
 /// Per-query measurement of a shared run.
 #[derive(Debug, Clone)]
@@ -112,11 +113,13 @@ pub fn execute_shared(
             // at that watermark's release, so latency stamping is identical
             // to interleaved execution.
             let mut core = MultiQueryCore::new(&opts.telemetry);
+            core.attach_spans(&opts.spans);
             for q in queries {
                 core.register(
                     q,
                     opts.required_completeness,
                     usize::MAX,
+                    None,
                     LatencyRecorder::with_samples(),
                 )?;
             }
@@ -139,22 +142,26 @@ pub fn execute_shared(
         }
         Some(config) => {
             let mut outs = Vec::with_capacity(queries.len());
-            for q in queries {
+            for (qi, q) in queries.iter().enumerate() {
                 let key_field = q.key_field.unwrap_or(usize::MAX);
-                let (out, _ops) = run_keyed_parallel_instrumented(
+                let (out, _ops) = run_keyed_parallel_traced(
                     staged.elements.clone(),
                     key_field,
                     config,
                     &opts.telemetry,
-                    || {
-                        WindowAggregateOp::new(
+                    &FlightRecorder::disabled(),
+                    &opts.spans,
+                    |shard| {
+                        let mut op = WindowAggregateOp::new(
                             q.window,
                             q.aggregates.clone(),
                             q.key_field,
                             LatePolicy::Drop,
                         )
                         // quill-lint: allow(no-panic, reason = "the identical WindowAggregateOp::new call was validated at the top of execute_shared()")
-                        .expect("query validated above")
+                        .expect("query validated above");
+                        op.attach_spans(&opts.spans, shard as u32);
+                        op
                     },
                 )?;
                 let results: Vec<WindowResult> = out
@@ -163,13 +170,22 @@ pub fn execute_shared(
                     .filter_map(|e| WindowResult::from_row(&e.row))
                     .collect();
                 results_count.add(results.len() as u64);
+                let record_deliver = opts.spans.is_enabled();
                 let mut latency = LatencyRecorder::with_samples();
                 for r in &results {
-                    latency.record(
-                        staged
-                            .emission_clock(r.window.end)
-                            .delta_since(r.window.end),
-                    );
+                    let emitted_at = staged.emission_clock(r.window.end);
+                    latency.record(emitted_at.delta_since(r.window.end));
+                    if record_deliver {
+                        // Query-tagged delivery span so shared-run timelines
+                        // attribute each result to its subscriber.
+                        opts.spans.record_for_query(
+                            Stage::Deliver,
+                            r.window.end.raw(),
+                            emitted_at.raw(),
+                            0,
+                            qi as u64,
+                        );
+                    }
                 }
                 outs.push((results, latency.summary()));
             }

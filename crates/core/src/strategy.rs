@@ -37,6 +37,12 @@ pub trait DisorderControl: Send {
     /// K decision with its trigger reason. Default: no tracing.
     fn attach_trace(&mut self, _trace: &FlightRecorder) {}
 
+    /// Attach a pipeline span recorder. Buffer-backed strategies wire their
+    /// [`SlackBuffer`] so every release records a
+    /// [`quill_telemetry::Stage::BufferResidency`] span (event timestamp →
+    /// releasing watermark). Default: no spans.
+    fn attach_spans(&mut self, _spans: &quill_telemetry::SpanRecorder) {}
+
     /// Feed one arriving event; ordered releases and watermarks are appended
     /// to `out`.
     fn on_event(&mut self, e: Event, out: &mut Vec<StreamElement>);
@@ -132,6 +138,9 @@ impl DisorderControl for DropAll {
         self.buf.attach_trace(trace);
         record_initial_k(trace, 0);
     }
+    fn attach_spans(&mut self, spans: &quill_telemetry::SpanRecorder) {
+        self.buf.attach_spans(spans);
+    }
     fn name(&self) -> String {
         "drop".into()
     }
@@ -180,6 +189,9 @@ impl DisorderControl for FixedKSlack {
     fn attach_trace(&mut self, trace: &FlightRecorder) {
         self.buf.attach_trace(trace);
         record_initial_k(trace, self.k.raw());
+    }
+    fn attach_spans(&mut self, spans: &quill_telemetry::SpanRecorder) {
+        self.buf.attach_spans(spans);
     }
     fn name(&self) -> String {
         format!("fixed(K={})", self.k.raw())
@@ -253,6 +265,9 @@ impl DisorderControl for MpKSlack {
         self.buf.attach_trace(trace);
         self.trace = trace.clone();
         record_initial_k(trace, self.max_delay.raw());
+    }
+    fn attach_spans(&mut self, spans: &quill_telemetry::SpanRecorder) {
+        self.buf.attach_spans(spans);
     }
     fn name(&self) -> String {
         if self.cap == TimeDelta::MAX {
@@ -332,6 +347,9 @@ impl DisorderControl for OracleBuffer {
     fn attach_trace(&mut self, trace: &FlightRecorder) {
         self.buf.attach_trace(trace);
         record_initial_k(trace, u64::MAX);
+    }
+    fn attach_spans(&mut self, spans: &quill_telemetry::SpanRecorder) {
+        self.buf.attach_spans(spans);
     }
     fn name(&self) -> String {
         "oracle".into()

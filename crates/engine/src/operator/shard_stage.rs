@@ -26,6 +26,7 @@ use std::collections::BinaryHeap;
 use crate::event::{Event, StreamElement};
 use crate::operator::Operator;
 use crate::time::Timestamp;
+use quill_telemetry::{SpanRecorder, Stage};
 
 /// Heap entry ordered by `(ts, seq)` only — `seq` is unique per stream, so
 /// the order is total and the payload never participates in comparisons.
@@ -54,6 +55,8 @@ pub struct ShardStage<O> {
     inner: O,
     buf: BinaryHeap<Reverse<Staged>>,
     watermark: Timestamp,
+    spans: SpanRecorder,
+    shard: u32,
 }
 
 impl<O: Operator> ShardStage<O> {
@@ -64,7 +67,18 @@ impl<O: Operator> ShardStage<O> {
             inner,
             buf: BinaryHeap::new(),
             watermark: Timestamp::MIN,
+            spans: SpanRecorder::disabled(),
+            shard: 0,
         }
+    }
+
+    /// Attach a span recorder: each draining watermark that releases at
+    /// least one staged event records a [`Stage::ShardStage`] span from the
+    /// first released event's timestamp to the releasing watermark — the
+    /// event-time extent this shard re-ordered in one drain.
+    pub fn attach_spans(&mut self, spans: &SpanRecorder, shard: u32) {
+        self.spans = spans.clone();
+        self.shard = shard;
     }
 
     /// The wrapped operator.
@@ -90,6 +104,8 @@ impl<O: Operator> ShardStage<O> {
     /// Release every held event with `ts <= wm`, in `(ts, seq)` order, into
     /// the inner operator. A watermark that releases nothing costs one peek.
     fn drain_to(&mut self, wm: Timestamp, out: &mut dyn FnMut(StreamElement)) {
+        let mut first: Option<u64> = None;
+        let mut last = 0u64;
         while let Some(Reverse(top)) = self.buf.peek() {
             if top.0.ts > wm {
                 break;
@@ -97,7 +113,18 @@ impl<O: Operator> ShardStage<O> {
             let Some(Reverse(Staged(e))) = self.buf.pop() else {
                 break;
             };
+            if self.spans.is_enabled() {
+                first.get_or_insert(e.ts.raw());
+                last = e.ts.raw();
+            }
             self.inner.process(StreamElement::Event(e), out);
+        }
+        if let Some(begin) = first {
+            // One span per releasing drain: begin = first released event's
+            // timestamp, end = the releasing watermark (for Flush, which
+            // carries no timestamp, the last released event's own ts).
+            let end = if wm == Timestamp::MAX { last } else { wm.raw() };
+            self.spans.record(Stage::ShardStage, begin, end, self.shard);
         }
     }
 }
@@ -223,6 +250,29 @@ mod tests {
         // Late seq=1 jumps ahead; the staged events drain at flush in
         // (ts, seq) order: 28 before 30.
         assert_eq!(seqs, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn releasing_drains_record_shard_stage_spans() {
+        let spans = SpanRecorder::new(64);
+        let mut stage = ShardStage::new(RecordOp { seen: Vec::new() });
+        stage.attach_spans(&spans, 3);
+        let mut sink = |_| {};
+        stage.process(ev(30, 0), &mut sink);
+        stage.process(ev(10, 1), &mut sink);
+        // Releases ts 10: span [10, 20] on shard 3.
+        stage.process(StreamElement::Watermark(Timestamp(20)), &mut sink);
+        // Releases nothing: no span.
+        stage.process(StreamElement::Watermark(Timestamp(25)), &mut sink);
+        // Flush releases ts 30; end falls back to the released ts.
+        stage.process(StreamElement::Flush, &mut sink);
+        let recorded = spans.spans();
+        assert_eq!(recorded.len(), 2);
+        assert!(recorded
+            .iter()
+            .all(|s| s.stage == Stage::ShardStage && s.shard == 3));
+        assert_eq!((recorded[0].begin, recorded[0].end), (10, 20));
+        assert_eq!((recorded[1].begin, recorded[1].end), (30, 30));
     }
 
     #[test]

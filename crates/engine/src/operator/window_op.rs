@@ -37,6 +37,7 @@ use crate::time::Timestamp;
 use crate::value::{Key, Row, Value};
 use crate::window::{Window, WindowSpec};
 use quill_telemetry::trace::{FlightRecorder, TraceKind};
+use quill_telemetry::{SpanRecorder, Stage};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -215,6 +216,7 @@ pub struct WindowAggregateOp {
     out_seq: u64,
     stats: WindowOpStats,
     trace: FlightRecorder,
+    spans: SpanRecorder,
     shard: u32,
 }
 
@@ -256,6 +258,7 @@ impl WindowAggregateOp {
             out_seq: 0,
             stats: WindowOpStats::default(),
             trace: FlightRecorder::disabled(),
+            spans: SpanRecorder::disabled(),
             shard: 0,
         })
     }
@@ -266,6 +269,16 @@ impl WindowAggregateOp {
     /// execution). Disabled recorders cost one branch per hook.
     pub fn attach_trace(&mut self, trace: &FlightRecorder, shard: u32) {
         self.trace = trace.clone();
+        self.shard = shard;
+    }
+
+    /// Attach a span recorder; each window finalization records a
+    /// [`Stage::WindowFinalize`] span from the window's end to the watermark
+    /// that closed it — the event-time lag between a window becoming
+    /// complete and the operator proving it complete. Disabled recorders
+    /// cost one branch per finalization.
+    pub fn attach_spans(&mut self, spans: &SpanRecorder, shard: u32) {
+        self.spans = spans.clone();
         self.shard = shard;
     }
 
@@ -560,6 +573,13 @@ impl WindowAggregateOp {
                         },
                     );
                 }
+                if self.spans.is_enabled() {
+                    // Window complete at `end`, proven complete at `wm`. A
+                    // Flush (wm = MAX) carries no event time: zero lag.
+                    let closed = if wm == Timestamp::MAX { end } else { wm };
+                    self.spans
+                        .record(Stage::WindowFinalize, end.raw(), closed.raw(), self.shard);
+                }
                 out(StreamElement::Event(Event::new(end, self.out_seq, row)));
             }
             if !retain {
@@ -635,6 +655,18 @@ impl WindowAggregateOp {
                     count,
                 },
             );
+        }
+        if self.spans.is_enabled() {
+            // Same semantics as the per-window path: the watermark that
+            // drained this pending entry is the current one (Flush sets it
+            // to MAX, which carries no event time: zero lag).
+            let closed = if self.watermark == Timestamp::MAX {
+                end
+            } else {
+                self.watermark.raw()
+            };
+            self.spans
+                .record(Stage::WindowFinalize, end, closed, self.shard);
         }
         WindowResult {
             key: key.0.clone(),
@@ -1277,6 +1309,47 @@ mod tests {
             .collect();
         assert_eq!(drops, vec![(3, vec![(0, 20)])]);
         assert_eq!(w.stats().late_dropped, 1);
+    }
+
+    #[test]
+    fn spans_record_window_finalize_lag_on_both_paths() {
+        // Per-window path: window [0,10) closes at wm=25 → span [10, 25];
+        // flush-forced window [30,40) records zero lag.
+        let spans = SpanRecorder::new(64);
+        let mut w = op(WindowSpec::tumbling(10u64), LatePolicy::Drop);
+        w.attach_spans(&spans, 5);
+        let _ = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                StreamElement::Watermark(Timestamp(25)),
+                ev(35, 2, 2.0),
+                StreamElement::Flush,
+            ],
+        );
+        let rec = spans.spans();
+        assert!(rec
+            .iter()
+            .all(|s| s.stage == Stage::WindowFinalize && s.shard == 5));
+        let pairs: Vec<(u64, u64)> = rec.iter().map(|s| (s.begin, s.end)).collect();
+        assert_eq!(pairs, vec![(10, 25), (40, 40)]);
+
+        // Paned path: same span semantics from the shared-pane emitter.
+        let spans = SpanRecorder::new(64);
+        let mut w = op(WindowSpec::sliding(20u64, 10u64), LatePolicy::Drop);
+        assert!(w.shares_panes());
+        w.attach_spans(&spans, 0);
+        let _ = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                ev(15, 2, 2.0),
+                StreamElement::Watermark(Timestamp(40)),
+                StreamElement::Flush,
+            ],
+        );
+        let pairs: Vec<(u64, u64)> = spans.spans().iter().map(|s| (s.begin, s.end)).collect();
+        assert_eq!(pairs, vec![(20, 40), (30, 40)]);
     }
 
     #[test]

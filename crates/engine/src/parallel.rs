@@ -56,7 +56,7 @@ use crate::time::Timestamp;
 use crate::value::{hash_value, Key, Value};
 use crossbeam::channel;
 use quill_telemetry::trace::{FlightRecorder, TraceKind, MERGE_SHARD};
-use quill_telemetry::{Counter, Gauge, Registry};
+use quill_telemetry::{Counter, Gauge, Registry, SpanRecorder, Stage};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::Hasher;
@@ -384,12 +384,55 @@ pub fn run_keyed_parallel_observed<O>(
 where
     O: Operator + 'static,
 {
+    run_keyed_parallel_traced(
+        elements,
+        key_field,
+        config,
+        telemetry,
+        trace,
+        &SpanRecorder::disabled(),
+        make_op,
+    )
+}
+
+/// Like [`run_keyed_parallel_observed`], but additionally recording pipeline
+/// spans into `spans` (logical clock domain):
+///
+/// * [`Stage::Route`] — one span per flushed shard batch, `begin` = the
+///   earliest and `end` = the latest event timestamp in the batch (the
+///   event-time extent the router grouped into one channel send);
+/// * [`Stage::Merge`] — one span for the output merge on the
+///   [`MERGE_SHARD`] pseudo-shard spanning the merged window-end range.
+///
+/// Downstream stage spans ([`Stage::ShardStage`], [`Stage::WindowFinalize`])
+/// come from the per-shard operators via their `attach_spans` hooks — pass
+/// the same recorder to the factory. With a disabled recorder this is
+/// exactly [`run_keyed_parallel_observed`]: every span call folds to a
+/// branch on `None`.
+///
+/// # Errors
+/// Same as [`run_keyed_parallel_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_keyed_parallel_traced<O>(
+    elements: Vec<StreamElement>,
+    key_field: usize,
+    config: ParallelConfig,
+    telemetry: &Registry,
+    trace: &FlightRecorder,
+    spans: &SpanRecorder,
+    make_op: impl Fn(usize) -> O,
+) -> Result<(Vec<StreamElement>, Vec<O>)>
+where
+    O: Operator + 'static,
+{
     config.validate()?;
     if config.shards == 1 {
-        return run_keyed_single(elements, config, telemetry, trace, make_op);
+        return run_keyed_single(elements, config, telemetry, trace, spans, make_op);
     }
     if config.deterministic {
-        return run_keyed_parallel_inline(elements, key_field, config, telemetry, trace, make_op);
+        return run_keyed_parallel_inline(
+            elements, key_field, config, telemetry, trace, spans, make_op,
+        );
     }
     let shards = config.shards;
     let observe = telemetry.is_enabled() || trace.is_enabled();
@@ -470,6 +513,7 @@ where
                         &mut metrics[shard],
                         &send_stalls,
                         trace,
+                        spans,
                     )?;
                     if telemetry.is_enabled() {
                         agg_depth.set_u64(depth_sum(&metrics));
@@ -479,7 +523,7 @@ where
             _ => {
                 if router.push_punctuation(&el) {
                     for ((tx, buf), m) in txs.iter().zip(&mut router.bufs).zip(&mut metrics) {
-                        flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
+                        flush_batch(tx, buf, &config, m, &send_stalls, trace, spans)?;
                     }
                     if telemetry.is_enabled() {
                         agg_depth.set_u64(depth_sum(&metrics));
@@ -489,7 +533,7 @@ where
         }
     }
     for ((tx, buf), m) in txs.iter().zip(&mut router.bufs).zip(&mut metrics) {
-        flush_batch(tx, buf, &config, m, &send_stalls, trace)?;
+        flush_batch(tx, buf, &config, m, &send_stalls, trace, spans)?;
     }
     drop(txs);
 
@@ -516,7 +560,10 @@ where
     }
     agg_depth.set_u64(0);
     result_depth.set_u64(0);
-    Ok((merge_shard_outputs(shard_outs, telemetry, trace), ops))
+    Ok((
+        merge_shard_outputs(shard_outs, telemetry, trace, spans),
+        ops,
+    ))
 }
 
 /// Single-shard bypass: no channels, no threads, no routing buffers — the
@@ -529,6 +576,7 @@ fn run_keyed_single<O>(
     config: ParallelConfig,
     telemetry: &Registry,
     trace: &FlightRecorder,
+    spans: &SpanRecorder,
     make_op: impl Fn(usize) -> O,
 ) -> Result<(Vec<StreamElement>, Vec<O>)>
 where
@@ -539,6 +587,12 @@ where
     let mut op = make_op(0);
     let mut outs: Vec<StreamElement> = Vec::new();
     let routed = !elements.is_empty();
+    if spans.is_enabled() {
+        // The whole stream is one logical batch: one Route span over its
+        // event-time extent, mirroring the per-batch spans of the routed
+        // paths.
+        record_route_span(spans, &elements, 0);
+    }
     for el in elements {
         if matches!(el, StreamElement::Event(_)) {
             m.events.inc();
@@ -554,7 +608,10 @@ where
         // The whole stream is one logical batch.
         m.batches.inc();
     }
-    Ok((merge_shard_outputs(vec![outs], telemetry, trace), vec![op]))
+    Ok((
+        merge_shard_outputs(vec![outs], telemetry, trace, spans),
+        vec![op],
+    ))
 }
 
 /// Deterministic inline variant of [`run_keyed_parallel_observed`]: the same
@@ -574,6 +631,7 @@ fn run_keyed_parallel_inline<O>(
     config: ParallelConfig,
     telemetry: &Registry,
     trace: &FlightRecorder,
+    spans: &SpanRecorder,
     make_op: impl Fn(usize) -> O,
 ) -> Result<(Vec<StreamElement>, Vec<O>)>
 where
@@ -594,6 +652,9 @@ where
             return;
         }
         metrics[shard].batches.inc();
+        if spans.is_enabled() {
+            record_route_span(spans, buf, shard as u32);
+        }
         let out = &mut outs[shard];
         for el in buf.drain(..) {
             ops[shard].process(el, &mut |o| {
@@ -632,7 +693,25 @@ where
         let mut buf = std::mem::take(slot);
         drain(shard, &mut buf, &mut ops, &mut outs);
     }
-    Ok((merge_shard_outputs(outs, telemetry, trace), ops))
+    Ok((merge_shard_outputs(outs, telemetry, trace, spans), ops))
+}
+
+/// Record one [`Stage::Route`] span for a flushed shard batch: `begin` is
+/// the earliest and `end` the latest event timestamp in the batch (the
+/// event-time extent routed in one channel send). Batches holding only
+/// punctuation record nothing — there is no event-time extent to attribute.
+fn record_route_span(spans: &SpanRecorder, batch: &[StreamElement], shard: u32) {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for el in batch {
+        if let Some(e) = el.as_event() {
+            lo = lo.min(e.ts.raw());
+            hi = hi.max(e.ts.raw());
+        }
+    }
+    if lo != u64::MAX {
+        spans.record(Stage::Route, lo, hi, shard);
+    }
 }
 
 /// Run a keyed operator data-parallel over `shards` threads with default
@@ -658,9 +737,13 @@ fn flush_batch(
     metrics: &mut ShardMetrics,
     send_stalls: &Counter,
     trace: &FlightRecorder,
+    spans: &SpanRecorder,
 ) -> Result<()> {
     if buf.is_empty() {
         return Ok(());
+    }
+    if spans.is_enabled() {
+        record_route_span(spans, buf, metrics.shard);
     }
     if metrics.done.is_some() {
         // Backpressure: the bounded send below will block until the worker
@@ -744,6 +827,7 @@ fn merge_shard_outputs(
     shard_outs: Vec<Vec<StreamElement>>,
     telemetry: &Registry,
     trace: &FlightRecorder,
+    spans: &SpanRecorder,
 ) -> Vec<StreamElement> {
     let total: usize = shard_outs.iter().map(Vec::len).sum();
     telemetry.counter("quill.merge.elements").add(total as u64);
@@ -751,6 +835,23 @@ fn merge_shard_outputs(
         .into_iter()
         .map(|outs| outs.into_iter().map(|el| (merge_key(&el), el)).collect())
         .collect();
+    if spans.is_enabled() && total > 0 {
+        // One Merge span on the pseudo-shard spanning the merged window-end
+        // range (the event-time extent the merge interleaves).
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for run in &keyed {
+            for (k, _) in run {
+                if k.0 != u64::MAX {
+                    lo = lo.min(k.0);
+                    hi = hi.max(k.0);
+                }
+            }
+        }
+        if lo != u64::MAX {
+            spans.record(Stage::Merge, lo, hi, MERGE_SHARD);
+        }
+    }
     let sorted = keyed
         .iter()
         .all(|run| run.windows(2).all(|w| w[0].0 <= w[1].0));
@@ -1197,6 +1298,102 @@ mod tests {
         assert_eq!(merges, vec![(MERGE_SHARD, out.len() as u64, false)]);
         // Sequence numbers interleave deterministically (strictly monotone).
         assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn traced_run_records_route_and_merge_spans() {
+        let spans = SpanRecorder::new(8192);
+        let n = 1_000u64;
+        let cfg = ParallelConfig::new(4)
+            .with_batch_size(16)
+            .with_channel_capacity(2);
+        let (out, _ops) = run_keyed_parallel_traced(
+            input(n, 8),
+            0,
+            cfg,
+            &Registry::disabled(),
+            &FlightRecorder::disabled(),
+            &spans,
+            |_shard| window_op(),
+        )
+        .expect("traced run");
+        let recorded = spans.spans();
+        // Route spans: one per flushed batch, shard-tagged, with a sane
+        // event-time extent (begin <= end, within the input's ts range).
+        let routes: Vec<_> = recorded
+            .iter()
+            .filter(|s| s.stage == Stage::Route)
+            .collect();
+        assert!(routes.len() >= 4, "at least one batch per shard");
+        for r in routes {
+            assert!(r.begin <= r.end);
+            assert!(r.end < n * 3);
+            assert!(r.shard < 4);
+        }
+        // Exactly one Merge span, on the pseudo-shard, spanning the merged
+        // window-end range.
+        let merges: Vec<_> = recorded
+            .iter()
+            .filter(|s| s.stage == Stage::Merge)
+            .collect();
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].shard, MERGE_SHARD);
+        let ends: Vec<u64> = results_of(&out)
+            .iter()
+            .map(|r| r.window.end.raw())
+            .collect();
+        assert_eq!(merges[0].begin, *ends.iter().min().expect("results"));
+        assert_eq!(merges[0].end, *ends.iter().max().expect("results"));
+        // Deterministic inline scheduling records the same span *set* shape.
+        let det_spans = SpanRecorder::new(8192);
+        run_keyed_parallel_traced(
+            input(n, 8),
+            0,
+            cfg.with_deterministic(true),
+            &Registry::disabled(),
+            &FlightRecorder::disabled(),
+            &det_spans,
+            |_shard| window_op(),
+        )
+        .expect("inline traced run");
+        assert_eq!(
+            det_spans
+                .spans()
+                .iter()
+                .filter(|s| s.stage == Stage::Merge)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn disabled_spans_keep_observed_semantics() {
+        // run_keyed_parallel_observed delegates with a disabled recorder:
+        // output must be identical to the traced run.
+        let elements = input(500, 5);
+        let cfg = ParallelConfig::new(3).with_batch_size(32);
+        let (observed, _) = run_keyed_parallel_observed(
+            elements.clone(),
+            0,
+            cfg,
+            &Registry::disabled(),
+            &FlightRecorder::disabled(),
+            |_| window_op(),
+        )
+        .expect("observed");
+        let spans = SpanRecorder::new(1024);
+        let (traced, _) = run_keyed_parallel_traced(
+            elements,
+            0,
+            cfg,
+            &Registry::disabled(),
+            &FlightRecorder::disabled(),
+            &spans,
+            |_| window_op(),
+        )
+        .expect("traced");
+        assert_eq!(results_of(&traced), results_of(&observed));
+        assert!(!spans.is_empty(), "enabled recorder captured spans");
     }
 
     #[test]

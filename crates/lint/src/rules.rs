@@ -64,10 +64,11 @@ const DETERMINISTIC_FILES: &[&str] = &[
     "crates/core/src/session.rs",
 ];
 
-/// Files allowed to construct trace events / enabled instruments directly
-/// (L3 exemptions): the recorder and registry themselves.
+/// Files allowed to construct trace events / spans / enabled instruments
+/// directly (L3 exemptions): the recorders and registry themselves.
 const TELEMETRY_CONSTRUCTION_FILES: &[&str] = &[
     "crates/telemetry/src/trace.rs",
+    "crates/telemetry/src/span.rs",
     "crates/telemetry/src/lib.rs",
 ];
 
@@ -350,19 +351,32 @@ impl<'a> FileLinter<'a> {
                         .into(),
                 );
             }
-            if matches!(name, "Counter" | "Gauge" | "Histogram")
+            if name == "Span"
+                && (self.text(i + 1) == Some("{")
+                    || (self.text(i + 1) == Some(":")
+                        && self.text(i + 2) == Some(":")
+                        && self.text(i + 3) == Some("new")))
+            {
+                self.push(
+                    RULE_GUARDED_TELEMETRY,
+                    line,
+                    "direct `Span` construction bypasses the enabled-guarded span recorder".into(),
+                    "record through `SpanRecorder::record/record_for_query/record_child` so \
+                     disabled span tracing stays zero-cost and seq-stamping stays consistent"
+                        .into(),
+                );
+            }
+            if matches!(name, "Counter" | "Gauge" | "Histogram" | "SpanRecorder")
                 && self.text(i + 1) == Some("(")
                 && self.text(i + 2) == Some("Some")
             {
                 self.push(
                     RULE_GUARDED_TELEMETRY,
                     line,
-                    format!(
-                        "direct enabled `{name}` construction bypasses the registry's \
-                         enabled-guard"
-                    ),
-                    "obtain instruments via `Registry::counter/gauge/histogram` so disabled \
-                     telemetry stays zero-cost"
+                    format!("direct enabled `{name}` construction bypasses the enabled-guard"),
+                    "obtain instruments via `Registry::counter/gauge/histogram` and recorders \
+                     via `SpanRecorder::new/wall/disabled` so disabled telemetry stays \
+                     zero-cost"
                         .into(),
                 );
             }
@@ -625,6 +639,35 @@ mod tests {
         let diags = lint_source("crates/core/src/online.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, RULE_ALLOW_SYNTAX);
+    }
+
+    #[test]
+    fn span_construction_outside_telemetry_is_flagged() {
+        for src in [
+            "fn f() { let s = Span { seq: 0, id: 1, parent: 0, stage, begin: 0, end: 1, \
+             shard: 0, query: 0 }; }",
+            "fn f() { let s = Span::new(); }",
+            "fn f() { let r = SpanRecorder(Some(inner)); }",
+        ] {
+            let diags = lint_source("crates/core/src/buffer.rs", src);
+            assert!(
+                diags.iter().any(|d| d.rule == RULE_GUARDED_TELEMETRY),
+                "expected guarded-telemetry finding for {src:?}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn span_recorder_api_use_is_clean_everywhere() {
+        let src = "fn f(rec: &SpanRecorder) {\n    let rec2 = SpanRecorder::new(64);\n    \
+                   rec.record(Stage::Route, 0, 5, 0);\n    let d = SpanRecorder::disabled();\n}\n";
+        assert!(lint_source("crates/core/src/buffer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_construction_inside_telemetry_span_module_is_exempt() {
+        let src = "fn f() { let r = SpanRecorder(Some(inner)); }";
+        assert!(lint_source("crates/telemetry/src/span.rs", src).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! quill-serve [--ingest ADDR] [--http ADDR] [--strategy SPEC]
 //!             [--queue N] [--query DSL]... [--read-timeout-ms N]
-//!             [--idle-timeout-ms N]
+//!             [--idle-timeout-ms N] [--span-capacity N]
 //! ```
 //!
 //! Prints `ingest=ADDR` and `http=ADDR` lines once bound (so callers can
@@ -15,10 +15,12 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: quill-serve [--ingest ADDR] [--http ADDR] [--strategy SPEC] \
-         [--queue N] [--query DSL]... [--read-timeout-ms N] [--idle-timeout-ms N]\n\
+         [--queue N] [--query DSL]... [--read-timeout-ms N] [--idle-timeout-ms N] \
+         [--span-capacity N]\n\
          \n\
          SPEC: dropall | fixed:<k> | mp[:<cap>] | aq:<q> | punct:<field>:<sources>[:<slack>]\n\
-         DSL:  <window>;<aggregates>[;key=<f>][;completeness=<q>][;capacity=<n>]"
+         DSL:  <window>;<aggregates>[;key=<f>][;completeness=<q>][;capacity=<n>][;slo=<lat>]\n\
+         --span-capacity: span ring size behind GET /trace (0 disables tracing)"
     );
     std::process::exit(2);
 }
@@ -55,6 +57,10 @@ fn main() {
             },
             "--idle-timeout-ms" => match value("--idle-timeout-ms").parse() {
                 Ok(ms) => config.conn.idle_timeout = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--span-capacity" => match value("--span-capacity").parse() {
+                Ok(n) => config.span_capacity = n,
                 Err(_) => usage(),
             },
             "--help" | "-h" => usage(),

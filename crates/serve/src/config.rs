@@ -165,6 +165,9 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Per-connection transport policy.
     pub conn: ConnConfig,
+    /// Ring capacity of the pipeline span recorders backing `GET /trace`
+    /// (`0` disables span tracing entirely — the zero-cost path).
+    pub span_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -175,6 +178,7 @@ impl Default for ServeConfig {
             strategy: StrategySpec::Fixed(500),
             queue_capacity: 4096,
             conn: ConnConfig::default(),
+            span_capacity: quill_telemetry::span::DEFAULT_SPAN_CAPACITY,
         }
     }
 }
@@ -212,7 +216,7 @@ fn parse_agg_kind(s: &str) -> ServeResult<AggregateKind> {
 /// `--query` CLI flag:
 ///
 /// ```text
-/// <window>;<aggregates>[;key=<field>][;completeness=<q>][;capacity=<n>]
+/// <window>;<aggregates>[;key=<field>][;completeness=<q>][;capacity=<n>][;slo=<lat>]
 /// window     = tumbling:<len> | sliding:<len>:<slide>
 /// aggregates = <kind>:<field>:<name> [, ...]
 /// ```
@@ -261,6 +265,11 @@ pub fn parse_query(dsl: &str) -> ServeResult<(QuerySpec, QueryConfig)> {
                 .parse()
                 .map_err(|_| ServeError::Config(format!("bad capacity `{rest}`")))?;
             cfg = cfg.with_result_capacity(n);
+        } else if let Some(rest) = clause.strip_prefix("slo=") {
+            let n: u64 = rest
+                .parse()
+                .map_err(|_| ServeError::Config(format!("bad latency SLO `{rest}`")))?;
+            cfg = cfg.with_latency_slo(n);
         } else if clause.contains(':') {
             // The aggregate list clause: comma-separated kind:field:name.
             for agg in clause.split(',').map(str::trim) {
@@ -362,6 +371,13 @@ mod tests {
         let (spec, cfg) = parse_query("sliding:200:50;max:3:peak;capacity=16").unwrap();
         assert!(matches!(spec.window, WindowSpec::Sliding { .. }));
         assert_eq!(cfg.result_capacity, 16);
+    }
+
+    #[test]
+    fn slo_clause_parses_into_query_config() {
+        let (_, cfg) = parse_query("tumbling:100;sum:0:s;slo=250").unwrap();
+        assert_eq!(cfg.latency_slo, Some(250));
+        assert!(parse_query("tumbling:100;sum:0:s;slo=fast").is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! |------------------------------|-------------------------------------------|
 //! | `GET /healthz`               | liveness + strategy + uptime              |
 //! | `GET /metrics`               | Prometheus text exposition                |
+//! | `GET /trace`                 | pipeline spans as Chrome-trace JSON       |
+//! |                              | (loadable in Perfetto / `chrome://tracing`)|
 //! | `GET /stats`                 | session counters as JSON                  |
 //! | `GET /queries`               | list registered queries                   |
 //! | `POST /queries`              | register (body = query DSL), returns id   |
@@ -156,6 +158,19 @@ fn dispatch(
         ("GET", "/metrics") => {
             let text = quill_telemetry::export::to_prometheus(&shared.registry.snapshot());
             respond(stream, "200 OK", "text/plain; version=0.0.4", &text);
+        }
+        ("GET", "/trace") => {
+            // Two process lanes: the network shell on wall micros, the
+            // session core on the logical event-time clock.
+            let body = quill_telemetry::span::to_chrome_trace_parts(&[
+                (
+                    "quill-serve",
+                    shared.wall_spans.domain(),
+                    shared.wall_spans.spans(),
+                ),
+                ("session", shared.spans.domain(), shared.spans.spans()),
+            ]);
+            ok_json(stream, &body);
         }
         ("GET", "/stats") => ok_json(stream, &json::session_stats(&shared.stats())),
         ("GET", "/queries") => {

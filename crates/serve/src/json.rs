@@ -65,13 +65,14 @@ pub fn window_result(r: &WindowResult) -> String {
 pub fn query_stats(s: &QueryStats) -> String {
     format!(
         "{{\"emitted\":{},\"overflow_dropped\":{},\"pending\":{},\"accepted\":{},\
-         \"late_dropped\":{},\"mean_latency\":{},\"closed\":{}}}",
+         \"late_dropped\":{},\"mean_latency\":{},\"slo_breaches\":{},\"closed\":{}}}",
         s.emitted,
         s.overflow_dropped,
         s.pending,
         s.window.accepted,
         s.window.late_dropped,
         num(s.mean_latency),
+        s.slo_breaches,
         s.closed
     )
 }

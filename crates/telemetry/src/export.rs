@@ -31,20 +31,25 @@ pub fn prometheus_name(name: &str) -> String {
 /// Render a snapshot in the Prometheus text exposition format (version
 /// 0.0.4). Counters become `counter`, gauges `gauge`, and histograms
 /// `summary` metrics with `quantile` labels plus `_sum`/`_count` series.
+/// Every metric carries `# HELP` and `# TYPE` metadata lines;
+/// [`parse_prometheus`] skips comment lines, so exports keep round-tripping.
 pub fn to_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let n = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {n} {}", help_text(name));
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {v}");
     }
     for (name, v) in &snap.gauges {
         let n = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {n} {}", help_text(name));
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", fmt_prom_f64(*v));
     }
     for (name, h) in &snap.histograms {
         let n = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {n} {}", help_text(name));
         let _ = writeln!(out, "# TYPE {n} summary");
         for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
             let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
@@ -53,6 +58,45 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
         let _ = writeln!(out, "{n}_count {}", h.count);
     }
     out
+}
+
+/// One-line `# HELP` description for a dotted instrument name, derived
+/// from the registry's naming scheme (see the crate docs). Unknown
+/// prefixes fall back to a generic description rather than omitting the
+/// metadata.
+pub fn help_text(name: &str) -> &'static str {
+    if let Some(rest) = name.strip_prefix("quill.span.") {
+        // Per-stage latency attribution histograms from the span layer.
+        return match rest {
+            "ingest_decode" => "Span durations: wire bytes to parsed events (ingest decode)",
+            "route" => "Span durations: routing/enqueue of events toward their shard",
+            "buffer_residency" => "Span durations: event residency in the disorder-control buffer",
+            "shard_stage" => "Span durations: event residency in shard-local re-ordering",
+            "window_finalize" => "Span durations: window end to the watermark that closed it",
+            "merge" => "Span durations: cross-shard result merge",
+            "deliver" => "Span durations: window end to result delivery",
+            "connection" => "Span durations: ingest connection lifetimes",
+            "query" => "Span durations: registered query lifetimes",
+            _ => "Span durations for a pipeline stage",
+        };
+    }
+    for (prefix, help) in [
+        ("quill.buffer.", "Disorder-control ordering buffer"),
+        ("quill.controller.", "AQ-K-slack control loop"),
+        ("quill.estimator.", "Delay distribution estimator"),
+        ("quill.shard.", "Keyed-parallel executor shard"),
+        ("quill.merge.", "Cross-shard result merge"),
+        ("quill.pipeline.", "Pipeline stage"),
+        ("quill.run.", "Whole-run accounting"),
+        ("quill.session.", "Resident session"),
+        ("quill.serve.", "quill-serve daemon"),
+        ("quill.executor.", "Parallel executor"),
+    ] {
+        if name.starts_with(prefix) {
+            return help;
+        }
+    }
+    "quill instrument"
 }
 
 /// Format an f64 for the Prometheus text format. Unlike JSON, Prometheus
@@ -328,6 +372,43 @@ mod tests {
             })
             .expect("quantile sample");
         assert!(p50.value >= 45.0 && p50.value <= 55.0);
+    }
+
+    #[test]
+    fn prometheus_export_carries_help_and_type_metadata() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        // Every metric family gets both metadata lines, HELP before TYPE.
+        for name in [
+            "quill_shard_0_events",
+            "quill_controller_k",
+            "quill_run_latency",
+        ] {
+            let help = text.find(&format!("# HELP {name} "));
+            let typ = text.find(&format!("# TYPE {name} "));
+            assert!(help.is_some(), "missing HELP for {name}:\n{text}");
+            assert!(typ.is_some(), "missing TYPE for {name}:\n{text}");
+            assert!(help < typ, "HELP must precede TYPE for {name}");
+        }
+        // Histograms keep their _sum/_count series alongside the metadata.
+        assert!(text.contains("quill_run_latency_sum "), "{text}");
+        assert!(text.contains("quill_run_latency_count 100"), "{text}");
+        // The metadata must not break the round-trip parser (regression:
+        // parse_prometheus skips comment lines).
+        let samples = parse_prometheus(&text).expect("parse export with metadata");
+        assert!(samples.iter().all(|s| !s.name.starts_with('#')));
+        assert_eq!(
+            samples.len(),
+            parse_prometheus(&to_prometheus(&snap)).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn help_text_matches_naming_scheme() {
+        assert!(help_text("quill.span.buffer_residency").contains("residency"));
+        assert!(help_text("quill.span.unknown_stage").contains("pipeline stage"));
+        assert!(help_text("quill.buffer.inserted").contains("buffer"));
+        assert_eq!(help_text("something.else"), "quill instrument");
     }
 
     #[test]

@@ -27,9 +27,10 @@
 //!   `quill.buffer.*` (ordering buffer), `quill.controller.*` (AQ-K-slack
 //!   control loop), `quill.estimator.*` (delay distribution),
 //!   `quill.shard.<i>.*` (parallel executor shards), `quill.merge.*`
-//!   (result merge), `quill.pipeline.stage.<i>.*` (pipeline stages), and
-//!   `quill.run.*` (whole-run accounting). Exporters sanitise names for
-//!   their target format.
+//!   (result merge), `quill.pipeline.stage.<i>.*` (pipeline stages),
+//!   `quill.span.<stage>` (per-stage latency attribution from the
+//!   [`span`] layer), and `quill.run.*` (whole-run accounting). Exporters
+//!   sanitise names for their target format.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,10 +38,12 @@
 pub mod export;
 pub mod histogram;
 pub mod reporter;
+pub mod span;
 pub mod trace;
 
 pub use histogram::LogHistogram;
 pub use reporter::{ReporterConfig, TelemetryReporter};
+pub use span::{ClockDomain, Span, SpanRecorder, Stage};
 pub use trace::{FlightRecorder, TraceEvent, TraceKind};
 
 use parking_lot::Mutex;

@@ -768,10 +768,10 @@ enum JsonVal {
     Pairs(Vec<(u64, u64)>),
 }
 
-struct Fields(Vec<(String, JsonVal)>);
+pub(crate) struct Fields(Vec<(String, JsonVal)>);
 
 impl Fields {
-    fn parse(line: &str) -> Result<Fields, String> {
+    pub(crate) fn parse(line: &str) -> Result<Fields, String> {
         let mut s = Scanner {
             b: line.as_bytes(),
             i: 0,
@@ -822,12 +822,12 @@ impl Fields {
         self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
-    fn u64(&self, key: &str) -> Result<u64, String> {
+    pub(crate) fn u64(&self, key: &str) -> Result<u64, String> {
         self.opt_u64(key)?
             .ok_or_else(|| format!("missing field {key:?}"))
     }
 
-    fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+    pub(crate) fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
         match self.get(key) {
             None => Ok(None),
             Some(JsonVal::Num(raw)) => raw
@@ -854,7 +854,7 @@ impl Fields {
         }
     }
 
-    fn str(&self, key: &str) -> Result<String, String> {
+    pub(crate) fn str(&self, key: &str) -> Result<String, String> {
         self.opt_str(key)
             .ok_or_else(|| format!("missing string field {key:?}"))
     }
@@ -1015,8 +1015,9 @@ impl Scanner<'_> {
 }
 
 /// JSON-escape and quote a string (local copy; the exporter's helper is
-/// private to keep module boundaries clean).
-fn json_string(s: &str) -> String {
+/// private to keep module boundaries clean). Shared with the span layer's
+/// Chrome trace export.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # Daemon smoke test: boot quill-serve on ephemeral ports, stream a
 # disordered fixture over TCP (with a mid-stream reconnect), scrape
-# /metrics, assert windows were merged, and shut down cleanly.
+# /metrics, pull the pipeline-span timeline from /trace, assert windows
+# were merged, and shut down cleanly.
 # Run from the repository root: ./scripts/serve_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TIMEOUT="${SERVE_SMOKE_TIMEOUT:-120}"
 LOG="$(mktemp)"
+TRACE="results/SMOKE_serve_trace.json"
 trap 'rm -f "$LOG"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
-echo "==> building quill-serve and quill-ingest"
+echo "==> building quill-serve, quill-ingest and quill-inspect"
 cargo build --release -p quill-serve
+cargo build --release -p quill-bench --bin quill-inspect
 
 echo "==> booting the daemon (ephemeral ports)"
 ./target/release/quill-serve \
     --ingest 127.0.0.1:0 --http 127.0.0.1:0 \
     --strategy aq:0.95 \
-    --query 'tumbling:1000;sum:0:total;key=1;completeness=0.9' \
+    --span-capacity 65536 \
+    --query 'tumbling:1000;sum:0:total;key=1;completeness=0.9;slo=2000' \
     --query 'tumbling:500;count:0:n;completeness=0.99' \
     >"$LOG" 2>&1 &
 SERVER_PID=$!
@@ -53,6 +57,14 @@ MERGED="$(printf '%s\n' "$METRICS" | awk '$1 == "quill_merge_windows" { print $2
 echo "    quill_merge_windows=$MERGED"
 [ -n "$MERGED" ] && awk -v m="$MERGED" 'BEGIN { exit !(m > 0) }'
 printf '%s\n' "$METRICS" | grep -q '^quill_executor_queue_depth '
+printf '%s\n' "$METRICS" | grep -q '^quill_span_deliver_count '
+printf '%s\n' "$METRICS" | grep -q '^quill_span_deliver_sum '
+
+echo "==> fetching the Chrome-trace timeline from /trace"
+mkdir -p results
+curl -sf "http://$HTTP_ADDR/trace" >"$TRACE"
+./target/release/quill-inspect timeline "$TRACE" --check
+./target/release/quill-inspect timeline "$TRACE" | sed 's/^/    /'
 
 echo "==> clean shutdown within ${TIMEOUT}s"
 curl -sf -X POST "http://$HTTP_ADDR/shutdown" >/dev/null

@@ -278,6 +278,101 @@ fn http_surface_registers_queries_and_exposes_metrics() {
 }
 
 #[test]
+fn trace_endpoint_serves_chrome_trace_with_pipeline_spans() {
+    let handle = start_server();
+    let http = handle.http_addr();
+
+    // A query with a deliberately unmeetable latency SLO: every delivered
+    // result burns it (K = 500 means results trail window ends by ~500).
+    let (head, body) = http_request(http, "POST", "/queries", "tumbling:1000;sum:0:total;slo=1");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let id: u64 = body
+        .trim_start_matches("{\"id\":")
+        .trim_end_matches('}')
+        .parse()
+        .expect("id parses");
+
+    let frames = fixture(800, 11, 200, 0);
+    let mut client = IngestClient::connect(handle.ingest_addr().to_string()).expect("connect");
+    for f in &frames {
+        client.send(f).expect("send");
+    }
+    client.finish().expect("close");
+    wait_events(&handle, frames.len() as u64);
+    let (_, _) = http_request(http, "POST", "/finish", "");
+    for _ in 0..2000 {
+        if handle.stats().finished {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The trace round-trips through the Chrome-trace parser and carries
+    // both wall-domain shell spans and logical-domain session spans.
+    let (head, trace) = http_request(http, "GET", "/trace", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let parsed = quill_telemetry::span::parse_chrome_trace(&trace).expect("trace JSON parses");
+    let stages: std::collections::BTreeSet<String> =
+        parsed.events.iter().map(|e| e.name.clone()).collect();
+    for stage in [
+        "connection",
+        "ingest_decode",
+        "buffer_residency",
+        "deliver",
+        "query",
+    ] {
+        assert!(stages.contains(stage), "missing {stage} in {stages:?}");
+    }
+
+    // Per-stage latency histograms ride the ordinary metrics surface.
+    let (_, metrics) = http_request(http, "GET", "/metrics", "");
+    for series in ["quill_span_deliver_count", "quill_span_deliver_sum"] {
+        assert!(metrics.contains(series), "missing {series}");
+    }
+
+    // The SLO burn counter is visible per query.
+    let (_, info) = http_request(http, "GET", &format!("/queries/{id}"), "");
+    let breaches = info
+        .split("\"slo_breaches\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.parse::<u64>().ok())
+        .expect("slo_breaches exported: {info}");
+    assert!(breaches > 0, "unmeetable SLO burns: {info}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn zero_span_capacity_disables_trace_collection() {
+    let config = ServeConfig {
+        strategy: StrategySpec::Fixed(500),
+        queue_capacity: 256,
+        span_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config).expect("server boots");
+    let http = handle.http_addr();
+    let (_, _) = http_request(http, "POST", "/queries", Q_SUM);
+    let frames = fixture(100, 3, 100, 0);
+    let mut client = IngestClient::connect(handle.ingest_addr().to_string()).expect("connect");
+    for f in &frames {
+        client.send(f).expect("send");
+    }
+    client.finish().expect("close");
+    wait_events(&handle, frames.len() as u64);
+    let (head, trace) = http_request(http, "GET", "/trace", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let parsed = quill_telemetry::span::parse_chrome_trace(&trace).expect("still valid JSON");
+    assert_eq!(
+        parsed.complete_events().count(),
+        0,
+        "disabled recorders record nothing"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_queries_and_frames_are_refused_cleanly() {
     let handle = start_server();
     let (head, body) = http_request(

@@ -209,6 +209,79 @@ fn bounded_subscriptions_drop_oldest_and_account_for_it() {
 }
 
 #[test]
+fn concurrent_poll_overflow_and_latency_reconcile_with_spans() {
+    use quill_telemetry::{SpanRecorder, Stage};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stream = netmon::generate(&NetmonConfig::default(), 5_000, 99);
+    let query = &queries()[0];
+    let spans = SpanRecorder::new(1 << 20); // never evicts in this run
+    let mut session = Session::new(Box::new(FixedKSlack::new(300u64))).with_spans(&spans);
+    let handle = session
+        .register_with(query, QueryConfig::default().with_result_capacity(8))
+        .expect("registers");
+
+    // A consumer polls concurrently with the producer: polled results and
+    // overflow evictions race, but the accounting identity must hold.
+    let done = Arc::new(AtomicBool::new(false));
+    let consumer = {
+        let handle = handle.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut polled = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                polled += handle.poll().len() as u64;
+                std::thread::yield_now();
+            }
+            polled + handle.poll().len() as u64
+        })
+    };
+    for e in &stream.events {
+        session.push(e.clone());
+    }
+    session.finish();
+    done.store(true, Ordering::SeqCst);
+    let polled = consumer.join().expect("consumer joins");
+
+    let stats = handle.stats();
+    assert!(stats.emitted > 0);
+    assert_eq!(
+        stats.emitted,
+        polled + stats.overflow_dropped,
+        "every result was either polled or accounted as evicted"
+    );
+
+    // Span-derived end-to-end latency is the same population the session's
+    // recorder saw: counts match exactly, means reconcile, and the
+    // recorder's approximate quantiles are bracketed by the exact span
+    // distribution.
+    let deliver: Vec<u64> = spans
+        .spans()
+        .iter()
+        .filter(|s| s.stage == Stage::Deliver)
+        .map(|s| s.duration())
+        .collect();
+    assert_eq!(deliver.len() as u64, stats.emitted);
+    let exact_mean = deliver.iter().sum::<u64>() as f64 / deliver.len() as f64;
+    assert!(
+        (exact_mean - stats.mean_latency).abs() <= 1e-6 * exact_mean.max(1.0),
+        "span mean {exact_mean} vs recorded {}",
+        stats.mean_latency
+    );
+    let mut sorted = deliver.clone();
+    sorted.sort_unstable();
+    let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+    for q in [0.5, 0.9, 0.99] {
+        let approx = handle.latency_quantile(q).expect("quantile available");
+        assert!(
+            approx >= min && approx as f64 <= max as f64 * 1.05 + 1.0,
+            "q{q} = {approx} outside span-derived range [{min}, {max}]"
+        );
+    }
+}
+
+#[test]
 fn session_telemetry_reports_merge_windows_and_query_gauge() {
     let stream = netmon::generate(&NetmonConfig::default(), 2_000, 3);
     let registry = Registry::new();
