@@ -350,8 +350,10 @@ impl MultiQueryCore {
 
     /// Fan one staged element out to every registered operator. `now` is the
     /// clock results emitted by this element are stamped with (the latency
-    /// of a result is `now - window.end`).
-    pub(crate) fn process_element(&mut self, el: &StreamElement, now: Timestamp) {
+    /// of a result is `now - window.end`). The element is taken by value:
+    /// the last (and in the common single-query case, only) operator
+    /// receives it without a copy.
+    pub(crate) fn process_element(&mut self, el: StreamElement, now: Timestamp) {
         let MultiQueryCore {
             slots,
             results_count,
@@ -360,10 +362,17 @@ impl MultiQueryCore {
             spans,
             ..
         } = self;
-        for slot in slots.iter_mut() {
+        let fan_out = slots.len();
+        let mut pending = Some(el);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let Some(cur) = pending.take() else { break };
+            if i + 1 < fan_out {
+                // quill-lint: allow(hot-path-alloc, reason = "N-query fan-out needs N-1 copies; single-query sessions move the element with zero clones")
+                pending = Some(cur.clone());
+            }
             let Slot { id, op, state, .. } = slot;
             let mut sub = None;
-            op.process(el.clone(), &mut |o| {
+            op.process(cur, &mut |o| {
                 if let StreamElement::Event(out_ev) = o {
                     if let Some(r) = WindowResult::from_row(&out_ev.row) {
                         results_count.inc();
@@ -635,7 +644,7 @@ impl Session {
         }
         let now = self.clock.clock().unwrap_or(Timestamp::MIN);
         for el in self.staged.drain(..) {
-            self.core.process_element(&el, now);
+            self.core.process_element(el, now);
         }
         self.core.sync_stats();
     }

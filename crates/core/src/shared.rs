@@ -124,8 +124,8 @@ pub fn execute_shared(
                 )?;
             }
             let mut wm_at = 0usize;
-            for el in &staged.elements {
-                let now = match el {
+            for el in std::mem::take(&mut staged.elements) {
+                let now = match &el {
                     StreamElement::Watermark(_) => {
                         let (_, clock) = staged.wm_clock[wm_at];
                         wm_at += 1;

@@ -166,7 +166,9 @@ impl IntervalJoin {
             );
             if other_key == key {
                 let (l, r) = match side {
+                    // quill-lint: allow(hot-path-alloc, reason = "a join emits one owned (l, r) pair per match; matches, not events, bound the copies")
                     Side::Left => (e.clone(), other.clone()),
+                    // quill-lint: allow(hot-path-alloc, reason = "same owned-pair emission as the Left arm")
                     Side::Right => (other.clone(), e.clone()),
                 };
                 pairs.push((l, r));

@@ -206,6 +206,7 @@ impl SessionWindowOp {
                             let vals: Vec<(Timestamp, Value)> = s
                                 .contents
                                 .iter()
+                                // quill-lint: allow(hot-path-alloc, reason = "session-window finalize: copies happen once per closed window, not per event")
                                 .map(|(t, vs)| (*t, vs[ai].clone()))
                                 .collect();
                             spec.compute(&vals)
@@ -217,6 +218,7 @@ impl SessionWindowOp {
                         window.end,
                         s.contents.len() as u64,
                         WindowResult {
+                            // quill-lint: allow(hot-path-alloc, reason = "one key copy per emitted session window")
                             key: key.0.clone(),
                             window,
                             count: s.contents.len() as u64,

@@ -308,17 +308,20 @@ impl ShardRouter {
                 if !releases {
                     if let Some(last) = buf.last_mut() {
                         if matches!(&*last, StreamElement::Watermark(prev) if *prev <= *w) {
+                            // quill-lint: allow(hot-path-alloc, reason = "punctuation broadcast: one copy per shard, and watermarks are sparse relative to events")
                             *last = el.clone();
                             continue;
                         }
                     }
                 }
+                // quill-lint: allow(hot-path-alloc, reason = "punctuation broadcast: one copy per shard, and watermarks are sparse relative to events")
                 buf.push(el.clone());
             }
             self.wm_hi = self.wm_hi.max(*w);
             return false;
         }
         for buf in &mut self.bufs {
+            // quill-lint: allow(hot-path-alloc, reason = "Flush broadcast: one copy per shard, once per stream")
             buf.push(el.clone());
         }
         true
@@ -457,11 +460,16 @@ where
     for (s, m) in metrics.iter().enumerate() {
         let (tx, rx) = channel::bounded::<Vec<StreamElement>>(config.channel_capacity);
         let mut op = make_op(s);
+        // quill-lint: allow(hot-path-alloc, reason = "executor startup: runs once per shard, not per event")
         let done = m.done.clone();
+        // quill-lint: allow(hot-path-alloc, reason = "executor startup: runs once per shard, not per event")
         let finalized = m.finalized.clone();
+        // quill-lint: allow(hot-path-alloc, reason = "executor startup: runs once per shard, not per event")
         let result_tx = result_tx.clone();
+        // quill-lint: allow(hot-path-alloc, reason = "executor startup: runs once per shard, not per event")
         let pending = result_pending.clone();
         handles.push(std::thread::spawn(move || {
+            // quill-lint: allow(hot-path-alloc, reason = "one output buffer per worker thread, allocated at spawn")
             let mut outs: Vec<StreamElement> = Vec::new();
             for batch in rx {
                 for el in batch {
@@ -922,6 +930,7 @@ fn merge_shard_outputs(
                 for k in &keys[start..start + take] {
                     if prev_key.as_ref() != Some(k) {
                         windows += 1;
+                        // quill-lint: allow(hot-path-alloc, reason = "cloned only on key change — once per window, not per element")
                         prev_key = Some(k.clone());
                     }
                 }
@@ -941,6 +950,7 @@ fn merge_shard_outputs(
             for (k, _, _) in &flat {
                 if prev_key.as_ref() != Some(k) {
                     windows += 1;
+                    // quill-lint: allow(hot-path-alloc, reason = "cloned only on key change — once per window, not per element")
                     prev_key = Some(k.clone());
                 }
             }

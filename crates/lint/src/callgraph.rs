@@ -1,0 +1,680 @@
+//! The approximate workspace call graph the concurrency passes walk.
+//!
+//! Nodes are the functions recovered by [`crate::syntax`]; edges are call
+//! sites resolved by name with three heuristics, in order:
+//!
+//! 1. **Receiver typing for `self`**: `self.m(..)` inside `impl T` resolves
+//!    to `T::m` when it exists.
+//! 2. **Path typing**: `T::m(..)` resolves to methods of any `impl T`;
+//!    well-known `std` path roots (`Vec`, `mem`, `thread`, ...) resolve to
+//!    nothing rather than to a same-named workspace function.
+//! 3. **Name matching with an ambiguity cap**: any other `x.m(..)` resolves
+//!    to *every* workspace method named `m` (excluding the caller itself) —
+//!    unless more than [`AMBIGUITY_CAP`] candidates match, in which case
+//!    the call is treated as unresolved. Unresolved calls are a documented
+//!    false-negative class (DESIGN.md §16), preferred over drowning real
+//!    findings in fan-out noise.
+//!
+//! The graph is conservative in the direction that matters for the lock
+//! passes: an ambiguous-but-capped method call produces edges to every
+//! candidate, so "may block" and "may acquire" taint over-approximates.
+
+use crate::syntax::FileSyntax;
+use crate::tokenizer::{Token, TokenKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Above this many same-named candidates, a method call resolves to nothing
+/// (see the module docs for the rationale).
+pub const AMBIGUITY_CAP: usize = 6;
+
+/// Path roots that belong to `std` / vendored externals: `Root::m(..)`
+/// never resolves into the workspace.
+const STD_PATH_ROOTS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "mem",
+    "ptr",
+    "str",
+    "slice",
+    "iter",
+    "fmt",
+    "io",
+    "thread",
+    "process",
+    "cmp",
+    "ops",
+    "collections",
+    "sync",
+    "mpsc",
+    "channel",
+    "time",
+    "net",
+    "fs",
+    "env",
+    "Vec",
+    "Box",
+    "String",
+    "Arc",
+    "Rc",
+    "Option",
+    "Result",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Instant",
+    "SystemTime",
+    "Duration",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "VecDeque",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicBool",
+    "Ordering",
+    "PathBuf",
+    "Path",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "TcpStream",
+    "TcpListener",
+    "JoinHandle",
+    "Default",
+    "Clone",
+    "Iterator",
+    "ExitCode",
+    "Self",
+    "f64",
+    "f32",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "usize",
+    "i32",
+    "i64",
+];
+
+/// Method names so common on `std` types (atomics, collections, iterators,
+/// `Option`/`Result`) that resolving them by bare name would wire, say,
+/// every `buf.push(..)` to every workspace `push` method and flood the lock
+/// passes with phantom edges. Receiver-typed resolution (`self.take()`
+/// inside the right impl, `TelemetryReporter::take(..)`) still works; only
+/// the untyped name fallback skips them. This is a documented
+/// false-negative class (DESIGN.md §16).
+const COMMON_STD_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "drain",
+    "collect",
+    "extend",
+    "clone",
+    "next",
+    "take",
+    "replace",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "parse",
+    "trim",
+    "split",
+    "find",
+    "position",
+    "entry",
+    "or_default",
+    "or_insert",
+    "retain",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "min",
+    "max",
+    "clamp",
+    "abs",
+    "lock",
+    "read",
+    "write",
+    "last",
+    "first",
+    "count",
+    "sum",
+    "rev",
+    "zip",
+    "enumerate",
+    "filter",
+    "fold",
+    "any",
+    "all",
+];
+
+/// Keywords that can precede `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "in", "as", "move", "fn", "use", "mod",
+    "impl", "where", "unsafe", "dyn", "break", "continue", "else", "await", "struct", "enum",
+    "trait", "type", "const", "static", "pub", "crate", "super",
+];
+
+/// One source file prepared for analysis.
+pub struct SourceFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Owning workspace member (`crates/<name>` → `<name>`, else the top
+    /// directory: `examples`, `tests`).
+    pub krate: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `true` for tokens inside `#[cfg(test)]` items.
+    pub mask: Vec<bool>,
+    /// Per rule, the source lines suppressed by well-formed
+    /// `quill-lint: allow(...)` annotations.
+    pub allow_lines: HashMap<String, HashSet<usize>>,
+    /// Parsed item structure.
+    pub syntax: FileSyntax,
+}
+
+impl SourceFile {
+    /// Whether findings of `rule` are suppressed on `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allow_lines
+            .get(rule)
+            .is_some_and(|s| s.contains(&line))
+    }
+}
+
+/// A resolved call site: which function is (possibly) called, from where.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Global id of the candidate callee.
+    pub callee: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Token index of the callee name at the call site.
+    pub idx: usize,
+}
+
+/// Where a function lives: file index plus index into that file's
+/// [`FileSyntax::fns`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnRef {
+    /// Index into [`CallGraph::files`].
+    pub file: usize,
+    /// Index into the file's [`FileSyntax::fns`].
+    pub local: usize,
+}
+
+/// The whole-workspace call graph.
+pub struct CallGraph {
+    /// Every analysed file.
+    pub files: Vec<SourceFile>,
+    /// Global function table.
+    pub fns: Vec<FnRef>,
+    /// Outgoing call edges per global function id.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per file: innermost owning function of each token (global id).
+    pub fn_of_token: Vec<Vec<Option<usize>>>,
+}
+
+impl CallGraph {
+    /// The [`crate::syntax::FnDef`] of global function `id`.
+    pub fn def(&self, id: usize) -> &crate::syntax::FnDef {
+        let r = self.fns[id];
+        &self.files[r.file].syntax.fns[r.local]
+    }
+
+    /// The file global function `id` is defined in.
+    pub fn file(&self, id: usize) -> &SourceFile {
+        &self.files[self.fns[id].file]
+    }
+
+    /// Human-readable name: `Type::name` or `name`.
+    pub fn name(&self, id: usize) -> String {
+        let d = self.def(id);
+        match &d.impl_type {
+            Some(t) => format!("{t}::{}", d.name),
+            None => d.name.clone(),
+        }
+    }
+
+    /// `Type::name (path:line)` — the form used in finding messages.
+    pub fn describe(&self, id: usize) -> String {
+        let d = self.def(id);
+        format!(
+            "`{}` ({}:{})",
+            self.name(id),
+            self.file(id).rel,
+            d.decl_line
+        )
+    }
+
+    /// Build the graph over `files`.
+    pub fn build(files: Vec<SourceFile>) -> CallGraph {
+        // Global fn table + indices.
+        let mut fns: Vec<FnRef> = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_type_name: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (li, def) in f.syntax.fns.iter().enumerate() {
+                let id = fns.len();
+                fns.push(FnRef {
+                    file: fi,
+                    local: li,
+                });
+                by_name.entry(def.name.clone()).or_default().push(id);
+                if let Some(t) = &def.impl_type {
+                    by_type_name
+                        .entry((t.clone(), def.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+
+        // Token ownership (innermost fn wins).
+        let mut fn_of_token: Vec<Vec<Option<usize>>> = Vec::with_capacity(files.len());
+        let mut global_base = 0usize;
+        for f in &files {
+            let mut owner: Vec<Option<usize>> = vec![None; f.tokens.len()];
+            let mut sized: Vec<usize> = vec![usize::MAX; f.tokens.len()];
+            for (li, def) in f.syntax.fns.iter().enumerate() {
+                let id = global_base + li;
+                let len = def.body.len();
+                for idx in def.body.clone() {
+                    if len < sized[idx] {
+                        sized[idx] = len;
+                        owner[idx] = Some(id);
+                    }
+                }
+            }
+            global_base += f.syntax.fns.len();
+            fn_of_token.push(owner);
+        }
+
+        // Call extraction + resolution.
+        let krate_of_fn: Vec<&str> = fns.iter().map(|r| files[r.file].krate.as_str()).collect();
+        let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); fns.len()];
+        for (fi, f) in files.iter().enumerate() {
+            let toks = &f.tokens;
+            let text = |i: usize| toks.get(i).map(|t| t.text.as_str());
+            for idx in 0..toks.len() {
+                if toks[idx].kind != TokenKind::Ident || text(idx + 1) != Some("(") {
+                    continue;
+                }
+                let name = toks[idx].text.as_str();
+                if NON_CALL_IDENTS.contains(&name) {
+                    continue;
+                }
+                let Some(caller) = fn_of_token[fi][idx] else {
+                    continue;
+                };
+                let prev = idx.checked_sub(1).and_then(text);
+                if prev == Some("fn") || prev == Some("struct") {
+                    continue; // a definition, not a call
+                }
+                let candidates: Vec<usize> = if prev == Some(".") {
+                    resolve_method(
+                        &fns,
+                        &files,
+                        &by_name,
+                        &by_type_name,
+                        caller,
+                        fi,
+                        toks,
+                        idx,
+                        name,
+                    )
+                } else if prev == Some(":") && idx >= 2 && text(idx - 2) == Some(":") {
+                    resolve_path(
+                        &by_name,
+                        &by_type_name,
+                        &krate_of_fn,
+                        caller,
+                        toks,
+                        idx,
+                        name,
+                    )
+                } else {
+                    resolve_free(&fns, &files, &by_name, &krate_of_fn, caller, name)
+                };
+                for callee in candidates {
+                    calls[caller].push(CallSite {
+                        callee,
+                        line: toks[idx].line,
+                        idx,
+                    });
+                }
+            }
+        }
+
+        CallGraph {
+            files,
+            fns,
+            calls,
+            fn_of_token,
+        }
+    }
+
+    /// Which functions can reach a seed function through call edges, with a
+    /// next-hop witness per reached function. `blocked` functions neither
+    /// count as seeds nor propagate.
+    ///
+    /// Returns `reached → Some(next hop toward a seed)` (`None` for the
+    /// seeds themselves).
+    pub fn reach_to(
+        &self,
+        seeds: &HashSet<usize>,
+        blocked: &HashSet<usize>,
+    ) -> HashMap<usize, Option<usize>> {
+        // Reverse adjacency.
+        let mut rev: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (caller, sites) in self.calls.iter().enumerate() {
+            for s in sites {
+                rev.entry(s.callee).or_default().push(caller);
+            }
+        }
+        let mut out: HashMap<usize, Option<usize>> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in seeds {
+            if blocked.contains(&s) {
+                continue;
+            }
+            out.insert(s, None);
+            queue.push_back(s);
+        }
+        while let Some(cur) = queue.pop_front() {
+            if let Some(callers) = rev.get(&cur) {
+                for &c in callers {
+                    if blocked.contains(&c) || out.contains_key(&c) {
+                        continue;
+                    }
+                    out.insert(c, Some(cur));
+                    queue.push_back(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the witness chain `start → ... → seed` from a
+    /// [`CallGraph::reach_to`] map, e.g. `` `a` → `b` → `c` ``.
+    pub fn chain(&self, reach: &HashMap<usize, Option<usize>>, start: usize) -> String {
+        let mut parts = vec![format!("`{}`", self.name(start))];
+        let mut cur = start;
+        let mut hops = 0;
+        while let Some(Some(next)) = reach.get(&cur) {
+            parts.push(format!("`{}`", self.name(*next)));
+            cur = *next;
+            hops += 1;
+            if hops > 12 {
+                parts.push("…".into());
+                break;
+            }
+        }
+        parts.join(" → ")
+    }
+}
+
+/// Root identifier of a `.m(..)` receiver chain (`self.a.b.m()` → `self`),
+/// or `None` when the chain runs through a call or index.
+fn receiver_root(toks: &[Token], call_idx: usize) -> Option<String> {
+    // call_idx points at the method name; call_idx-1 is `.`.
+    let mut j = call_idx.checked_sub(2)?;
+    loop {
+        let t = &toks[j];
+        if t.kind != TokenKind::Ident {
+            return None; // chained off a call/index/paren — unknown root
+        }
+        match j.checked_sub(1) {
+            Some(p) if toks[p].text == "." => match p.checked_sub(1) {
+                Some(pp) => j = pp,
+                None => return Some(t.text.clone()),
+            },
+            _ => return Some(t.text.clone()),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_method(
+    fns: &[FnRef],
+    files: &[SourceFile],
+    by_name: &HashMap<String, Vec<usize>>,
+    by_type_name: &HashMap<(String, String), Vec<usize>>,
+    caller: usize,
+    file_idx: usize,
+    toks: &[Token],
+    idx: usize,
+    name: &str,
+) -> Vec<usize> {
+    let root = receiver_root(toks, idx);
+    if root.as_deref() == Some("self") {
+        let caller_ref = fns[caller];
+        let caller_ty = files[file_idx].syntax.fns[caller_ref.local]
+            .impl_type
+            .clone();
+        if let Some(ty) = caller_ty {
+            if let Some(c) = by_type_name.get(&(ty, name.to_string())) {
+                return c.clone();
+            }
+        }
+    }
+    if COMMON_STD_METHODS.contains(&name) {
+        return Vec::new(); // untyped generic name: documented false negative
+    }
+    match by_name.get(name) {
+        Some(c) => {
+            let filtered: Vec<usize> = c.iter().copied().filter(|&id| id != caller).collect();
+            if filtered.len() > AMBIGUITY_CAP {
+                Vec::new() // unresolved: documented false-negative class
+            } else {
+                filtered
+            }
+        }
+        None => Vec::new(),
+    }
+}
+
+fn resolve_path(
+    by_name: &HashMap<String, Vec<usize>>,
+    by_type_name: &HashMap<(String, String), Vec<usize>>,
+    krate_of_fn: &[&str],
+    caller: usize,
+    toks: &[Token],
+    idx: usize,
+    name: &str,
+) -> Vec<usize> {
+    let seg = match idx.checked_sub(3) {
+        Some(i) if toks[i].kind == TokenKind::Ident => toks[i].text.clone(),
+        _ => return Vec::new(),
+    };
+    if let Some(c) = by_type_name.get(&(seg.clone(), name.to_string())) {
+        return c.clone();
+    }
+    if STD_PATH_ROOTS.contains(&seg.as_str()) {
+        return Vec::new();
+    }
+    // Module path (`wire::parse_line`): resolve by name, same crate first.
+    match by_name.get(name) {
+        Some(c) => {
+            let same: Vec<usize> = c
+                .iter()
+                .copied()
+                .filter(|&id| krate_of_fn[id] == krate_of_fn[caller])
+                .collect();
+            let pool = if same.is_empty() { c.clone() } else { same };
+            if pool.len() > AMBIGUITY_CAP {
+                Vec::new()
+            } else {
+                pool
+            }
+        }
+        None => Vec::new(),
+    }
+}
+
+fn resolve_free(
+    fns: &[FnRef],
+    files: &[SourceFile],
+    by_name: &HashMap<String, Vec<usize>>,
+    krate_of_fn: &[&str],
+    caller: usize,
+    name: &str,
+) -> Vec<usize> {
+    let Some(c) = by_name.get(name) else {
+        return Vec::new();
+    };
+    let free: Vec<usize> = c
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let r = fns[id];
+            files[r.file].syntax.fns[r.local].impl_type.is_none()
+        })
+        .collect();
+    let same: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&id| krate_of_fn[id] == krate_of_fn[caller])
+        .collect();
+    let pool = if same.is_empty() { free } else { same };
+    if pool.len() > AMBIGUITY_CAP {
+        Vec::new()
+    } else {
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::prepare_source;
+
+    fn graph(sources: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| prepare_source(rel, src))
+            .collect();
+        CallGraph::build(files)
+    }
+
+    fn fn_id(g: &CallGraph, name: &str) -> usize {
+        (0..g.fns.len())
+            .find(|&id| g.name(id) == name)
+            .unwrap_or_else(|| panic!("fn {name} not found"))
+    }
+
+    #[test]
+    fn free_call_resolves_within_crate() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn callee() {} fn caller() { callee(); }",
+        )]);
+        let caller = fn_id(&g, "caller");
+        let callee = fn_id(&g, "callee");
+        assert!(g.calls[caller].iter().any(|s| s.callee == callee));
+    }
+
+    #[test]
+    fn self_method_prefers_same_impl_type() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;
+             impl A { fn go(&self) { self.step(); } fn step(&self) {} }
+             impl B { fn step(&self) {} }",
+        )]);
+        let go = fn_id(&g, "A::go");
+        let a_step = fn_id(&g, "A::step");
+        let b_step = fn_id(&g, "B::step");
+        let callees: Vec<usize> = g.calls[go].iter().map(|s| s.callee).collect();
+        assert!(callees.contains(&a_step));
+        assert!(!callees.contains(&b_step));
+    }
+
+    #[test]
+    fn unknown_receiver_fans_out_to_all_candidates_cross_crate() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "struct A; impl A { fn work(&self) {} }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "struct B; impl B { fn work(&self) {} }
+                 fn driver(x: &X) { x.work(); }",
+            ),
+        ]);
+        let driver = fn_id(&g, "driver");
+        let callees: Vec<usize> = g.calls[driver].iter().map(|s| s.callee).collect();
+        assert_eq!(callees.len(), 2, "both `work` methods are candidates");
+    }
+
+    #[test]
+    fn std_path_roots_do_not_resolve_into_the_workspace() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn take() {} fn caller() { let x = std::mem::take(&mut y); }",
+        )]);
+        let caller = fn_id(&g, "caller");
+        assert!(
+            g.calls[caller].is_empty(),
+            "mem::take is not workspace take()"
+        );
+    }
+
+    #[test]
+    fn reach_to_finds_transitive_callers_with_witness() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn leaf() {} fn mid() { leaf(); } fn top() { mid(); }",
+        )]);
+        let leaf = fn_id(&g, "leaf");
+        let top = fn_id(&g, "top");
+        let reach = g.reach_to(&HashSet::from([leaf]), &HashSet::new());
+        assert!(reach.contains_key(&top));
+        let chain = g.chain(&reach, top);
+        assert_eq!(chain, "`top` → `mid` → `leaf`");
+    }
+
+    #[test]
+    fn blocked_fns_stop_propagation() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn leaf() {} fn mid() { leaf(); } fn top() { mid(); }",
+        )]);
+        let leaf = fn_id(&g, "leaf");
+        let mid = fn_id(&g, "mid");
+        let top = fn_id(&g, "top");
+        let reach = g.reach_to(&HashSet::from([leaf]), &HashSet::from([mid]));
+        assert!(!reach.contains_key(&top), "blocked mid stops the walk");
+    }
+}

@@ -8,8 +8,11 @@
 //! catalog).
 //!
 //! The analysis is **dependency-free**: a hand-rolled Rust tokenizer
-//! ([`tokenizer`]) feeds path-scoped token rules ([`rules`]), producing
-//! structured [`Diagnostic`]s with text and JSON-lines renderers. The
+//! ([`tokenizer`]) feeds two layers. The first is the path-scoped token
+//! rules ([`rules`]). The second is a lightweight syntactic layer
+//! ([`syntax`] parses items/functions/loops; [`callgraph`] builds an
+//! approximate workspace call graph) feeding the concurrency passes
+//! ([`passes`]). Renderers cover text, JSON-lines, and SARIF 2.1.0. The
 //! workspace is offline/vendored, so `syn`-based or dylint-style tooling is
 //! deliberately out of scope.
 //!
@@ -21,6 +24,11 @@
 //! | L2 | `no-wall-clock` — no `Instant::now`/`SystemTime::now` | deterministic control-loop modules |
 //! | L3 | `guarded-telemetry` — trace/metric emission only via enabled-guarded handles | whole workspace |
 //! | L4 | `crate-hygiene` — crate roots carry `#![forbid(unsafe_code)]`, crate docs, `missing_docs` | crate roots |
+//! | L5 | `no-nondeterminism` — no ambient-entropy RNG construction | simulation crate |
+//! | L6 | `lock-discipline` — no blocking op while a lock guard is live (call-graph aware) | whole workspace |
+//! | L7 | `lock-order` — one consistent acquisition order per lock pair | whole workspace |
+//! | L8 | `wall-clock-taint` — L2 propagated through the call graph, cross-crate | deterministic modules |
+//! | L9 | `hot-path-alloc` — no per-event allocation in data-path loops | operator/, parallel, buffer, session |
 //!
 //! Deliberate exceptions are annotated in the source:
 //!
@@ -35,7 +43,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod passes;
 pub mod rules;
+pub mod syntax;
 pub mod tokenizer;
 
 use std::fmt;
@@ -143,6 +154,58 @@ pub fn to_jsonl(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Render findings as a SARIF 2.1.0 document (the format GitHub code
+/// scanning ingests for PR annotations), written as
+/// `results/lint_report.sarif` by CI.
+///
+/// Severity maps to SARIF levels: deny → `error`, warn → `warning`,
+/// advice → `note`. The `help` text rides along in each result's
+/// `message.text` after the finding message.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    // One reportingDescriptor per distinct rule, in first-seen order.
+    let mut rule_ids: Vec<&str> = Vec::new();
+    for d in diags {
+        if !rule_ids.contains(&d.rule.as_str()) {
+            rule_ids.push(&d.rule);
+        }
+    }
+    let rules_json: Vec<String> = rule_ids
+        .iter()
+        .map(|id| format!("{{\"id\":\"{}\"}}", json_escape(id)))
+        .collect();
+    let results_json: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+                Severity::Advice => "note",
+            };
+            // SARIF regions are 1-based; clamp whole-file findings to line 1.
+            let line = d.line.max(1);
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                json_escape(&d.rule),
+                level,
+                json_escape(&format!("{} (help: {})", d.message, d.help)),
+                json_escape(&d.path),
+                line,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"quill-lint\",\
+         \"informationUri\":\"https://example.invalid/quill\",\
+         \"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
+        rules_json.join(","),
+        results_json.join(","),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +238,27 @@ mod tests {
         assert!(s.contains("\\\""));
         assert!(s.contains("\\\\"));
         assert!(s.contains("\\n"));
+    }
+
+    #[test]
+    fn sarif_names_tool_rule_and_location() {
+        let s = to_sarif(&[diag()]);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"quill-lint\""));
+        assert!(s.contains("\"ruleId\":\"no-panic\""));
+        assert!(s.contains("\"level\":\"error\""));
+        assert!(s.contains("\"uri\":\"crates/engine/src/parallel.rs\""));
+        assert!(s.contains("\"startLine\":42"));
+    }
+
+    #[test]
+    fn sarif_clamps_whole_file_findings_to_line_one() {
+        let mut d = diag();
+        d.line = 0;
+        d.severity = Severity::Warn;
+        let s = to_sarif(&[d]);
+        assert!(s.contains("\"startLine\":1"));
+        assert!(s.contains("\"level\":\"warning\""));
     }
 
     #[test]

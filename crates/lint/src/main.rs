@@ -1,21 +1,38 @@
 //! `quill-lint` — the workspace static-analysis gate.
 //!
 //! ```text
-//! cargo run -p quill-lint -- --workspace [--root <dir>] [--format text|jsonl] [--out <file>]
+//! cargo run -p quill-lint -- --workspace [--root <dir>] [--format text|jsonl|sarif]
+//!                            [--out <file>] [--sarif <file>]
 //! ```
 //!
 //! Lints every workspace member source file against the project rules
-//! (DESIGN.md §11) and exits non-zero when any deny-level finding remains.
-//! `--out` additionally writes the findings as JSON lines (the
-//! `results/lint_report.jsonl` artifact CI uploads).
+//! (DESIGN.md §11 and §16). Exit codes form the CI contract:
+//!
+//! * `0` — clean (no deny-level finding),
+//! * `1` — at least one deny-level finding,
+//! * `2` — internal error (bad arguments, unreadable workspace, write
+//!   failure): the lint result is *unknown*, which gates must treat
+//!   differently from "findings exist".
+//!
+//! `--out` writes the findings as JSON lines (the
+//! `results/lint_report.jsonl` artifact CI uploads); `--sarif` writes the
+//! same findings as a SARIF 2.1.0 log (`results/lint_report.sarif`) for
+//! code-scanning upload.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use quill_lint::rules::lint_workspace;
-use quill_lint::{render_text, to_jsonl, Severity};
+use quill_lint::{render_text, to_jsonl, to_sarif, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Clean: no deny-level finding.
+const EXIT_CLEAN: u8 = 0;
+/// At least one deny-level finding.
+const EXIT_DENY: u8 = 1;
+/// Internal error — the lint result is unknown.
+const EXIT_INTERNAL: u8 = 2;
 
 /// Locate the workspace root: an explicit `--root`, else the current
 /// directory if it holds a workspace manifest, else the compile-time
@@ -38,14 +55,31 @@ fn find_root(explicit: Option<PathBuf>) -> PathBuf {
         .unwrap_or(cwd)
 }
 
-const USAGE: &str =
-    "usage: quill-lint --workspace [--root <dir>] [--format text|jsonl] [--out <file>]";
+const USAGE: &str = "usage: quill-lint --workspace [--root <dir>] \
+[--format text|jsonl|sarif] [--out <file>] [--sarif <file>]";
+
+/// Write `content` to `path`, creating parent directories. Returns false
+/// (after printing the error) on failure.
+fn write_report(path: &PathBuf, content: &str) -> bool {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!(
+            "quill-lint: cannot write report to `{}`: {e}",
+            path.display()
+        );
+        return false;
+    }
+    true
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut format = "text".to_string();
     let mut out_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,19 +88,19 @@ fn main() -> ExitCode {
             "--root" => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("--root requires a directory\n{USAGE}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_INTERNAL);
                 };
                 root = Some(PathBuf::from(v));
                 i += 2;
             }
             "--format" => {
                 let Some(v) = args.get(i + 1) else {
-                    eprintln!("--format requires `text` or `jsonl`\n{USAGE}");
-                    return ExitCode::FAILURE;
+                    eprintln!("--format requires `text`, `jsonl` or `sarif`\n{USAGE}");
+                    return ExitCode::from(EXIT_INTERNAL);
                 };
-                if v != "text" && v != "jsonl" {
+                if v != "text" && v != "jsonl" && v != "sarif" {
                     eprintln!("unknown format `{v}`\n{USAGE}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_INTERNAL);
                 }
                 format = v.clone();
                 i += 2;
@@ -74,23 +108,38 @@ fn main() -> ExitCode {
             "--out" => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("--out requires a file path\n{USAGE}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_INTERNAL);
                 };
                 out_path = Some(PathBuf::from(v));
                 i += 2;
             }
+            "--sarif" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--sarif requires a file path\n{USAGE}");
+                    return ExitCode::from(EXIT_INTERNAL);
+                };
+                sarif_path = Some(PathBuf::from(v));
+                i += 2;
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
-                return ExitCode::SUCCESS;
+                return ExitCode::from(EXIT_CLEAN);
             }
             other => {
                 eprintln!("unexpected argument `{other}`\n{USAGE}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INTERNAL);
             }
         }
     }
 
     let root = find_root(root);
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "quill-lint: `{}` is not a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(EXIT_INTERNAL);
+    }
     let diags = match lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {
@@ -98,25 +147,24 @@ fn main() -> ExitCode {
                 "quill-lint: cannot walk workspace at `{}`: {e}",
                 root.display()
             );
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INTERNAL);
         }
     };
 
     if let Some(path) = &out_path {
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
+        if !write_report(path, &to_jsonl(&diags)) {
+            return ExitCode::from(EXIT_INTERNAL);
         }
-        if let Err(e) = std::fs::write(path, to_jsonl(&diags)) {
-            eprintln!(
-                "quill-lint: cannot write report to `{}`: {e}",
-                path.display()
-            );
-            return ExitCode::FAILURE;
+    }
+    if let Some(path) = &sarif_path {
+        if !write_report(path, &to_sarif(&diags)) {
+            return ExitCode::from(EXIT_INTERNAL);
         }
     }
 
     match format.as_str() {
         "jsonl" => print!("{}", to_jsonl(&diags)),
+        "sarif" => println!("{}", to_sarif(&diags)),
         _ => print!("{}", render_text(&diags)),
     }
 
@@ -126,8 +174,8 @@ fn main() -> ExitCode {
         .count();
     if denies > 0 {
         eprintln!("quill-lint: {denies} deny-level finding(s)");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_DENY)
     } else {
-        ExitCode::SUCCESS
+        ExitCode::from(EXIT_CLEAN)
     }
 }

@@ -1,0 +1,352 @@
+//! Shared token-level analyses the concurrency passes build on: guard
+//! acquisition sites with approximate live ranges, and blocking-operation
+//! detection.
+
+use crate::callgraph::CallGraph;
+use crate::tokenizer::{Token, TokenKind};
+
+/// What a lock is, approximately: the owning workspace member plus the final
+/// identifier of the receiver chain (`self.handles.lock()` → `handles`).
+/// Same-named fields in different crates are distinct locks; same-named
+/// locals within a crate alias to one lock (a deliberate over-approximation
+/// — DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId {
+    /// Workspace member (`core`, `serve`, ...).
+    pub krate: String,
+    /// Final receiver identifier before `.lock()`/`.read()`/`.write()`.
+    pub name: String,
+}
+
+impl std::fmt::Display for LockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}::{}", self.krate, self.name)
+    }
+}
+
+/// How long an acquired guard stays live.
+#[derive(Debug, Clone)]
+pub enum GuardExtent {
+    /// `let g = x.lock();` — live from the binding to the end of the
+    /// enclosing block (or an explicit `drop(g)`).
+    Bound {
+        /// The binding name.
+        name: String,
+    },
+    /// `x.lock().method(...)` — live for the rest of its statement.
+    Temp,
+}
+
+/// One `.lock()` / `.read()` / `.write()` acquisition inside a function.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Global id of the containing function.
+    pub fn_id: usize,
+    /// Token index of the `lock`/`read`/`write` identifier.
+    pub idx: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Which lock this acquires.
+    pub lock: LockId,
+    /// Binding kind.
+    pub extent: GuardExtent,
+    /// Token range (within the file) in which the guard is live.
+    pub live: std::ops::Range<usize>,
+}
+
+/// A potentially blocking operation at a token position.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockingOp {
+    /// Token index of the operation identifier.
+    pub idx: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human description, e.g. `channel send`.
+    pub what: &'static str,
+}
+
+fn text(toks: &[Token], i: usize) -> Option<&str> {
+    toks.get(i).map(|t| t.text.as_str())
+}
+
+/// Classify the token at `idx` as a blocking operation, if it is one.
+///
+/// `.read()` / `.write()` with **empty** parens are treated as `RwLock`
+/// guard acquisitions, not blocking I/O; with arguments they are I/O.
+/// `.join()` with empty parens is `JoinHandle::join` (slice `join` takes a
+/// separator argument).
+pub fn blocking_op(toks: &[Token], idx: usize) -> Option<&'static str> {
+    let t = &toks[idx];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let prev = idx.checked_sub(1).and_then(|i| text(toks, i));
+    let n1 = text(toks, idx + 1);
+    let n2 = text(toks, idx + 2);
+    let method = prev == Some(".") && n1 == Some("(");
+    match t.text.as_str() {
+        "send" if method => Some("channel send (blocks while the bounded channel is full)"),
+        "recv" | "recv_timeout" | "recv_deadline" if method => {
+            Some("channel receive (blocks until a message arrives)")
+        }
+        "join" if method && n2 == Some(")") => Some("thread join (blocks until the thread exits)"),
+        "accept" if method => Some("socket accept (blocks until a connection arrives)"),
+        "wait" | "wait_timeout" if method => Some("condvar wait"),
+        "sleep"
+            if prev == Some(":")
+                && idx >= 3
+                && text(toks, idx - 2) == Some(":")
+                && text(toks, idx - 3) == Some("thread") =>
+        {
+            Some("thread sleep")
+        }
+        "connect"
+            if prev == Some(":")
+                && idx >= 3
+                && text(toks, idx - 2) == Some(":")
+                && text(toks, idx - 3) == Some("TcpStream") =>
+        {
+            Some("TcpStream connect")
+        }
+        "flush" if method && n2 == Some(")") => Some("I/O flush"),
+        "read_line" | "read_exact" | "read_to_end" | "read_to_string" | "write_all" if method => {
+            Some("blocking I/O")
+        }
+        "read" | "write" if method && n2 != Some(")") => Some("blocking I/O"),
+        _ => None,
+    }
+}
+
+/// Whether the token at `idx` is a guard acquisition
+/// (`.lock()` / `.read()` / `.write()` with empty parens).
+fn is_acquisition(toks: &[Token], idx: usize) -> bool {
+    let t = &toks[idx];
+    t.kind == TokenKind::Ident
+        && matches!(t.text.as_str(), "lock" | "read" | "write")
+        && idx >= 1
+        && text(toks, idx - 1) == Some(".")
+        && text(toks, idx + 1) == Some("(")
+        && text(toks, idx + 2) == Some(")")
+}
+
+/// Forward scan from `from` for the end of the current statement: the first
+/// `;` at relative bracket depth ≤ 0, or the close of the enclosing block.
+/// Returns the boundary token index (exclusive of the guard's life).
+fn statement_end(toks: &[Token], from: usize, limit: usize) -> usize {
+    let mut depth: isize = 0;
+    let mut i = from;
+    while i < limit {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            ";" if depth <= 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Forward scan for the close of the block enclosing position `from`:
+/// the first `}` that takes relative depth negative.
+fn enclosing_block_end(toks: &[Token], from: usize, limit: usize) -> usize {
+    let mut depth: isize = 0;
+    let mut i = from;
+    while i < limit {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// If the acquisition at `idx` is the top-level suffix of a
+/// `let NAME = ...;` statement, return the binding name. The acquisition
+/// must sit at bracket depth 0 of the initializer, and everything after its
+/// `()` up to the `;` must be `.unwrap()`, `.expect(..)`, or `?`.
+fn let_binding(toks: &[Token], idx: usize, body_start: usize) -> Option<String> {
+    // Backward: find the statement start without the acquisition being
+    // nested in brackets.
+    let mut depth: isize = 0;
+    let mut j = idx;
+    let start = loop {
+        if j == body_start {
+            break j;
+        }
+        j -= 1;
+        match toks[j].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // nested inside a call/index argument
+                }
+            }
+            "{" => {
+                depth -= 1;
+                if depth < 0 {
+                    break j + 1; // enclosing block open
+                }
+            }
+            ";" if depth == 0 => break j + 1,
+            _ => {}
+        }
+    };
+    // Statement must be `let [mut] NAME = ...`.
+    if text(toks, start) != Some("let") {
+        return None;
+    }
+    let mut k = start + 1;
+    if text(toks, k) == Some("mut") {
+        k += 1;
+    }
+    let name = match toks.get(k) {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => return None,
+    };
+    if text(toks, k + 1) != Some("=") {
+        return None; // pattern binding or typed form we don't model
+    }
+    // Forward: only trivial suffixes between `.lock()` and the `;`.
+    let mut m = idx + 3; // past `lock ( )`
+    loop {
+        match text(toks, m) {
+            Some(";") => return Some(name),
+            Some("?") => m += 1,
+            Some(".") => {
+                let nm = text(toks, m + 1);
+                if (nm == Some("unwrap") || nm == Some("expect")) && text(toks, m + 2) == Some("(")
+                {
+                    // skip to matching close paren
+                    let mut d = 0isize;
+                    let mut p = m + 2;
+                    loop {
+                        match text(toks, p) {
+                            Some("(") => d += 1,
+                            Some(")") => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            None => return None,
+                            _ => {}
+                        }
+                        p += 1;
+                    }
+                    m = p + 1;
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Collect every guard acquisition in function `fn_id` of the graph, with
+/// approximate live ranges. Tokens under `#[cfg(test)]` are skipped.
+pub fn acquisitions(g: &CallGraph, fn_id: usize) -> Vec<Acquisition> {
+    let fref = g.fns[fn_id];
+    let file = &g.files[fref.file];
+    let toks = &file.tokens;
+    let body = file.syntax.fns[fref.local].body.clone();
+    let mut out = Vec::new();
+    for idx in body.clone() {
+        if file.mask[idx] || !is_acquisition(toks, idx) {
+            continue;
+        }
+        // Only acquisitions owned by this fn (not a nested fn's).
+        if g.fn_of_token[fref.file][idx] != Some(fn_id) {
+            continue;
+        }
+        // Receiver identity: the identifier before the `.`.
+        let recv = match idx.checked_sub(2) {
+            Some(i) if toks[i].kind == TokenKind::Ident => toks[i].text.clone(),
+            _ => continue, // chained off a call — identity unknown, skip
+        };
+        let lock = LockId {
+            krate: file.krate.clone(),
+            name: recv,
+        };
+        let stmt_end = statement_end(toks, idx, body.end);
+        let (extent, live) = match let_binding(toks, idx, body.start) {
+            Some(name) => {
+                let mut scope_end = enclosing_block_end(toks, stmt_end + 1, body.end);
+                // An explicit `drop(name)` ends the guard early.
+                let mut p = stmt_end;
+                while p + 2 < scope_end {
+                    if toks[p].text == "drop"
+                        && text(toks, p + 1) == Some("(")
+                        && text(toks, p + 2) == Some(&name)
+                        && text(toks, p + 3) == Some(")")
+                    {
+                        scope_end = p;
+                        break;
+                    }
+                    p += 1;
+                }
+                (GuardExtent::Bound { name }, idx..scope_end)
+            }
+            None => (GuardExtent::Temp, idx..stmt_end),
+        };
+        out.push(Acquisition {
+            fn_id,
+            idx,
+            line: toks[idx].line,
+            lock,
+            extent,
+            live,
+        });
+    }
+    out
+}
+
+/// Collect every blocking operation in function `fn_id`, skipping
+/// `#[cfg(test)]` tokens and guard acquisitions.
+pub fn blocking_ops(g: &CallGraph, fn_id: usize) -> Vec<BlockingOp> {
+    let fref = g.fns[fn_id];
+    let file = &g.files[fref.file];
+    let toks = &file.tokens;
+    let body = file.syntax.fns[fref.local].body.clone();
+    let mut out = Vec::new();
+    for idx in body {
+        if file.mask[idx] || g.fn_of_token[fref.file][idx] != Some(fn_id) {
+            continue;
+        }
+        if is_acquisition(toks, idx) {
+            continue;
+        }
+        if let Some(what) = blocking_op(toks, idx) {
+            out.push(BlockingOp {
+                idx,
+                line: toks[idx].line,
+                what,
+            });
+        }
+    }
+    out
+}
+
+/// Describe a guard for finding messages: `` `name` guard on `krate::lock` ``.
+pub fn guard_label(a: &Acquisition) -> String {
+    match &a.extent {
+        GuardExtent::Bound { name } => format!("`{name}` guard on `{}`", a.lock),
+        GuardExtent::Temp => format!("temporary guard on `{}`", a.lock),
+    }
+}

@@ -1,0 +1,190 @@
+//! `lock-order`: every pair of locks must be acquired in one consistent
+//! order across the whole workspace.
+//!
+//! An *edge* `A → B` is recorded when lock `B` is acquired (directly, or
+//! transitively through a call chain) while a guard on lock `A` is live.
+//! Two edges `A → B` and `B → A` are a deadlock-shaped cycle; the pass
+//! reports the conflicting pair once, with both acquisition paths.
+//!
+//! Self-edges (`A → A`) are only reported for *direct* intraprocedural
+//! re-acquisition — `parking_lot` locks are not re-entrant, so acquiring a
+//! lock while its own guard is live in the same function is a guaranteed
+//! deadlock. Re-acquisition through a call chain is deliberately not
+//! reported: method-name resolution is approximate enough that most such
+//! edges are fan-out artifacts (DESIGN.md §16 lists this as a known
+//! false-negative class).
+
+use super::common::LockId;
+use super::Workspace;
+use crate::rules::RULE_LOCK_ORDER;
+use crate::{Diagnostic, Severity};
+use std::collections::{HashMap, HashSet};
+
+/// The `lock-order` pass.
+pub struct LockOrder;
+
+/// One observed held→acquired ordering with its provenance.
+struct Edge {
+    /// File of the acquisition-under-guard (or the call site reaching it).
+    path: String,
+    /// Line of that acquisition or call site.
+    line: usize,
+    /// Rendered description of how `B` is reached while `A` is held.
+    via: String,
+}
+
+impl super::Pass for LockOrder {
+    fn name(&self) -> &'static str {
+        RULE_LOCK_ORDER
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let g = &ws.graph;
+        let mut diags = Vec::new();
+
+        // Which functions may (transitively) acquire each lock.
+        let mut locks: Vec<LockId> = ws
+            .acquisitions
+            .iter()
+            .flatten()
+            .map(|a| a.lock.clone())
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        locks.sort();
+        let mut may_acquire: HashMap<LockId, HashMap<usize, Option<usize>>> = HashMap::new();
+        for lock in &locks {
+            let seeds: HashSet<usize> = (0..g.fns.len())
+                .filter(|&id| ws.acquisitions[id].iter().any(|a| &a.lock == lock))
+                .collect();
+            may_acquire.insert(lock.clone(), g.reach_to(&seeds, &HashSet::new()));
+        }
+
+        // Record edges held → acquired. First edge per ordered pair wins
+        // (deterministic: functions and sites are visited in file order).
+        let mut edges: HashMap<(LockId, LockId), Edge> = HashMap::new();
+        for fn_id in 0..g.fns.len() {
+            let file = g.file(fn_id);
+            for held in &ws.acquisitions[fn_id] {
+                // Direct nested acquisitions.
+                for inner in &ws.acquisitions[fn_id] {
+                    if inner.idx == held.idx || !held.live.contains(&inner.idx) {
+                        continue;
+                    }
+                    if file.allowed(RULE_LOCK_ORDER, inner.line)
+                        || file.allowed(RULE_LOCK_ORDER, held.line)
+                    {
+                        continue;
+                    }
+                    if inner.lock == held.lock {
+                        // Direct re-acquisition: guaranteed deadlock.
+                        diags.push(Diagnostic {
+                            rule: RULE_LOCK_ORDER.into(),
+                            path: file.rel.clone(),
+                            line: inner.line,
+                            severity: Severity::Deny,
+                            message: format!(
+                                "`{}` re-acquired while its own guard (acquired {}:{}) is \
+                                 live; these locks are not re-entrant",
+                                held.lock, file.rel, held.line
+                            ),
+                            help: "reuse the existing guard or drop it first".into(),
+                        });
+                        continue;
+                    }
+                    edges
+                        .entry((held.lock.clone(), inner.lock.clone()))
+                        .or_insert_with(|| Edge {
+                            path: file.rel.clone(),
+                            line: inner.line,
+                            via: format!(
+                                "`{}` acquires `{}` at {}:{} while holding `{}` \
+                                 (acquired {}:{})",
+                                g.name(fn_id),
+                                inner.lock,
+                                file.rel,
+                                inner.line,
+                                held.lock,
+                                file.rel,
+                                held.line
+                            ),
+                        });
+                }
+                // Call sites under the guard reaching other locks.
+                for site in &g.calls[fn_id] {
+                    if !held.live.contains(&site.idx) {
+                        continue;
+                    }
+                    if file.allowed(RULE_LOCK_ORDER, site.line)
+                        || file.allowed(RULE_LOCK_ORDER, held.line)
+                    {
+                        continue;
+                    }
+                    for lock in &locks {
+                        if *lock == held.lock {
+                            continue; // re-entrance via calls: not modelled
+                        }
+                        let reach = &may_acquire[lock];
+                        if !reach.contains_key(&site.callee) {
+                            continue;
+                        }
+                        edges
+                            .entry((held.lock.clone(), lock.clone()))
+                            .or_insert_with(|| Edge {
+                                path: file.rel.clone(),
+                                line: site.line,
+                                via: format!(
+                                    "`{}` holds `{}` (acquired {}:{}) across a call at \
+                                     {}:{} reaching `{}` ({})",
+                                    g.name(fn_id),
+                                    held.lock,
+                                    file.rel,
+                                    held.line,
+                                    file.rel,
+                                    site.line,
+                                    lock,
+                                    g.chain(reach, site.callee)
+                                ),
+                            });
+                    }
+                }
+            }
+        }
+
+        // Conflicts: both orientations present.
+        let mut seen_pairs: HashSet<(LockId, LockId)> = HashSet::new();
+        let mut keys: Vec<&(LockId, LockId)> = edges.keys().collect();
+        keys.sort();
+        for key in keys {
+            let (a, b) = key;
+            let canon = if a <= b {
+                (a.clone(), b.clone())
+            } else {
+                (b.clone(), a.clone())
+            };
+            if !seen_pairs.insert(canon) {
+                continue;
+            }
+            let forward = &edges[key];
+            let Some(reverse) = edges.get(&(b.clone(), a.clone())) else {
+                continue;
+            };
+            diags.push(Diagnostic {
+                rule: RULE_LOCK_ORDER.into(),
+                path: forward.path.clone(),
+                line: forward.line,
+                severity: Severity::Deny,
+                message: format!(
+                    "inconsistent lock order between `{a}` and `{b}`: {}; but {}",
+                    forward.via, reverse.via
+                ),
+                help: "pick one acquisition order for this lock pair and restructure the \
+                       other path (narrow a guard, or split the critical section); if one \
+                       path is provably unreachable, annotate its acquisition with \
+                       `// quill-lint: allow(lock-order, reason = \"...\")`"
+                    .into(),
+            });
+        }
+        diags
+    }
+}

@@ -1,0 +1,81 @@
+//! The pass framework: call-graph analyses that run after the per-file
+//! token rules.
+//!
+//! A [`Pass`] sees the whole [`Workspace`] — every file's tokens, the
+//! function table, and the approximate call graph — and returns
+//! [`Diagnostic`]s. Shared per-function analyses (guard acquisitions with
+//! live ranges, blocking-operation sites) are computed once in
+//! [`Workspace::new`] so the lock passes don't re-scan.
+//!
+//! Passes (rule ids):
+//! - [`lock_discipline`] — `lock-discipline`: no blocking operation (channel
+//!   send/recv, thread join, blocking I/O) while a guard is live, directly
+//!   or through any call chain.
+//! - [`lock_order`] — `lock-order`: every pair of locks is acquired in one
+//!   consistent order workspace-wide.
+//! - [`wall_clock`] — `wall-clock-taint`: the no-wall-clock rule propagated
+//!   through the call graph, across crates.
+//! - [`hot_alloc`] — `hot-path-alloc`: no per-event allocation inside the
+//!   loops of the data-path modules.
+
+pub mod common;
+pub mod hot_alloc;
+pub mod lock_discipline;
+pub mod lock_order;
+pub mod wall_clock;
+
+use crate::callgraph::{CallGraph, SourceFile};
+use crate::Diagnostic;
+use common::{Acquisition, BlockingOp};
+
+/// The analysed workspace: the call graph plus per-function shared analyses.
+pub struct Workspace {
+    /// The approximate call graph over every file.
+    pub graph: CallGraph,
+    /// Guard acquisitions per global function id.
+    pub acquisitions: Vec<Vec<Acquisition>>,
+    /// Blocking operations per global function id.
+    pub blocking: Vec<Vec<BlockingOp>>,
+}
+
+impl Workspace {
+    /// Build the workspace model over prepared files.
+    pub fn new(files: Vec<SourceFile>) -> Workspace {
+        let graph = CallGraph::build(files);
+        let n = graph.fns.len();
+        let acquisitions = (0..n).map(|id| common::acquisitions(&graph, id)).collect();
+        let blocking = (0..n).map(|id| common::blocking_ops(&graph, id)).collect();
+        Workspace {
+            graph,
+            acquisitions,
+            blocking,
+        }
+    }
+}
+
+/// One call-graph analysis.
+pub trait Pass {
+    /// The rule id this pass emits under.
+    fn name(&self) -> &'static str;
+    /// Run over the workspace, returning findings.
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic>;
+}
+
+/// Every registered pass, in execution order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(lock_order::LockOrder),
+        Box::new(wall_clock::WallClockTaint),
+        Box::new(hot_alloc::HotPathAlloc),
+    ]
+}
+
+/// Run every pass over the workspace.
+pub fn run_passes(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for pass in all_passes() {
+        diags.extend(pass.run(ws));
+    }
+    diags
+}

@@ -1,0 +1,150 @@
+//! `wall-clock-taint`: the `no-wall-clock` rule propagated through the call
+//! graph, across crates.
+//!
+//! The token-level L2 rule only sees `Instant::now()` / `SystemTime::now()`
+//! spelled inside a deterministic-scope file. A helper in another crate that
+//! reads the wall clock and is called from the deterministic core leaks
+//! nondeterminism just the same. This pass marks every function containing a
+//! wall-clock primitive (`Instant::now`, `SystemTime::now`, `.elapsed(`) as
+//! *tainted*, propagates taint to transitive callers, and flags (a) direct
+//! `.elapsed(` reads and (b) call sites into tainted functions — but only
+//! inside deterministic-scope files, where replayability is the contract.
+//!
+//! Suppression: a line-level `allow(no-wall-clock, ...)` on a primitive
+//! (the already-reviewed L2 escape hatch) stops it seeding taint; an
+//! `allow(wall-clock-taint, ...)` on a function's `fn` declaration line
+//! marks the function deliberately wall-clocked — it gets no findings and
+//! stops propagation to its callers.
+
+use super::Workspace;
+use crate::rules::{is_deterministic, RULE_NO_WALL_CLOCK, RULE_WALL_CLOCK_TAINT};
+use crate::tokenizer::TokenKind;
+use crate::{Diagnostic, Severity};
+use std::collections::{HashMap, HashSet};
+
+/// The `wall-clock-taint` pass.
+pub struct WallClockTaint;
+
+/// Token indices of wall-clock primitives in function `fn_id` that are not
+/// suppressed by a line-level allow of either rule.
+fn primitive_sites(ws: &Workspace, fn_id: usize) -> Vec<(usize, usize, &'static str)> {
+    let g = &ws.graph;
+    let fref = g.fns[fn_id];
+    let file = &g.files[fref.file];
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for idx in file.syntax.fns[fref.local].body.clone() {
+        if file.mask[idx]
+            || toks[idx].kind != TokenKind::Ident
+            || g.fn_of_token[fref.file][idx] != Some(fn_id)
+        {
+            continue;
+        }
+        let text = |i: usize| toks.get(i).map(|t| t.text.as_str());
+        let what = match toks[idx].text.as_str() {
+            ty @ ("Instant" | "SystemTime")
+                if text(idx + 1) == Some(":")
+                    && text(idx + 2) == Some(":")
+                    && text(idx + 3) == Some("now") =>
+            {
+                if ty == "Instant" {
+                    "Instant::now()"
+                } else {
+                    "SystemTime::now()"
+                }
+            }
+            "elapsed" if idx > 0 && text(idx - 1) == Some(".") && text(idx + 1) == Some("(") => {
+                ".elapsed()"
+            }
+            _ => continue,
+        };
+        let line = toks[idx].line;
+        if file.allowed(RULE_NO_WALL_CLOCK, line) || file.allowed(RULE_WALL_CLOCK_TAINT, line) {
+            continue;
+        }
+        out.push((idx, line, what));
+    }
+    out
+}
+
+impl super::Pass for WallClockTaint {
+    fn name(&self) -> &'static str {
+        RULE_WALL_CLOCK_TAINT
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let g = &ws.graph;
+        let mut diags = Vec::new();
+
+        let blocked: HashSet<usize> = (0..g.fns.len())
+            .filter(|&id| {
+                let decl = g.def(id).decl_line;
+                g.file(id).allowed(RULE_WALL_CLOCK_TAINT, decl)
+            })
+            .collect();
+        let sites: Vec<Vec<(usize, usize, &'static str)>> =
+            (0..g.fns.len()).map(|id| primitive_sites(ws, id)).collect();
+        let seeds: HashSet<usize> = (0..g.fns.len())
+            .filter(|&id| !sites[id].is_empty())
+            .collect();
+        let tainted: HashMap<usize, Option<usize>> = g.reach_to(&seeds, &blocked);
+
+        for (fn_id, fn_sites) in sites.iter().enumerate() {
+            let file = g.file(fn_id);
+            if !is_deterministic(&file.rel) || blocked.contains(&fn_id) {
+                continue;
+            }
+            // Direct `.elapsed()` reads (Instant::now / SystemTime::now are
+            // already flagged by the token-level L2 rule).
+            for &(_, line, what) in fn_sites {
+                if what != ".elapsed()" {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: RULE_WALL_CLOCK_TAINT.into(),
+                    path: file.rel.clone(),
+                    line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` reads the wall clock via {what} in a deterministic module",
+                        g.name(fn_id)
+                    ),
+                    help: "derive timing from event timestamps, or annotate the `fn` \
+                           declaration with `// quill-lint: allow(wall-clock-taint, \
+                           reason = \"...\")` if this function is deliberately \
+                           operator-facing"
+                        .into(),
+                });
+            }
+            // Call sites into tainted functions.
+            let mut reported: HashSet<(usize, usize)> = HashSet::new();
+            for site in &g.calls[fn_id] {
+                if !tainted.contains_key(&site.callee)
+                    || file.mask[site.idx]
+                    || file.allowed(RULE_WALL_CLOCK_TAINT, site.line)
+                    || !reported.insert((site.line, site.callee))
+                {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: RULE_WALL_CLOCK_TAINT.into(),
+                    path: file.rel.clone(),
+                    line: site.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "call into {} reaches a wall-clock read ({}) from a \
+                         deterministic module",
+                        g.describe(site.callee),
+                        g.chain(&tainted, site.callee)
+                    ),
+                    help: "make the callee take time as a parameter, or annotate the \
+                           callee's `fn` declaration with `// quill-lint: \
+                           allow(wall-clock-taint, reason = \"...\")` if its wall-clock \
+                           use is deliberate and never feeds K estimation"
+                        .into(),
+                });
+            }
+        }
+        diags
+    }
+}

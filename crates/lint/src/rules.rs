@@ -31,6 +31,14 @@ pub const RULE_CRATE_HYGIENE: &str = "crate-hygiene";
 pub const RULE_NO_NONDETERMINISM: &str = "no-nondeterminism";
 /// Rule id for malformed allow-annotations.
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+/// Rule id for L6: no blocking operation while a lock guard is live.
+pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule id for L7: workspace-consistent lock acquisition order.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule id for L8: wall-clock reads propagated through the call graph.
+pub const RULE_WALL_CLOCK_TAINT: &str = "wall-clock-taint";
+/// Rule id for L9: no per-event allocation in data-path loops.
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
 
 /// Every rule id an annotation may name.
 pub const ALL_RULES: &[&str] = &[
@@ -39,6 +47,10 @@ pub const ALL_RULES: &[&str] = &[
     RULE_GUARDED_TELEMETRY,
     RULE_CRATE_HYGIENE,
     RULE_NO_NONDETERMINISM,
+    RULE_LOCK_DISCIPLINE,
+    RULE_LOCK_ORDER,
+    RULE_WALL_CLOCK_TAINT,
+    RULE_HOT_PATH_ALLOC,
 ];
 
 /// Hot-path modules where a panic aborts live query execution (L1 scope).
@@ -76,7 +88,7 @@ fn is_hot_path(rel: &str) -> bool {
     rel.starts_with("crates/engine/src/operator/") || HOT_PATH_FILES.contains(&rel)
 }
 
-fn is_deterministic(rel: &str) -> bool {
+pub(crate) fn is_deterministic(rel: &str) -> bool {
     // The whole daemon crate is in scope: stream-time decisions (eviction,
     // drain, watermarks) must derive from ticks and event time, never the
     // wall clock. Deliberate operator-facing exceptions (e.g. /healthz
@@ -448,9 +460,8 @@ impl<'a> FileLinter<'a> {
     }
 }
 
-/// Lint one file's source given its workspace-relative path (forward-slash
-/// separated). This is the unit the fixture tests drive directly.
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+/// Run the per-file token rules (L1–L5 plus allow-syntax) over one file.
+fn lint_file_tokens(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let lexed = lex(source);
     let mask = cfg_test_mask(&lexed.tokens);
     let allows = allow_lines(&lexed.allows, &lexed.tokens);
@@ -473,9 +484,75 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     }
     linter.rule_guarded_telemetry();
     linter.rule_crate_hygiene(source);
-    let mut diags = linter.diags;
+    linter.diags
+}
+
+/// Owning workspace member of a relative path: `crates/serve/...` → `serve`,
+/// `examples/...` → `examples`, `tests/...` → `tests`.
+fn krate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        Some(top) => top.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Prepare one file for the call-graph passes: lex, mask `#[cfg(test)]`
+/// items, resolve allow-annotation lines, and parse the item structure.
+pub fn prepare_source(rel_path: &str, source: &str) -> crate::callgraph::SourceFile {
+    let lexed = lex(source);
+    let mask = cfg_test_mask(&lexed.tokens);
+    let allow_lines = allow_lines(&lexed.allows, &lexed.tokens);
+    let syntax = crate::syntax::parse_fns(&lexed.tokens);
+    crate::callgraph::SourceFile {
+        rel: rel_path.to_string(),
+        krate: krate_of(rel_path),
+        tokens: lexed.tokens,
+        mask,
+        allow_lines,
+        syntax,
+    }
+}
+
+/// Drop diagnostics identical to an earlier one (same path, line, rule and
+/// message) — a pass can reach the same site through several call-edge
+/// candidates and must report it once. Distinct findings that happen to
+/// share a line (e.g. the three crate-hygiene obligations on a crate root)
+/// differ in message and all survive.
+pub(crate) fn dedup_diags(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut seen: HashSet<(String, usize, String, String)> = HashSet::new();
+    diags
+        .into_iter()
+        .filter(|d| seen.insert((d.path.clone(), d.line, d.rule.clone(), d.message.clone())))
+        .collect()
+}
+
+/// Lint a set of files together: per-file token rules plus the call-graph
+/// passes (lock-discipline, lock-order, wall-clock-taint, hot-path-alloc),
+/// deduplicated and in path/line order. Each entry is
+/// `(workspace-relative path, source)`.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (rel, source) in files {
+        diags.extend(lint_file_tokens(rel, source));
+    }
+    let prepared: Vec<crate::callgraph::SourceFile> = files
+        .iter()
+        .map(|(rel, source)| prepare_source(rel, source))
+        .collect();
+    let ws = crate::passes::Workspace::new(prepared);
+    diags.extend(crate::passes::run_passes(&ws));
+    let mut diags = dedup_diags(diags);
     diags.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     diags
+}
+
+/// Lint one file's source given its workspace-relative path (forward-slash
+/// separated). This is the unit the fixture tests drive directly; the
+/// call-graph passes run too, confined to this one file.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_sources(&[(rel_path.to_string(), source.to_string())])
 }
 
 /// Collect every workspace `.rs` file to lint, as
@@ -540,17 +617,17 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
 }
 
 /// Lint every workspace member file under `root`, returning all findings in
-/// path/line order.
+/// path/line order. All files are analysed together so the call-graph
+/// passes see cross-crate edges.
 ///
 /// # Errors
 /// Propagates I/O errors from walking or reading source files.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut files = Vec::new();
     for (rel, abs) in workspace_files(root)? {
-        let source = std::fs::read_to_string(&abs)?;
-        diags.extend(lint_source(&rel, &source));
+        files.push((rel, std::fs::read_to_string(&abs)?));
     }
-    Ok(diags)
+    Ok(lint_sources(&files))
 }
 
 #[cfg(test)]
@@ -695,5 +772,26 @@ mod tests {
     fn seeded_rng_construction_is_clean_in_sim() {
         let src = "fn f(seed: u64) { let _r = StdRng::seed_from_u64(seed); }";
         assert!(lint_source("crates/sim/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dedup_drops_identical_diagnostics_keeping_first() {
+        let mk = |rule: &str, line: usize, msg: &str| Diagnostic {
+            rule: rule.into(),
+            path: "crates/serve/src/server.rs".into(),
+            line,
+            severity: Severity::Deny,
+            message: msg.into(),
+            help: String::new(),
+        };
+        let out = dedup_diags(vec![
+            mk(RULE_LOCK_DISCIPLINE, 10, "blocking send under guard"),
+            mk(RULE_LOCK_DISCIPLINE, 10, "blocking send under guard"),
+            mk(RULE_LOCK_ORDER, 10, "different rule survives"),
+            mk(RULE_LOCK_DISCIPLINE, 11, "different line survives"),
+            mk(RULE_LOCK_DISCIPLINE, 10, "different message survives"),
+        ]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].message, "blocking send under guard");
     }
 }

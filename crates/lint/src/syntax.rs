@@ -1,0 +1,389 @@
+//! The lightweight syntactic layer: items, functions and blocks recovered
+//! from the token stream.
+//!
+//! This is deliberately **not** a Rust parser. The concurrency passes only
+//! need three structural facts that tokens alone cannot give them:
+//!
+//! 1. *which function a token belongs to* (so a blocking call can be
+//!    attributed to its enclosing `fn` and chased through the call graph),
+//! 2. *which `impl` type a method belongs to* (the receiver heuristic the
+//!    call-graph resolver uses), and
+//! 3. *where blocks open and close* (so a `MutexGuard` binding's live range
+//!    ends at its enclosing `}` rather than at end-of-file).
+//!
+//! Everything else — expressions, types, generics — is skipped by brace /
+//! paren / angle matching. The known blind spots of this approximation are
+//! catalogued in DESIGN.md §16.
+
+use crate::tokenizer::{Token, TokenKind};
+use std::ops::Range;
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` type the function is defined on, when inside an
+    /// `impl Type { .. }` or `impl Trait for Type { .. }` block.
+    pub impl_type: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub decl_idx: usize,
+    /// 1-based source line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Token range of the body, **excluding** the outer braces
+    /// (`body.start` is the token after `{`, `body.end` is the `}`).
+    pub body: Range<usize>,
+}
+
+/// Parsed structure of one file: every `fn` with a body, in source order.
+#[derive(Debug, Clone, Default)]
+pub struct FileSyntax {
+    /// All functions (free functions, methods, nested functions).
+    pub fns: Vec<FnDef>,
+}
+
+impl FileSyntax {
+    /// Index of the **innermost** function whose body contains token
+    /// `idx`, if any. Nested `fn` items own their tokens; closures belong
+    /// to the function that syntactically contains them.
+    pub fn innermost_fn(&self, idx: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.body.contains(&idx) {
+                match best {
+                    Some(b) if self.fns[b].body.len() <= f.body.len() => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`, or `tokens.len()` when
+/// unbalanced (truncated input).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    debug_assert_eq!(tokens[open].text, "{");
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Skip a `<...>` generics section starting at `i` (which must point at
+/// `<`), returning the index just past the matching `>`. Token-level angle
+/// matching is safe here because the call sites only invoke it in item
+/// signature position, where `<` cannot be a comparison.
+fn skip_angles(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            // `(` in a generic bound (`Fn(..)`) — skip the group.
+            "(" => {
+                let mut p = 0usize;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "(" => p += 1,
+                        ")" => {
+                            p -= 1;
+                            if p == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            ";" | "{" => return j, // malformed; bail before the body
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The self-type name of an `impl` header starting at `impl_idx`:
+/// the last path segment of the type after `for` (trait impls) or after
+/// `impl` (inherent impls), generics stripped. Returns the name plus the
+/// index of the opening `{` of the impl body (or `None` when the header
+/// never opens a body).
+fn parse_impl_header(tokens: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    if tokens.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_angles(tokens, i);
+    }
+    let mut last_ident: Option<String> = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "{" => return last_ident.map(|n| (n, i)),
+            ";" => return None, // `impl Trait for Type;` — not real Rust, bail
+            "for" => {
+                last_ident = None; // restart: the self type follows
+                i += 1;
+            }
+            "where" => {
+                // Bounds follow; the self type is already complete.
+                while i < tokens.len() && tokens[i].text != "{" {
+                    i += 1;
+                }
+            }
+            "<" => i = skip_angles(tokens, i),
+            _ => {
+                if t.kind == TokenKind::Ident {
+                    last_ident = Some(t.text.clone());
+                }
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Parse every `fn` item (with its `impl` context) out of a token stream.
+pub fn parse_fns(tokens: &[Token]) -> FileSyntax {
+    // First pass: impl block body ranges with their self-type names.
+    let mut impls: Vec<(String, Range<usize>)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "impl" {
+            if let Some((name, open)) = parse_impl_header(tokens, i) {
+                let close = match_brace(tokens, open);
+                impls.push((name, open..close));
+                i = open + 1; // impls do not nest; fns inside are scanned below
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Second pass: `fn name .. { body }` items anywhere (modules, impls,
+    // nested functions).
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_fn_kw = tokens[i].kind == TokenKind::Ident && tokens[i].text == "fn";
+        let name_tok = tokens.get(i + 1);
+        if !is_fn_kw || !name_tok.is_some_and(|t| t.kind == TokenKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let decl_idx = i;
+        let decl_line = tokens[i].line;
+        let name = tokens[i + 1].text.clone();
+        // Walk the signature: optional generics, the parameter list, then
+        // anything up to `{` (body) or `;` (trait/extern declaration).
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.text == "<") {
+            j = skip_angles(tokens, j);
+        }
+        // Parameter list.
+        if tokens.get(j).is_some_and(|t| t.text == "(") {
+            let mut p = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" => p += 1,
+                    ")" => {
+                        p -= 1;
+                        if p == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Return type / where clause: scan to `{` or `;`, skipping generic
+        // sections so a `Result<T, E>` return type cannot desynchronise the
+        // scan (`<` in type position is never a comparison).
+        let mut body_open = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" => {
+                    body_open = Some(j);
+                    break;
+                }
+                ";" => break,
+                "<" => {
+                    j = skip_angles(tokens, j);
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i += 2;
+            continue;
+        };
+        let close = match_brace(tokens, open);
+        let impl_type = impls
+            .iter()
+            .filter(|(_, r)| r.contains(&decl_idx))
+            .min_by_key(|(_, r)| r.len())
+            .map(|(n, _)| n.clone());
+        fns.push(FnDef {
+            name,
+            impl_type,
+            decl_idx,
+            decl_line,
+            body: (open + 1)..close,
+        });
+        // Continue scanning *inside* the body too: nested fns are items.
+        i = open + 1;
+    }
+    FileSyntax { fns }
+}
+
+/// Token ranges of loop bodies (`for` / `while` / `loop`) inside `range`,
+/// innermost and outermost alike. Closure bodies passed to iterator
+/// adapters are *not* loops to this function — a known false-negative
+/// class of the hot-path allocation pass (DESIGN.md §16).
+pub fn loop_bodies(tokens: &[Token], range: Range<usize>) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i < range.end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop") {
+            // `for` in `impl Trait for Type` position was consumed by the
+            // item scan; inside a body `for`/`while`/`loop` start loops —
+            // except lifetime-labelled breaks (`break 'outer`), which have
+            // no `{`. Find the body `{` at bracket depth 0 before any `;`.
+            let mut depth = 0isize;
+            let mut j = i + 1;
+            let mut open = None;
+            while j < range.end.min(tokens.len()) {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(tokens, open);
+                out.push((open + 1)..close);
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::lex;
+
+    fn parse(src: &str) -> (Vec<Token>, FileSyntax) {
+        let lexed = lex(src);
+        let syn = parse_fns(&lexed.tokens);
+        (lexed.tokens, syn)
+    }
+
+    #[test]
+    fn free_fn_and_method_are_found_with_impl_context() {
+        let src = r#"
+            fn free(a: u32) -> u32 { a + 1 }
+            struct S;
+            impl S {
+                fn method(&self) { self.helper(); }
+                fn helper(&self) {}
+            }
+            impl std::fmt::Display for S {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+        "#;
+        let (_, syn) = parse(src);
+        let names: Vec<(&str, Option<&str>)> = syn
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("method", Some("S")),
+                ("helper", Some("S")),
+                ("fmt", Some("S")),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_signatures_do_not_desync_the_scan() {
+        let src = "fn f<T: Into<Vec<u8>>>(x: T) -> Result<Vec<u8>, String> where T: Clone { x.into() }\nfn g() {}";
+        let (_, syn) = parse(src);
+        let names: Vec<&str> = syn.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["f", "g"]);
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src =
+            "trait T { fn decl(&self); fn with_default(&self) { self.decl() } } fn after() {}";
+        let (_, syn) = parse(src);
+        let names: Vec<&str> = syn.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default", "after"]);
+    }
+
+    #[test]
+    fn nested_fn_owns_its_tokens() {
+        let src = "fn outer() { fn inner() { blocked(); } inner(); }";
+        let (toks, syn) = parse(src);
+        assert_eq!(syn.fns.len(), 2);
+        let blocked_idx = toks.iter().position(|t| t.text == "blocked").unwrap();
+        let owner = syn.innermost_fn(blocked_idx).unwrap();
+        assert_eq!(syn.fns[owner].name, "inner");
+    }
+
+    #[test]
+    fn loop_bodies_cover_for_while_loop() {
+        let src = "fn f() { for x in 0..3 { a(); } while c { b(); } loop { d(); break; } }";
+        let (toks, syn) = parse(src);
+        let loops = loop_bodies(&toks, syn.fns[0].body.clone());
+        assert_eq!(loops.len(), 3);
+        for (range, name) in loops.iter().zip(["a", "b", "d"]) {
+            assert!(
+                toks[range.clone()].iter().any(|t| t.text == name),
+                "loop body missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn impl_with_where_clause_gets_the_right_type() {
+        let src = "impl<T> Wrapper<T> where T: Clone { fn get(&self) {} }";
+        let (_, syn) = parse(src);
+        assert_eq!(syn.fns[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+}

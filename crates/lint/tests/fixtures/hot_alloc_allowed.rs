@@ -1,0 +1,28 @@
+//! Fixture: the same loop allocations as `hot_alloc_bad.rs`, each carrying
+//! a line-level allow stating why it is not per-event.
+
+pub fn fold_batch(events: &[u64], out: &mut Vec<String>) -> u64 {
+    let mut acc = 0u64;
+    for e in events {
+        // quill-lint: allow(hot-path-alloc, reason = "fixture: label feeds a per-batch audit record, not the per-event path")
+        let label = format!("evt-{e}");
+        // quill-lint: allow(hot-path-alloc, reason = "fixture: one copy per emitted record, bounded by output rate")
+        let copy = label.clone();
+        out.push(copy);
+        acc += label.len() as u64;
+    }
+    acc
+}
+
+pub fn rescale(batches: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let mut i = 0;
+    while i < batches.len() {
+        // quill-lint: allow(hot-path-alloc, reason = "fixture: scratch is per-batch, and batches are amortized over many events")
+        let mut scratch: Vec<u64> = Vec::new();
+        scratch.push(batches[i]);
+        total += scratch.len() as u64;
+        i += 1;
+    }
+    total
+}

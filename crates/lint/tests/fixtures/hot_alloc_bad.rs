@@ -1,0 +1,34 @@
+//! Fixture: per-event allocations inside operator loops (L9), plus the
+//! constructor exemption — `from_*` functions run per-session, so their
+//! loops may allocate freely.
+
+pub fn fold_batch(events: &[u64], out: &mut Vec<String>) -> u64 {
+    let mut acc = 0u64;
+    for e in events {
+        let label = format!("evt-{e}");
+        let copy = label.clone();
+        out.push(copy);
+        acc += label.len() as u64;
+    }
+    acc
+}
+
+pub fn rescale(batches: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let mut i = 0;
+    while i < batches.len() {
+        let mut scratch: Vec<u64> = Vec::new();
+        scratch.push(batches[i]);
+        total += scratch.len() as u64;
+        i += 1;
+    }
+    total
+}
+
+pub fn from_parts(parts: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    for p in parts {
+        out.push(vec![*p]);
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! Fixture: the same blocking-under-guard shapes as `lock_discipline_bad.rs`
+//! with both suppression forms — a line-level allow on the blocking call,
+//! and a `fn`-declaration allow marking a whole function non-blocking for
+//! the may-block propagation.
+
+use std::sync::mpsc::SyncSender;
+use std::sync::Mutex;
+
+pub struct Shared {
+    state: Mutex<u64>,
+    tx: SyncSender<u64>,
+}
+
+impl Shared {
+    pub fn enqueue(&self, v: u64) {
+        let guard = self.state.lock().unwrap();
+        // quill-lint: allow(lock-discipline, reason = "fixture: the consumer never takes `state`, so this send cannot cycle")
+        self.tx.send(*guard + v).ok();
+    }
+
+    pub fn drain(&self) {
+        let guard = self.state.lock().unwrap();
+        self.forward(*guard);
+    }
+
+    // quill-lint: allow(lock-discipline, reason = "fixture: fed from a pre-drained queue; the send never blocks on this path")
+    fn forward(&self, v: u64) {
+        self.tx.send(v).ok();
+    }
+}

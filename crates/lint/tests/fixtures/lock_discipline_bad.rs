@@ -1,0 +1,31 @@
+//! Fixture: the serve enqueue shape. Ingest threads block on a bounded
+//! channel send; the core thread blocks acquiring the session lock. A send
+//! made while holding a lock the core thread needs closes the deadlock
+//! cycle — this is the exact bug class L6 exists to refuse.
+
+use std::sync::mpsc::SyncSender;
+use std::sync::Mutex;
+
+pub struct Shared {
+    state: Mutex<u64>,
+    tx: SyncSender<u64>,
+}
+
+impl Shared {
+    /// Direct: a blocking send inside the guard's live range.
+    pub fn enqueue(&self, v: u64) {
+        let guard = self.state.lock().unwrap();
+        self.tx.send(*guard + v).ok();
+    }
+
+    /// Transitive: the guard is live across a call into a function whose
+    /// body blocks.
+    pub fn drain(&self) {
+        let guard = self.state.lock().unwrap();
+        self.forward(*guard);
+    }
+
+    fn forward(&self, v: u64) {
+        self.tx.send(v).ok();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: the conflicting orientation of `lock_order_bad.rs` suppressed
+//! by a line-level allow on the out-of-order acquisition. With one edge
+//! annotated away, no cycle remains.
+
+use std::sync::Mutex;
+
+pub struct Core {
+    registry: Mutex<u64>,
+    results: Mutex<u64>,
+}
+
+impl Core {
+    pub fn forward(&self) -> u64 {
+        let r = self.registry.lock().unwrap();
+        let s = self.results.lock().unwrap();
+        *r + *s
+    }
+
+    pub fn backward(&self) -> u64 {
+        let s = self.results.lock().unwrap();
+        // quill-lint: allow(lock-order, reason = "fixture: this path only runs at shutdown after the forward path has quiesced")
+        let r = self.registry.lock().unwrap();
+        *r + *s
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: the two L7 shapes — an inconsistent acquisition order between
+//! two locks (deadlock-shaped cycle), and a direct re-acquisition of a lock
+//! while its own guard is live (guaranteed deadlock on non-re-entrant
+//! locks).
+
+use std::sync::Mutex;
+
+pub struct Core {
+    registry: Mutex<u64>,
+    results: Mutex<u64>,
+}
+
+impl Core {
+    pub fn forward(&self) -> u64 {
+        let r = self.registry.lock().unwrap();
+        let s = self.results.lock().unwrap();
+        *r + *s
+    }
+
+    pub fn backward(&self) -> u64 {
+        let s = self.results.lock().unwrap();
+        let r = self.registry.lock().unwrap();
+        *r + *s
+    }
+
+    pub fn reenter(&self) -> u64 {
+        let a = self.registry.lock().unwrap();
+        let b = self.registry.lock().unwrap();
+        *a + *b
+    }
+}

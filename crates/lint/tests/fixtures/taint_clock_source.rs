@@ -1,0 +1,7 @@
+//! Fixture (cross-crate taint source): a helper crate function that reads
+//! the wall clock. Its own file is outside deterministic scope, so the
+//! token-level L2 rule never sees it — only taint propagation can.
+
+pub fn wall_elapsed_micros(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_micros() as u64
+}

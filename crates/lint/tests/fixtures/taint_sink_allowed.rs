@@ -1,0 +1,7 @@
+//! Fixture (cross-crate taint sink, suppressed): the call site carries a
+//! line-level allow, so the propagated taint stops at the annotation.
+
+pub fn should_emit(t0: std::time::Instant) -> bool {
+    // quill-lint: allow(wall-clock-taint, reason = "fixture: result feeds an operator dashboard, never K estimation")
+    wall_elapsed_micros(t0) > 1_000
+}

@@ -1,0 +1,6 @@
+//! Fixture (cross-crate taint sink): deterministic-core code calling the
+//! wall-clock helper defined in another crate.
+
+pub fn should_emit(t0: std::time::Instant) -> bool {
+    wall_elapsed_micros(t0) > 1_000
+}

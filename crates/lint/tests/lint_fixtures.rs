@@ -5,8 +5,9 @@
 #![forbid(unsafe_code)]
 
 use quill_lint::rules::{
-    lint_source, lint_workspace, RULE_ALLOW_SYNTAX, RULE_CRATE_HYGIENE, RULE_GUARDED_TELEMETRY,
-    RULE_NO_NONDETERMINISM, RULE_NO_PANIC, RULE_NO_WALL_CLOCK,
+    lint_source, lint_sources, lint_workspace, RULE_ALLOW_SYNTAX, RULE_CRATE_HYGIENE,
+    RULE_GUARDED_TELEMETRY, RULE_HOT_PATH_ALLOC, RULE_LOCK_DISCIPLINE, RULE_LOCK_ORDER,
+    RULE_NO_NONDETERMINISM, RULE_NO_PANIC, RULE_NO_WALL_CLOCK, RULE_WALL_CLOCK_TAINT,
 };
 use quill_lint::{Diagnostic, Severity};
 use std::path::Path;
@@ -153,6 +154,163 @@ fn clean_fixture_yields_no_findings() {
 }
 
 #[test]
+fn l6_lock_discipline_fires_on_blocking_under_guard() {
+    let diags = lint_source(
+        "crates/serve/src/server.rs",
+        &fixture("lock_discipline_bad.rs"),
+    );
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_LOCK_DISCIPLINE)
+        .collect();
+    // The direct send in `enqueue` plus the call in `drain` that reaches
+    // `forward`'s send.
+    assert_eq!(hits.len(), 2, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("`guard` guard on `serve::state`")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("may block") && d.message.contains("forward")),
+        "transitive finding missing its witness: {diags:?}"
+    );
+}
+
+#[test]
+fn l6_lock_discipline_allows_suppress_both_shapes() {
+    let diags = lint_source(
+        "crates/serve/src/server.rs",
+        &fixture("lock_discipline_allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l7_lock_order_fires_on_conflicting_order_and_reacquisition() {
+    let diags = lint_source("crates/serve/src/server.rs", &fixture("lock_order_bad.rs"));
+    let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == RULE_LOCK_ORDER).collect();
+    // One conflict per unordered pair (reported once, both paths cited),
+    // plus the direct re-acquisition in `reenter`.
+    assert_eq!(hits.len(), 2, "{diags:?}");
+    let conflict = hits
+        .iter()
+        .find(|d| d.message.contains("inconsistent lock order"))
+        .unwrap_or_else(|| panic!("{diags:?}"));
+    assert!(
+        conflict.message.contains("forward") && conflict.message.contains("backward"),
+        "conflict must cite both call paths: {}",
+        conflict.message
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("not re-entrant")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l7_lock_order_allow_on_one_edge_dissolves_the_cycle() {
+    let diags = lint_source(
+        "crates/serve/src/server.rs",
+        &fixture("lock_order_allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l8_wall_clock_taint_crosses_crates() {
+    // The helper lives in telemetry (outside deterministic scope — L2 is
+    // silent there); the deterministic core calls it. Only the multi-file
+    // entry point can see the cross-crate edge.
+    let files = vec![
+        (
+            "crates/telemetry/src/clock.rs".to_string(),
+            fixture("taint_clock_source.rs"),
+        ),
+        (
+            "crates/core/src/strategy.rs".to_string(),
+            fixture("taint_sink_bad.rs"),
+        ),
+    ];
+    let diags = lint_sources(&files);
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_WALL_CLOCK_TAINT)
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(hits[0].path, "crates/core/src/strategy.rs");
+    assert!(
+        hits[0].message.contains("wall_elapsed_micros"),
+        "witness chain must name the tainted callee: {}",
+        hits[0].message
+    );
+    // The helper's own file is outside deterministic scope: no findings there.
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.path != "crates/telemetry/src/clock.rs"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn l8_wall_clock_taint_call_site_allow_suppresses() {
+    let files = vec![
+        (
+            "crates/telemetry/src/clock.rs".to_string(),
+            fixture("taint_clock_source.rs"),
+        ),
+        (
+            "crates/core/src/strategy.rs".to_string(),
+            fixture("taint_sink_allowed.rs"),
+        ),
+    ];
+    let diags = lint_sources(&files);
+    assert!(!rules(&diags).contains(&RULE_WALL_CLOCK_TAINT), "{diags:?}");
+}
+
+#[test]
+fn l9_hot_path_alloc_fires_in_loops_and_exempts_constructors() {
+    let diags = lint_source(
+        "crates/engine/src/operator/fold.rs",
+        &fixture("hot_alloc_bad.rs"),
+    );
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+        .collect();
+    // format! + .clone() in fold_batch, Vec::new in rescale; the vec! in
+    // `from_parts` is constructor-exempt.
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Deny));
+    assert!(
+        hits.iter().all(|d| !d.message.contains("from_parts")),
+        "constructor exemption violated: {diags:?}"
+    );
+}
+
+#[test]
+fn l9_hot_path_alloc_is_scope_limited() {
+    // The same loops outside the data-path modules are not linted.
+    let diags = lint_source(
+        "crates/metrics/src/summary.rs",
+        &fixture("hot_alloc_bad.rs"),
+    );
+    assert!(!rules(&diags).contains(&RULE_HOT_PATH_ALLOC), "{diags:?}");
+}
+
+#[test]
+fn l9_hot_path_alloc_allow_suppresses() {
+    let diags = lint_source(
+        "crates/engine/src/operator/fold.rs",
+        &fixture("hot_alloc_allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn jsonl_rendering_round_trips_fixture_findings() {
     let diags = lint_source("crates/core/src/buffer.rs", &fixture("no_panic_bad.rs"));
     let jsonl = quill_lint::to_jsonl(&diags);
@@ -161,6 +319,41 @@ fn jsonl_rendering_round_trips_fixture_findings() {
         assert!(line.contains(&format!("\"rule\":\"{}\"", d.rule)), "{line}");
         assert!(line.contains(&format!("\"line\":{}", d.line)), "{line}");
     }
+}
+
+#[test]
+fn sarif_rendering_round_trips_fixture_findings() {
+    let diags = lint_source(
+        "crates/serve/src/server.rs",
+        &fixture("lock_discipline_bad.rs"),
+    );
+    assert!(!diags.is_empty());
+    let sarif = quill_lint::to_sarif(&diags);
+    // Envelope: version, schema, and the tool driver.
+    assert!(sarif.contains("\"version\":\"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\":\"quill-lint\""), "{sarif}");
+    // Every finding must survive as a result with its rule id, level,
+    // location and line.
+    for d in &diags {
+        assert!(
+            sarif.contains(&format!("\"ruleId\":\"{}\"", d.rule)),
+            "{d:?}"
+        );
+        assert!(
+            sarif.contains(&format!("\"uri\":\"{}\"", d.path)),
+            "{d:?}\n{sarif}"
+        );
+        assert!(
+            sarif.contains(&format!("\"startLine\":{}", d.line)),
+            "{d:?}\n{sarif}"
+        );
+    }
+    assert_eq!(
+        sarif.matches("\"ruleId\"").count(),
+        diags.len(),
+        "one result per finding:\n{sarif}"
+    );
+    assert!(sarif.contains("\"level\":\"error\""), "{sarif}");
 }
 
 /// Regression: the live workspace must stay lint-clean. This is the same

@@ -137,6 +137,7 @@ pub(crate) fn serve(shared: &Arc<Shared>, listener: &TcpListener) {
 }
 
 /// Route one request.
+// quill-lint: allow(wall-clock-taint, reason = "HTTP shell: uptime reporting for /healthz; never reaches stream-time logic")
 fn dispatch(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,

@@ -95,6 +95,7 @@ impl Shared {
     /// Microseconds since server start — the clock of every wall-domain
     /// span. Safe for the data path: `elapsed()` never influences
     /// stream-time decisions.
+    // quill-lint: allow(wall-clock-taint, reason = "wall-domain span clock; readings feed latency telemetry only, never stream-time decisions")
     pub(crate) fn now_micros(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
@@ -173,11 +174,19 @@ impl Shared {
     }
 
     /// Drain pending results for one query.
+    ///
+    /// Clones the (Arc-backed) handle out of the registry so the map guard
+    /// is released before polling: `QueryHandle::poll` takes the per-query
+    /// state lock, and holding the registry lock across it would stall
+    /// register/deregister behind a busy query.
     pub(crate) fn poll(&self, id: QueryId) -> ServeResult<Vec<WindowResult>> {
-        let handles = self.handles.lock();
-        let handle = handles
-            .get(&id.raw())
-            .ok_or_else(|| ServeError::Config(format!("unknown query id {id}")))?;
+        let handle = {
+            let handles = self.handles.lock();
+            handles
+                .get(&id.raw())
+                .cloned()
+                .ok_or_else(|| ServeError::Config(format!("unknown query id {id}")))?
+        };
         Ok(handle.poll())
     }
 

@@ -10,8 +10,10 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> quill-lint --workspace (report: results/lint_report.jsonl)"
-cargo run -q -p quill-lint -- --workspace --out results/lint_report.jsonl
+echo "==> quill-lint --workspace (reports: results/lint_report.jsonl, results/lint_report.sarif)"
+cargo run -q -p quill-lint -- --workspace \
+    --out results/lint_report.jsonl \
+    --sarif results/lint_report.sarif
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
