@@ -50,6 +50,7 @@
 pub mod aggregate;
 pub mod error;
 pub mod event;
+pub mod fiba;
 pub mod hash;
 pub mod operator;
 pub mod parallel;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::aggregate::{AggregateKind, AggregateSpec, Aggregator};
     pub use crate::error::{EngineError, Result};
     pub use crate::event::{ClockTracker, DisorderStats, Event, StreamElement};
+    pub use crate::fiba::{FibaStats, FibaTree, WindowState};
     pub use crate::hash::FxHasher;
     pub use crate::operator::{
         merge_by_arrival, CountWindowOp, FilterOp, IntervalJoin, LatePolicy, MapOp, Operator,

@@ -14,7 +14,7 @@
 //!
 //! ## Execution paths
 //!
-//! Two state layouts are used, chosen at construction:
+//! Three state layouts are available:
 //!
 //! * **Per-window** (the general path): every `(key, window)` instance holds
 //!   its own aggregate state; an event is folded into each of the
@@ -28,10 +28,22 @@
 //!   merges per emission. Sliding Sum/Variance therefore no longer recompute
 //!   from raw window contents on emit; [`WindowOpStats::agg_inserts`]
 //!   instruments the difference.
+//! * **FiBA** ([`crate::fiba`], selected via
+//!   [`WindowAggregateOp::with_window_state`] with
+//!   [`WindowState::Fiba`](crate::fiba::WindowState)): per key, one finger
+//!   B-tree over `(ts, seq)` keys holds a combinable partial per event;
+//!   window finalize is a range query over cached subtree combines, and the
+//!   slide bulk-evicts everything no later window can cover. Order-statistic
+//!   aggregates (Median/Quantile) keep a value-indexed FiBA per open window
+//!   whose subtree counts answer rank queries in `O(log n)` — replacing the
+//!   legacy sorted-`Vec`'s `O(n)` shift per out-of-order insert. Applies to
+//!   tumbling and sliding (aligned or not) under the `Drop` policy; `Revise`
+//!   falls back to the per-window path.
 
-use crate::aggregate::{AggregateSpec, Aggregator, PaneAgg};
+use crate::aggregate::{AggregateKind, AggregateSpec, Aggregator, PaneAgg};
 use crate::error::Result;
 use crate::event::{Event, StreamElement};
+use crate::fiba::{f64_to_ordered, ordered_to_f64, FibaItem, FibaTree, WindowState};
 use crate::operator::Operator;
 use crate::time::Timestamp;
 use crate::value::{Key, Row, Value};
@@ -72,9 +84,10 @@ pub struct WindowOpStats {
     pub windows_emitted: u64,
     /// Aggregate-state folds performed: one per open window instance the
     /// event lands in on the per-window path, exactly one per accepted event
-    /// on the shared-pane path. The ratio to `accepted` shows whether
-    /// sliding windows share state (`1`) or recompute per instance
-    /// (`≈ length/slide`).
+    /// on the shared-pane path, and on the FiBA path one per accepted event
+    /// plus one per open window instance receiving order-statistic values.
+    /// The ratio to `accepted` shows whether sliding windows share state
+    /// (`1`) or recompute per instance (`≈ length/slide`).
     pub agg_inserts: u64,
 }
 
@@ -132,8 +145,9 @@ impl WindowResult {
     }
 }
 
-/// Per-(key, window) incremental state.
-struct WindowState {
+/// Per-(key, window) incremental state (the general per-window path; not to
+/// be confused with the [`WindowState`] backend selector from [`crate::fiba`]).
+struct PerWindowState {
     aggs: Vec<Box<dyn Aggregator>>,
     count: u64,
     /// How many times this window has been emitted (0 = not yet).
@@ -203,6 +217,104 @@ struct PanedState {
     pending: BTreeSet<(Timestamp, Key)>,
 }
 
+/// One event's combinable partials, stored as the item of the per-key time
+/// tree. Combining in `(ts, seq)` key order reproduces the per-window path's
+/// insertion-order fold exactly (the shard stages deliver equal-timestamp
+/// events in `seq` order), so Edge/Arg tie rules agree between backends.
+#[derive(Clone)]
+struct EventSlice(Vec<PaneAgg>);
+
+impl FibaItem for EventSlice {
+    fn combine(&mut self, later: &Self) {
+        for (a, b) in self.0.iter_mut().zip(&later.0) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Per-open-window state for aggregates whose partials cannot be combined.
+enum OrderStat {
+    /// Value-indexed finger B-tree: keys are `(total-order f64 bits, uniq)`,
+    /// so subtree counts answer `select(k)` in O(log n) and an out-of-order
+    /// value insert costs O(log n) instead of the legacy sorted-`Vec`'s
+    /// O(n) shift. Non-numeric values are skipped, like `QuantileAgg`.
+    Rank { p: f64, tree: FibaTree<()> },
+    /// Distinct non-null keys; identical semantics to `DistinctAgg`.
+    Distinct(BTreeSet<Key>),
+}
+
+/// FiBA state for one grouping key.
+struct FibaKeyState {
+    /// Finger B-tree over `(ts, seq)` holding one [`EventSlice`] per
+    /// accepted event; window finalize is `range_agg` over `[start, end)`.
+    time: FibaTree<EventSlice>,
+    /// Per still-open `(end, start)` window: one [`OrderStat`] per
+    /// non-combinable spec, in spec order. Empty when every spec is
+    /// combinable.
+    windows: BTreeMap<(Timestamp, Timestamp), Vec<OrderStat>>,
+    /// Disambiguator for equal value bits in [`OrderStat::Rank`] trees.
+    uniq: u64,
+}
+
+/// FiBA-backed window state; present when selected via
+/// [`WindowAggregateOp::with_window_state`] and the late policy is `Drop`.
+struct FibaState {
+    length: u64,
+    slide: u64,
+    /// Fresh combinable partials, one per combinable spec (tree item shape).
+    template: Vec<PaneAgg>,
+    /// Per spec: `Some(index into template)` for combinable kinds, `None`
+    /// for order-statistic/distinct kinds (served from [`OrderStat`]s).
+    slots: Vec<Option<usize>>,
+    keys: BTreeMap<Key, FibaKeyState>,
+    /// Registered-but-unemitted `(end, start, key)` windows, drained in the
+    /// per-window path's emission order as the watermark advances.
+    pending: BTreeSet<(Timestamp, Timestamp, Key)>,
+}
+
+/// Fresh [`OrderStat`] states for every non-combinable spec, in spec order.
+fn build_order_stats(aggs: &[AggregateSpec]) -> Vec<OrderStat> {
+    aggs.iter()
+        .filter_map(|a| match a.kind {
+            AggregateKind::Median => Some(OrderStat::Rank {
+                p: 0.5,
+                tree: FibaTree::new(),
+            }),
+            AggregateKind::Quantile(p) => Some(OrderStat::Rank {
+                p: p.clamp(0.0, 1.0),
+                tree: FibaTree::new(),
+            }),
+            AggregateKind::DistinctCount => Some(OrderStat::Distinct(BTreeSet::new())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Finalize a rank tree exactly as `aggregate::quantile_sorted` would
+/// finalize the equivalent sorted slice: same clamp, same index arithmetic,
+/// same interpolation expression — bit-identical output by construction.
+fn rank_quantile(tree: &FibaTree<()>, p: f64) -> Value {
+    let n = tree.len();
+    if n == 0 {
+        return Value::Null;
+    }
+    let value_at = |k: u64| -> f64 {
+        match tree.select(k) {
+            Some((bits, _)) => ordered_to_f64(bits),
+            None => f64::NAN, // unreachable: k < n by construction
+        }
+    };
+    if n == 1 {
+        return Value::Float(value_at(0));
+    }
+    let rank = p.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = rank.floor() as u64;
+    let hi = (rank.ceil() as u64).min(n - 1);
+    let frac = rank - lo as f64;
+    let (x_lo, x_hi) = (value_at(lo), value_at(hi));
+    Value::Float(x_lo + (x_hi - x_lo) * frac)
+}
+
 /// Keyed sliding/tumbling window aggregation operator.
 pub struct WindowAggregateOp {
     name: String,
@@ -210,8 +322,9 @@ pub struct WindowAggregateOp {
     aggs: Vec<AggregateSpec>,
     key_field: Option<usize>,
     late_policy: LatePolicy,
-    state: BTreeMap<StateKey, WindowState>,
+    state: BTreeMap<StateKey, PerWindowState>,
     paned: Option<PanedState>,
+    fiba: Option<FibaState>,
     watermark: Timestamp,
     out_seq: u64,
     stats: WindowOpStats,
@@ -254,6 +367,7 @@ impl WindowAggregateOp {
             late_policy,
             state: BTreeMap::new(),
             paned,
+            fiba: None,
             watermark: Timestamp::MIN,
             out_seq: 0,
             stats: WindowOpStats::default(),
@@ -315,6 +429,78 @@ impl WindowAggregateOp {
         self.paned.is_some()
     }
 
+    /// Select the window state backend. [`WindowState::Fiba`] routes events
+    /// through per-key finger B-tree aggregators ([`crate::fiba`]) when the
+    /// late policy is `Drop` (under `Revise`, revisions need retained
+    /// per-window state, so the per-window path is kept);
+    /// [`WindowState::Legacy`] restores the per-window / shared-pane layout.
+    ///
+    /// The operator-level default is `Legacy` so the operator behaves
+    /// exactly as before in isolation; `quill-core`'s `ExecOptions` defaults
+    /// every execution to `Fiba`. Call before processing any elements —
+    /// switching discards accumulated state.
+    pub fn with_window_state(mut self, mode: WindowState) -> Self {
+        self.fiba = match mode {
+            WindowState::Fiba => Self::fiba_state(&self.spec, &self.aggs, self.late_policy),
+            WindowState::Legacy => None,
+        };
+        self.paned = if self.fiba.is_some() {
+            None
+        } else {
+            Self::pane_state(&self.spec, &self.aggs, self.late_policy)
+        };
+        self
+    }
+
+    /// The backend actually in effect (`Fiba` only when eligible — see
+    /// [`Self::with_window_state`]).
+    pub fn window_state(&self) -> WindowState {
+        if self.fiba.is_some() {
+            WindowState::Fiba
+        } else {
+            WindowState::Legacy
+        }
+    }
+
+    /// FiBA state when eligible: any tumbling or sliding shape under the
+    /// `Drop` policy, every aggregate kind (non-combinable kinds get
+    /// per-window [`OrderStat`] trees instead of tree partials).
+    fn fiba_state(
+        spec: &WindowSpec,
+        aggs: &[AggregateSpec],
+        late_policy: LatePolicy,
+    ) -> Option<FibaState> {
+        if late_policy != LatePolicy::Drop {
+            return None;
+        }
+        let (length, slide) = match *spec {
+            WindowSpec::Sliding { length, slide } => (length.raw(), slide.raw()),
+            WindowSpec::Tumbling { length } => (length.raw(), length.raw()),
+        };
+        if slide == 0 || length == 0 {
+            return None;
+        }
+        let mut template = Vec::new();
+        let mut slots = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            match a.build_pane() {
+                Some(p) => {
+                    slots.push(Some(template.len()));
+                    template.push(p);
+                }
+                None => slots.push(None),
+            }
+        }
+        Some(FibaState {
+            length,
+            slide,
+            template,
+            slots,
+            keys: BTreeMap::new(),
+            pending: BTreeSet::new(),
+        })
+    }
+
     /// Force the execution path: `false` pins the per-window layout even
     /// when pane sharing would apply (for differential testing and
     /// benchmarking); `true` re-enables it where eligible. Call before
@@ -334,8 +520,11 @@ impl WindowAggregateOp {
     }
 
     /// Number of (key, window) states currently held (registered pending
-    /// windows on the shared-pane path).
+    /// windows on the shared-pane and FiBA paths).
     pub fn open_windows(&self) -> usize {
+        if let Some(fs) = &self.fiba {
+            return fs.pending.len();
+        }
         match &self.paned {
             Some(ps) => ps.pending.len(),
             None => self.state.len(),
@@ -381,11 +570,14 @@ impl WindowAggregateOp {
             }
             // quill-lint: allow(hot-path-alloc, reason = "BTreeMap state needs an owned key per assigned window; a key is one small Value")
             let state_key: StateKey = (w.end, w.start, key.clone());
-            let st = self.state.entry(state_key).or_insert_with(|| WindowState {
-                aggs: self.aggs.iter().map(|a| a.build()).collect(),
-                count: 0,
-                emissions: 0,
-            });
+            let st = self
+                .state
+                .entry(state_key)
+                .or_insert_with(|| PerWindowState {
+                    aggs: self.aggs.iter().map(|a| a.build()).collect(),
+                    count: 0,
+                    emissions: 0,
+                });
             for (agg, spec) in st.aggs.iter_mut().zip(&self.aggs) {
                 agg.insert_row(e.ts, e.row.get(spec.field), &e.row);
             }
@@ -477,6 +669,102 @@ impl WindowAggregateOp {
         }
     }
 
+    /// FiBA ingest: one `(ts, seq)` insert into the key's time tree carrying
+    /// the event's combinable partials, plus registering the event's
+    /// still-open windows as pending and folding order-statistic values into
+    /// those windows' rank trees / distinct sets.
+    fn fold_event_fiba(&mut self, e: &Event) {
+        let key = self.key_of(&e.row);
+        let wm = self.watermark.raw();
+        // quill-lint: allow(no-panic, reason = "fold_event_fiba is only reached via the fiba dispatch, which requires fiba.is_some()")
+        let fs = self.fiba.as_mut().expect("fiba path");
+        let t = e.ts.raw();
+        let home = t / fs.slide * fs.slide;
+        // The last window containing `t` ends at `home + length`; if the
+        // watermark passed it, every containing window is closed.
+        if home.saturating_add(fs.length) <= wm {
+            self.stats.late_dropped += 1;
+            if self.trace.is_enabled() {
+                let missed: Vec<(u64, u64)> = self
+                    .spec
+                    .assign(e.ts)
+                    .into_iter()
+                    .map(|w| (w.start.raw(), w.end.raw()))
+                    .collect();
+                self.trace.record(
+                    e.ts.raw(),
+                    self.shard,
+                    TraceKind::LateDrop {
+                        event_seq: e.seq,
+                        windows: missed,
+                    },
+                );
+            }
+            return;
+        }
+        // Build the event's slice of combinable partials and insert it once,
+        // keyed `(ts, seq)`: an in-order arrival lands at the right finger in
+        // O(1) amortized, a straggler in O(log n) — never an O(n) shift.
+        // quill-lint: allow(hot-path-alloc, reason = "per-event slice of combinable partials: a handful of enum words cloned once per accepted event, the FiBA analogue of the paned path's per-pane template clone")
+        let mut partials = fs.template.clone();
+        for (slot, spec) in fs.slots.iter().zip(&self.aggs) {
+            if let Some(j) = *slot {
+                partials[j].insert_row(e.ts, e.row.get(spec.field), &e.row);
+            }
+        }
+        let ks = fs.keys.entry(key.clone()).or_insert_with(|| FibaKeyState {
+            time: FibaTree::new(),
+            windows: BTreeMap::new(),
+            uniq: 0,
+        });
+        ks.time.insert((t, e.seq), EventSlice(partials));
+        self.stats.agg_inserts += 1;
+        self.stats.accepted += 1;
+        let has_order = fs.slots.iter().any(|s| s.is_none());
+        for w in self.spec.assign(e.ts) {
+            if w.end.raw() <= wm {
+                continue; // closed; Drop policy — already emitted, stays final
+            }
+            // quill-lint: allow(hot-path-alloc, reason = "BTreeSet registration needs an owned key per assigned window; a key is one small Value")
+            fs.pending.insert((w.end, w.start, key.clone()));
+            if !has_order {
+                continue;
+            }
+            self.stats.agg_inserts += 1;
+            let states = ks
+                .windows
+                .entry((w.end, w.start))
+                .or_insert_with(|| build_order_stats(&self.aggs));
+            let mut oi = 0;
+            for (slot, spec) in fs.slots.iter().zip(&self.aggs) {
+                if slot.is_some() {
+                    continue;
+                }
+                match states.get_mut(oi) {
+                    Some(OrderStat::Rank { tree, .. }) => {
+                        if let Some(x) = e.row.get(spec.field).as_f64() {
+                            let u = ks.uniq;
+                            ks.uniq += 1;
+                            // `uniq` grows in insertion order, so equal value
+                            // bits keep insert-after-equals order — exactly
+                            // the array QuantileAgg's sorted insert produces.
+                            tree.insert((f64_to_ordered(x), u), ());
+                        }
+                    }
+                    Some(OrderStat::Distinct(set)) => {
+                        let v = e.row.get(spec.field);
+                        if !v.is_null() {
+                            // quill-lint: allow(hot-path-alloc, reason = "distinct-count semantics require an owned copy of each new value")
+                            set.insert(Key(v.clone()));
+                        }
+                    }
+                    None => {}
+                }
+                oi += 1;
+            }
+        }
+    }
+
     /// Emit revisions for closed-but-retained windows that just received a
     /// late event (Revise policy only).
     fn emit_revisions(&mut self, e: &Event, out: &mut dyn FnMut(StreamElement)) {
@@ -518,6 +806,11 @@ impl WindowAggregateOp {
             return;
         }
         self.watermark = wm;
+        if self.fiba.is_some() {
+            self.drain_pending_fiba(wm, out);
+            out(StreamElement::Watermark(wm));
+            return;
+        }
         if self.paned.is_some() {
             self.drain_pending_paned(wm, out);
             out(StreamElement::Watermark(wm));
@@ -682,6 +975,113 @@ impl WindowAggregateOp {
         }
         .to_row()
     }
+
+    /// FiBA emission: pop every pending `(end, start, key)` up to the
+    /// watermark (already in emission order), answer the window with a range
+    /// query, and bulk-evict what no later window of the key can cover.
+    fn drain_pending_fiba(&mut self, wm: Timestamp, out: &mut dyn FnMut(StreamElement)) {
+        loop {
+            let (end, start, key) = {
+                // quill-lint: allow(no-panic, reason = "drain_pending_fiba is only reached via the fiba dispatch, which requires fiba.is_some()")
+                let fs = self.fiba.as_mut().expect("fiba path");
+                match fs.pending.first() {
+                    Some((e, _, _)) if *e <= wm => {
+                        // quill-lint: allow(no-panic, reason = "first() just returned Some on this same set")
+                        fs.pending.pop_first().expect("non-empty")
+                    }
+                    _ => break,
+                }
+            };
+            let row = self.emit_fiba_window(end, start, &key);
+            self.stats.windows_emitted += 1;
+            self.out_seq += 1;
+            out(StreamElement::Event(Event::new(end, self.out_seq, row)));
+        }
+    }
+
+    fn emit_fiba_window(&mut self, end: Timestamp, start: Timestamp, key: &Key) -> Row {
+        // quill-lint: allow(no-panic, reason = "emit_fiba_window is only called from drain_pending_fiba, which already held the fiba state")
+        let fs = self.fiba.as_mut().expect("fiba path");
+        let (s, e) = (start.raw(), end.raw());
+        let mut combined: Option<EventSlice> = None;
+        let mut count = 0u64;
+        let mut order: Vec<OrderStat> = Vec::new();
+        if let Some(ks) = fs.keys.get_mut(key) {
+            // Registered windows have `end ≥ 1` (start ≥ 0, length ≥ 1), so
+            // the inclusive upper bound `(end − 1, MAX)` cannot underflow.
+            let (agg, n) = ks.time.range_agg((s, 0), (e - 1, u64::MAX));
+            combined = agg;
+            count = n;
+            order = ks.windows.remove(&(end, start)).unwrap_or_default();
+            // Bulk eviction: entries before the next possible window start of
+            // this key (`start + slide`) can never be covered again. Pending
+            // windows of this key all end after `end`, hence start at or
+            // after `start + slide` on the slide grid.
+            ks.time.evict_before((s.saturating_add(fs.slide), 0));
+            if ks.time.is_empty() && ks.windows.is_empty() {
+                fs.keys.remove(key);
+            }
+        }
+        let mut aggregates = Vec::with_capacity(self.aggs.len());
+        let mut oi = 0;
+        for (spec, slot) in self.aggs.iter().zip(&fs.slots) {
+            match slot {
+                Some(j) => aggregates.push(match &combined {
+                    Some(slice) => slice.0[*j].finalize(),
+                    // Defensive: a registered window always covers ≥ 1
+                    // accepted event, but emit an empty result rather than
+                    // lose the window.
+                    None => fs.template[*j].finalize(),
+                }),
+                None => {
+                    let v = match order.get(oi) {
+                        Some(OrderStat::Rank { p, tree }) => rank_quantile(tree, *p),
+                        Some(OrderStat::Distinct(set)) => Value::Int(set.len() as i64),
+                        // Defensive, as above: match each kind's empty-state
+                        // finalize.
+                        None => match spec.kind {
+                            AggregateKind::DistinctCount => Value::Int(0),
+                            _ => Value::Null,
+                        },
+                    };
+                    aggregates.push(v);
+                    oi += 1;
+                }
+            }
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                e,
+                self.shard,
+                TraceKind::WindowFinalize {
+                    start: s,
+                    end: e,
+                    key: key.0.to_string(),
+                    count,
+                },
+            );
+        }
+        if self.spans.is_enabled() {
+            // Same semantics as the other paths: the watermark that drained
+            // this pending entry closed the window (Flush sets it to MAX,
+            // which carries no event time: zero lag).
+            let closed = if self.watermark == Timestamp::MAX {
+                e
+            } else {
+                self.watermark.raw()
+            };
+            self.spans
+                .record(Stage::WindowFinalize, e, closed, self.shard);
+        }
+        WindowResult {
+            key: key.0.clone(),
+            window: Window::new(start, end),
+            count,
+            revision: 0,
+            aggregates,
+        }
+        .to_row()
+    }
 }
 
 /// Combine the panes of window `[start, end)` through the key's
@@ -797,7 +1197,9 @@ impl Operator for WindowAggregateOp {
     fn process(&mut self, el: StreamElement, out: &mut dyn FnMut(StreamElement)) {
         match el {
             StreamElement::Event(e) => {
-                if self.paned.is_some() {
+                if self.fiba.is_some() {
+                    self.fold_event_fiba(&e);
+                } else if self.paned.is_some() {
                     self.fold_event_paned(&e);
                 } else {
                     self.fold_event(&e);
@@ -1368,5 +1770,186 @@ mod tests {
         );
         assert_eq!(results.len(), 2);
         assert_eq!(w.open_windows(), 0);
+    }
+
+    #[test]
+    fn fiba_backend_selection_and_revise_fallback() {
+        // Fiba applies to any tumbling/sliding shape under Drop, including
+        // shapes the pane path rejects (tumbling, misaligned slides) and
+        // non-combinable aggregates.
+        for spec in [
+            WindowSpec::tumbling(10u64),
+            WindowSpec::sliding(100u64, 30u64), // 30 ∤ 100
+            WindowSpec::sliding(20u64, 10u64),
+        ] {
+            let w = op(spec, LatePolicy::Drop).with_window_state(WindowState::Fiba);
+            assert_eq!(w.window_state(), WindowState::Fiba, "{spec:?}");
+            assert!(!w.shares_panes());
+        }
+        let median = WindowAggregateOp::new(
+            WindowSpec::sliding(100u64, 25u64),
+            vec![AggregateSpec::new(AggregateKind::Median, 0, "m")],
+            None,
+            LatePolicy::Drop,
+        )
+        .unwrap()
+        .with_window_state(WindowState::Fiba);
+        assert_eq!(median.window_state(), WindowState::Fiba);
+        // Revise needs retained per-window state → legacy fallback, and
+        // switching back to Legacy restores pane eligibility.
+        let revise = op(
+            WindowSpec::tumbling(10u64),
+            LatePolicy::Revise {
+                allowed_lateness: 5,
+            },
+        )
+        .with_window_state(WindowState::Fiba);
+        assert_eq!(revise.window_state(), WindowState::Legacy);
+        let back = op(WindowSpec::sliding(20u64, 10u64), LatePolicy::Drop)
+            .with_window_state(WindowState::Fiba)
+            .with_window_state(WindowState::Legacy);
+        assert_eq!(back.window_state(), WindowState::Legacy);
+        assert!(back.shares_panes());
+    }
+
+    #[test]
+    fn fiba_matches_legacy_under_disorder_and_lateness() {
+        // Same deterministic disorder as the pane differential above, but on
+        // the FiBA backend with an order-insensitive aggregate mix whose
+        // outputs are bit-exact regardless of combine shape.
+        let mk = || {
+            WindowAggregateOp::new(
+                WindowSpec::sliding(40u64, 10u64),
+                vec![
+                    AggregateSpec::new(AggregateKind::Count, 0, "n"),
+                    AggregateSpec::new(AggregateKind::Max, 0, "m"),
+                    AggregateSpec::new(AggregateKind::Last, 0, "l"),
+                    AggregateSpec::new(AggregateKind::Median, 0, "med"),
+                    AggregateSpec::new(AggregateKind::DistinctCount, 0, "d"),
+                ],
+                None,
+                LatePolicy::Drop,
+            )
+            .unwrap()
+        };
+        let mut input = Vec::new();
+        for i in 0..300u64 {
+            let ts = if i % 7 == 3 {
+                (i * 5).saturating_sub(200)
+            } else {
+                i * 5
+            };
+            input.push(ev(ts, i, (ts % 11) as f64));
+            if i % 20 == 19 {
+                input.push(StreamElement::Watermark(Timestamp(
+                    (i * 5).saturating_sub(30),
+                )));
+            }
+        }
+        input.push(StreamElement::Flush);
+        let mut fiba = mk().with_window_state(WindowState::Fiba);
+        let mut legacy = mk();
+        assert_eq!(fiba.window_state(), WindowState::Fiba);
+        assert_eq!(legacy.window_state(), WindowState::Legacy);
+        let rf = run(&mut fiba, input.clone());
+        let rl = run(&mut legacy, input);
+        assert_eq!(rf, rl);
+        assert_eq!(fiba.stats().accepted, legacy.stats().accepted);
+        assert_eq!(fiba.stats().late_dropped, legacy.stats().late_dropped);
+        assert_eq!(fiba.stats().windows_emitted, legacy.stats().windows_emitted);
+        assert!(fiba.stats().late_dropped > 0, "disorder must produce lates");
+        assert_eq!(fiba.open_windows(), 0, "flush must drain all fiba state");
+    }
+
+    #[test]
+    fn keyed_fiba_matches_legacy_with_misaligned_slide_and_order_stats() {
+        // Misaligned slide (7 ∤ 30) + order statistics: the pane path is
+        // ineligible either way, so this pits FiBA directly against the
+        // per-window reference. Integer-valued floats keep Mean/Quantile
+        // arithmetic bit-identical (same sums, same interpolation formula).
+        let mk = || {
+            WindowAggregateOp::new(
+                WindowSpec::sliding(30u64, 7u64),
+                vec![
+                    AggregateSpec::new(AggregateKind::Mean, 1, "mean"),
+                    AggregateSpec::new(AggregateKind::Median, 1, "med"),
+                    AggregateSpec::new(AggregateKind::Quantile(0.9), 1, "p90"),
+                    AggregateSpec::new(AggregateKind::DistinctCount, 1, "d"),
+                ],
+                Some(0),
+                LatePolicy::Drop,
+            )
+            .unwrap()
+        };
+        let mut input = Vec::new();
+        for i in 0..250u64 {
+            // Mild disorder: every 5th event arrives 31 units back.
+            let ts = if i % 5 == 2 {
+                (i * 3).saturating_sub(31)
+            } else {
+                i * 3
+            };
+            input.push(StreamElement::Event(Event::new(
+                ts,
+                i,
+                Row::new([Value::Int((i % 4) as i64), Value::Float((i % 23) as f64)]),
+            )));
+            if i % 25 == 24 {
+                input.push(StreamElement::Watermark(Timestamp(
+                    (i * 3).saturating_sub(40),
+                )));
+            }
+        }
+        input.push(StreamElement::Flush);
+        let mut fiba = mk().with_window_state(WindowState::Fiba);
+        let mut legacy = mk();
+        let rf = run(&mut fiba, input.clone());
+        let rl = run(&mut legacy, input);
+        assert_eq!(rf, rl);
+        assert_eq!(fiba.stats().accepted, legacy.stats().accepted);
+        assert_eq!(fiba.stats().late_dropped, legacy.stats().late_dropped);
+    }
+
+    #[test]
+    fn fiba_path_traces_finalize_late_drops_and_spans() {
+        // Identical scenario to the paned trace/span tests: the FiBA path
+        // must hit the same telemetry hooks with the same payloads.
+        let rec = FlightRecorder::new(256);
+        let spans = SpanRecorder::new(64);
+        let mut w = op(WindowSpec::sliding(20u64, 10u64), LatePolicy::Drop)
+            .with_window_state(WindowState::Fiba);
+        w.attach_trace(&rec, 0);
+        w.attach_spans(&spans, 0);
+        let _ = run(
+            &mut w,
+            vec![
+                ev(5, 1, 1.0),
+                ev(15, 2, 2.0),
+                StreamElement::Watermark(Timestamp(40)),
+                ev(3, 3, 9.0), // only window [0,20), finalized at wm=40
+                StreamElement::Flush,
+            ],
+        );
+        let evs = rec.events();
+        let fins: Vec<(u64, u64, u64)> = evs
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TraceKind::WindowFinalize {
+                    start, end, count, ..
+                } => Some((*start, *end, *count)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fins, vec![(0, 20, 2), (10, 30, 1)]);
+        let drops: Vec<(u64, Vec<(u64, u64)>)> = evs
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TraceKind::LateDrop { event_seq, windows } => Some((*event_seq, windows.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![(3, vec![(0, 20)])]);
+        let pairs: Vec<(u64, u64)> = spans.spans().iter().map(|s| (s.begin, s.end)).collect();
+        assert_eq!(pairs, vec![(20, 40), (30, 40)]);
     }
 }

@@ -102,6 +102,45 @@ impl Mutator for Straggler {
     }
 }
 
+/// Rewrite a fraction of timestamps deep into the past — at least `depth`
+/// behind the stream clock at their arrival position — without moving the
+/// events in arrival order. Unlike [`Straggler`] (which reorders arrivals),
+/// this creates *timestamp* stragglers that land far inside windows that
+/// are typically still open: with `depth >= W/2` for window length `W`,
+/// every affected insert is forced deep into the interior of the
+/// out-of-order window state, far from its in-order fast path.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepStraggler {
+    /// Minimum distance (event-time units) behind the running-max timestamp.
+    pub depth: u64,
+    /// Fraction of events rewritten (clamped to `[0, 1]`).
+    pub fraction: f64,
+}
+
+impl Mutator for DeepStraggler {
+    fn name(&self) -> String {
+        format!("deep_straggler(depth={}, {})", self.depth, self.fraction)
+    }
+    fn apply(&self, events: &mut Vec<Event>, rng: &mut dyn RngCore) {
+        let p = self.fraction.clamp(0.0, 1.0);
+        let depth = self.depth.max(1);
+        let mut clock = 0u64;
+        for e in events.iter_mut() {
+            // The clock advances on the *pre-mutation* timestamps, so a
+            // rewritten event cannot drag the reference point down for the
+            // events after it.
+            let original = e.ts.raw();
+            // Only rewrite once the clock can actually accommodate the full
+            // depth, so every straggler is genuinely `>= depth` behind.
+            if clock >= depth && rng.gen_bool(p) {
+                let extra = rng.gen_range(0..=depth / 2);
+                e.ts = Timestamp(clock.saturating_sub(depth + extra));
+            }
+            clock = clock.max(original);
+        }
+    }
+}
+
 /// Teleport the maximum-timestamp event to an early arrival position. The
 /// stream clock surges immediately, so almost everything that follows looks
 /// late — the input shape that tempts a buggy strategy into emitting a
@@ -272,6 +311,10 @@ mod tests {
                 fraction: 0.5,
             }),
             Box::new(TieCluster { quantum: 25 }),
+            Box::new(DeepStraggler {
+                depth: 100,
+                fraction: 0.1,
+            }),
         ]
     }
 
@@ -343,6 +386,54 @@ mod tests {
         let distinct: std::collections::BTreeSet<u64> = ev.iter().map(|e| e.ts.raw()).collect();
         assert!(distinct.len() < ev.len(), "no ties created");
         assert!(ev.iter().all(|e| e.ts.raw() % 50 == 0));
+    }
+
+    #[test]
+    fn deep_straggler_rewrites_timestamps_at_least_depth_behind() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ev = stream(300);
+        let original: Vec<u64> = ev.iter().map(|e| e.ts.raw()).collect();
+        DeepStraggler {
+            depth: 150,
+            fraction: 0.2,
+        }
+        .apply(&mut ev, &mut rng);
+        let mut clock = 0u64;
+        let mut rewritten = 0usize;
+        for (e, orig) in ev.iter().zip(&original) {
+            if e.ts.raw() != *orig {
+                rewritten += 1;
+                assert!(
+                    clock.saturating_sub(e.ts.raw()) >= 150,
+                    "rewritten ts {} only {} behind clock {clock}",
+                    e.ts.raw(),
+                    clock - e.ts.raw()
+                );
+            }
+            clock = clock.max(*orig);
+        }
+        assert!(
+            (30..=100).contains(&rewritten),
+            "expected ~20% of 300 events rewritten, got {rewritten}"
+        );
+        // Arrival order is untouched — only timestamps move.
+        assert_eq!(ev.len(), 300);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn deep_straggler_is_seed_deterministic() {
+        let m = DeepStraggler {
+            depth: 80,
+            fraction: 0.3,
+        };
+        let mut a = stream(200);
+        let mut b = stream(200);
+        m.apply(&mut a, &mut StdRng::seed_from_u64(11));
+        m.apply(&mut b, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
     }
 
     #[test]

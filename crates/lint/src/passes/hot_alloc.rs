@@ -2,7 +2,8 @@
 //! data-path modules.
 //!
 //! Scope: the per-event loops of `crates/engine/src/operator/*`,
-//! `crates/engine/src/parallel.rs`, `crates/core/src/buffer.rs`, and
+//! `crates/engine/src/fiba.rs`, `crates/engine/src/parallel.rs`,
+//! `crates/core/src/buffer.rs`, and
 //! `crates/core/src/session.rs`. Flagged constructs: `Vec::new`,
 //! `Box::new`, `vec!`, `format!`, and `.clone()` — each of these inside a
 //! `for`/`while`/`loop` body allocates (or deep-copies) once per event,
@@ -27,6 +28,7 @@ pub struct HotPathAlloc;
 /// Files whose loops are per-event by contract.
 fn in_scope(rel: &str) -> bool {
     rel.starts_with("crates/engine/src/operator/")
+        || rel == "crates/engine/src/fiba.rs"
         || rel == "crates/engine/src/parallel.rs"
         || rel == "crates/core/src/buffer.rs"
         || rel == "crates/core/src/session.rs"

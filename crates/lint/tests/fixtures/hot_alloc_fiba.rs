@@ -1,0 +1,25 @@
+//! Fixture: the FiBA window-state arena is data-path code (L9 scope). The
+//! per-element clone in `range_fold` must fire; the per-split arena push in
+//! `split_leaf` is per-node-split (amortized, not per-event) and carries the
+//! reasoned allow the real module uses.
+
+pub fn range_fold(items: &[u64], lo: u64, hi: u64, out: &mut Vec<Vec<u64>>) -> u64 {
+    let mut acc = 0u64;
+    for (i, item) in items.iter().enumerate() {
+        if lo <= *item && *item <= hi {
+            let snapshot = out[i % out.len()].clone();
+            acc += snapshot.len() as u64 + item;
+        }
+    }
+    acc
+}
+
+pub fn split_leaf(keys: &mut Vec<u64>, arena: &mut Vec<Vec<u64>>) -> usize {
+    let mid = keys.len() / 2;
+    while keys.len() > mid {
+        let k = keys.pop().unwrap_or(0);
+        // quill-lint: allow(hot-path-alloc, reason = "per-node-split sibling allocation; splits are amortized O(1/fanout) per insert, not per-event")
+        arena.push(vec![k]);
+    }
+    arena.len()
+}

@@ -15,9 +15,13 @@
 //! 4. **Executor invariance** — sequential, inline-deterministic parallel
 //!    (shards × batch sizes), and threaded parallel all produce identical
 //!    results, quality reports, and accounting.
-//! 5. **Telemetry reconciliation** — per-shard counters sum to the run's
+//! 5. **Window-state backend differential** — the FiBA backend (the
+//!    default) and the legacy per-window/pane backend emit element-identical
+//!    results, gated only by the DESIGN.md §17 combine-nesting tolerance on
+//!    non-associative float aggregates.
+//! 6. **Telemetry reconciliation** — per-shard counters sum to the run's
 //!    event accounting.
-//! 6. **Strategy-independent laws** (run once per suite, on the Oracle
+//! 7. **Strategy-independent laws** (run once per suite, on the Oracle
 //!    case): full buffering reproduces the oracle exactly, and execution is
 //!    invariant under input permutation once K exceeds the disorder bound.
 //!
@@ -30,7 +34,7 @@ use std::path::{Path, PathBuf};
 
 use quill_core::prelude::*;
 
-use crate::oracle::{naive_oracle, values_close, NaiveWindow};
+use crate::oracle::{backend_values_close, naive_oracle, values_close, NaiveWindow};
 use crate::spec::{sample_suite, SimCase, StrategySpec};
 
 /// One confirmed divergence between the engine and the oracle (or between
@@ -451,6 +455,154 @@ fn check_parallel_equivalence(
     Ok(par)
 }
 
+/// The FiBA window state (the executor default) and the legacy
+/// per-window/pane state must be element-identical: same windows, keys,
+/// revisions and counts, with aggregate values exact except for the
+/// non-associative float reductions, which are gated on the DESIGN.md §17
+/// combine-nesting tolerance ([`backend_values_close`]).
+fn check_window_state_equivalence(
+    case: &SimCase,
+    fiba_sorted: &[WindowResult],
+    fiba: &RunOutput,
+) -> Result<u64, Mismatch> {
+    let mut execs = 0u64;
+    let legacy_opts = [
+        (ExecOptions::sequential(), "window-state-sequential"),
+        (
+            ExecOptions::parallel(
+                ParallelConfig::new(4)
+                    .with_batch_size(32)
+                    .with_deterministic(true),
+            ),
+            "window-state-parallel-4x32",
+        ),
+    ];
+    for (opts, exec) in legacy_opts {
+        let legacy = run(case, &opts.with_window_state(WindowState::Legacy), exec)?;
+        execs += 1;
+        let legacy_sorted = sorted_results(&legacy.results);
+        if legacy_sorted.len() != fiba_sorted.len() {
+            return Err(Mismatch::new(
+                "window-state-results",
+                exec,
+                format!(
+                    "legacy backend emitted {} results, FiBA emitted {}",
+                    legacy_sorted.len(),
+                    fiba_sorted.len()
+                ),
+            ));
+        }
+        for (f, l) in fiba_sorted.iter().zip(&legacy_sorted) {
+            if f.window != l.window || f.key != l.key || f.revision != l.revision {
+                return Err(Mismatch::new(
+                    "window-state-results",
+                    exec,
+                    format!(
+                        "result identity diverged: FiBA {:?}/{:?} vs legacy {:?}/{:?}",
+                        f.window, f.key, l.window, l.key
+                    ),
+                ));
+            }
+            if f.count != l.count {
+                return Err(Mismatch::new(
+                    "window-state-counts",
+                    exec,
+                    format!(
+                        "window {:?} key {:?}: FiBA count {} vs legacy {}",
+                        f.window, f.key, f.count, l.count
+                    ),
+                ));
+            }
+            for (i, spec) in case.aggregates.iter().enumerate() {
+                let fv = f.aggregates.get(i).cloned().unwrap_or(Value::Null);
+                let lv = l.aggregates.get(i).cloned().unwrap_or(Value::Null);
+                if !backend_values_close(&spec.kind, &fv, &lv) {
+                    return Err(Mismatch::new(
+                        "window-state-values",
+                        exec,
+                        format!(
+                            "window {:?} key {:?} aggregate {i} ({}): FiBA {fv:?} vs legacy {lv:?}",
+                            f.window, f.key, spec.kind
+                        ),
+                    ));
+                }
+            }
+        }
+        // Completeness derives from counts, which are exact — those fields
+        // must agree bit-for-bit. The relative-error metrics re-derive from
+        // aggregate *values*, so the nesting-sensitive columns inherit the
+        // same round-off latitude as the values themselves.
+        let fq = &fiba.quality;
+        let lq = &legacy.quality;
+        let completeness_identical = fq.windows_total == lq.windows_total
+            && fq.windows_missing == lq.windows_missing
+            && fq.mean_completeness == lq.mean_completeness
+            && fq.min_completeness == lq.min_completeness
+            && fq.per_window.iter().zip(&lq.per_window).all(|(a, b)| {
+                a.window == b.window
+                    && a.key == b.key
+                    && a.completeness == b.completeness
+                    && a.emitted == b.emitted
+            });
+        if !completeness_identical || fq.per_window.len() != lq.per_window.len() {
+            return Err(Mismatch::new(
+                "window-state-quality",
+                exec,
+                "completeness accounting differs between window state backends".to_string(),
+            ));
+        }
+        let rel_close = |a: f64, b: f64| a == b || (a - b).abs() <= 1e-6;
+        for (i, spec) in case.aggregates.iter().enumerate() {
+            let exact = !crate::oracle::nesting_sensitive(&spec.kind);
+            let pairs = [
+                (fq.mean_rel_error.get(i), lq.mean_rel_error.get(i)),
+                (fq.max_rel_error.get(i), lq.max_rel_error.get(i)),
+            ];
+            let ok = pairs.iter().all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => {
+                    if exact {
+                        x == y || (x.is_nan() && y.is_nan())
+                    } else {
+                        rel_close(**x, **y) || (x.is_nan() && y.is_nan())
+                    }
+                }
+                (None, None) => true,
+                _ => false,
+            });
+            if !ok {
+                return Err(Mismatch::new(
+                    "window-state-quality",
+                    exec,
+                    format!(
+                        "relative-error metrics for aggregate {i} ({}) diverged between backends",
+                        spec.kind
+                    ),
+                ));
+            }
+        }
+        let acc = |o: &RunOutput| {
+            (
+                o.window_stats.accepted,
+                o.window_stats.late_dropped,
+                o.buffer.released,
+                o.buffer.late_passed,
+            )
+        };
+        if acc(&legacy) != acc(fiba) {
+            return Err(Mismatch::new(
+                "window-state-accounting",
+                exec,
+                format!(
+                    "accounting {:?} differs from FiBA {:?}",
+                    acc(&legacy),
+                    acc(fiba)
+                ),
+            ));
+        }
+    }
+    Ok(execs)
+}
+
 /// Shard telemetry counters must reconcile with the run's own accounting.
 fn check_telemetry(case: &SimCase) -> Result<(), Mismatch> {
     let exec = "telemetry-2x16-threaded";
@@ -665,6 +817,10 @@ pub fn check_case(case: &SimCase) -> Result<CaseStats, Mismatch> {
         ));
     }
 
+    // Window-state backend differential: FiBA (the default every leg above
+    // ran on) vs. the retained legacy backend, sequential and parallel.
+    stats.executions += check_window_state_equivalence(case, &seq_sorted, &seq)?;
+
     check_telemetry(case)?;
     stats.executions += 1;
 
@@ -802,6 +958,51 @@ mod tests {
         let mut case = tiny_case(StrategySpec::FixedK(20));
         quill_gen::reseq(&mut case.events);
         check_case(&case).unwrap_or_else(|m| panic!("unexpected mismatch: {m}"));
+    }
+
+    #[test]
+    fn float_nesting_tolerance_rule_gates_the_backend_differential() {
+        // The one targeted regression for the DESIGN.md §17 rule: a stream
+        // engineered for catastrophic cancellation (1e16-magnitude values
+        // that mostly cancel) makes the FiBA and legacy backends round Sum
+        // and Variance differently, while Min/Median/First must stay
+        // bit-exact. The battery must pass — the tolerance gate, not an
+        // ad-hoc epsilon, absorbs the combine-nesting difference.
+        let vals = [1.0e16, 7.25, -1.0e16, 0.125, 3.5, -0.375, 1.0e12, -2.0];
+        let mut case = SimCase {
+            seed: 0,
+            window: WindowSpec::sliding(40u64, 10u64),
+            aggregates: vec![
+                AggregateSpec::new(AggregateKind::Sum, 1, "s"),
+                AggregateSpec::new(AggregateKind::Variance, 1, "v"),
+                AggregateSpec::new(AggregateKind::Min, 1, "lo"),
+                AggregateSpec::new(AggregateKind::Median, 1, "med"),
+                AggregateSpec::new(AggregateKind::First, 1, "f"),
+            ],
+            key_field: Some(0),
+            strategy: StrategySpec::FixedK(60),
+            events: (0..240u64)
+                .map(|i| {
+                    let base = (i / 4) * 10;
+                    let ts = if i % 5 == 2 {
+                        base.saturating_sub(45)
+                    } else {
+                        base + i % 7
+                    };
+                    Event::new(
+                        ts,
+                        i,
+                        Row::new([
+                            Value::Int((i % 3) as i64),
+                            Value::Float(vals[(i % 8) as usize] * (1.0 + (i % 9) as f64 * 1e-6)),
+                            Value::Float((i % 10) as f64),
+                        ]),
+                    )
+                })
+                .collect(),
+        };
+        quill_gen::reseq(&mut case.events);
+        check_case(&case).unwrap_or_else(|m| panic!("tolerance rule failed to gate: {m}"));
     }
 
     #[test]

@@ -217,11 +217,12 @@ impl DelayChoice {
     }
 }
 
-const MUTATOR_COUNT: u32 = 7;
+const MUTATOR_COUNT: u32 = 8;
 
 /// The adversarial mutators selected by `mask` (one bit each), with fixed
-/// moderate parameters; `keys` bounds the hot key for `KeySkew`.
-fn mutators_for(mask: u8, keys: i64) -> Vec<Box<dyn Mutator>> {
+/// moderate parameters; `keys` bounds the hot key for `KeySkew` and
+/// `window_len` sets the `DeepStraggler` depth to at least half a window.
+fn mutators_for(mask: u16, keys: i64, window_len: u64) -> Vec<Box<dyn Mutator>> {
     let mut out: Vec<Box<dyn Mutator>> = Vec::new();
     if mask & 1 != 0 {
         out.push(Box::new(mutate::Duplicate { fraction: 0.05 }));
@@ -251,6 +252,12 @@ fn mutators_for(mask: u8, keys: i64) -> Vec<Box<dyn Mutator>> {
     if mask & 64 != 0 {
         out.push(Box::new(mutate::TieCluster { quantum: 10 }));
     }
+    if mask & 128 != 0 {
+        out.push(Box::new(mutate::DeepStraggler {
+            depth: (window_len / 2).max(1),
+            fraction: 0.05,
+        }));
+    }
     out
 }
 
@@ -261,7 +268,8 @@ fn build_events(
     period: u64,
     keys: i64,
     delay: DelayChoice,
-    mutator_mask: u8,
+    mutator_mask: u16,
+    window_len: u64,
     stream_seed: u64,
 ) -> Vec<Event> {
     let schema = Schema::new([
@@ -289,7 +297,7 @@ fn build_events(
             ])
         },
     );
-    let muts = mutators_for(mutator_mask, keys.max(1));
+    let muts = mutators_for(mutator_mask, keys.max(1), window_len);
     mutate::apply_all(&mut stream.events, &muts, &mut rng);
     stream.events
 }
@@ -323,9 +331,17 @@ pub fn sample_suite(seed: u64) -> Vec<SimCase> {
         2 => DelayChoice::Exponential((1u64..=15u64).sample(&mut rng) * period.max(1)),
         _ => DelayChoice::Pareto((1u64..=8u64).sample(&mut rng) * period.max(1)),
     };
-    let mutator_mask = (0u8..(1u8 << MUTATOR_COUNT)).sample(&mut rng);
+    let mutator_mask = (0u16..(1u16 << MUTATOR_COUNT)).sample(&mut rng);
     let stream_seed = rng.next_u64();
-    let events = build_events(n, period, keys, delay, mutator_mask, stream_seed);
+    let events = build_events(
+        n,
+        period,
+        keys,
+        delay,
+        mutator_mask,
+        window.length().raw(),
+        stream_seed,
+    );
 
     let strategies = vec![
         StrategySpec::DropAll,
